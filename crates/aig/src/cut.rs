@@ -1,0 +1,350 @@
+//! K-feasible cut enumeration.
+
+use std::collections::HashMap;
+
+use crate::{Aig, Lit, NodeId, TruthTable};
+
+/// A *cut* of a node: a set of leaf nodes such that every path from the primary
+/// inputs to the node passes through a leaf.
+///
+/// Leaves are stored sorted by node id.  The `signature` is a 64-bit Bloom-style
+/// hash used for fast dominance checks during enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    leaves: Vec<NodeId>,
+    signature: u64,
+}
+
+impl Cut {
+    /// Creates the trivial cut `{node}`.
+    pub fn trivial(node: NodeId) -> Self {
+        Cut { leaves: vec![node], signature: Self::sig_of(node) }
+    }
+
+    /// Creates a cut from a sorted, de-duplicated list of leaves.
+    pub fn from_leaves(mut leaves: Vec<NodeId>) -> Self {
+        leaves.sort_unstable();
+        leaves.dedup();
+        let signature = leaves.iter().fold(0u64, |s, &l| s | Self::sig_of(l));
+        Cut { leaves, signature }
+    }
+
+    fn sig_of(node: NodeId) -> u64 {
+        1u64 << (node % 64)
+    }
+
+    /// The leaf nodes of the cut, sorted by id.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    pub fn size(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Returns `true` if `self`'s leaves are a subset of `other`'s leaves.
+    ///
+    /// A cut dominates another when its leaves are a subset: the dominated cut
+    /// can never lead to a better implementation and is pruned.
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.leaves.len() > other.leaves.len() {
+            return false;
+        }
+        if self.signature & !other.signature != 0 {
+            return false;
+        }
+        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+
+    /// Merges two cuts; returns `None` if the union has more than `k` leaves.
+    pub fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
+        if (self.signature | other.signature).count_ones() as usize > k {
+            // Cheap necessary condition only when signatures do not collide;
+            // fall through to the precise merge otherwise.
+        }
+        let mut leaves = Vec::with_capacity(self.leaves.len() + other.leaves.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.leaves.len() || j < other.leaves.len() {
+            if leaves.len() > k {
+                return None;
+            }
+            let next = match (self.leaves.get(i), other.leaves.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                    a
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    i += 1;
+                    a
+                }
+                (Some(_), Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => break,
+            };
+            leaves.push(next);
+        }
+        if leaves.len() > k {
+            return None;
+        }
+        let signature = self.signature | other.signature;
+        Some(Cut { leaves, signature })
+    }
+}
+
+/// The set of cuts enumerated for one node.
+#[derive(Debug, Clone, Default)]
+pub struct CutSet {
+    cuts: Vec<Cut>,
+}
+
+impl CutSet {
+    /// Returns the cuts, best-first in enumeration order.
+    pub fn cuts(&self) -> &[Cut] {
+        &self.cuts
+    }
+
+    /// Number of cuts stored for the node.
+    pub fn len(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Returns `true` when no cut is stored.
+    pub fn is_empty(&self) -> bool {
+        self.cuts.is_empty()
+    }
+
+    fn push_filtered(&mut self, cut: Cut, limit: usize) {
+        if self.cuts.iter().any(|c| c.dominates(&cut)) {
+            return;
+        }
+        self.cuts.retain(|c| !cut.dominates(c));
+        if self.cuts.len() < limit {
+            self.cuts.push(cut);
+        }
+    }
+}
+
+/// Parameters of cut enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutParams {
+    /// Maximum number of leaves per cut (`k`).
+    pub max_cut_size: usize,
+    /// Maximum number of cuts kept per node.
+    pub max_cuts_per_node: usize,
+    /// When `true`, the trivial cut `{node}` is included in each node's cut set.
+    pub include_trivial: bool,
+}
+
+impl Default for CutParams {
+    fn default() -> Self {
+        CutParams { max_cut_size: 4, max_cuts_per_node: 8, include_trivial: true }
+    }
+}
+
+/// Enumerates k-feasible cuts for every node of an AIG in one topological sweep.
+#[derive(Debug, Clone)]
+pub struct CutEnumerator {
+    params: CutParams,
+}
+
+impl CutEnumerator {
+    /// Creates an enumerator with the given parameters.
+    pub fn new(params: CutParams) -> Self {
+        CutEnumerator { params }
+    }
+
+    /// Returns the parameters in use.
+    pub fn params(&self) -> CutParams {
+        self.params
+    }
+
+    /// Enumerates cuts for every node; the result is indexed by node id.
+    pub fn enumerate(&self, aig: &Aig) -> Vec<CutSet> {
+        let mut sets: Vec<CutSet> = vec![CutSet::default(); aig.len()];
+        sets[0].cuts.push(Cut::trivial(0));
+        for &pi in aig.input_ids() {
+            sets[pi].cuts.push(Cut::trivial(pi));
+        }
+        for id in aig.node_ids() {
+            let Some((a, b)) = aig.node(id).fanins() else { continue };
+            let mut set = CutSet::default();
+            // Cross-merge the fanin cut sets.
+            let limit = self.params.max_cuts_per_node;
+            for ca in &sets[a.node()].cuts {
+                for cb in &sets[b.node()].cuts {
+                    if let Some(m) = ca.merge(cb, self.params.max_cut_size) {
+                        set.push_filtered(m, limit);
+                    }
+                }
+            }
+            if self.params.include_trivial || set.is_empty() {
+                set.push_filtered(Cut::trivial(id), limit.max(1));
+            }
+            sets[id] = set;
+        }
+        sets
+    }
+}
+
+/// Computes the truth table of `root` expressed over the leaves of `cut`.
+///
+/// The leaf order of the cut defines the variable order of the table
+/// (leaf `i` is variable `i`).
+///
+/// # Errors
+///
+/// Returns [`crate::AigError::CutTooWide`] when the cut has more than
+/// [`crate::truth::MAX_TRUTH_VARS`] leaves, and
+/// [`crate::AigError::InvalidLiteral`] if the cone of `root` reaches a primary
+/// input that is not covered by the cut.
+pub fn cut_truth(aig: &Aig, root: NodeId, cut: &Cut) -> crate::Result<TruthTable> {
+    let nv = cut.size();
+    if nv > crate::truth::MAX_TRUTH_VARS {
+        return Err(crate::AigError::CutTooWide(nv));
+    }
+    let mut memo: HashMap<NodeId, TruthTable> = HashMap::new();
+    for (i, &leaf) in cut.leaves().iter().enumerate() {
+        memo.insert(leaf, TruthTable::var(i, nv));
+    }
+    eval_node(aig, root, nv, &mut memo)
+}
+
+fn eval_node(
+    aig: &Aig,
+    id: NodeId,
+    nv: usize,
+    memo: &mut HashMap<NodeId, TruthTable>,
+) -> crate::Result<TruthTable> {
+    if let Some(t) = memo.get(&id) {
+        return Ok(t.clone());
+    }
+    if id == 0 {
+        let t = TruthTable::zeros(nv);
+        memo.insert(id, t.clone());
+        return Ok(t);
+    }
+    let Some((a, b)) = aig.node(id).fanins() else {
+        // A primary input that is not a cut leaf: the cut does not cover the cone.
+        return Err(crate::AigError::InvalidLiteral(Lit::from_node(id, false)));
+    };
+    let ta = eval_node(aig, a.node(), nv, memo)?;
+    let tb = eval_node(aig, b.node(), nv, memo)?;
+    let ta = if a.is_complemented() { ta.not() } else { ta };
+    let tb = if b.is_complemented() { tb.not() } else { tb };
+    let t = ta.and(&tb);
+    memo.insert(id, t.clone());
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_aig() -> (Aig, Lit, Lit, Lit, Lit, Lit) {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let d = g.add_input("d");
+        let ab = g.and(a, b);
+        let cd = g.and(c, d);
+        let f = g.and(ab, cd);
+        g.add_output("f", f);
+        (g, a, b, c, f, ab)
+    }
+
+    #[test]
+    fn cut_merge_respects_limit() {
+        let c1 = Cut::from_leaves(vec![1, 2]);
+        let c2 = Cut::from_leaves(vec![3, 4]);
+        assert!(c1.merge(&c2, 4).is_some());
+        assert!(c1.merge(&c2, 3).is_none());
+        let shared = Cut::from_leaves(vec![2, 3]);
+        let m = c1.merge(&shared, 3).expect("merge fits");
+        assert_eq!(m.leaves(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn dominance() {
+        let small = Cut::from_leaves(vec![1, 2]);
+        let big = Cut::from_leaves(vec![1, 2, 3]);
+        assert!(small.dominates(&big));
+        assert!(!big.dominates(&small));
+        assert!(small.dominates(&small.clone()));
+    }
+
+    #[test]
+    fn enumeration_produces_pi_cut() {
+        let (g, a, b, c, f, _) = sample_aig();
+        let sets = CutEnumerator::new(CutParams::default()).enumerate(&g);
+        let root_cuts = &sets[f.node()];
+        assert!(!root_cuts.is_empty());
+        // The full-support cut {a,b,c,d} must be found with k = 4.
+        let want: Vec<NodeId> =
+            vec![a.node(), b.node(), c.node(), g.input_ids()[3]];
+        assert!(
+            root_cuts.cuts().iter().any(|cut| cut.leaves() == want.as_slice()),
+            "expected PI cut in {root_cuts:?}"
+        );
+        let _ = c;
+    }
+
+    #[test]
+    fn cut_truth_matches_function() {
+        let (g, a, b, c, f, _) = sample_aig();
+        let d = g.input_ids()[3];
+        let cut = Cut::from_leaves(vec![a.node(), b.node(), c.node(), d]);
+        let t = cut_truth(&g, f.node(), &cut).expect("cut covers cone");
+        // f = a & b & c & d: exactly one satisfying row.
+        assert_eq!(t.count_ones(), 1);
+        assert!(t.get(0b1111));
+    }
+
+    #[test]
+    fn cut_truth_intermediate_leaf() {
+        let (g, _, _, c, f, ab) = sample_aig();
+        let d = g.input_ids()[3];
+        let cut = Cut::from_leaves(vec![ab.node(), c.node(), d]);
+        let t = cut_truth(&g, f.node(), &cut).expect("cut covers cone");
+        assert_eq!(t.num_vars(), 3);
+        assert_eq!(t.count_ones(), 1);
+        assert!(t.get(0b111));
+    }
+
+    #[test]
+    fn cut_truth_rejects_uncovered_cone() {
+        let (g, a, b, _, f, _) = sample_aig();
+        let cut = Cut::from_leaves(vec![a.node(), b.node()]);
+        assert!(cut_truth(&g, f.node(), &cut).is_err());
+    }
+
+    #[test]
+    fn trivial_cut_truth_is_projection() {
+        let (g, _, _, _, f, _) = sample_aig();
+        let cut = Cut::trivial(f.node());
+        let t = cut_truth(&g, f.node(), &cut).expect("trivial cut");
+        assert_eq!(t, TruthTable::var(0, 1));
+    }
+
+    #[test]
+    fn cuts_bounded_by_limit() {
+        let params = CutParams { max_cut_size: 4, max_cuts_per_node: 3, include_trivial: true };
+        let (g, ..) = sample_aig();
+        let sets = CutEnumerator::new(params).enumerate(&g);
+        for s in &sets {
+            assert!(s.len() <= 4, "at most limit + trivial cuts per node");
+        }
+    }
+}

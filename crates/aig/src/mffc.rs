@@ -1,0 +1,151 @@
+//! Maximum fanout-free cone (MFFC) analysis.
+//!
+//! The MFFC of a node is the set of nodes that would become dangling if the
+//! node were removed — i.e. the logic "owned" exclusively by that node.  The
+//! synthesis passes use MFFC size as the gain estimate of replacing a node's
+//! implementation.
+
+use crate::{Aig, NodeId};
+
+/// Result of an MFFC computation for a single root node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mffc {
+    root: NodeId,
+    nodes: Vec<NodeId>,
+}
+
+impl Mffc {
+    /// Computes the MFFC of `root`, optionally bounded by a set of `leaves`
+    /// (nodes that are never entered, e.g. the leaves of a cut).
+    ///
+    /// Fanout counts must be up to date: call [`Aig::compute_fanouts`] first.
+    /// The constant node and primary inputs are never part of an MFFC.
+    pub fn compute(aig: &mut Aig, root: NodeId, leaves: &[NodeId]) -> Mffc {
+        let mut nodes = Vec::new();
+        // Phase 1: dereference — walk down from the root decrementing fanout
+        // counts; a node joins the MFFC when its count reaches zero.
+        deref_rec(aig, root, leaves, &mut nodes, true);
+        // Phase 2: restore the counters.
+        let mut scratch = Vec::new();
+        deref_rec(aig, root, leaves, &mut scratch, false);
+        nodes.sort_unstable();
+        Mffc { root, nodes }
+    }
+
+    /// The root node of the cone.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The nodes in the cone (including the root), sorted by id.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of AND nodes in the cone, i.e. the gain of removing the root.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if `id` belongs to the cone.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.binary_search(&id).is_ok()
+    }
+}
+
+fn deref_rec(aig: &mut Aig, id: NodeId, leaves: &[NodeId], acc: &mut Vec<NodeId>, deref: bool) {
+    if !aig.node(id).is_and() || leaves.contains(&id) {
+        return;
+    }
+    if deref {
+        acc.push(id);
+    }
+    let (a, b) = aig.node(id).fanins().expect("AND node");
+    for fanin in [a.node(), b.node()] {
+        if !aig.node(fanin).is_and() || leaves.contains(&fanin) {
+            continue;
+        }
+        let count = if deref { aig.dec_fanout(fanin) } else { aig.inc_fanout(fanin) };
+        let recurse = if deref { count == 0 } else { count == 1 };
+        if recurse {
+            deref_rec(aig, fanin, leaves, acc, deref);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Aig, Lit};
+
+    /// Builds: f = (a&b) & (c&d), g = (a&b) & e.  The node (a&b) is shared.
+    fn shared_aig() -> (Aig, Lit, Lit, Lit) {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let d = g.add_input("d");
+        let e = g.add_input("e");
+        let ab = g.and(a, b);
+        let cd = g.and(c, d);
+        let f = g.and(ab, cd);
+        let out2 = g.and(ab, e);
+        g.add_output("f", f);
+        g.add_output("g", out2);
+        g.compute_fanouts();
+        (g, f, ab, cd)
+    }
+
+    #[test]
+    fn mffc_excludes_shared_nodes() {
+        let (mut g, f, ab, cd) = shared_aig();
+        let m = Mffc::compute(&mut g, f.node(), &[]);
+        // ab is shared with the second output, so only {f, cd} are owned by f.
+        assert!(m.contains(f.node()));
+        assert!(m.contains(cd.node()));
+        assert!(!m.contains(ab.node()));
+        assert_eq!(m.size(), 2);
+    }
+
+    #[test]
+    fn mffc_restores_fanout_counts() {
+        let (mut g, f, ab, _) = shared_aig();
+        let before: Vec<u32> = (0..g.len()).map(|i| g.fanout_count(i)).collect();
+        let _ = Mffc::compute(&mut g, f.node(), &[]);
+        let after: Vec<u32> = (0..g.len()).map(|i| g.fanout_count(i)).collect();
+        assert_eq!(before, after, "dereferencing must be fully undone");
+        let _ = ab;
+    }
+
+    #[test]
+    fn mffc_bounded_by_leaves() {
+        let (mut g, f, _, cd) = shared_aig();
+        let m = Mffc::compute(&mut g, f.node(), &[cd.node()]);
+        assert_eq!(m.size(), 1, "only the root when its fanins are leaves/shared");
+        assert!(m.contains(f.node()));
+    }
+
+    #[test]
+    fn mffc_of_single_fanout_chain() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let ab = g.and(a, b);
+        let abc = g.and(ab, c);
+        g.add_output("f", abc);
+        g.compute_fanouts();
+        let m = Mffc::compute(&mut g, abc.node(), &[]);
+        assert_eq!(m.size(), 2);
+        assert!(m.contains(ab.node()));
+    }
+
+    #[test]
+    fn mffc_of_input_is_empty() {
+        let (mut g, ..) = shared_aig();
+        let pi = g.input_ids()[0];
+        let m = Mffc::compute(&mut g, pi, &[]);
+        assert_eq!(m.size(), 0);
+        assert_eq!(m.root(), pi);
+    }
+}

@@ -1,0 +1,87 @@
+//! Summary statistics of an AIG.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Aig;
+
+/// Size/depth summary of an [`Aig`], the raw structural QoR before mapping.
+///
+/// ```
+/// use aig::{Aig, AigStats};
+/// let mut g = Aig::with_name("toy");
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let f = g.and(a, b);
+/// g.add_output("f", f);
+/// let s = AigStats::of(&g);
+/// assert_eq!(s.num_ands, 1);
+/// assert_eq!(s.depth, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AigStats {
+    /// Design name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Number of two-input AND nodes.
+    pub num_ands: usize,
+    /// Logic depth in AND levels.
+    pub depth: u32,
+}
+
+impl AigStats {
+    /// Collects statistics from a graph.
+    pub fn of(aig: &Aig) -> Self {
+        AigStats {
+            name: aig.name().to_string(),
+            num_inputs: aig.num_inputs(),
+            num_outputs: aig.num_outputs(),
+            num_ands: aig.num_ands(),
+            depth: aig.depth(),
+        }
+    }
+}
+
+impl std::fmt::Display for AigStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: i/o = {}/{}  and = {}  lev = {}",
+            self.name, self.num_inputs, self.num_outputs, self.num_ands, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_reflect_graph() {
+        let mut g = Aig::with_name("adder");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let s = g.xor_many(&[a, b, c]);
+        g.add_output("s", s);
+        let stats = AigStats::of(&g);
+        assert_eq!(stats.name, "adder");
+        assert_eq!(stats.num_inputs, 3);
+        assert_eq!(stats.num_outputs, 1);
+        assert_eq!(stats.num_ands, g.num_ands());
+        assert_eq!(stats.depth, g.depth());
+        let text = stats.to_string();
+        assert!(text.contains("adder"));
+        assert!(text.contains("and ="));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Aig::new();
+        let stats = AigStats::of(&g);
+        assert_eq!(stats.num_ands, 0);
+        assert_eq!(stats.depth, 0);
+    }
+}

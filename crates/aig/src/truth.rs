@@ -1,0 +1,423 @@
+//! Bit-parallel truth tables for small functions (up to 16 variables).
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of variables supported by [`TruthTable`].
+pub const MAX_TRUTH_VARS: usize = 16;
+
+/// A complete truth table over a fixed number of variables.
+///
+/// Bit `i` of the table is the function value for the input assignment whose
+/// binary encoding is `i` (variable 0 is the least-significant input).  Tables
+/// with up to six variables fit into a single `u64` word; wider tables use
+/// multiple words.
+///
+/// ```
+/// use aig::TruthTable;
+/// let a = TruthTable::var(0, 2);
+/// let b = TruthTable::var(1, 2);
+/// let f = a.and(&b);
+/// assert_eq!(f.count_ones(), 1);
+/// assert!(f.get(3));
+/// assert!(!f.get(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TruthTable {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+/// Pattern of variable `v` within one 64-bit word, for `v < 6`.
+const VAR_MASKS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+impl TruthTable {
+    fn word_count(num_vars: usize) -> usize {
+        if num_vars <= 6 {
+            1
+        } else {
+            1 << (num_vars - 6)
+        }
+    }
+
+    /// Mask of the bits that are meaningful in the last word.
+    fn tail_mask(num_vars: usize) -> u64 {
+        if num_vars >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1 << num_vars)) - 1
+        }
+    }
+
+    /// The constant-false function over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 16`.
+    pub fn zeros(num_vars: usize) -> Self {
+        assert!(num_vars <= MAX_TRUTH_VARS, "at most {MAX_TRUTH_VARS} variables supported");
+        TruthTable { num_vars, words: vec![0; Self::word_count(num_vars)] }
+    }
+
+    /// The constant-true function over `num_vars` variables.
+    pub fn ones(num_vars: usize) -> Self {
+        let mut t = Self::zeros(num_vars);
+        let tail = Self::tail_mask(num_vars);
+        for w in &mut t.words {
+            *w = tail;
+        }
+        t
+    }
+
+    /// The projection function of variable `var` over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn var(var: usize, num_vars: usize) -> Self {
+        assert!(var < num_vars, "variable index out of range");
+        let mut t = Self::zeros(num_vars);
+        if var < 6 {
+            let mask = VAR_MASKS[var] & Self::tail_mask(num_vars);
+            for w in &mut t.words {
+                *w = mask;
+            }
+        } else {
+            let block = 1 << (var - 6);
+            for (i, w) in t.words.iter_mut().enumerate() {
+                if (i / block) % 2 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        t
+    }
+
+    /// Builds a table from raw bits packed little-endian into `u64` words.
+    pub fn from_words(num_vars: usize, words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), Self::word_count(num_vars));
+        let mut t = TruthTable { num_vars, words };
+        let tail = Self::tail_mask(num_vars);
+        if let Some(last) = t.words.last_mut() {
+            *last &= tail;
+        }
+        t
+    }
+
+    /// Number of variables of the table.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of rows (input assignments).
+    pub fn num_rows(&self) -> usize {
+        1usize << self.num_vars
+    }
+
+    /// Returns the raw word storage.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Returns the function value for assignment `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn get(&self, row: usize) -> bool {
+        assert!(row < self.num_rows(), "row out of range");
+        self.words[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Sets the function value for assignment `row`.
+    pub fn set(&mut self, row: usize, value: bool) {
+        assert!(row < self.num_rows(), "row out of range");
+        if value {
+            self.words[row / 64] |= 1u64 << (row % 64);
+        } else {
+            self.words[row / 64] &= !(1u64 << (row % 64));
+        }
+    }
+
+    /// Bitwise AND of two tables over the same variables.
+    pub fn and(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR of two tables over the same variables.
+    pub fn or(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR of two tables over the same variables.
+    pub fn xor(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a ^ b)
+    }
+
+    /// Complement of the table.
+    pub fn not(&self) -> Self {
+        let tail = Self::tail_mask(self.num_vars);
+        let words = self.words.iter().map(|w| !w & tail).collect();
+        TruthTable { num_vars: self.num_vars, words }
+    }
+
+    fn zip(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        assert_eq!(self.num_vars, other.num_vars, "variable count mismatch");
+        let words = self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect();
+        TruthTable { num_vars: self.num_vars, words }
+    }
+
+    /// Returns `true` if the table is constant false.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if the table is constant true.
+    pub fn is_one(&self) -> bool {
+        *self == Self::ones(self.num_vars)
+    }
+
+    /// Number of satisfying assignments.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Negative cofactor with respect to `var` (the value with `var = 0`,
+    /// replicated so the result is still over `num_vars` variables).
+    pub fn cofactor0(&self, var: usize) -> Self {
+        assert!(var < self.num_vars);
+        let mut out = self.clone();
+        if var < 6 {
+            let shift = 1usize << var;
+            let mask = !VAR_MASKS[var];
+            for w in &mut out.words {
+                let low = *w & mask;
+                *w = low | (low << shift);
+            }
+        } else {
+            let block = 1 << (var - 6);
+            let n = out.words.len();
+            let mut i = 0;
+            while i < n {
+                for j in 0..block {
+                    out.words[i + block + j] = out.words[i + j];
+                }
+                i += 2 * block;
+            }
+        }
+        out
+    }
+
+    /// Positive cofactor with respect to `var` (the value with `var = 1`).
+    pub fn cofactor1(&self, var: usize) -> Self {
+        assert!(var < self.num_vars);
+        let mut out = self.clone();
+        if var < 6 {
+            let shift = 1usize << var;
+            let mask = VAR_MASKS[var];
+            for w in &mut out.words {
+                let high = *w & mask;
+                *w = high | (high >> shift);
+            }
+        } else {
+            let block = 1 << (var - 6);
+            let n = out.words.len();
+            let mut i = 0;
+            while i < n {
+                for j in 0..block {
+                    out.words[i + j] = out.words[i + block + j];
+                }
+                i += 2 * block;
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the function actually depends on variable `var`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.cofactor0(var) != self.cofactor1(var)
+    }
+
+    /// Returns the set of variables the function depends on.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.num_vars).filter(|&v| self.depends_on(v)).collect()
+    }
+
+    /// Swaps the roles of two variables, returning the permuted table.
+    pub fn swap_vars(&self, a: usize, b: usize) -> Self {
+        assert!(a < self.num_vars && b < self.num_vars);
+        if a == b {
+            return self.clone();
+        }
+        let mut out = Self::zeros(self.num_vars);
+        for row in 0..self.num_rows() {
+            let bit_a = row >> a & 1;
+            let bit_b = row >> b & 1;
+            let mut src = row & !(1 << a) & !(1 << b);
+            src |= bit_b << a | bit_a << b;
+            out.set(row, self.get(src));
+        }
+        out
+    }
+
+    /// Flips (complements) one input variable, returning the new table.
+    pub fn flip_var(&self, var: usize) -> Self {
+        assert!(var < self.num_vars);
+        let mut out = Self::zeros(self.num_vars);
+        for row in 0..self.num_rows() {
+            out.set(row, self.get(row ^ (1 << var)));
+        }
+        out
+    }
+
+    /// Extends the table to `new_vars` variables (the function is unchanged and
+    /// does not depend on the added variables).
+    pub fn extend_to(&self, new_vars: usize) -> Self {
+        assert!(new_vars >= self.num_vars && new_vars <= MAX_TRUTH_VARS);
+        if new_vars == self.num_vars {
+            return self.clone();
+        }
+        let mut out = Self::zeros(new_vars);
+        for row in 0..out.num_rows() {
+            out.set(row, self.get(row & (self.num_rows() - 1)));
+        }
+        out
+    }
+
+    /// Returns the lexicographically-compared raw bits, used for canonical ordering.
+    pub fn cmp_bits(&self, other: &Self) -> std::cmp::Ordering {
+        self.words.iter().rev().cmp(other.words.iter().rev())
+    }
+}
+
+impl std::fmt::Display for TruthTable {
+    /// Hexadecimal display, most-significant row first (ABC convention).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, w) in self.words.iter().enumerate().rev() {
+            if self.num_vars >= 6 || i > 0 {
+                write!(f, "{w:016x}")?;
+            } else {
+                let digits = (self.num_rows() + 3) / 4;
+                write!(f, "{:0width$x}", w, width = digits.max(1))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        let z = TruthTable::zeros(3);
+        let o = TruthTable::ones(3);
+        assert!(z.is_zero());
+        assert!(o.is_one());
+        assert_eq!(o.count_ones(), 8);
+        assert_eq!(z.not(), o);
+    }
+
+    #[test]
+    fn var_projection() {
+        for nv in 1..=8 {
+            for v in 0..nv {
+                let t = TruthTable::var(v, nv);
+                for row in 0..t.num_rows() {
+                    assert_eq!(t.get(row), row >> v & 1 == 1, "nv={nv} v={v} row={row}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let a = TruthTable::var(0, 3);
+        let b = TruthTable::var(1, 3);
+        let c = TruthTable::var(2, 3);
+        let f = a.and(&b).or(&c);
+        for row in 0..8 {
+            let (ra, rb, rc) = (row & 1 == 1, row >> 1 & 1 == 1, row >> 2 & 1 == 1);
+            assert_eq!(f.get(row), ra && rb || rc);
+        }
+        let x = a.xor(&b);
+        assert_eq!(x.count_ones(), 4);
+    }
+
+    #[test]
+    fn cofactors_small() {
+        let a = TruthTable::var(0, 3);
+        let b = TruthTable::var(1, 3);
+        let f = a.and(&b);
+        assert!(f.cofactor0(0).is_zero());
+        assert_eq!(f.cofactor1(0), b);
+        assert!(f.depends_on(0));
+        assert!(f.depends_on(1));
+        assert!(!f.depends_on(2));
+        assert_eq!(f.support(), vec![0, 1]);
+    }
+
+    #[test]
+    fn cofactors_wide() {
+        // 8-variable function depending on variable 7.
+        let v7 = TruthTable::var(7, 8);
+        let v0 = TruthTable::var(0, 8);
+        let f = v7.xor(&v0);
+        assert_eq!(f.cofactor0(7), v0);
+        assert_eq!(f.cofactor1(7), v0.not());
+        assert!(f.depends_on(7));
+        assert!(!f.depends_on(3));
+    }
+
+    #[test]
+    fn swap_and_flip() {
+        let a = TruthTable::var(0, 3);
+        let b = TruthTable::var(1, 3);
+        let f = a.and(&b.not());
+        let swapped = f.swap_vars(0, 1);
+        assert_eq!(swapped, b.and(&a.not()));
+        let flipped = f.flip_var(1);
+        assert_eq!(flipped, a.and(&b));
+    }
+
+    #[test]
+    fn extend_keeps_function() {
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let f = a.xor(&b);
+        let g = f.extend_to(4);
+        assert_eq!(g.num_vars(), 4);
+        for row in 0..16 {
+            assert_eq!(g.get(row), f.get(row & 3));
+        }
+        assert!(!g.depends_on(2));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let a = TruthTable::var(0, 2);
+        assert_eq!(a.to_string(), "a");
+        let f = TruthTable::ones(6);
+        assert_eq!(f.to_string(), "ffffffffffffffff");
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = TruthTable::zeros(7);
+        t.set(100, true);
+        t.set(3, true);
+        assert!(t.get(100));
+        assert!(t.get(3));
+        assert!(!t.get(99));
+        t.set(100, false);
+        assert!(!t.get(100));
+        assert_eq!(t.count_ones(), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion bench: CNN training-step and inference throughput (the compute
+//! behind Figures 4–7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowgen::{ClassifierConfig, Dataset, FlowClassifier, FlowEncoder, FlowSpace, LabeledFlow};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use synth::Qor;
+
+fn synthetic_dataset(count: usize) -> Dataset {
+    let space = FlowSpace::paper();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut ds = Dataset::new();
+    for (i, flow) in space.random_unique_flows(count, &mut rng).into_iter().enumerate() {
+        ds.push(LabeledFlow {
+            flow,
+            qor: Qor { area_um2: i as f64, delay_ps: i as f64, gates: 0, and_nodes: 0, depth: 0 },
+            label: i % 7,
+        });
+    }
+    ds
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let dataset = synthetic_dataset(64);
+    let mut group = c.benchmark_group("classifier_training");
+    group.sample_size(10);
+    group.bench_function("train_10_steps_default_config", |b| {
+        b.iter(|| {
+            let mut clf = FlowClassifier::new(FlowEncoder::paper(), ClassifierConfig::default());
+            clf.train(&dataset, 10)
+        })
+    });
+    let mut clf = FlowClassifier::new(FlowEncoder::paper(), ClassifierConfig::default());
+    clf.train(&dataset, 10);
+    let flows: Vec<flowgen::Flow> =
+        dataset.examples().iter().map(|e| e.flow.clone()).collect();
+    group.bench_function("predict_64_flows", |b| b.iter(|| clf.predict_proba(&flows)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifier);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: one-hot encoding and flow sampling throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowgen::{FlowEncoder, FlowSpace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_encoding(c: &mut Criterion) {
+    let space = FlowSpace::paper();
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let flows = space.random_unique_flows(256, &mut rng);
+    let encoder = FlowEncoder::paper();
+    let mut group = c.benchmark_group("flow_encoding");
+    group.bench_function("sample_256_unique_flows", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            space.random_unique_flows(256, &mut rng)
+        })
+    });
+    group.bench_function("encode_256_flows", |b| b.iter(|| encoder.encode_owned(&flows)));
+    group.bench_function("count_search_space", |b| b.iter(|| space.num_complete_flows()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

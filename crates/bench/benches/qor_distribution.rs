@@ -1,0 +1,28 @@
+//! Criterion bench: evaluating whole random flows end-to-end (passes + mapping),
+//! the dominant cost of dataset collection in Figure 1 / Figure 8.
+
+use circuits::{Design, DesignScale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowgen::FlowSpace;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use synth::FlowRunner;
+
+fn bench_flow_evaluation(c: &mut Criterion) {
+    let runner = FlowRunner::new();
+    let space = FlowSpace::paper();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let flow = space.random_flow(&mut rng);
+    let mut group = c.benchmark_group("qor_distribution");
+    group.sample_size(10);
+    for design in [Design::Alu64, Design::Montgomery64] {
+        let aig = design.generate(DesignScale::Tiny);
+        group.bench_with_input(BenchmarkId::from_parameter(design.name()), &aig, |b, aig| {
+            b.iter(|| runner.run(aig, flow.transforms()).qor)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_evaluation);
+criterion_main!(benches);

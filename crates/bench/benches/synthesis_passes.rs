@@ -1,0 +1,25 @@
+//! Criterion bench: throughput of each synthesis transformation on the three
+//! benchmark designs (supporting measurement behind Figures 4/5 runtime axes).
+
+use circuits::{Design, DesignScale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synth::Transform;
+
+fn bench_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis_passes");
+    group.sample_size(10);
+    for design in Design::ALL {
+        let aig = design.generate(DesignScale::Tiny);
+        for transform in Transform::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(transform.command().replace(' ', "_"), design.name()),
+                &aig,
+                |b, aig| b.iter(|| transform.apply(aig)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench: cut-based technology mapping (the QoR oracle behind every
+//! labelled flow).
+
+use circuits::{Design, DesignScale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synth::{map_qor, CellLibrary, MapperParams};
+
+fn bench_mapping(c: &mut Criterion) {
+    let library = CellLibrary::nangate14();
+    let mut group = c.benchmark_group("technology_mapping");
+    group.sample_size(10);
+    for design in Design::ALL {
+        let aig = design.generate(DesignScale::Tiny);
+        group.bench_with_input(BenchmarkId::from_parameter(design.name()), &aig, |b, aig| {
+            b.iter(|| map_qor(aig, &library, MapperParams::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

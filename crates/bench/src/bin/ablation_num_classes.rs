@@ -1,0 +1,54 @@
+//! Ablation: how the number of QoR classes affects the framework's output.
+//!
+//! The paper fixes the labelling model at 7 classes (Table 1).  This ablation
+//! keeps everything else constant and varies the class count, reporting the
+//! hold-out accuracy of the classifier and the true QoR of the selected
+//! angel-flows: fewer classes are easier to learn but discriminate the best
+//! flows less sharply.
+
+use bench::{design_at_scale, print_table, summarize, Scale};
+use circuits::Design;
+use flowgen::{ClassifierConfig, Framework, FrameworkConfig};
+use synth::QorMetric;
+
+fn main() {
+    let scale = Scale::from_env();
+    let design = design_at_scale(Design::Alu64, scale);
+    let metric = QorMetric::Area;
+    let mut rows = Vec::new();
+    for num_classes in [3usize, 5, 7, 9] {
+        let config = FrameworkConfig {
+            training_flows: scale.training_flows(),
+            initial_flows: scale.training_flows() / 2,
+            retrain_interval: scale.training_flows() / 4,
+            steps_per_round: scale.training_steps() / 2,
+            sample_flows: scale.sample_flows(),
+            output_flows: scale.output_flows(),
+            classifier: ClassifierConfig { num_classes, ..ClassifierConfig::default() },
+            ..FrameworkConfig::laptop(metric)
+        };
+        let report = Framework::new(config).run(&design);
+        let holdout = report.rounds.last().map(|r| r.holdout_accuracy).unwrap_or(0.0);
+        let sample_mean =
+            summarize(&report.sample_qors.iter().map(|q| q.metric(metric)).collect::<Vec<_>>())
+                .mean;
+        let angel_mean =
+            summarize(&report.angel_qors().iter().map(|q| q.metric(metric)).collect::<Vec<_>>())
+                .mean;
+        rows.push(vec![
+            num_classes.to_string(),
+            format!("{holdout:.3}"),
+            report
+                .selection_accuracy
+                .map(|a| format!("{a:.3}"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{sample_mean:.1}"),
+            format!("{angel_mean:.1}"),
+        ]);
+    }
+    print_table(
+        "Class-count ablation (ALU, area-driven)",
+        &["classes", "holdout_acc", "selection_acc", "sample_mean_area", "angel_mean_area"],
+        &rows,
+    );
+}

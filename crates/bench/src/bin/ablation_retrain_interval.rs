@@ -1,0 +1,42 @@
+//! Ablation: how the incremental re-training interval affects final accuracy.
+//!
+//! The paper fixes the interval at 500 newly labelled flows; this ablation
+//! varies the interval while keeping the total training budget constant.
+
+use bench::{design_at_scale, print_table, Scale};
+use circuits::Design;
+use flowgen::{ClassifierConfig, Framework, FrameworkConfig};
+use synth::QorMetric;
+
+fn main() {
+    let scale = Scale::from_env();
+    let design = design_at_scale(Design::Alu64, scale);
+    let total = scale.training_flows();
+    let mut rows = Vec::new();
+    for divisor in [2usize, 4, 8] {
+        let interval = (total / divisor).max(1);
+        let config = FrameworkConfig {
+            training_flows: total,
+            initial_flows: interval,
+            retrain_interval: interval,
+            steps_per_round: scale.training_steps() / divisor,
+            sample_flows: scale.sample_flows(),
+            output_flows: scale.output_flows(),
+            classifier: ClassifierConfig::default(),
+            ..FrameworkConfig::laptop(QorMetric::Area)
+        };
+        let report = Framework::new(config).run(&design);
+        let final_acc = report.rounds.last().map(|r| r.holdout_accuracy).unwrap_or(0.0);
+        rows.push(vec![
+            interval.to_string(),
+            report.rounds.len().to_string(),
+            format!("{final_acc:.3}"),
+            report.selection_accuracy.map(|a| format!("{a:.3}")).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    print_table(
+        "Re-training interval ablation (ALU, area-driven)",
+        &["interval", "rounds", "holdout_acc", "selection_acc"],
+        &rows,
+    );
+}

@@ -1,0 +1,51 @@
+//! Ablation: confidence-ranked selection vs random selection within class 0.
+//!
+//! Section 3.3 selects the angel-flows with the *highest* class-0 probability.
+//! This ablation compares that rule against picking random flows among all
+//! flows predicted as class 0, measuring the true QoR of both sets.
+
+use bench::{collect_labeled_flows, design_at_scale, print_table, summarize, Scale};
+use circuits::Design;
+use flowgen::{select_angel_devil_flows, ClassifierConfig, FlowClassifier, FlowEncoder};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use synth::QorMetric;
+
+fn main() {
+    let scale = Scale::from_env();
+    let design = design_at_scale(Design::Alu64, scale);
+    let metric = QorMetric::Area;
+    let train = collect_labeled_flows(&design, metric, scale.training_flows(), 0xAB1A);
+    let mut classifier = FlowClassifier::new(FlowEncoder::paper(), ClassifierConfig::default());
+    classifier.train(&train.dataset, scale.training_steps());
+
+    // Evaluate a sample pool with ground truth.
+    let sample = collect_labeled_flows(&design, metric, scale.sample_flows().min(400), 0xAB1B);
+    let probabilities = classifier.predict_proba(&sample.flows);
+    let k = scale.output_flows();
+    let confident = select_angel_devil_flows(&sample.flows, &probabilities, k);
+
+    // Random selection among *all* flows predicted in class 0.
+    let all_class0 = select_angel_devil_flows(&sample.flows, &probabilities, usize::MAX);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xAB1C);
+    let mut random_pool = all_class0.angel_flows.clone();
+    random_pool.shuffle(&mut rng);
+    random_pool.truncate(k);
+
+    let qor_of = |idx: usize| sample.qors[idx].metric(metric);
+    let confident_qor: Vec<f64> = confident.angel_flows.iter().map(|s| qor_of(s.index)).collect();
+    let random_qor: Vec<f64> = random_pool.iter().map(|s| qor_of(s.index)).collect();
+    let baseline: Vec<f64> = sample.qors.iter().map(|q| q.metric(metric)).collect();
+
+    let rows = vec![
+        vec!["all sample flows".into(), format!("{:.1}", summarize(&baseline).mean)],
+        vec!["random class-0 flows".into(), format!("{:.1}", summarize(&random_qor).mean)],
+        vec!["confidence-ranked angel flows".into(), format!("{:.1}", summarize(&confident_qor).mean)],
+    ];
+    print_table(
+        "Selection-rule ablation (ALU, area-driven): mean area of selected flows",
+        &["selection", "mean_area_um2"],
+        &rows,
+    );
+}

@@ -1,0 +1,12 @@
+//! Figure 5: gradient-descent comparison for delay-driven flow classification.
+//!
+//! Identical setup to Figure 4 but with flows labelled by delay.
+
+use bench::studies::run_optimizer_study;
+use bench::Scale;
+use synth::QorMetric;
+
+fn main() {
+    run_optimizer_study(QorMetric::Delay, Scale::from_env());
+    println!("\nPaper reference: RMSProp outperforms the other algorithms and reaches ~95% accuracy.");
+}

@@ -1,0 +1,13 @@
+//! Figure 6: convolution kernel-size study (3×6 vs 6×6 vs 6×12).
+//!
+//! Delay-driven flow classification for the AES core; the paper finds the
+//! rectangular n×2n kernels (3×6 and 6×12) clearly better than the square 6×6
+//! kernel because every one-hot row contains a single non-zero element.
+
+use bench::studies::run_kernel_study;
+use bench::Scale;
+
+fn main() {
+    run_kernel_study(Scale::from_env());
+    println!("\nPaper reference: n x 2n kernels (3x6, 6x12) beat the square 6x6 kernel.");
+}

@@ -1,0 +1,13 @@
+//! Figure 7: activation-function study over the eight functions of the paper.
+//!
+//! Delay-driven flow classification for the AES core; the paper finds the
+//! smooth non-linear activations (ELU, SELU, Softsign, Tanh) the strongest,
+//! with SELU the most reliable overall.
+
+use bench::studies::run_activation_study;
+use bench::Scale;
+
+fn main() {
+    run_activation_study(Scale::from_env());
+    println!("\nPaper reference: ELU/SELU/Softsign/Tanh outperform the others; SELU is the most reliable.");
+}

@@ -1,0 +1,33 @@
+//! Remark 3: size of the m-repetition flow search space.
+//!
+//! Prints `f(n, L, m)` for a range of transformation-set sizes and repetition
+//! counts, including the paper's headline number for n = 6, m = 4.
+
+use bench::print_table;
+use flowgen::FlowSpace;
+
+fn main() {
+    let mut rows = Vec::new();
+    for n in 2..=6usize {
+        for m in 1..=4usize {
+            let space = FlowSpace::new(n, m);
+            rows.push(vec![
+                n.to_string(),
+                m.to_string(),
+                space.flow_length().to_string(),
+                space.num_complete_flows().to_string(),
+            ]);
+        }
+    }
+    print_table("Remark 3: number of complete m-repetition flows", &["n", "m", "L", "f(n, L, m)"], &rows);
+    let paper = FlowSpace::paper();
+    println!(
+        "\nPaper setup (n = 6, m = 4, L = 24): {} flows (the paper quotes 'more than 10^16'; the exact multiset count is 3.2e15).",
+        paper.num_complete_flows()
+    );
+    let mut rows = Vec::new();
+    for l in [1usize, 4, 8, 12, 16, 20, 24] {
+        rows.push(vec![l.to_string(), paper.num_partial_flows(l).to_string()]);
+    }
+    print_table("Partial flows f(6, L, 4) by length L", &["L", "count"], &rows);
+}

@@ -1,0 +1,147 @@
+//! Reusable experiment drivers shared by the figure-regeneration binaries.
+
+use circuits::Design;
+use flowgen::{ClassifierConfig, FlowClassifier, FlowEncoder};
+use nn::{Activation, GradientDescent};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use synth::QorMetric;
+
+use crate::{collect_labeled_flows, design_at_scale, print_table, Scale};
+
+/// One point of an accuracy-vs-time training curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Mini-batch steps completed.
+    pub steps: usize,
+    /// Elapsed seconds including dataset collection.
+    pub elapsed_s: f64,
+    /// Hold-out accuracy at this point.
+    pub accuracy: f64,
+}
+
+/// Trains one classifier configuration on a collected dataset and samples the
+/// hold-out accuracy at regular intervals, mirroring the x/y axes of
+/// Figures 4–6 (accuracy vs training time).
+pub fn training_curve(
+    data: &crate::CollectedData,
+    config: ClassifierConfig,
+    total_steps: usize,
+    checkpoints: usize,
+    seed: u64,
+) -> Vec<CurvePoint> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let (train, holdout) = data.dataset.split(0.25, &mut rng);
+    let mut classifier = FlowClassifier::new(FlowEncoder::paper(), config);
+    let start = std::time::Instant::now();
+    let step_chunk = (total_steps / checkpoints.max(1)).max(1);
+    let mut curve = Vec::new();
+    let mut done = 0usize;
+    while done < total_steps {
+        classifier.train(&train, step_chunk);
+        done += step_chunk;
+        curve.push(CurvePoint {
+            steps: done,
+            elapsed_s: data.collection_time_s + start.elapsed().as_secs_f64(),
+            accuracy: classifier.accuracy(&holdout),
+        });
+    }
+    curve
+}
+
+/// The optimiser comparison of Figures 4 (area-driven) and 5 (delay-driven):
+/// for each design and each gradient-descent algorithm, report the accuracy
+/// curve over training time.
+pub fn run_optimizer_study(metric: QorMetric, scale: Scale) {
+    println!(
+        "Optimizer study ({} -driven flows), scale {:?} — paper Figures 4/5",
+        metric, scale
+    );
+    for design in Design::ALL {
+        let aig = design_at_scale(design, scale);
+        let data = collect_labeled_flows(&aig, metric, scale.training_flows(), 0xF16_4);
+        let mut rows = Vec::new();
+        for method in GradientDescent::PAPER_SET {
+            let config = ClassifierConfig {
+                optimizer: method,
+                ..ClassifierConfig::default()
+            };
+            let curve = training_curve(&data, config, scale.training_steps(), 4, 0x0F7);
+            for p in &curve {
+                rows.push(vec![
+                    method.name().to_string(),
+                    p.steps.to_string(),
+                    format!("{:.1}", p.elapsed_s),
+                    format!("{:.3}", p.accuracy),
+                ]);
+            }
+        }
+        print_table(
+            &format!("{design}: accuracy vs training time ({metric}-driven)"),
+            &["optimizer", "steps", "time_s", "accuracy"],
+            &rows,
+        );
+    }
+}
+
+/// The kernel-size comparison of Figure 6 (AES, delay-driven): 3×6 vs 6×6 vs 6×12.
+pub fn run_kernel_study(scale: Scale) {
+    println!("Convolution kernel study (AES, delay-driven), scale {scale:?} — paper Figure 6");
+    let aig = design_at_scale(Design::Aes128, scale);
+    let data = collect_labeled_flows(&aig, QorMetric::Delay, scale.training_flows(), 0xF16_6);
+    let mut rows = Vec::new();
+    for kernel in [(3usize, 6usize), (6, 6), (6, 12)] {
+        let config = ClassifierConfig { kernel, ..ClassifierConfig::default() };
+        let curve = training_curve(&data, config, scale.training_steps(), 4, 0x0F8);
+        for p in &curve {
+            rows.push(vec![
+                format!("{}x{}", kernel.0, kernel.1),
+                p.steps.to_string(),
+                format!("{:.1}", p.elapsed_s),
+                format!("{:.3}", p.accuracy),
+            ]);
+        }
+    }
+    print_table(
+        "AES core: accuracy vs training time per kernel size",
+        &["kernel", "steps", "time_s", "accuracy"],
+        &rows,
+    );
+}
+
+/// The activation-function comparison of Figure 7 (AES, delay-driven).
+pub fn run_activation_study(scale: Scale) {
+    println!("Activation-function study (AES, delay-driven), scale {scale:?} — paper Figure 7");
+    let aig = design_at_scale(Design::Aes128, scale);
+    let data = collect_labeled_flows(&aig, QorMetric::Delay, scale.training_flows(), 0xF16_7);
+    let mut rows = Vec::new();
+    for activation in Activation::PAPER_SET {
+        let config = ClassifierConfig { activation, ..ClassifierConfig::default() };
+        let curve = training_curve(&data, config, scale.training_steps(), 1, 0x0F9);
+        let final_acc = curve.last().map(|p| p.accuracy).unwrap_or(0.0);
+        rows.push(vec![activation.name().to_string(), format!("{final_acc:.3}")]);
+    }
+    print_table("AES core: final accuracy per activation", &["activation", "accuracy"], &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuits::DesignScale;
+
+    #[test]
+    fn training_curve_has_requested_checkpoints() {
+        let design = Design::Alu64.generate(DesignScale::Tiny);
+        let data = collect_labeled_flows(&design, QorMetric::Area, 20, 5);
+        let config = ClassifierConfig {
+            num_kernels: 2,
+            dense_units: 8,
+            ..ClassifierConfig::default()
+        };
+        let curve = training_curve(&data, config, 40, 4, 1);
+        assert_eq!(curve.len(), 4);
+        assert!(curve.windows(2).all(|w| w[0].steps < w[1].steps));
+        assert!(curve.iter().all(|p| (0.0..=1.0).contains(&p.accuracy)));
+        assert!(curve.iter().all(|p| p.elapsed_s >= data.collection_time_s));
+    }
+}

@@ -1,0 +1,363 @@
+//! A parameterizable AES encryption datapath (the paper's "128-bit AES core").
+//!
+//! The generator builds the combinational round datapath — SubBytes (S-boxes
+//! realised as GF(2^8) inversion logic plus the affine transform), ShiftRows,
+//! MixColumns and AddRoundKey — for a configurable number of state columns and
+//! rounds.  Round keys are primary inputs (the key schedule is not replicated),
+//! which keeps the network purely combinational exactly like the logic cone ABC
+//! optimises in the paper.
+
+use aig::{Aig, Lit};
+
+use crate::arith::bitwise_xor;
+
+/// The AES field polynomial x^8 + x^4 + x^3 + x + 1.
+const AES_POLY: u16 = 0x11B;
+
+/// Software GF(2^8) multiplication, used both to synthesise linear layers and by
+/// the reference model in tests.
+pub fn gf_mul_model(mut a: u8, mut b: u8) -> u8 {
+    let mut r = 0u8;
+    while b != 0 {
+        if b & 1 == 1 {
+            r ^= a;
+        }
+        let hi = a & 0x80 != 0;
+        a <<= 1;
+        if hi {
+            a ^= (AES_POLY & 0xFF) as u8;
+        }
+        b >>= 1;
+    }
+    r
+}
+
+/// Software model of the AES S-box (GF(2^8) inversion + affine transform).
+pub fn sbox_model(x: u8) -> u8 {
+    let inv = if x == 0 {
+        0
+    } else {
+        // Brute-force inverse: the field is tiny.
+        (1u16..=255)
+            .map(|c| c as u8)
+            .find(|&c| gf_mul_model(x, c) == 1)
+            .expect("every nonzero element has an inverse")
+    };
+    // Affine transform.
+    let mut y = 0u8;
+    for i in 0..8 {
+        let bit = (inv >> i & 1)
+            ^ (inv >> ((i + 4) % 8) & 1)
+            ^ (inv >> ((i + 5) % 8) & 1)
+            ^ (inv >> ((i + 6) % 8) & 1)
+            ^ (inv >> ((i + 7) % 8) & 1)
+            ^ (0x63 >> i & 1);
+        y |= bit << i;
+    }
+    y
+}
+
+/// A byte of logic: eight literals, LSB first.
+pub type ByteBus = [Lit; 8];
+
+fn to_byte(bits: &[Lit]) -> ByteBus {
+    let mut b = [Lit::FALSE; 8];
+    b.copy_from_slice(&bits[..8]);
+    b
+}
+
+/// GF(2^8) multiplication by a *constant*, which is a linear map (XOR network).
+pub fn gf_mul_const(g: &mut Aig, a: &ByteBus, c: u8) -> ByteBus {
+    // Column j of the linear map is gf_mul_model(1 << j, c).
+    let mut out = [Lit::FALSE; 8];
+    for (j, &aj) in a.iter().enumerate() {
+        let col = gf_mul_model(1 << j, c);
+        for (i, bit) in out.iter_mut().enumerate() {
+            if col >> i & 1 == 1 {
+                *bit = g.xor(*bit, aj);
+            }
+        }
+    }
+    out
+}
+
+/// Structural GF(2^8) multiplication of two variable bytes.
+pub fn gf_mul(g: &mut Aig, a: &ByteBus, b: &ByteBus) -> ByteBus {
+    // Shift-and-add: acc ^= (a * x^i) & b_i, with a * x^i reduced as we go.
+    let mut acc = [Lit::FALSE; 8];
+    let mut shifted: Vec<Lit> = a.to_vec();
+    for &bi in b.iter() {
+        for i in 0..8 {
+            let gated = g.and(shifted[i], bi);
+            acc[i] = g.xor(acc[i], gated);
+        }
+        // shifted = xtime(shifted)
+        let msb = shifted[7];
+        let mut next = vec![Lit::FALSE; 8];
+        for i in (1..8).rev() {
+            next[i] = shifted[i - 1];
+        }
+        next[0] = Lit::FALSE;
+        // Conditionally XOR the reduction constant 0x1B.
+        for i in 0..8 {
+            if 0x1B >> i & 1 == 1 {
+                next[i] = g.xor(next[i], msb);
+            }
+        }
+        shifted = next;
+    }
+    acc
+}
+
+/// Structural GF(2^8) squaring (a linear map, far cheaper than a full multiply).
+pub fn gf_square(g: &mut Aig, a: &ByteBus) -> ByteBus {
+    let mut out = [Lit::FALSE; 8];
+    for (j, &aj) in a.iter().enumerate() {
+        let col = gf_mul_model(1 << j, 1 << j);
+        for (i, bit) in out.iter_mut().enumerate() {
+            if col >> i & 1 == 1 {
+                *bit = g.xor(*bit, aj);
+            }
+        }
+    }
+    out
+}
+
+/// Structural AES S-box: GF(2^8) inversion via x^254 followed by the affine map.
+pub fn sbox(g: &mut Aig, x: &ByteBus) -> ByteBus {
+    // Inversion: x^254 = x^2 * x^4 * x^8 * x^16 * x^32 * x^64 * x^128.
+    let p2 = gf_square(g, x);
+    let p4 = gf_square(g, &p2);
+    let p8 = gf_square(g, &p4);
+    let p16 = gf_square(g, &p8);
+    let p32 = gf_square(g, &p16);
+    let p64 = gf_square(g, &p32);
+    let p128 = gf_square(g, &p64);
+    let t1 = gf_mul(g, &p2, &p4);
+    let t2 = gf_mul(g, &t1, &p8);
+    let t3 = gf_mul(g, &t2, &p16);
+    let t4 = gf_mul(g, &t3, &p32);
+    let t5 = gf_mul(g, &t4, &p64);
+    let inv = gf_mul(g, &t5, &p128);
+    // Affine transform y_i = inv_i ^ inv_{i+4} ^ inv_{i+5} ^ inv_{i+6} ^ inv_{i+7} ^ c_i.
+    let mut out = [Lit::FALSE; 8];
+    for i in 0..8 {
+        let mut y = Lit::FALSE;
+        for off in [0usize, 4, 5, 6, 7] {
+            y = g.xor(y, inv[(i + off) % 8]);
+        }
+        if 0x63 >> i & 1 == 1 {
+            y = !y;
+        }
+        out[i] = y;
+    }
+    out
+}
+
+/// Configuration of the AES datapath generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AesConfig {
+    /// Number of state columns (4 bytes each).  The full AES-128 state has 4.
+    pub columns: usize,
+    /// Number of unrolled rounds.
+    pub rounds: usize,
+}
+
+impl Default for AesConfig {
+    /// The paper's benchmark: the 128-bit AES core (full 4-column state, one
+    /// unrolled round of the iterative core).
+    fn default() -> Self {
+        AesConfig { columns: 4, rounds: 1 }
+    }
+}
+
+impl AesConfig {
+    /// A reduced configuration for fast tests and laptop-scale benches.
+    pub fn reduced(columns: usize, rounds: usize) -> Self {
+        AesConfig { columns, rounds }
+    }
+
+    /// State width in bits.
+    pub fn state_bits(&self) -> usize {
+        self.columns * 32
+    }
+}
+
+/// Generates the AES datapath as a self-contained [`Aig`].
+///
+/// Inputs: `pt[state_bits]` (plaintext state, column-major byte order) and
+/// `rk{r}[state_bits]` for each round `r`.  Outputs: `ct[state_bits]`.
+pub fn aes(config: AesConfig) -> Aig {
+    assert!(config.columns >= 1 && config.columns <= 4, "1..=4 state columns supported");
+    assert!(config.rounds >= 1, "at least one round required");
+    let nbytes = config.columns * 4;
+    let mut g = Aig::with_name(format!("aes{}x{}", config.state_bits(), config.rounds));
+    let pt = g.add_inputs("pt", nbytes * 8);
+    let round_keys: Vec<Vec<Lit>> =
+        (0..config.rounds).map(|r| g.add_inputs(&format!("rk{r}"), nbytes * 8)).collect();
+
+    // State as bytes in column-major order: byte index = col * 4 + row.
+    let mut state: Vec<ByteBus> = (0..nbytes).map(|i| to_byte(&pt[i * 8..i * 8 + 8])).collect();
+
+    for rk in &round_keys {
+        // SubBytes.
+        state = state.iter().map(|b| sbox(&mut g, b)).collect();
+        // ShiftRows: row r rotates left by r columns (modulo the column count).
+        let mut shifted = state.clone();
+        for row in 0..4 {
+            for col in 0..config.columns {
+                let src_col = (col + row) % config.columns;
+                shifted[col * 4 + row] = state[src_col * 4 + row];
+            }
+        }
+        state = shifted;
+        // MixColumns.
+        let mut mixed = state.clone();
+        for col in 0..config.columns {
+            let s: Vec<ByteBus> = (0..4).map(|r| state[col * 4 + r]).collect();
+            for row in 0..4 {
+                // [2 3 1 1] circulant matrix.
+                let coeffs = [2u8, 3, 1, 1];
+                let mut acc = [Lit::FALSE; 8];
+                for k in 0..4 {
+                    let c = coeffs[(k + 4 - row) % 4];
+                    let term = gf_mul_const(&mut g, &s[k], c);
+                    for i in 0..8 {
+                        acc[i] = g.xor(acc[i], term[i]);
+                    }
+                }
+                mixed[col * 4 + row] = acc;
+            }
+        }
+        state = mixed;
+        // AddRoundKey.
+        for (i, byte) in state.iter_mut().enumerate() {
+            let key_byte = to_byte(&rk[i * 8..i * 8 + 8]);
+            let xored = bitwise_xor(&mut g, byte, &key_byte);
+            byte.copy_from_slice(&xored);
+        }
+    }
+
+    let flat: Vec<Lit> = state.iter().flat_map(|b| b.iter().copied()).collect();
+    g.add_outputs("ct", &flat);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::Simulator;
+
+    /// Software model of one reduced-AES round, mirroring the generator.
+    fn round_model(state: &[u8], key: &[u8], columns: usize) -> Vec<u8> {
+        let nbytes = columns * 4;
+        let sub: Vec<u8> = state.iter().map(|&b| sbox_model(b)).collect();
+        let mut shifted = sub.clone();
+        for row in 0..4 {
+            for col in 0..columns {
+                let src_col = (col + row) % columns;
+                shifted[col * 4 + row] = sub[src_col * 4 + row];
+            }
+        }
+        let mut mixed = shifted.clone();
+        for col in 0..columns {
+            for row in 0..4 {
+                let coeffs = [2u8, 3, 1, 1];
+                let mut acc = 0u8;
+                for k in 0..4 {
+                    let c = coeffs[(k + 4 - row) % 4];
+                    acc ^= gf_mul_model(shifted[col * 4 + k], c);
+                }
+                mixed[col * 4 + row] = acc;
+            }
+        }
+        (0..nbytes).map(|i| mixed[i] ^ key[i]).collect()
+    }
+
+    fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
+        bytes.iter().flat_map(|&b| (0..8).map(move |i| b >> i & 1 == 1)).collect()
+    }
+
+    fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+        bits.chunks(8)
+            .map(|c| c.iter().enumerate().fold(0u8, |acc, (i, &b)| acc | (u8::from(b) << i)))
+            .collect()
+    }
+
+    #[test]
+    fn gf_mul_model_agrees_with_known_values() {
+        assert_eq!(gf_mul_model(0x57, 0x83), 0xC1);
+        assert_eq!(gf_mul_model(0x57, 0x13), 0xFE);
+        assert_eq!(gf_mul_model(0x02, 0x80), 0x1B);
+        assert_eq!(gf_mul_model(1, 0xAB), 0xAB);
+        assert_eq!(gf_mul_model(0, 0xAB), 0);
+    }
+
+    #[test]
+    fn sbox_model_matches_fips_values() {
+        // Spot-check entries of the FIPS-197 S-box table.
+        assert_eq!(sbox_model(0x00), 0x63);
+        assert_eq!(sbox_model(0x01), 0x7C);
+        assert_eq!(sbox_model(0x53), 0xED);
+        assert_eq!(sbox_model(0xFF), 0x16);
+        assert_eq!(sbox_model(0x10), 0xCA);
+    }
+
+    #[test]
+    fn structural_gf_mul_matches_model() {
+        let mut g = Aig::new();
+        let a = g.add_inputs("a", 8);
+        let b = g.add_inputs("b", 8);
+        let p = gf_mul(&mut g, &to_byte(&a), &to_byte(&b));
+        g.add_outputs("p", &p);
+        let sim = Simulator::new(&g);
+        for &(x, y) in &[(0x57u8, 0x83u8), (0x13, 0xFE), (0xFF, 0xFF), (0x02, 0x80), (0, 0x55)] {
+            let bits = bytes_to_bits(&[x, y]);
+            let out = bits_to_bytes(&sim.evaluate(&bits));
+            assert_eq!(out[0], gf_mul_model(x, y), "{x:#x} * {y:#x}");
+        }
+    }
+
+    #[test]
+    fn structural_sbox_matches_model() {
+        let mut g = Aig::new();
+        let x = g.add_inputs("x", 8);
+        let y = sbox(&mut g, &to_byte(&x));
+        g.add_outputs("y", &y);
+        let sim = Simulator::new(&g);
+        for input in [0u8, 1, 0x10, 0x53, 0xA7, 0xFF, 0x80, 0x3C] {
+            let out = bits_to_bytes(&sim.evaluate(&bytes_to_bits(&[input])));
+            assert_eq!(out[0], sbox_model(input), "sbox({input:#x})");
+        }
+    }
+
+    #[test]
+    fn one_column_round_matches_model() {
+        let config = AesConfig::reduced(1, 1);
+        let g = aes(config);
+        assert_eq!(g.num_inputs(), 32 + 32);
+        assert_eq!(g.num_outputs(), 32);
+        let sim = Simulator::new(&g);
+        let state = [0x32u8, 0x88, 0x31, 0xE0];
+        let key = [0xA0u8, 0x88, 0x23, 0x2A];
+        let mut bits = bytes_to_bits(&state);
+        bits.extend(bytes_to_bits(&key));
+        let got = bits_to_bytes(&sim.evaluate(&bits));
+        let want = round_model(&state, &key, 1);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn default_config_is_full_width() {
+        let c = AesConfig::default();
+        assert_eq!(c.state_bits(), 128);
+        assert_eq!(c.columns, 4);
+    }
+
+    #[test]
+    fn aes_network_is_substantial() {
+        let g = aes(AesConfig::reduced(1, 1));
+        assert!(g.num_ands() > 3000, "S-box logic dominates: got {}", g.num_ands());
+        assert!(g.depth() > 20);
+    }
+}

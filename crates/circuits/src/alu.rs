@@ -1,0 +1,200 @@
+//! A parameterizable ALU generator (the paper's "64-bit ALU" benchmark).
+
+use aig::{Aig, Lit};
+
+use crate::arith::{
+    barrel_shift_left, barrel_shift_right, bitwise_and, bitwise_or, bitwise_xor, constant_bus,
+    equals, less_than, mux_bus, reduce_or, ripple_add, ripple_sub, Bus,
+};
+
+/// Operations implemented by the [`alu`] generator, selected by a 3-bit opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AluOp {
+    /// `a + b`
+    Add = 0,
+    /// `a - b`
+    Sub = 1,
+    /// `a & b`
+    And = 2,
+    /// `a | b`
+    Or = 3,
+    /// `a ^ b`
+    Xor = 4,
+    /// `a << b[0..log2(width)]`
+    Sll = 5,
+    /// `a >> b[0..log2(width)]`
+    Srl = 6,
+    /// `(a < b) ? 1 : 0` (unsigned)
+    Slt = 7,
+}
+
+impl AluOp {
+    /// All operations in opcode order.
+    pub const ALL: [AluOp; 8] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Slt,
+    ];
+
+    /// The 3-bit opcode value.
+    pub fn opcode(self) -> u8 {
+        self as u8
+    }
+
+    /// Software model of the operation, used by the tests.
+    pub fn model(self, a: u128, b: u128, width: usize) -> u128 {
+        let mask = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+        let shift_mask = (width.next_power_of_two().trailing_zeros()) as u128;
+        let sh = (b & ((1 << shift_mask) - 1)) as u32;
+        let r = match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.checked_shl(sh).unwrap_or(0),
+            AluOp::Srl => (a & mask).checked_shr(sh).unwrap_or(0),
+            AluOp::Slt => u128::from((a & mask) < (b & mask)),
+        };
+        r & mask
+    }
+}
+
+/// Configuration of the ALU generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluConfig {
+    /// Operand width in bits.
+    pub width: usize,
+}
+
+impl Default for AluConfig {
+    /// The paper's benchmark: a 64-bit ALU.
+    fn default() -> Self {
+        AluConfig { width: 64 }
+    }
+}
+
+impl AluConfig {
+    /// A reduced-width configuration for fast tests and laptop-scale benches.
+    pub fn reduced(width: usize) -> Self {
+        AluConfig { width }
+    }
+}
+
+/// Generates the ALU as a self-contained [`Aig`].
+///
+/// Inputs: `a[width]`, `b[width]`, `op[3]`.  Outputs: `y[width]`, `zero`,
+/// `carry`.
+pub fn alu(config: AluConfig) -> Aig {
+    let width = config.width;
+    assert!(width >= 2, "ALU width must be at least 2");
+    let mut g = Aig::with_name(format!("alu{width}"));
+    let a = g.add_inputs("a", width);
+    let b = g.add_inputs("b", width);
+    let op = g.add_inputs("op", 3);
+
+    let shift_bits = width.next_power_of_two().trailing_zeros() as usize;
+    let (add, carry_add) = ripple_add(&mut g, &a, &b, Lit::FALSE);
+    let (sub, no_borrow) = ripple_sub(&mut g, &a, &b);
+    let and_r = bitwise_and(&mut g, &a, &b);
+    let or_r = bitwise_or(&mut g, &a, &b);
+    let xor_r = bitwise_xor(&mut g, &a, &b);
+    let sll = barrel_shift_left(&mut g, &a, &b[..shift_bits]);
+    let srl = barrel_shift_right(&mut g, &a, &b[..shift_bits]);
+    let lt = less_than(&mut g, &a, &b);
+    let mut slt = constant_bus(width, 0);
+    slt[0] = lt;
+
+    // One-hot decode the opcode and select the result.
+    let results: [&Bus; 8] = [&add, &sub, &and_r, &or_r, &xor_r, &sll, &srl, &slt];
+    let mut y = constant_bus(width, 0);
+    for (code, result) in results.iter().enumerate() {
+        let mut sel = Lit::TRUE;
+        for (bit, &ob) in op.iter().enumerate() {
+            let want = code >> bit & 1 == 1;
+            sel = g.and(sel, ob ^ !want);
+        }
+        y = mux_bus(&mut g, sel, result, &y);
+    }
+
+    let zero = !reduce_or(&mut g, &y);
+    let eq = equals(&mut g, &a, &b);
+    let carry = g.mux(op[0], no_borrow, carry_add);
+
+    g.add_outputs("y", &y);
+    g.add_output("zero", zero);
+    g.add_output("carry", carry);
+    g.add_output("eq", eq);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::Simulator;
+
+    fn run_alu(g: &Aig, width: usize, a: u128, b: u128, op: AluOp) -> (u128, bool) {
+        let sim = Simulator::new(g);
+        let mut bits = Vec::new();
+        for i in 0..width {
+            bits.push(a >> i & 1 == 1);
+        }
+        for i in 0..width {
+            bits.push(b >> i & 1 == 1);
+        }
+        for i in 0..3 {
+            bits.push(op.opcode() >> i & 1 == 1);
+        }
+        let out = sim.evaluate(&bits);
+        let y = out[..width]
+            .iter()
+            .enumerate()
+            .fold(0u128, |acc, (i, &v)| acc | (u128::from(v) << i));
+        (y, out[width])
+    }
+
+    #[test]
+    fn alu8_matches_model_on_all_ops() {
+        let width = 8;
+        let g = alu(AluConfig::reduced(width));
+        let samples = [0u128, 1, 2, 7, 0x80, 0xFF, 0xA5, 0x3C];
+        for op in AluOp::ALL {
+            for &a in &samples {
+                for &b in &samples {
+                    let (y, zero) = run_alu(&g, width, a, b, op);
+                    let want = op.model(a, b, width);
+                    assert_eq!(y, want, "op={op:?} a={a:#x} b={b:#x}");
+                    assert_eq!(zero, want == 0, "zero flag op={op:?} a={a:#x} b={b:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alu_has_expected_interface() {
+        let g = alu(AluConfig::reduced(16));
+        assert_eq!(g.num_inputs(), 16 + 16 + 3);
+        assert_eq!(g.num_outputs(), 16 + 3);
+        assert!(g.num_ands() > 500, "a 16-bit ALU is a non-trivial network");
+    }
+
+    #[test]
+    fn default_config_is_64_bit() {
+        assert_eq!(AluConfig::default().width, 64);
+    }
+
+    #[test]
+    fn opcodes_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for op in AluOp::ALL {
+            assert!(seen.insert(op.opcode()));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+}

@@ -1,0 +1,168 @@
+//! One-hot representation of synthesis flows (Section 3.2.1).
+//!
+//! A flow of length `L` over `n` transformations becomes an `L × n` binary
+//! matrix: row `j` is the one-hot vector of the `j`-th transformation.  For the
+//! paper's setup (L = 24, n = 6) the matrix is reshaped to 12 × 12 so that two
+//! convolution + pooling stages fit (Section 4).
+
+use nn::Tensor;
+
+use crate::flow::Flow;
+
+/// Encodes flows into the binary matrices consumed by the CNN classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowEncoder {
+    num_transforms: usize,
+    flow_length: usize,
+    reshape_square: bool,
+}
+
+impl FlowEncoder {
+    /// Creates an encoder for flows of `flow_length` transformations drawn from
+    /// a set of `num_transforms`.
+    ///
+    /// When `reshape_square` is `true` and `flow_length * num_transforms` is a
+    /// perfect square, encoded matrices are reshaped to that square (the paper
+    /// reshapes 24×6 to 12×12).
+    pub fn new(num_transforms: usize, flow_length: usize, reshape_square: bool) -> Self {
+        FlowEncoder { num_transforms, flow_length, reshape_square }
+    }
+
+    /// The paper's encoder: 24×6 one-hot matrices reshaped to 12×12.
+    pub fn paper() -> Self {
+        FlowEncoder::new(6, 24, true)
+    }
+
+    /// Height and width of one encoded sample.
+    pub fn sample_shape(&self) -> (usize, usize) {
+        let elements = self.flow_length * self.num_transforms;
+        if self.reshape_square {
+            let side = (elements as f64).sqrt() as usize;
+            if side * side == elements {
+                return (side, side);
+            }
+        }
+        (self.flow_length, self.num_transforms)
+    }
+
+    /// Encodes one flow as an `[1, H, W, 1]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow length does not match the encoder configuration.
+    pub fn encode(&self, flow: &Flow) -> Tensor {
+        self.encode_batch(&[flow])
+    }
+
+    /// Encodes a batch of flows as an `[batch, H, W, 1]` tensor.
+    pub fn encode_batch(&self, flows: &[&Flow]) -> Tensor {
+        let (h, w) = self.sample_shape();
+        let sample_len = self.flow_length * self.num_transforms;
+        let mut data = Vec::with_capacity(flows.len() * sample_len);
+        for flow in flows {
+            assert_eq!(
+                flow.len(),
+                self.flow_length,
+                "flow length {} does not match encoder length {}",
+                flow.len(),
+                self.flow_length
+            );
+            let mut matrix = vec![0.0f32; sample_len];
+            for (row, t) in flow.transforms().iter().enumerate() {
+                let col = t.index();
+                assert!(
+                    col < self.num_transforms,
+                    "transformation {t} outside the encoder's set"
+                );
+                matrix[row * self.num_transforms + col] = 1.0;
+            }
+            data.extend_from_slice(&matrix);
+        }
+        Tensor::from_vec(&[flows.len(), h, w, 1], data)
+    }
+
+    /// Encodes a batch of owned flows (convenience wrapper).
+    pub fn encode_owned(&self, flows: &[Flow]) -> Tensor {
+        let refs: Vec<&Flow> = flows.iter().collect();
+        self.encode_batch(&refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synth::Transform;
+    use rand::SeedableRng;
+
+    #[test]
+    fn example_3_one_hot_matrix() {
+        // Example 3 of the paper: S = {p0, p1}, F = p0 -> p0 -> p1 -> p1 gives
+        // the 4×2 matrix [[1,0],[1,0],[0,1],[0,1]].
+        let encoder = FlowEncoder::new(2, 4, false);
+        let flow = Flow::new(vec![
+            Transform::from_index(0),
+            Transform::from_index(0),
+            Transform::from_index(1),
+            Transform::from_index(1),
+        ]);
+        let t = encoder.encode(&flow);
+        assert_eq!(t.shape(), &[1, 4, 2, 1]);
+        assert_eq!(t.data(), &[1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn each_row_has_exactly_one_hot_bit() {
+        let space = crate::FlowSpace::paper();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let flow = space.random_flow(&mut rng);
+        let encoder = FlowEncoder::new(6, 24, false);
+        let t = encoder.encode(&flow);
+        assert_eq!(t.shape(), &[1, 24, 6, 1]);
+        for row in 0..24 {
+            let ones: f32 = (0..6).map(|c| t.data()[row * 6 + c]).sum();
+            assert_eq!(ones, 1.0, "row {row}");
+        }
+        assert_eq!(t.sum() as usize, 24);
+    }
+
+    #[test]
+    fn paper_encoder_reshapes_to_12x12() {
+        let encoder = FlowEncoder::paper();
+        assert_eq!(encoder.sample_shape(), (12, 12));
+        let space = crate::FlowSpace::paper();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let flow = space.random_flow(&mut rng);
+        let t = encoder.encode(&flow);
+        assert_eq!(t.shape(), &[1, 12, 12, 1]);
+        assert_eq!(t.sum() as usize, 24, "reshaping preserves the 24 one-bits");
+    }
+
+    #[test]
+    fn non_square_sizes_keep_l_by_n_shape() {
+        let encoder = FlowEncoder::new(6, 12, true);
+        // 12 * 6 = 72 is not a perfect square, so the L×n shape is kept.
+        assert_eq!(encoder.sample_shape(), (12, 6));
+    }
+
+    #[test]
+    fn batch_encoding_stacks_samples() {
+        let space = crate::FlowSpace::new(6, 1);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
+        let flows = space.random_unique_flows(3, &mut rng);
+        let encoder = FlowEncoder::new(6, 6, true);
+        let t = encoder.encode_owned(&flows);
+        assert_eq!(t.shape(), &[3, 6, 6, 1]);
+        // Different flows give different matrices.
+        let a = &t.data()[0..36];
+        let b = &t.data()[36..72];
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match encoder length")]
+    fn rejects_wrong_length() {
+        let encoder = FlowEncoder::paper();
+        let flow = Flow::new(vec![Transform::Balance]);
+        let _ = encoder.encode(&flow);
+    }
+}

@@ -1,0 +1,223 @@
+//! QoR-based flow labelling (Table 1 of the paper).
+//!
+//! Flows are labelled into `n + 1` classes by comparing their QoR against
+//! *determinators* `{x_0, …, x_{n-1}}` derived from percentiles of the QoR
+//! values collected so far.  The paper uses seven classes whose determinators
+//! sit at the {5, 15, 40, 65, 90, 95} % points of the observed distribution;
+//! class 0 holds the best flows (angel candidates) and class `n` the worst
+//! (devil candidates).
+
+use serde::{Deserialize, Serialize};
+use synth::{Qor, QorMetric};
+
+/// The percentile positions of the determinators for the paper's 7-class model.
+pub const PAPER_PERCENTILES: [f64; 6] = [0.05, 0.15, 0.40, 0.65, 0.90, 0.95];
+
+/// A single-metric labelling model (left column of Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Labeler {
+    metric: QorMetric,
+    determinators: Vec<f64>,
+}
+
+impl Labeler {
+    /// Builds a labeler whose determinators are the given percentiles of the
+    /// observed `values` (lower is better for both area and delay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or `percentiles` is empty / not sorted.
+    pub fn from_percentiles(metric: QorMetric, values: &[f64], percentiles: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot derive determinators from no data");
+        assert!(!percentiles.is_empty(), "at least one determinator required");
+        assert!(
+            percentiles.windows(2).all(|w| w[0] <= w[1]),
+            "percentiles must be non-decreasing"
+        );
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let determinators = percentiles
+            .iter()
+            .map(|&p| {
+                let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+                sorted[idx.min(sorted.len() - 1)]
+            })
+            .collect();
+        Labeler { metric, determinators }
+    }
+
+    /// Builds the paper's 7-class labeler from raw QoR records.
+    pub fn paper_model(metric: QorMetric, qors: &[Qor]) -> Self {
+        let values: Vec<f64> = qors.iter().map(|q| q.metric(metric)).collect();
+        Self::from_percentiles(metric, &values, &PAPER_PERCENTILES)
+    }
+
+    /// The QoR metric this labeler classifies on.
+    pub fn metric(&self) -> QorMetric {
+        self.metric
+    }
+
+    /// The determinator values `{x_0, …}`.
+    pub fn determinators(&self) -> &[f64] {
+        &self.determinators
+    }
+
+    /// Number of classes (`number of determinators + 1`).
+    pub fn num_classes(&self) -> usize {
+        self.determinators.len() + 1
+    }
+
+    /// Classifies a raw metric value following Table 1: class 0 for
+    /// `r ≤ x_0`, class `i` for `x_{i-1} < r ≤ x_i`, class `n` for `r > x_{n-1}`.
+    pub fn classify_value(&self, value: f64) -> usize {
+        for (i, &x) in self.determinators.iter().enumerate() {
+            if value <= x {
+                return i;
+            }
+        }
+        self.determinators.len()
+    }
+
+    /// Classifies a QoR record on this labeler's metric.
+    pub fn classify(&self, qor: &Qor) -> usize {
+        self.classify_value(qor.metric(self.metric))
+    }
+
+    /// The best class (angel candidates).
+    pub fn best_class(&self) -> usize {
+        0
+    }
+
+    /// The worst class (devil candidates).
+    pub fn worst_class(&self) -> usize {
+        self.num_classes() - 1
+    }
+}
+
+/// A multi-metric labelling model (right column of Table 1): a flow's class is
+/// the worst of its per-metric classes, so class 0 still means "best on every
+/// metric" and class `n` "worst on some metric".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiMetricLabeler {
+    labelers: Vec<Labeler>,
+}
+
+impl MultiMetricLabeler {
+    /// Combines several single-metric labelers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labelers` is empty or the class counts disagree.
+    pub fn new(labelers: Vec<Labeler>) -> Self {
+        assert!(!labelers.is_empty(), "at least one metric required");
+        let classes = labelers[0].num_classes();
+        assert!(
+            labelers.iter().all(|l| l.num_classes() == classes),
+            "all metrics must use the same number of classes"
+        );
+        MultiMetricLabeler { labelers }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.labelers[0].num_classes()
+    }
+
+    /// Classifies a QoR record as the worst per-metric class.
+    pub fn classify(&self, qor: &Qor) -> usize {
+        self.labelers.iter().map(|l| l.classify(qor)).max().unwrap_or(0)
+    }
+
+    /// The underlying per-metric labelers.
+    pub fn labelers(&self) -> &[Labeler] {
+        &self.labelers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qor(area: f64, delay: f64) -> Qor {
+        Qor { area_um2: area, delay_ps: delay, gates: 0, and_nodes: 0, depth: 0 }
+    }
+
+    #[test]
+    fn classes_partition_the_value_range() {
+        let values: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let labeler = Labeler::from_percentiles(QorMetric::Area, &values, &PAPER_PERCENTILES);
+        assert_eq!(labeler.num_classes(), 7);
+        assert_eq!(labeler.classify_value(0.5), 0);
+        assert_eq!(labeler.classify_value(1001.0), 6);
+        // Classification is monotone in the value.
+        let mut last = 0;
+        for v in (1..=1000).map(|i| i as f64) {
+            let c = labeler.classify_value(v);
+            assert!(c >= last);
+            last = c;
+        }
+        assert_eq!(labeler.best_class(), 0);
+        assert_eq!(labeler.worst_class(), 6);
+    }
+
+    #[test]
+    fn determinators_sit_at_the_requested_percentiles() {
+        // With 1000 uniform values 1..=1000 the 5% determinator is ~the 50th
+        // smallest value, exactly the example given in Section 3.1.
+        let values: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let labeler = Labeler::from_percentiles(QorMetric::Delay, &values, &PAPER_PERCENTILES);
+        let d = labeler.determinators();
+        assert!((d[0] - 51.0).abs() <= 1.0, "5% determinator near the 50th value, got {}", d[0]);
+        assert!((d[5] - 950.0).abs() <= 2.0, "95% determinator near the 950th value");
+        assert_eq!(labeler.metric(), QorMetric::Delay);
+    }
+
+    #[test]
+    fn class_proportions_match_percentile_gaps() {
+        let values: Vec<f64> = (0..10_000).map(|i| (i as f64).sin() * 100.0 + 200.0).collect();
+        let labeler = Labeler::from_percentiles(QorMetric::Area, &values, &PAPER_PERCENTILES);
+        let mut counts = vec![0usize; labeler.num_classes()];
+        for &v in &values {
+            counts[labeler.classify_value(v)] += 1;
+        }
+        let total = values.len() as f64;
+        let expected = [0.05, 0.10, 0.25, 0.25, 0.25, 0.05, 0.05];
+        for (c, &want) in expected.iter().enumerate() {
+            let got = counts[c] as f64 / total;
+            assert!(
+                (got - want).abs() < 0.03,
+                "class {c}: expected ~{want}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn qor_classification_uses_selected_metric() {
+        let qors: Vec<Qor> = (1..=100).map(|i| qor(i as f64, 1000.0 - i as f64)).collect();
+        let area = Labeler::paper_model(QorMetric::Area, &qors);
+        let delay = Labeler::paper_model(QorMetric::Delay, &qors);
+        let best_area = qor(1.0, 999.0);
+        assert_eq!(area.classify(&best_area), 0);
+        assert_eq!(delay.classify(&best_area), 6, "worst delay even though best area");
+    }
+
+    #[test]
+    fn multi_metric_takes_the_worst_class() {
+        let qors: Vec<Qor> = (1..=100).map(|i| qor(i as f64, i as f64)).collect();
+        let multi = MultiMetricLabeler::new(vec![
+            Labeler::paper_model(QorMetric::Area, &qors),
+            Labeler::paper_model(QorMetric::Delay, &qors),
+        ]);
+        assert_eq!(multi.num_classes(), 7);
+        assert_eq!(multi.labelers().len(), 2);
+        assert_eq!(multi.classify(&qor(1.0, 1.0)), 0);
+        assert_eq!(multi.classify(&qor(1.0, 100.0)), 6);
+        assert_eq!(multi.classify(&qor(100.0, 1.0)), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_data_is_rejected() {
+        let _ = Labeler::from_percentiles(QorMetric::Area, &[], &PAPER_PERCENTILES);
+    }
+}

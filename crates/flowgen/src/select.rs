@@ -1,0 +1,192 @@
+//! Angel-flow and devil-flow selection (Section 3.3 / Table 2 of the paper).
+//!
+//! After the classifier has predicted the classes of a large pool of unlabeled
+//! sample flows, the framework keeps the flows predicted in the best class
+//! (class 0) and the worst class (class `n`), ranked by the softmax confidence
+//! of that prediction, and returns the top `k` of each as *angel-flows* and
+//! *devil-flows*.
+
+use nn::Tensor;
+
+use crate::flow::Flow;
+
+/// One selected flow together with the classifier's confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectedFlow {
+    /// Index of the flow in the sample pool.
+    pub index: usize,
+    /// The flow itself.
+    pub flow: Flow,
+    /// Probability assigned to the selection class by the classifier.
+    pub confidence: f32,
+}
+
+/// The output of the selection step: the angel and devil flow lists.
+#[derive(Debug, Clone, Default)]
+pub struct Selection {
+    /// Flows predicted in class 0 with the highest confidence (best QoR).
+    pub angel_flows: Vec<SelectedFlow>,
+    /// Flows predicted in class `n` with the highest confidence (worst QoR).
+    pub devil_flows: Vec<SelectedFlow>,
+}
+
+/// Selects up to `count` angel- and devil-flows from `flows` given the
+/// classifier probabilities (`[num_flows, num_classes]`).
+///
+/// A flow is an angel (devil) candidate only when its *predicted* class — the
+/// arg-max of its probability row — is class 0 (class `n`), exactly as in
+/// Example 4 of the paper (a flow whose highest probability is another class is
+/// eliminated even if its class-0 probability is large).
+///
+/// # Panics
+///
+/// Panics if the probability tensor shape does not match `flows`.
+pub fn select_angel_devil_flows(
+    flows: &[Flow],
+    probabilities: &Tensor,
+    count: usize,
+) -> Selection {
+    assert_eq!(probabilities.shape().len(), 2, "probabilities must be [flows, classes]");
+    assert_eq!(probabilities.shape()[0], flows.len(), "one probability row per flow");
+    let num_classes = probabilities.shape()[1];
+    assert!(num_classes >= 2, "need at least two classes");
+    let best_class = 0usize;
+    let worst_class = num_classes - 1;
+
+    let mut angels: Vec<SelectedFlow> = Vec::new();
+    let mut devils: Vec<SelectedFlow> = Vec::new();
+    for (i, flow) in flows.iter().enumerate() {
+        let row: Vec<f32> = (0..num_classes).map(|c| probabilities.at2(i, c)).collect();
+        let predicted = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(c, _)| c)
+            .unwrap_or(0);
+        if predicted == best_class {
+            angels.push(SelectedFlow { index: i, flow: flow.clone(), confidence: row[best_class] });
+        } else if predicted == worst_class {
+            devils.push(SelectedFlow { index: i, flow: flow.clone(), confidence: row[worst_class] });
+        }
+    }
+    angels.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal));
+    devils.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal));
+    angels.truncate(count);
+    devils.truncate(count);
+    Selection { angel_flows: angels, devil_flows: devils }
+}
+
+/// The accuracy definition of Section 4.1: the fraction of generated angel- and
+/// devil-flows whose *true* class is class 0 / class `n` respectively.
+///
+/// `true_labels[i]` is the true class of sample flow `i` (obtained in the paper
+/// by explicitly running all 100,000 sample flows).
+pub fn angel_devil_accuracy(
+    selection: &Selection,
+    true_labels: &[usize],
+    num_classes: usize,
+) -> f64 {
+    let total = selection.angel_flows.len() + selection.devil_flows.len();
+    if total == 0 {
+        return 0.0;
+    }
+    let n_angel = selection
+        .angel_flows
+        .iter()
+        .filter(|s| true_labels[s.index] == 0)
+        .count();
+    let n_devil = selection
+        .devil_flows
+        .iter()
+        .filter(|s| true_labels[s.index] == num_classes - 1)
+        .count();
+    (n_angel + n_devil) as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synth::Transform;
+
+    fn flows(n: usize) -> Vec<Flow> {
+        (0..n).map(|i| Flow::new(vec![Transform::from_index(i % Transform::COUNT)])).collect()
+    }
+
+    /// Table 2 of the paper as a literal test case.
+    #[test]
+    fn example_4_table_2_selection() {
+        let fls = flows(5);
+        let probs = Tensor::from_vec(
+            &[5, 7],
+            vec![
+                0.47, 0.13, 0.22, 0.02, 0.03, 0.12, 0.01, // F0 -> class 0
+                0.51, 0.12, 0.01, 0.09, 0.17, 0.08, 0.02, // F1 -> class 0
+                0.02, 0.45, 0.14, 0.12, 0.11, 0.10, 0.06, // F2 -> class 1 (eliminated)
+                0.12, 0.03, 0.17, 0.62, 0.01, 0.02, 0.03, // F3 -> class 3 (eliminated)
+                0.35, 0.23, 0.09, 0.02, 0.13, 0.17, 0.01, // F4 -> class 0 (lower confidence)
+            ],
+        );
+        let sel = select_angel_devil_flows(&fls, &probs, 2);
+        let picked: Vec<usize> = sel.angel_flows.iter().map(|s| s.index).collect();
+        assert_eq!(picked, vec![1, 0], "F1 (0.51) and F0 (0.47) selected, F4 eliminated");
+        assert!(sel.devil_flows.is_empty(), "no flow is predicted in class 6");
+    }
+
+    #[test]
+    fn devils_are_taken_from_the_worst_class() {
+        let fls = flows(4);
+        let probs = Tensor::from_vec(
+            &[4, 3],
+            vec![
+                0.8, 0.1, 0.1, // class 0
+                0.1, 0.1, 0.8, // class 2
+                0.2, 0.1, 0.7, // class 2
+                0.1, 0.8, 0.1, // class 1
+            ],
+        );
+        let sel = select_angel_devil_flows(&fls, &probs, 10);
+        assert_eq!(sel.angel_flows.len(), 1);
+        assert_eq!(sel.devil_flows.len(), 2);
+        assert_eq!(sel.devil_flows[0].index, 1, "highest worst-class confidence first");
+        assert!(sel.devil_flows[0].confidence > sel.devil_flows[1].confidence);
+    }
+
+    #[test]
+    fn accuracy_counts_true_class_membership() {
+        let fls = flows(4);
+        let probs = Tensor::from_vec(
+            &[4, 3],
+            vec![
+                0.9, 0.05, 0.05, // angel candidate
+                0.85, 0.1, 0.05, // angel candidate
+                0.05, 0.05, 0.9, // devil candidate
+                0.1, 0.8, 0.1,
+            ],
+        );
+        let sel = select_angel_devil_flows(&fls, &probs, 2);
+        // True labels: flow 0 really is class 0, flow 1 is not, flow 2 really is class 2.
+        let truth = vec![0usize, 1, 2, 1];
+        let acc = angel_devil_accuracy(&sel, &truth, 3);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_selection_has_zero_accuracy() {
+        let sel = Selection::default();
+        assert_eq!(angel_devil_accuracy(&sel, &[], 7), 0.0);
+    }
+
+    #[test]
+    fn count_truncates_selection() {
+        let fls = flows(6);
+        let mut data = Vec::new();
+        for i in 0..6 {
+            data.extend_from_slice(&[0.5 + i as f32 * 0.05, 0.3, 0.2 - i as f32 * 0.01]);
+        }
+        let probs = Tensor::from_vec(&[6, 3], data);
+        let sel = select_angel_devil_flows(&fls, &probs, 3);
+        assert_eq!(sel.angel_flows.len(), 3);
+        // Highest confidence first.
+        assert!(sel.angel_flows[0].confidence >= sel.angel_flows[2].confidence);
+    }
+}

@@ -1,0 +1,258 @@
+//! The synthesis-flow search space (Section 2.1 of the paper).
+//!
+//! Definitions 1 and 2 of the paper introduce *non-repetition* and
+//! *m-repetition* flows over a transformation set `S` of size `n`, and Remark 3
+//! counts the m-repetition flows of a given length.  This module provides exact
+//! counting (`u128` arithmetic) plus seeded random sampling of flows.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use synth::Transform;
+
+use crate::flow::Flow;
+
+/// The m-repetition flow search space over the paper's transformation set.
+///
+/// ```
+/// use flowgen::FlowSpace;
+/// let space = FlowSpace::paper();        // n = 6, m = 4, L = 24
+/// assert_eq!(space.flow_length(), 24);
+/// assert!(space.num_complete_flows() > 10u128.pow(15));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpace {
+    /// Number of transformations (`n`).
+    num_transforms: usize,
+    /// Number of repetitions of the whole set (`m`).
+    repetition: usize,
+}
+
+impl FlowSpace {
+    /// Creates a space over the first `num_transforms` elements of
+    /// [`Transform::ALL`] with `repetition` copies of each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_transforms` is zero or exceeds the available set, or if
+    /// `repetition` is zero.
+    pub fn new(num_transforms: usize, repetition: usize) -> Self {
+        assert!(num_transforms >= 1 && num_transforms <= Transform::COUNT);
+        assert!(repetition >= 1, "at least one repetition required");
+        FlowSpace { num_transforms, repetition }
+    }
+
+    /// The paper's setup: all six transformations with 4 repetitions (L = 24).
+    pub fn paper() -> Self {
+        FlowSpace::new(Transform::COUNT, 4)
+    }
+
+    /// Number of transformations `n`.
+    pub fn num_transforms(&self) -> usize {
+        self.num_transforms
+    }
+
+    /// Repetition count `m`.
+    pub fn repetition(&self) -> usize {
+        self.repetition
+    }
+
+    /// Flow length `L = n × m` (Remark 2).
+    pub fn flow_length(&self) -> usize {
+        self.num_transforms * self.repetition
+    }
+
+    /// The transformation subset in use.
+    pub fn transforms(&self) -> &'static [Transform] {
+        &Transform::ALL[..self.num_transforms]
+    }
+
+    /// Number of complete m-repetition flows: `(n·m)! / (m!)^n`.
+    pub fn num_complete_flows(&self) -> u128 {
+        count_limited_permutations(self.num_transforms, self.repetition, self.flow_length())
+    }
+
+    /// Number of length-`length` prefixes (`f(n, L, m)` of Remark 3): sequences
+    /// of `length` transformations in which no transformation appears more than
+    /// `m` times.
+    pub fn num_partial_flows(&self, length: usize) -> u128 {
+        count_limited_permutations(self.num_transforms, self.repetition, length)
+    }
+
+    /// Draws one uniformly random m-repetition flow.
+    pub fn random_flow(&self, rng: &mut impl Rng) -> Flow {
+        let mut seq: Vec<Transform> = Vec::with_capacity(self.flow_length());
+        for &t in self.transforms() {
+            for _ in 0..self.repetition {
+                seq.push(t);
+            }
+        }
+        seq.shuffle(rng);
+        Flow::new(seq)
+    }
+
+    /// Draws `count` *distinct* random m-repetition flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the size of the search space.
+    pub fn random_unique_flows(&self, count: usize, rng: &mut impl Rng) -> Vec<Flow> {
+        assert!(
+            (count as u128) <= self.num_complete_flows(),
+            "requested more unique flows than the space contains"
+        );
+        let mut seen = std::collections::HashSet::with_capacity(count);
+        let mut flows = Vec::with_capacity(count);
+        while flows.len() < count {
+            let f = self.random_flow(rng);
+            if seen.insert(f.clone()) {
+                flows.push(f);
+            }
+        }
+        flows
+    }
+}
+
+/// Counts length-`length` sequences over `n` symbols where each symbol appears
+/// at most `m` times (and exactly `m` times when `length == n * m`).
+///
+/// Computed by dynamic programming over symbols:
+/// `ways(i, l) = Σ_k C(l, k) · ways(i-1, l-k)` for `k ≤ min(m, l)`.
+fn count_limited_permutations(n: usize, m: usize, length: usize) -> u128 {
+    if length > n * m {
+        return 0;
+    }
+    // ways[l] = number of ways to fill `l` chosen positions with the symbols
+    // processed so far; positions are distinguishable, so multiply by C(l, k).
+    let mut ways = vec![0u128; length + 1];
+    ways[0] = 1;
+    for _symbol in 0..n {
+        let mut next = vec![0u128; length + 1];
+        for l in 0..=length {
+            if ways[l] == 0 {
+                continue;
+            }
+            for k in 0..=m.min(length - l) {
+                next[l + k] += ways[l] * binomial(l + k, k);
+            }
+        }
+        ways = next;
+    }
+    ways[length]
+}
+
+/// Exact binomial coefficient in `u128`.
+fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1u128;
+    for i in 0..k {
+        result = result * (n - i) as u128 / (i + 1) as u128;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn example_1_non_repetition_flows() {
+        // Definition 1 / Example 1: 3 independent transformations, 6 flows.
+        let space = FlowSpace::new(3, 1);
+        assert_eq!(space.num_complete_flows(), 6);
+        assert_eq!(space.flow_length(), 3);
+    }
+
+    #[test]
+    fn example_2_two_repetition_flows() {
+        // Definition 2 / Example 2: S = {p0, p1}, m = 2 gives 6 flows.
+        let space = FlowSpace::new(2, 2);
+        assert_eq!(space.num_complete_flows(), 6);
+    }
+
+    #[test]
+    fn paper_space_exceeds_1e15() {
+        // Section 2.2 claims "more than 10^16" flows; the exact multiset
+        // permutation count 24!/(4!)^6 is 3.25e15, the same order of magnitude.
+        let space = FlowSpace::paper();
+        assert_eq!(space.num_transforms(), 6);
+        assert_eq!(space.repetition(), 4);
+        assert_eq!(space.flow_length(), 24);
+        let count = space.num_complete_flows();
+        // 24! / (4!)^6 = 3.25e15; the paper rounds this up to "more than 10^16".
+        assert!(count > 3 * 10u128.pow(15), "got {count}");
+        // Exact value: 24! / (4!)^6.
+        let factorial_24: u128 = (1..=24u128).product();
+        let factorial_4: u128 = 24;
+        assert_eq!(count, factorial_24 / factorial_4.pow(6));
+    }
+
+    #[test]
+    fn remark_3_bounds_hold() {
+        // n! < f(n, L, m) < n^L for complete m-repetition flows with m >= 2.
+        for n in 2..=5usize {
+            for m in 2..=3usize {
+                let space = FlowSpace::new(n, m);
+                let f = space.num_complete_flows();
+                let n_fact: u128 = (1..=n as u128).product();
+                let n_pow_l = (n as u128).pow((n * m) as u32);
+                assert!(n_fact < f, "n={n} m={m}: {n_fact} !< {f}");
+                assert!(f < n_pow_l, "n={n} m={m}: {f} !< {n_pow_l}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_flow_counts_are_monotone_and_consistent() {
+        let space = FlowSpace::new(3, 2);
+        // Length 0: one empty flow; length 1: n choices.
+        assert_eq!(space.num_partial_flows(0), 1);
+        assert_eq!(space.num_partial_flows(1), 3);
+        // Length 2: all ordered pairs allowed (each symbol can repeat twice) = 9.
+        assert_eq!(space.num_partial_flows(2), 9);
+        // Full length matches the complete count; beyond it, zero.
+        assert_eq!(space.num_partial_flows(6), space.num_complete_flows());
+        assert_eq!(space.num_partial_flows(7), 0);
+    }
+
+    #[test]
+    fn random_flows_are_valid_m_repetition_permutations() {
+        let space = FlowSpace::paper();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let flow = space.random_flow(&mut rng);
+        assert_eq!(flow.len(), 24);
+        for t in space.transforms() {
+            let occurrences = flow.transforms().iter().filter(|&&x| x == *t).count();
+            assert_eq!(occurrences, 4, "{t} must appear exactly m times");
+        }
+    }
+
+    #[test]
+    fn unique_sampling_produces_distinct_flows() {
+        let space = FlowSpace::new(4, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let flows = space.random_unique_flows(50, &mut rng);
+        let set: std::collections::HashSet<_> = flows.iter().collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_seed() {
+        let space = FlowSpace::paper();
+        let a = space.random_flow(&mut ChaCha8Rng::seed_from_u64(9));
+        let b = space.random_flow(&mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(4, 5), 0);
+        assert_eq!(binomial(24, 12), 2_704_156);
+    }
+}

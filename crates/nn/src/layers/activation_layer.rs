@@ -1,0 +1,62 @@
+//! Activation applied as its own layer.
+
+use crate::activation::Activation;
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Applies an [`Activation`] element-wise.
+///
+/// Keeping the non-linearity as a separate layer makes it trivial to swap
+/// activation functions for the Figure 7 study without touching the rest of the
+/// architecture.
+#[derive(Debug)]
+pub struct ActivationLayer {
+    activation: Activation,
+    cached_input: Option<Tensor>,
+}
+
+impl ActivationLayer {
+    /// Creates an activation layer.
+    pub fn new(activation: Activation) -> Self {
+        ActivationLayer { activation, cached_input: None }
+    }
+
+    /// The wrapped activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+}
+
+impl Layer for ActivationLayer {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        self.cached_input = Some(input.clone());
+        input.map(|x| self.activation.apply(x))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("forward before backward");
+        let deriv = input.map(|x| self.activation.derivative(x));
+        grad_output.mul(&deriv)
+    }
+
+    fn name(&self) -> String {
+        format!("Activation({})", self.activation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_apply_chain_rule() {
+        let mut layer = ActivationLayer::new(Activation::Relu);
+        let x = Tensor::from_vec(&[1, 4], vec![-1.0, 0.5, 2.0, -3.0]);
+        let y = layer.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.5, 2.0, 0.0]);
+        let g = layer.backward(&Tensor::full(&[1, 4], 2.0));
+        assert_eq!(g.data(), &[0.0, 2.0, 2.0, 0.0]);
+        assert_eq!(layer.activation(), Activation::Relu);
+        assert!(layer.name().contains("ReLU"));
+    }
+}

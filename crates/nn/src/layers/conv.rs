@@ -1,0 +1,260 @@
+//! 2-D convolution with "same" padding and stride 1.
+
+use rand::Rng;
+
+use crate::init::Param;
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// A 2-D convolution layer (NHWC layout, stride 1, zero "same" padding).
+///
+/// The paper's classifier uses two of these with 200 kernels each and a
+/// rectangular `n × 2n` kernel (3×6 or 6×12 for the 6-transformation flow
+/// encoding), which is why arbitrary rectangular kernels are supported.
+#[derive(Debug)]
+pub struct Conv2d {
+    kernel_h: usize,
+    kernel_w: usize,
+    in_channels: usize,
+    out_channels: usize,
+    /// Weights laid out as `[kh, kw, in_c, out_c]`.
+    weights: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Glorot-initialised weights.
+    pub fn new(
+        kernel: (usize, usize),
+        in_channels: usize,
+        out_channels: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let (kernel_h, kernel_w) = kernel;
+        let fan_in = kernel_h * kernel_w * in_channels;
+        let fan_out = kernel_h * kernel_w * out_channels;
+        let weights =
+            Param::glorot(kernel_h * kernel_w * in_channels * out_channels, fan_in, fan_out, rng);
+        Conv2d {
+            kernel_h,
+            kernel_w,
+            in_channels,
+            out_channels,
+            weights,
+            bias: Param::zeros(out_channels),
+            cached_input: None,
+        }
+    }
+
+    /// The kernel size `(height, width)`.
+    pub fn kernel(&self) -> (usize, usize) {
+        (self.kernel_h, self.kernel_w)
+    }
+
+    /// Number of output channels (kernels).
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    #[inline]
+    fn w_at(&self, kh: usize, kw: usize, ic: usize, oc: usize) -> f32 {
+        self.weights.value
+            [((kh * self.kernel_w + kw) * self.in_channels + ic) * self.out_channels + oc]
+    }
+
+    #[inline]
+    fn w_grad_at(&mut self, kh: usize, kw: usize, ic: usize, oc: usize) -> &mut f32 {
+        &mut self.weights.grad
+            [((kh * self.kernel_w + kw) * self.in_channels + ic) * self.out_channels + oc]
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 4, "Conv2d expects NHWC input");
+        let (n, h, w, c) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        assert_eq!(c, self.in_channels, "channel mismatch");
+        let pad_h = (self.kernel_h - 1) / 2;
+        let pad_w = (self.kernel_w - 1) / 2;
+        let mut out = Tensor::zeros(&[n, h, w, self.out_channels]);
+        for b in 0..n {
+            for oh in 0..h {
+                for ow in 0..w {
+                    for oc in 0..self.out_channels {
+                        let mut acc = self.bias.value[oc];
+                        for kh in 0..self.kernel_h {
+                            let ih = oh as isize + kh as isize - pad_h as isize;
+                            if ih < 0 || ih >= h as isize {
+                                continue;
+                            }
+                            for kw in 0..self.kernel_w {
+                                let iw = ow as isize + kw as isize - pad_w as isize;
+                                if iw < 0 || iw >= w as isize {
+                                    continue;
+                                }
+                                for ic in 0..self.in_channels {
+                                    acc += input.at4(b, ih as usize, iw as usize, ic)
+                                        * self.w_at(kh, kw, ic, oc);
+                                }
+                            }
+                        }
+                        *out.at4_mut(b, oh, ow, oc) = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("forward before backward").clone();
+        let (n, h, w, _) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let pad_h = (self.kernel_h - 1) / 2;
+        let pad_w = (self.kernel_w - 1) / 2;
+        let mut grad_input = Tensor::zeros(input.shape());
+        for b in 0..n {
+            for oh in 0..h {
+                for ow in 0..w {
+                    for oc in 0..self.out_channels {
+                        let go = grad_output.at4(b, oh, ow, oc);
+                        if go == 0.0 {
+                            continue;
+                        }
+                        self.bias.grad[oc] += go;
+                        for kh in 0..self.kernel_h {
+                            let ih = oh as isize + kh as isize - pad_h as isize;
+                            if ih < 0 || ih >= h as isize {
+                                continue;
+                            }
+                            for kw in 0..self.kernel_w {
+                                let iw = ow as isize + kw as isize - pad_w as isize;
+                                if iw < 0 || iw >= w as isize {
+                                    continue;
+                                }
+                                for ic in 0..self.in_channels {
+                                    let x = input.at4(b, ih as usize, iw as usize, ic);
+                                    let wv = self.w_at(kh, kw, ic, oc);
+                                    *self.w_grad_at(kh, kw, ic, oc) += go * x;
+                                    *grad_input.at4_mut(b, ih as usize, iw as usize, ic) +=
+                                        go * wv;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weights, &mut self.bias]
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Conv2d({}x{}, {} -> {})",
+            self.kernel_h, self.kernel_w, self.in_channels, self.out_channels
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with weight 1 and zero bias is the identity map.
+        let mut conv = Conv2d::new((1, 1), 1, 1, &mut rng());
+        conv.weights.value[0] = 1.0;
+        conv.bias.value[0] = 0.0;
+        let input = Tensor::from_vec(&[1, 2, 2, 1], vec![1.0, 2.0, 3.0, 4.0]);
+        let out = conv.forward(&input, false);
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn output_shape_preserves_spatial_dims() {
+        let mut conv = Conv2d::new((3, 6), 1, 4, &mut rng());
+        let input = Tensor::zeros(&[2, 12, 6, 1]);
+        let out = conv.forward(&input, false);
+        assert_eq!(out.shape(), &[2, 12, 6, 4]);
+        assert_eq!(conv.kernel(), (3, 6));
+        assert_eq!(conv.out_channels(), 4);
+    }
+
+    #[test]
+    fn gradient_check_small_conv() {
+        // Numeric gradient check of dLoss/dW for a tiny convolution where the
+        // loss is the sum of outputs.
+        let mut conv = Conv2d::new((3, 3), 1, 2, &mut rng());
+        let input = Tensor::from_vec(
+            &[1, 3, 3, 1],
+            vec![0.5, -1.0, 2.0, 0.0, 1.5, -0.5, 1.0, 0.25, -2.0],
+        );
+        let out = conv.forward(&input, true);
+        let grad_out = Tensor::full(out.shape(), 1.0);
+        let grad_in = conv.backward(&grad_out);
+        assert_eq!(grad_in.shape(), input.shape());
+
+        let eps = 1e-2f32;
+        for &wi in &[0usize, 3, 7, 11] {
+            let analytic = conv.weights.grad[wi];
+            let orig = conv.weights.value[wi];
+            conv.weights.value[wi] = orig + eps;
+            let up = conv.forward(&input, true).sum();
+            conv.weights.value[wi] = orig - eps;
+            let down = conv.forward(&input, true).sum();
+            conv.weights.value[wi] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "weight {wi}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let mut conv = Conv2d::new((3, 3), 1, 1, &mut rng());
+        let mut input =
+            Tensor::from_vec(&[1, 3, 3, 1], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]);
+        let out = conv.forward(&input, true);
+        let grad_out = Tensor::full(out.shape(), 1.0);
+        let grad_in = conv.backward(&grad_out);
+        let eps = 1e-2f32;
+        for idx in [0usize, 4, 8] {
+            let orig = input.data()[idx];
+            input.data_mut()[idx] = orig + eps;
+            let up = conv.forward(&input, true).sum();
+            input.data_mut()[idx] = orig - eps;
+            let down = conv.forward(&input, true).sum();
+            input.data_mut()[idx] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (grad_in.data()[idx] - numeric).abs() < 1e-2,
+                "input {idx}: analytic {} vs numeric {numeric}",
+                grad_in.data()[idx]
+            );
+        }
+    }
+}

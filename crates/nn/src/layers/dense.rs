@@ -1,0 +1,136 @@
+//! Fully-connected layer.
+
+use rand::Rng;
+
+use crate::init::Param;
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// A fully-connected (dense) layer: `y = x W + b`.
+///
+/// Accepts input of shape `[batch, features]` (flatten beforehand if needed).
+#[derive(Debug)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    /// Weights laid out `[in_features, out_features]`.
+    weights: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Glorot-initialised weights.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        Dense {
+            in_features,
+            out_features,
+            weights: Param::glorot(in_features * out_features, in_features, out_features, rng),
+            bias: Param::zeros(out_features),
+            cached_input: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output units.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "Dense expects [batch, features]");
+        let batch = input.shape()[0];
+        assert_eq!(input.shape()[1], self.in_features, "feature mismatch");
+        let mut out = Tensor::zeros(&[batch, self.out_features]);
+        for b in 0..batch {
+            for o in 0..self.out_features {
+                let mut acc = self.bias.value[o];
+                for i in 0..self.in_features {
+                    acc += input.at2(b, i) * self.weights.value[i * self.out_features + o];
+                }
+                out.data_mut()[b * self.out_features + o] = acc;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("forward before backward").clone();
+        let batch = input.shape()[0];
+        let mut grad_input = Tensor::zeros(input.shape());
+        for b in 0..batch {
+            for o in 0..self.out_features {
+                let go = grad_output.at2(b, o);
+                if go == 0.0 {
+                    continue;
+                }
+                self.bias.grad[o] += go;
+                for i in 0..self.in_features {
+                    self.weights.grad[i * self.out_features + o] += go * input.at2(b, i);
+                    grad_input.data_mut()[b * self.in_features + i] +=
+                        go * self.weights.value[i * self.out_features + o];
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weights, &mut self.bias]
+    }
+
+    fn name(&self) -> String {
+        format!("Dense({} -> {})", self.in_features, self.out_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        layer.weights.value = vec![1.0, 2.0, 3.0, 4.0]; // [[1,2],[3,4]]
+        layer.bias.value = vec![0.5, -0.5];
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
+        let y = layer.forward(&x, false);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+        assert_eq!(layer.in_features(), 2);
+        assert_eq!(layer.out_features(), 2);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(&[2, 3], vec![0.5, -1.0, 2.0, 1.0, 0.0, -0.5]);
+        let out = layer.forward(&x, true);
+        let grad_out = Tensor::full(out.shape(), 1.0);
+        let grad_in = layer.backward(&grad_out);
+        let eps = 1e-2f32;
+        for wi in 0..layer.weights.len() {
+            let analytic = layer.weights.grad[wi];
+            let orig = layer.weights.value[wi];
+            layer.weights.value[wi] = orig + eps;
+            let up = layer.forward(&x, true).sum();
+            layer.weights.value[wi] = orig - eps;
+            let down = layer.forward(&x, true).sum();
+            layer.weights.value[wi] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!((analytic - numeric).abs() < 1e-2, "w{wi}: {analytic} vs {numeric}");
+        }
+        // Input gradient: every input contributes through out_features weights.
+        assert_eq!(grad_in.shape(), x.shape());
+    }
+}

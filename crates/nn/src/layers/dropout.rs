@@ -1,0 +1,107 @@
+//! Dropout regularisation.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Inverted dropout: during training each activation is zeroed with probability
+/// `rate` and the survivors are scaled by `1 / (1 - rate)`; at inference the
+/// layer is the identity.  The paper uses a rate of 0.4 to control overfitting
+/// (Section 3.2.2).
+#[derive(Debug)]
+pub struct Dropout {
+    rate: f32,
+    rng: ChaCha8Rng,
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with the given drop probability and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1)`.
+    pub fn new(rate: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
+        Dropout { rate, rng: ChaCha8Rng::seed_from_u64(seed), cached_mask: None }
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, training: bool) -> Tensor {
+        if !training || self.rate == 0.0 {
+            self.cached_mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let mask_data: Vec<f32> = (0..input.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(input.shape(), mask_data);
+        let out = input.mul(&mask);
+        self.cached_mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        match &self.cached_mask {
+            Some(mask) => grad_output.mul(mask),
+            None => grad_output.clone(),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("Dropout({:.2})", self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_inference() {
+        let mut d = Dropout::new(0.4, 1);
+        let x = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = d.forward(&x, false);
+        assert_eq!(y, x);
+        assert_eq!(d.backward(&x), x);
+        assert_eq!(d.rate(), 0.4);
+    }
+
+    #[test]
+    fn drops_roughly_rate_fraction_when_training() {
+        let mut d = Dropout::new(0.4, 7);
+        let x = Tensor::full(&[1, 10_000], 1.0);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / 10_000.0;
+        assert!((frac - 0.4).abs() < 0.03, "observed drop fraction {frac}");
+        // Survivors are scaled so the expectation is preserved.
+        assert!((y.mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::full(&[1, 100], 1.0);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::full(&[1, 100], 1.0));
+        for (a, b) in y.data().iter().zip(g.data()) {
+            assert_eq!(a, b, "gradient must be masked identically to the output");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn rejects_invalid_rate() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Flattening between the spatial feature extractor and the classifier head.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Reshapes `[batch, ...]` input into `[batch, features]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_shape: Vec::new() }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        let batch = input.shape()[0];
+        let features = input.len() / batch.max(1);
+        self.cached_shape = input.shape().to_vec();
+        input.reshape(&[batch, features])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(!self.cached_shape.is_empty(), "forward before backward");
+        grad_output.reshape(&self.cached_shape)
+    }
+
+    fn name(&self) -> String {
+        "Flatten".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[3, 4, 5, 2]);
+        let y = f.forward(&x, false);
+        assert_eq!(y.shape(), &[3, 40]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(f.name(), "Flatten");
+    }
+}

@@ -1,0 +1,208 @@
+//! Locally-connected layer (convolution without weight sharing).
+
+use rand::Rng;
+
+use crate::init::Param;
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// A locally-connected 2-D layer: like a convolution, every output position
+/// looks at a small input patch, but each position has its *own* weights.
+///
+/// Figure 3 of the paper places a "Local" layer between the convolutional
+/// feature extractor and the dense classifier head; this is its implementation.
+/// The layer uses valid padding and stride 1.
+#[derive(Debug)]
+pub struct LocallyConnected2d {
+    kernel_h: usize,
+    kernel_w: usize,
+    in_h: usize,
+    in_w: usize,
+    in_channels: usize,
+    out_channels: usize,
+    /// Weights laid out `[oh, ow, kh, kw, ic, oc]`.
+    weights: Param,
+    /// Bias laid out `[oh, ow, oc]`.
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl LocallyConnected2d {
+    /// Creates a locally-connected layer for a fixed input geometry.
+    pub fn new(
+        input_shape: (usize, usize, usize),
+        kernel: (usize, usize),
+        out_channels: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let (in_h, in_w, in_channels) = input_shape;
+        let (kernel_h, kernel_w) = kernel;
+        assert!(kernel_h <= in_h && kernel_w <= in_w, "kernel larger than input");
+        let (oh, ow) = (in_h - kernel_h + 1, in_w - kernel_w + 1);
+        let fan_in = kernel_h * kernel_w * in_channels;
+        let weights = Param::glorot(
+            oh * ow * kernel_h * kernel_w * in_channels * out_channels,
+            fan_in,
+            out_channels,
+            rng,
+        );
+        LocallyConnected2d {
+            kernel_h,
+            kernel_w,
+            in_h,
+            in_w,
+            in_channels,
+            out_channels,
+            weights,
+            bias: Param::zeros(oh * ow * out_channels),
+            cached_input: None,
+        }
+    }
+
+    fn out_dims(&self) -> (usize, usize) {
+        (self.in_h - self.kernel_h + 1, self.in_w - self.kernel_w + 1)
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn w_index(&self, oh: usize, ow_: usize, kh: usize, kw: usize, ic: usize, oc: usize) -> usize {
+        let (_, ow_total) = self.out_dims();
+        ((((oh * ow_total + ow_) * self.kernel_h + kh) * self.kernel_w + kw) * self.in_channels
+            + ic)
+            * self.out_channels
+            + oc
+    }
+}
+
+impl Layer for LocallyConnected2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 4, "LocallyConnected2d expects NHWC input");
+        let n = input.shape()[0];
+        assert_eq!(input.shape()[1], self.in_h, "height mismatch");
+        assert_eq!(input.shape()[2], self.in_w, "width mismatch");
+        assert_eq!(input.shape()[3], self.in_channels, "channel mismatch");
+        let (oh_total, ow_total) = self.out_dims();
+        let mut out = Tensor::zeros(&[n, oh_total, ow_total, self.out_channels]);
+        for b in 0..n {
+            for oh in 0..oh_total {
+                for ow_ in 0..ow_total {
+                    for oc in 0..self.out_channels {
+                        let mut acc =
+                            self.bias.value[(oh * ow_total + ow_) * self.out_channels + oc];
+                        for kh in 0..self.kernel_h {
+                            for kw in 0..self.kernel_w {
+                                for ic in 0..self.in_channels {
+                                    acc += input.at4(b, oh + kh, ow_ + kw, ic)
+                                        * self.weights.value
+                                            [self.w_index(oh, ow_, kh, kw, ic, oc)];
+                                }
+                            }
+                        }
+                        *out.at4_mut(b, oh, ow_, oc) = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("forward before backward").clone();
+        let n = input.shape()[0];
+        let (oh_total, ow_total) = self.out_dims();
+        let mut grad_input = Tensor::zeros(input.shape());
+        for b in 0..n {
+            for oh in 0..oh_total {
+                for ow_ in 0..ow_total {
+                    for oc in 0..self.out_channels {
+                        let go = grad_output.at4(b, oh, ow_, oc);
+                        if go == 0.0 {
+                            continue;
+                        }
+                        self.bias.grad[(oh * ow_total + ow_) * self.out_channels + oc] += go;
+                        for kh in 0..self.kernel_h {
+                            for kw in 0..self.kernel_w {
+                                for ic in 0..self.in_channels {
+                                    let wi = self.w_index(oh, ow_, kh, kw, ic, oc);
+                                    self.weights.grad[wi] += go * input.at4(b, oh + kh, ow_ + kw, ic);
+                                    *grad_input.at4_mut(b, oh + kh, ow_ + kw, ic) +=
+                                        go * self.weights.value[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weights, &mut self.bias]
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "LocallyConnected2d({}x{} kernel, {} -> {})",
+            self.kernel_h, self.kernel_w, self.in_channels, self.out_channels
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn output_shape_is_valid_convolution_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut layer = LocallyConnected2d::new((4, 4, 2), (2, 2), 3, &mut rng);
+        let input = Tensor::zeros(&[2, 4, 4, 2]);
+        let out = layer.forward(&input, false);
+        assert_eq!(out.shape(), &[2, 3, 3, 3]);
+        assert!(layer.name().contains("LocallyConnected2d"));
+    }
+
+    #[test]
+    fn positions_have_independent_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mut layer = LocallyConnected2d::new((2, 2, 1), (1, 1), 1, &mut rng);
+        // Set each position's weight differently; a shared-weight conv could not do this.
+        for (i, w) in layer.weights.value.iter_mut().enumerate() {
+            *w = (i + 1) as f32;
+        }
+        layer.bias.value.iter_mut().for_each(|b| *b = 0.0);
+        let input = Tensor::full(&[1, 2, 2, 1], 1.0);
+        let out = layer.forward(&input, false);
+        assert_eq!(out.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mut layer = LocallyConnected2d::new((3, 3, 1), (2, 2), 2, &mut rng);
+        let input = Tensor::from_vec(
+            &[1, 3, 3, 1],
+            vec![0.2, -0.4, 0.6, 1.0, -1.2, 0.3, 0.7, 0.1, -0.9],
+        );
+        let out = layer.forward(&input, true);
+        let grad_out = Tensor::full(out.shape(), 1.0);
+        let grad_in = layer.backward(&grad_out);
+        assert_eq!(grad_in.shape(), input.shape());
+        let eps = 1e-2f32;
+        for wi in (0..layer.weights.len()).step_by(7) {
+            let analytic = layer.weights.grad[wi];
+            let orig = layer.weights.value[wi];
+            layer.weights.value[wi] = orig + eps;
+            let up = layer.forward(&input, true).sum();
+            layer.weights.value[wi] = orig - eps;
+            let down = layer.forward(&input, true).sum();
+            layer.weights.value[wi] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!((analytic - numeric).abs() < 1e-2, "w{wi}: {analytic} vs {numeric}");
+        }
+    }
+}

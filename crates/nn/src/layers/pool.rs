@@ -1,0 +1,131 @@
+//! 2-D max pooling.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Max pooling over non-overlapping windows (the paper uses 2×2 windows with
+/// stride 1×1 specified for conv layers; pooling stride equals the window here,
+/// the conventional reading of the architecture in Figure 3).
+#[derive(Debug)]
+pub struct MaxPool2d {
+    window_h: usize,
+    window_w: usize,
+    /// Flat indices (into the input) of each output element's maximum.
+    cached_argmax: Vec<usize>,
+    cached_input_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given window.
+    pub fn new(window: (usize, usize)) -> Self {
+        MaxPool2d {
+            window_h: window.0,
+            window_w: window.1,
+            cached_argmax: Vec::new(),
+            cached_input_shape: Vec::new(),
+        }
+    }
+
+    fn flat(shape: &[usize], n: usize, h: usize, w: usize, c: usize) -> usize {
+        ((n * shape[1] + h) * shape[2] + w) * shape[3] + c
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        assert_eq!(input.shape().len(), 4, "MaxPool2d expects NHWC input");
+        let (n, h, w, c) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let oh = (h / self.window_h).max(1);
+        let ow = (w / self.window_w).max(1);
+        let mut out = Tensor::zeros(&[n, oh, ow, c]);
+        self.cached_argmax = vec![0; out.len()];
+        self.cached_input_shape = input.shape().to_vec();
+        for b in 0..n {
+            for y in 0..oh {
+                for x in 0..ow {
+                    for ch in 0..c {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for dy in 0..self.window_h {
+                            let iy = y * self.window_h + dy;
+                            if iy >= h {
+                                continue;
+                            }
+                            for dx in 0..self.window_w {
+                                let ix = x * self.window_w + dx;
+                                if ix >= w {
+                                    continue;
+                                }
+                                let v = input.at4(b, iy, ix, ch);
+                                if v > best {
+                                    best = v;
+                                    best_idx = Self::flat(input.shape(), b, iy, ix, ch);
+                                }
+                            }
+                        }
+                        let out_idx = Self::flat(out.shape(), b, y, x, ch);
+                        out.data_mut()[out_idx] = best;
+                        self.cached_argmax[out_idx] = best_idx;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        assert!(!self.cached_input_shape.is_empty(), "forward before backward");
+        let mut grad_input = Tensor::zeros(&self.cached_input_shape);
+        for (out_idx, &in_idx) in self.cached_argmax.iter().enumerate() {
+            grad_input.data_mut()[in_idx] += grad_output.data()[out_idx];
+        }
+        grad_input
+    }
+
+    fn name(&self) -> String {
+        format!("MaxPool2d({}x{})", self.window_h, self.window_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_maxima() {
+        let mut pool = MaxPool2d::new((2, 2));
+        let input = Tensor::from_vec(
+            &[1, 2, 4, 1],
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 4.0, 9.0],
+        );
+        let out = pool.forward(&input, false);
+        assert_eq!(out.shape(), &[1, 1, 2, 1]);
+        assert_eq!(out.data(), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new((2, 2));
+        let input = Tensor::from_vec(
+            &[1, 2, 2, 1],
+            vec![1.0, 5.0, 2.0, 0.0],
+        );
+        let _ = pool.forward(&input, true);
+        let grad = pool.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![3.0]));
+        assert_eq!(grad.data(), &[0.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn odd_sizes_are_truncated() {
+        let mut pool = MaxPool2d::new((2, 2));
+        let input = Tensor::zeros(&[1, 5, 3, 2]);
+        let out = pool.forward(&input, false);
+        assert_eq!(out.shape(), &[1, 2, 1, 2]);
+        assert!(pool.name().contains("MaxPool2d"));
+    }
+}

@@ -1,0 +1,54 @@
+//! # nn — a from-scratch CPU neural-network library
+//!
+//! The paper implements its flow classifier with TensorFlow r1.3 (C++ API) and
+//! trains on GPUs; this crate provides the equivalent building blocks as a
+//! dependency-free Rust library so the whole reproduction is self-contained:
+//!
+//! * [`Tensor`] — dense NHWC tensors,
+//! * layers — [`Conv2d`], [`MaxPool2d`], [`LocallyConnected2d`], [`Dense`],
+//!   [`Dropout`], [`Flatten`] and [`ActivationLayer`] (the Figure 3 stack),
+//! * all eight [`Activation`] functions compared in Figure 7,
+//! * the sparse softmax cross-entropy loss of Section 3.2.2,
+//! * the five [`GradientDescent`] algorithms compared in Figures 4–5, and
+//! * a sequential [`Network`] with mini-batch training.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use nn::{Activation, ActivationLayer, Dense, GradientDescent, Network, Optimizer, Tensor};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let mut net = Network::new();
+//! net.push(Dense::new(4, 8, &mut rng));
+//! net.push(ActivationLayer::new(Activation::Selu));
+//! net.push(Dense::new(8, 3, &mut rng));
+//!
+//! let x = Tensor::from_vec(&[2, 4], vec![0.0, 1.0, 0.5, -0.5, 1.0, 0.0, -1.0, 0.25]);
+//! let mut opt = Optimizer::new(GradientDescent::RmsProp { decay: 0.9 }, 1e-3);
+//! let loss = net.train_step(&x, &[0, 2], &mut opt);
+//! assert!(loss.loss > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod init;
+mod layers;
+mod loss;
+mod metrics;
+mod network;
+mod optim;
+mod tensor;
+
+pub use activation::Activation;
+pub use init::Param;
+pub use layers::{
+    ActivationLayer, Conv2d, Dense, Dropout, Flatten, Layer, LocallyConnected2d, MaxPool2d,
+};
+pub use loss::{softmax, sparse_softmax_cross_entropy, LossOutput};
+pub use metrics::{accuracy, ConfusionMatrix};
+pub use network::Network;
+pub use optim::{GradientDescent, Optimizer};
+pub use tensor::Tensor;

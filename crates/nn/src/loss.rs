@@ -1,0 +1,132 @@
+//! Softmax + sparse cross-entropy loss.
+//!
+//! The paper trains the classifier with the *sparse softmax cross entropy*
+//! loss (Section 3.2.2), i.e. class labels are integers rather than one-hot
+//! vectors; the network output goes through a softmax.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax over the last dimension of a `[batch, classes]` tensor.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().len(), 2, "softmax expects [batch, classes]");
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::zeros(logits.shape());
+    for b in 0..batch {
+        let row = &logits.data()[b * classes..(b + 1) * classes];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for (c, &e) in exps.iter().enumerate() {
+            out.data_mut()[b * classes + c] = e / sum;
+        }
+    }
+    out
+}
+
+/// Result of evaluating the loss on one mini-batch.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Gradient of the loss with respect to the logits.
+    pub grad_logits: Tensor,
+    /// Softmax probabilities, useful for confidence-based flow selection.
+    pub probabilities: Tensor,
+}
+
+/// Computes the sparse softmax cross-entropy loss and its gradient.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or a label is out of range.
+pub fn sparse_softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), batch, "one label per batch row required");
+    let probs = softmax(logits);
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (b, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let p = probs.at2(b, label).max(1e-12);
+        loss -= p.ln();
+        grad.data_mut()[b * classes + label] -= 1.0;
+    }
+    let scale = 1.0 / batch as f32;
+    LossOutput {
+        loss: loss * scale,
+        grad_logits: grad.scale(scale),
+        probabilities: probs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let p = softmax(&logits);
+        for b in 0..2 {
+            let s: f32 = (0..3).map(|c| p.at2(b, c)).sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(p.at2(0, 2) > p.at2(0, 0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(&[1, 3], vec![1001.0, 1002.0, 1003.0]);
+        let pa = softmax(&a);
+        let pb = softmax(&b);
+        for c in 0..3 {
+            assert!((pa.at2(0, c) - pb.at2(0, c)).abs() < 1e-6);
+            assert!(pb.at2(0, c).is_finite());
+        }
+    }
+
+    #[test]
+    fn loss_is_low_for_confident_correct_prediction() {
+        let good = Tensor::from_vec(&[1, 3], vec![10.0, 0.0, 0.0]);
+        let bad = Tensor::from_vec(&[1, 3], vec![0.0, 10.0, 0.0]);
+        let l_good = sparse_softmax_cross_entropy(&good, &[0]).loss;
+        let l_bad = sparse_softmax_cross_entropy(&bad, &[0]).loss;
+        assert!(l_good < 0.01);
+        assert!(l_bad > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_softmax_minus_onehot() {
+        let logits = Tensor::from_vec(&[1, 3], vec![0.5, -0.5, 1.0]);
+        let out = sparse_softmax_cross_entropy(&logits, &[2]);
+        let p = softmax(&logits);
+        assert!((out.grad_logits.at2(0, 0) - p.at2(0, 0)).abs() < 1e-6);
+        assert!((out.grad_logits.at2(0, 2) - (p.at2(0, 2) - 1.0)).abs() < 1e-6);
+        // Gradient rows sum to ~0.
+        let s: f32 = out.grad_logits.data().iter().sum();
+        assert!(s.abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_check_numeric() {
+        let logits = Tensor::from_vec(&[2, 4], vec![0.1, -0.2, 0.3, 0.7, -1.0, 0.4, 0.0, 0.2]);
+        let labels = [3usize, 1];
+        let out = sparse_softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut up = logits.clone();
+            up.data_mut()[i] += eps;
+            let mut down = logits.clone();
+            down.data_mut()[i] -= eps;
+            let numeric = (sparse_softmax_cross_entropy(&up, &labels).loss
+                - sparse_softmax_cross_entropy(&down, &labels).loss)
+                / (2.0 * eps);
+            assert!(
+                (out.grad_logits.data()[i] - numeric).abs() < 1e-3,
+                "logit {i}: analytic {} vs numeric {numeric}",
+                out.grad_logits.data()[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Gradient-descent algorithms.
+//!
+//! Section 3.2.2 / Figures 4–5 of the paper compare five optimisers for the
+//! flow classifier: SGD, Momentum, AdaGrad, RMSProp and FTRL, with RMSProp the
+//! clear winner.  All five are implemented here over the same per-parameter
+//! update interface so the comparison can be regenerated.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::init::Param;
+
+/// The gradient-descent algorithms compared in Figures 4 and 5 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GradientDescent {
+    /// Plain stochastic gradient descent.
+    Sgd,
+    /// SGD with classical momentum.
+    Momentum {
+        /// Momentum coefficient (typically 0.9).
+        momentum: f32,
+    },
+    /// AdaGrad (per-parameter accumulated squared gradients).
+    AdaGrad,
+    /// RMSProp (exponentially decayed squared gradients).
+    RmsProp {
+        /// Decay rate of the running average (typically 0.9).
+        decay: f32,
+    },
+    /// Follow-the-regularised-leader (FTRL-Proximal, McMahan et al.).
+    Ftrl {
+        /// L1 regularisation strength.
+        l1: f32,
+        /// L2 regularisation strength.
+        l2: f32,
+        /// Learning-rate power schedule constant (`beta`).
+        beta: f32,
+    },
+}
+
+impl GradientDescent {
+    /// The five algorithms with the conventional hyper-parameters used by the
+    /// reproduction, in the order the paper plots them.
+    pub const PAPER_SET: [GradientDescent; 5] = [
+        GradientDescent::Sgd,
+        GradientDescent::Momentum { momentum: 0.9 },
+        GradientDescent::AdaGrad,
+        GradientDescent::RmsProp { decay: 0.9 },
+        GradientDescent::Ftrl { l1: 0.0, l2: 0.0, beta: 1.0 },
+    ];
+
+    /// Short display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GradientDescent::Sgd => "SGD",
+            GradientDescent::Momentum { .. } => "Momentum",
+            GradientDescent::AdaGrad => "AdaGrad",
+            GradientDescent::RmsProp { .. } => "RMSProp",
+            GradientDescent::Ftrl { .. } => "FTRL",
+        }
+    }
+}
+
+impl std::fmt::Display for GradientDescent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-parameter optimiser state.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    /// Momentum / first accumulator (velocity for Momentum, `z` for FTRL).
+    m: Vec<f32>,
+    /// Second accumulator (squared gradients for AdaGrad/RMSProp, `n` for FTRL).
+    v: Vec<f32>,
+}
+
+/// The optimiser: an algorithm, a learning rate and per-parameter state.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    method: GradientDescent,
+    learning_rate: f32,
+    slots: HashMap<usize, Slot>,
+}
+
+impl Optimizer {
+    /// Creates an optimiser.  The paper uses a learning rate of `1e-4`.
+    pub fn new(method: GradientDescent, learning_rate: f32) -> Self {
+        Optimizer { method, learning_rate, slots: HashMap::new() }
+    }
+
+    /// The configured algorithm.
+    pub fn method(&self) -> GradientDescent {
+        self.method
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Applies one update to a parameter identified by `key` (stable across steps).
+    ///
+    /// The parameter's gradient is consumed (reset to zero afterwards).
+    pub fn update(&mut self, key: usize, param: &mut Param) {
+        let slot = self.slots.entry(key).or_insert_with(|| Slot {
+            m: vec![0.0; param.len()],
+            v: vec![0.0; param.len()],
+        });
+        debug_assert_eq!(slot.m.len(), param.len(), "parameter size changed");
+        let lr = self.learning_rate;
+        match self.method {
+            GradientDescent::Sgd => {
+                for i in 0..param.len() {
+                    param.value[i] -= lr * param.grad[i];
+                }
+            }
+            GradientDescent::Momentum { momentum } => {
+                for i in 0..param.len() {
+                    slot.m[i] = momentum * slot.m[i] + param.grad[i];
+                    param.value[i] -= lr * slot.m[i];
+                }
+            }
+            GradientDescent::AdaGrad => {
+                for i in 0..param.len() {
+                    slot.v[i] += param.grad[i] * param.grad[i];
+                    param.value[i] -= lr * param.grad[i] / (slot.v[i].sqrt() + 1e-8);
+                }
+            }
+            GradientDescent::RmsProp { decay } => {
+                for i in 0..param.len() {
+                    slot.v[i] = decay * slot.v[i] + (1.0 - decay) * param.grad[i] * param.grad[i];
+                    param.value[i] -= lr * param.grad[i] / (slot.v[i].sqrt() + 1e-8);
+                }
+            }
+            GradientDescent::Ftrl { l1, l2, beta } => {
+                // FTRL-Proximal with per-coordinate learning rates.
+                for i in 0..param.len() {
+                    let g = param.grad[i];
+                    let n_new = slot.v[i] + g * g;
+                    let sigma = (n_new.sqrt() - slot.v[i].sqrt()) / lr;
+                    slot.m[i] += g - sigma * param.value[i];
+                    slot.v[i] = n_new;
+                    let z = slot.m[i];
+                    if z.abs() <= l1 {
+                        param.value[i] = 0.0;
+                    } else {
+                        let sign = if z < 0.0 { -1.0 } else { 1.0 };
+                        param.value[i] = -(z - sign * l1)
+                            / ((beta + n_new.sqrt()) / lr + l2);
+                    }
+                }
+            }
+        }
+        param.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x - 3)^2 with each optimiser; all must make progress.
+    fn optimise_quadratic(method: GradientDescent, lr: f32, steps: usize) -> f32 {
+        let mut p = Param::zeros(1);
+        let mut opt = Optimizer::new(method, lr);
+        for _ in 0..steps {
+            p.grad[0] = 2.0 * (p.value[0] - 3.0);
+            opt.update(0, &mut p);
+        }
+        p.value[0]
+    }
+
+    #[test]
+    fn all_optimisers_reduce_quadratic_loss() {
+        for method in GradientDescent::PAPER_SET {
+            let lr = match method {
+                GradientDescent::Sgd | GradientDescent::Momentum { .. } => 0.05,
+                _ => 0.5,
+            };
+            let x = optimise_quadratic(method, lr, 400);
+            let start_err = 3.0f32.powi(2);
+            let end_err = (x - 3.0).powi(2);
+            assert!(
+                end_err < start_err * 0.25,
+                "{method} did not make progress: x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_update_is_exact() {
+        let mut p = Param::zeros(2);
+        p.value = vec![1.0, -1.0];
+        p.grad = vec![0.5, -0.25];
+        let mut opt = Optimizer::new(GradientDescent::Sgd, 0.1);
+        opt.update(0, &mut p);
+        assert!((p.value[0] - 0.95).abs() < 1e-6);
+        assert!((p.value[1] + 0.975).abs() < 1e-6);
+        assert!(p.grad.iter().all(|&g| g == 0.0), "gradient consumed");
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut p = Param::zeros(1);
+        p.grad = vec![1.0];
+        let mut opt = Optimizer::new(GradientDescent::Momentum { momentum: 0.9 }, 0.1);
+        opt.update(0, &mut p);
+        let after_one = p.value[0];
+        p.grad = vec![1.0];
+        opt.update(0, &mut p);
+        let second_step = p.value[0] - after_one;
+        assert!(second_step.abs() > 0.1 * 1.0 - 1e-6, "velocity should amplify the step");
+    }
+
+    #[test]
+    fn ftrl_with_l1_produces_sparsity() {
+        let mut p = Param::zeros(4);
+        let mut opt =
+            Optimizer::new(GradientDescent::Ftrl { l1: 10.0, l2: 0.0, beta: 1.0 }, 0.1);
+        // Tiny gradients: with a large L1 penalty the weights must stay at zero.
+        for _ in 0..10 {
+            p.grad = vec![0.01, -0.02, 0.03, -0.01];
+            opt.update(0, &mut p);
+        }
+        assert!(p.value.iter().all(|&v| v == 0.0), "L1 should clamp small weights to zero");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = GradientDescent::PAPER_SET.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["SGD", "Momentum", "AdaGrad", "RMSProp", "FTRL"]);
+        assert_eq!(GradientDescent::RmsProp { decay: 0.9 }.to_string(), "RMSProp");
+    }
+
+    #[test]
+    fn optimizer_accessors() {
+        let opt = Optimizer::new(GradientDescent::AdaGrad, 1e-4);
+        assert_eq!(opt.method(), GradientDescent::AdaGrad);
+        assert!((opt.learning_rate() - 1e-4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,210 @@
+//! A minimal dense tensor type.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// The tensor is deliberately simple: shape + flat storage.  It is the common
+/// currency between layers of the [`crate::Network`].
+///
+/// ```
+/// use nn::Tensor;
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![0.0; len] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let len = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![value; len] }
+    }
+
+    /// Creates a tensor from a flat data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length must match shape volume"
+        );
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable access to the flat data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of the same volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volumes differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            self.len(),
+            shape.iter().product::<usize>(),
+            "reshape must preserve the number of elements"
+        );
+        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// Element at a 2-D index (row-major).
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Element at a 4-D index `[n, h, w, c]` (NHWC layout).
+    pub fn at4(&self, n: usize, h: usize, w: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 4);
+        let (sh, sw, sc) = (self.shape[1], self.shape[2], self.shape[3]);
+        self.data[((n * sh + h) * sw + w) * sc + c]
+    }
+
+    /// Mutable element at a 4-D index `[n, h, w, c]`.
+    pub fn at4_mut(&mut self, n: usize, h: usize, w: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 4);
+        let (sh, sw, sc) = (self.shape[1], self.shape[2], self.shape[3]);
+        &mut self.data[((n * sh + h) * sw + w) * sc + c]
+    }
+
+    /// Applies a function element-wise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Element-wise multiplication.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Index of the maximum element (first occurrence).
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert!(!t.is_empty());
+        let u = Tensor::full(&[2], 3.5);
+        assert_eq!(u.data(), &[3.5, 3.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length must match")]
+    fn from_vec_checks_volume() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.at2(2, 1), 6.0);
+    }
+
+    #[test]
+    fn indexing_4d_is_nhwc() {
+        let mut t = Tensor::zeros(&[1, 2, 3, 2]);
+        *t.at4_mut(0, 1, 2, 1) = 7.0;
+        assert_eq!(t.at4(0, 1, 2, 1), 7.0);
+        assert_eq!(t.data()[(1 * 3 + 2) * 2 + 1], 7.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(&[3], vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.sum(), 6.0);
+        assert!((a.mean() - 2.0).abs() < 1e-6);
+        assert_eq!(b.argmax(), 2);
+        assert_eq!(a.map(|x| x * x).data(), &[1.0, 4.0, 9.0]);
+    }
+}

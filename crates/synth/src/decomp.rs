@@ -1,0 +1,202 @@
+//! Shannon (mux-tree) decomposition of cut functions.
+//!
+//! The `restructure` pass re-expresses a cut function as a tree of 2-to-1
+//! multiplexers obtained by recursive Shannon expansion, which produces a
+//! structurally different network than the sum-of-products form used by
+//! `rewrite`/`refactor`.
+
+use aig::{Aig, Lit, NodeId, TruthTable};
+
+/// Builds the Shannon decomposition of `f` into `aig` over the leaf literals.
+///
+/// Leaf `i` of the function corresponds to `leaves[i]`.  Returns the root literal.
+pub fn build_shannon(aig: &mut Aig, f: &TruthTable, leaves: &[Lit]) -> Lit {
+    if f.is_zero() {
+        return Lit::FALSE;
+    }
+    if f.is_one() {
+        return Lit::TRUE;
+    }
+    let support = f.support();
+    if support.len() == 1 {
+        let v = support[0];
+        let leaf = leaves[v];
+        return if f == &TruthTable::var(v, f.num_vars()) { leaf } else { !leaf };
+    }
+    let v = pick_split_var(f, &support);
+    let f0 = f.cofactor0(v);
+    let f1 = f.cofactor1(v);
+    let s0 = build_shannon(aig, &f0, leaves);
+    let s1 = build_shannon(aig, &f1, leaves);
+    aig.mux(leaves[v], s1, s0)
+}
+
+/// Estimates how many new AND nodes [`build_shannon`] would add to `aig`,
+/// reusing already-present structure except nodes for which `excluded` is true.
+///
+/// The estimate is conservative (an upper bound): it assumes the recursion
+/// creates fresh nodes whenever either mux operand is itself fresh.
+pub fn count_shannon_nodes(
+    aig: &Aig,
+    f: &TruthTable,
+    leaves: &[Lit],
+    excluded: impl Fn(NodeId) -> bool + Copy,
+) -> usize {
+    count_rec(aig, f, leaves, excluded).1
+}
+
+/// Returns `(existing_literal_if_free, added_nodes)`.
+fn count_rec(
+    aig: &Aig,
+    f: &TruthTable,
+    leaves: &[Lit],
+    excluded: impl Fn(NodeId) -> bool + Copy,
+) -> (Option<Lit>, usize) {
+    if f.is_zero() {
+        return (Some(Lit::FALSE), 0);
+    }
+    if f.is_one() {
+        return (Some(Lit::TRUE), 0);
+    }
+    let support = f.support();
+    if support.len() == 1 {
+        let v = support[0];
+        let leaf = leaves[v];
+        let lit = if f == &TruthTable::var(v, f.num_vars()) { leaf } else { !leaf };
+        return (Some(lit), 0);
+    }
+    let v = pick_split_var(f, &support);
+    let (l0, c0) = count_rec(aig, &f0_of(f, v), leaves, excluded);
+    let (l1, c1) = count_rec(aig, &f1_of(f, v), leaves, excluded);
+    let mut added = c0 + c1;
+    // The mux needs sel&t, !sel&e and an OR node unless the pieces already exist.
+    let sel = leaves[v];
+    let reuse = |x: Lit, y: Lit, aig: &Aig| -> Option<Lit> {
+        aig.find_and(x, y).filter(|l| l.is_const() || !excluded(l.node()))
+    };
+    match (l1, l0) {
+        (Some(t), Some(e)) => {
+            let a = reuse(sel, t, aig);
+            let b = reuse(!sel, e, aig);
+            if a.is_none() {
+                added += 1;
+            }
+            if b.is_none() {
+                added += 1;
+            }
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    if let Some(o) = reuse(!x, !y, aig) {
+                        (Some(!o), added)
+                    } else {
+                        (None, added + 1)
+                    }
+                }
+                _ => (None, added + 1),
+            }
+        }
+        _ => (None, added + 3),
+    }
+}
+
+fn f0_of(f: &TruthTable, v: usize) -> TruthTable {
+    f.cofactor0(v)
+}
+
+fn f1_of(f: &TruthTable, v: usize) -> TruthTable {
+    f.cofactor1(v)
+}
+
+/// Picks the splitting variable: the support variable whose cofactors are most
+/// unbalanced in ones-count, which tends to expose constant branches early.
+fn pick_split_var(f: &TruthTable, support: &[usize]) -> usize {
+    let mut best = support[0];
+    let mut best_score = -1i64;
+    for &v in support {
+        let c0 = f.cofactor0(v).count_ones() as i64;
+        let c1 = f.cofactor1(v).count_ones() as i64;
+        let half = (f.num_rows() / 2) as i64;
+        // Distance of each cofactor from "constant": prefer splits that make a
+        // cofactor nearly constant 0 or constant 1.
+        let score = (c0 - half).abs() + (c1 - half).abs();
+        if score > best_score {
+            best_score = score;
+            best = v;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::Simulator;
+
+    fn random_truth(num_vars: usize, seed: u64) -> TruthTable {
+        let mut t = TruthTable::zeros(num_vars);
+        let mut state = seed | 1;
+        for row in 0..t.num_rows() {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            if state.wrapping_mul(0x2545_F491_4F6C_DD1D) & 1 == 1 {
+                t.set(row, true);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn shannon_realises_the_function() {
+        for seed in 1..=8u64 {
+            let mut g = Aig::new();
+            let inputs = g.add_inputs("x", 5);
+            let f = random_truth(5, seed);
+            let root = build_shannon(&mut g, &f, &inputs);
+            g.add_output("f", root);
+            let sim = Simulator::new(&g);
+            for row in 0..32 {
+                let bits: Vec<bool> = (0..5).map(|i| row >> i & 1 == 1).collect();
+                assert_eq!(sim.evaluate(&bits)[0], f.get(row), "seed={seed} row={row}");
+            }
+        }
+    }
+
+    #[test]
+    fn shannon_handles_constants_and_literals() {
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 3);
+        assert_eq!(build_shannon(&mut g, &TruthTable::zeros(3), &inputs), Lit::FALSE);
+        assert_eq!(build_shannon(&mut g, &TruthTable::ones(3), &inputs), Lit::TRUE);
+        assert_eq!(build_shannon(&mut g, &TruthTable::var(1, 3), &inputs), inputs[1]);
+        assert_eq!(build_shannon(&mut g, &TruthTable::var(2, 3).not(), &inputs), !inputs[2]);
+        assert_eq!(g.num_ands(), 0);
+    }
+
+    #[test]
+    fn count_is_an_upper_bound_on_build() {
+        for seed in 10..=14u64 {
+            let mut g = Aig::new();
+            let inputs = g.add_inputs("x", 4);
+            let f = random_truth(4, seed);
+            let estimated = count_shannon_nodes(&g, &f, &inputs, |_| false);
+            let before = g.num_ands();
+            build_shannon(&mut g, &f, &inputs);
+            let actual = g.num_ands() - before;
+            assert!(actual <= estimated, "seed={seed}: actual {actual} > estimated {estimated}");
+        }
+    }
+
+    #[test]
+    fn count_reuses_existing_structure() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let existing = g.and(a, b);
+        g.add_output("keep", existing);
+        // f = a & b is already present, so zero new nodes are needed.
+        let f = TruthTable::var(0, 2).and(&TruthTable::var(1, 2));
+        let added = count_shannon_nodes(&g, &f, &[a, b], |_| false);
+        assert_eq!(added, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Applying whole synthesis flows and collecting their QoR.
+//!
+//! This is the reproduction of component 1 of the paper's framework (Figure 2):
+//! the "synthesis tool" box that takes the HDL/design plus a flow and returns
+//! labelled QoR data.  Flows are evaluated independently, so large batches are
+//! data-parallel across CPU cores (the paper uses a 2 × 12-core machine for the
+//! same reason: dataset collection dominates total runtime).
+
+use aig::{random_equivalence_check, Aig, AigStats};
+use rayon::prelude::*;
+
+use crate::library::CellLibrary;
+use crate::mapper::{map_qor, MapperParams};
+use crate::passes::{apply_sequence, Transform};
+use crate::qor::Qor;
+
+/// Evaluates synthesis flows (sequences of [`Transform`]s) against one design.
+#[derive(Debug, Clone)]
+pub struct FlowRunner {
+    library: CellLibrary,
+    mapper_params: MapperParams,
+    verify: bool,
+}
+
+/// The result of running one flow.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// Post-mapping quality of result.
+    pub qor: Qor,
+    /// Structural statistics of the optimised network before mapping.
+    pub optimized: AigStats,
+    /// Wall-clock runtime of passes + mapping in seconds.
+    pub runtime_s: f64,
+    /// `true` when functional verification was requested and passed.
+    pub verified: bool,
+}
+
+impl FlowRunner {
+    /// Creates a runner with the built-in 14 nm-like library and default mapping.
+    pub fn new() -> Self {
+        FlowRunner {
+            library: CellLibrary::nangate14(),
+            mapper_params: MapperParams::default(),
+            verify: false,
+        }
+    }
+
+    /// Creates a runner with an explicit library and mapper configuration.
+    pub fn with_library(library: CellLibrary, mapper_params: MapperParams) -> Self {
+        FlowRunner { library, mapper_params, verify: false }
+    }
+
+    /// Enables per-flow functional verification by random simulation.
+    ///
+    /// Verification costs extra runtime and is mainly useful in tests and when
+    /// developing new passes.
+    pub fn with_verification(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// The cell library in use.
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// Runs a single flow on `design` and returns its outcome.
+    pub fn run(&self, design: &Aig, flow: &[Transform]) -> FlowOutcome {
+        let start = std::time::Instant::now();
+        let optimized = apply_sequence(design, flow);
+        let verified = if self.verify {
+            random_equivalence_check(design, &optimized, 8, 0x5EED)
+        } else {
+            false
+        };
+        let qor = map_qor(&optimized, &self.library, self.mapper_params);
+        FlowOutcome {
+            qor,
+            optimized: AigStats::of(&optimized),
+            runtime_s: start.elapsed().as_secs_f64(),
+            verified,
+        }
+    }
+
+    /// Runs many flows in parallel and returns their QoR in input order.
+    ///
+    /// This is the bulk data-collection primitive used to build training
+    /// datasets (10,000 flows in the paper) and evaluation sets (100,000 flows).
+    pub fn run_batch(&self, design: &Aig, flows: &[Vec<Transform>]) -> Vec<Qor> {
+        flows.par_iter().map(|flow| self.run(design, flow).qor).collect()
+    }
+}
+
+impl Default for FlowRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuits::{Design, DesignScale};
+
+    #[test]
+    fn runs_a_flow_and_reports_qor() {
+        let design = Design::Alu64.generate(DesignScale::Tiny);
+        let runner = FlowRunner::new().with_verification(true);
+        let flow = [Transform::Balance, Transform::Rewrite, Transform::Refactor];
+        let outcome = runner.run(&design, &flow);
+        assert!(outcome.qor.area_um2 > 0.0);
+        assert!(outcome.qor.delay_ps > 0.0);
+        assert!(outcome.verified, "passes must preserve the function");
+        assert!(outcome.runtime_s >= 0.0);
+        assert!(outcome.optimized.num_ands <= design.num_ands());
+    }
+
+    #[test]
+    fn different_flows_give_different_qor() {
+        let design = Design::Alu64.generate(DesignScale::Tiny);
+        let runner = FlowRunner::new();
+        let q1 = runner.run(&design, &[Transform::Balance, Transform::Rewrite]).qor;
+        let q2 = runner.run(&design, &[Transform::RefactorZ, Transform::Restructure]).qor;
+        let differs = (q1.area_um2 - q2.area_um2).abs() > 1e-9
+            || (q1.delay_ps - q2.delay_ps).abs() > 1e-9;
+        assert!(differs, "the premise of the paper: flow choice changes QoR");
+    }
+
+    #[test]
+    fn batch_matches_individual_runs() {
+        let design = Design::Montgomery64.generate(DesignScale::Tiny);
+        let runner = FlowRunner::new();
+        let flows = vec![
+            vec![Transform::Rewrite],
+            vec![Transform::Balance, Transform::Refactor],
+            vec![],
+        ];
+        let batch = runner.run_batch(&design, &flows);
+        assert_eq!(batch.len(), 3);
+        for (flow, q) in flows.iter().zip(&batch) {
+            let single = runner.run(&design, flow).qor;
+            assert!((single.area_um2 - q.area_um2).abs() < 1e-9, "deterministic evaluation");
+            assert!((single.delay_ps - q.delay_ps).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_flow_is_baseline_mapping() {
+        let design = Design::Alu64.generate(DesignScale::Tiny);
+        let runner = FlowRunner::new();
+        let outcome = runner.run(&design, &[]);
+        assert_eq!(outcome.optimized.num_ands, design.cleanup().num_ands());
+    }
+}

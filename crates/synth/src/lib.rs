@@ -1,0 +1,63 @@
+//! # synth — logic synthesis passes, technology mapping and QoR evaluation
+//!
+//! This crate is the reproduction's stand-in for the ABC logic synthesis system
+//! used by *Developing Synthesis Flows Without Human Knowledge* (DAC 2018):
+//!
+//! * the paper's transformation set `S` = {`balance`, `restructure`, `rewrite`,
+//!   `refactor`, `rewrite -z`, `refactor -z`} as [`Transform`] with faithful
+//!   algorithmic analogues of each pass,
+//! * a cut-based technology [`mapper`] over a synthetic 14 nm-like
+//!   standard-cell [`library`], producing the area/delay QoR the paper labels
+//!   flows with, and
+//! * a [`FlowRunner`] that applies whole flows and collects QoR in parallel —
+//!   the "synthesis tool" box of the paper's framework (Figure 2, component 1).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use circuits::{Design, DesignScale};
+//! use synth::{FlowRunner, Transform};
+//!
+//! let design = Design::Alu64.generate(DesignScale::Tiny);
+//! let runner = FlowRunner::new();
+//! let outcome = runner.run(&design, &[Transform::Balance, Transform::Rewrite]);
+//! assert!(outcome.qor.area_um2 > 0.0);
+//! ```
+//!
+//! ## Fidelity notes
+//!
+//! The passes follow the same algorithmic families as their ABC namesakes
+//! (AND-tree balancing, 4-cut NPN/SOP rewriting, reconvergence-driven-cut
+//! refactoring, Shannon restructuring), but they are reimplementations, not
+//! ports; absolute QoR numbers differ from ABC's while the qualitative
+//! behaviour — order-dependent, design-specific QoR — is preserved.  Technology
+//! mapping treats input/output phase as free (complemented edges), a common
+//! simplification in academic mappers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod decomp;
+pub mod flow_runner;
+pub mod library;
+pub mod mapper;
+pub mod npn;
+pub mod passes;
+pub mod qor;
+pub mod reconv;
+pub mod refactor;
+pub mod restructure;
+pub mod resyn;
+pub mod rewrite;
+pub mod sop;
+
+pub use balance::balance;
+pub use flow_runner::{FlowOutcome, FlowRunner};
+pub use library::{Cell, CellId, CellLibrary};
+pub use mapper::{map, map_qor, MapMode, MappedGate, MappedNetlist, MapperParams};
+pub use passes::{apply_sequence, Transform};
+pub use qor::{Qor, QorMetric};
+pub use refactor::refactor;
+pub use restructure::restructure;
+pub use rewrite::rewrite;

@@ -1,0 +1,243 @@
+//! NPN canonization of small Boolean functions.
+//!
+//! Two functions belong to the same NPN class when one can be obtained from the
+//! other by Negating inputs, Permuting inputs and/or Negating the output.  The
+//! technology mapper uses NPN-canonical truth tables as the key when matching a
+//! cut function against the standard-cell library.
+
+use std::collections::HashMap;
+
+use aig::TruthTable;
+
+/// Maximum function arity supported by the canonizer (library cells are ≤ 4 inputs).
+pub const MAX_NPN_VARS: usize = 4;
+
+/// The canonical representative of an NPN class together with the
+/// transformation that maps the original function onto it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NpnClass {
+    /// Canonical truth table (lexicographically smallest over the orbit).
+    pub canonical: TruthTable,
+    /// Whether the output had to be complemented to reach the canonical form.
+    pub output_negated: bool,
+    /// Permutation applied to the inputs: `perm[i]` is the original variable
+    /// placed at canonical position `i`.
+    pub permutation: Vec<usize>,
+    /// Input complementation mask (bit `i` set means canonical input `i` is the
+    /// complement of the original variable `perm[i]`).
+    pub input_negation: u32,
+}
+
+/// Computes the NPN canonical form of a function by exhaustive orbit search.
+///
+/// The orbit of an `n`-input function has at most `2 * n! * 2^n` members
+/// (≤ 768 for `n = 4`), so exhaustive search is cheap and exact.
+///
+/// # Panics
+///
+/// Panics if the function has more than [`MAX_NPN_VARS`] variables.
+pub fn npn_canonical(f: &TruthTable) -> NpnClass {
+    let n = f.num_vars();
+    assert!(n <= MAX_NPN_VARS, "NPN canonization supports at most {MAX_NPN_VARS} inputs");
+    let mut best: Option<NpnClass> = None;
+    let perms = permutations(n);
+    for out_neg in [false, true] {
+        let base = if out_neg { f.not() } else { f.clone() };
+        for perm in &perms {
+            let permuted = apply_permutation(&base, perm);
+            for neg_mask in 0u32..(1 << n) {
+                let candidate = apply_negation(&permuted, neg_mask);
+                let better = match &best {
+                    None => true,
+                    Some(b) => candidate.cmp_bits(&b.canonical) == std::cmp::Ordering::Less,
+                };
+                if better {
+                    best = Some(NpnClass {
+                        canonical: candidate,
+                        output_negated: out_neg,
+                        permutation: perm.clone(),
+                        input_negation: neg_mask,
+                    });
+                }
+            }
+        }
+    }
+    best.expect("orbit is never empty")
+}
+
+/// A memoizing wrapper around [`npn_canonical`].
+///
+/// Cut functions repeat heavily during technology mapping, so caching the
+/// canonical form by raw truth bits removes almost all of the orbit searches.
+#[derive(Debug, Default)]
+pub struct NpnCache {
+    map: HashMap<(usize, Vec<u64>), NpnClass>,
+    hits: u64,
+    misses: u64,
+}
+
+impl NpnCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the canonical class of `f`, computing and caching it if needed.
+    pub fn canonical(&mut self, f: &TruthTable) -> NpnClass {
+        let key = (f.num_vars(), f.words().to_vec());
+        if let Some(c) = self.map.get(&key) {
+            self.hits += 1;
+            return c.clone();
+        }
+        self.misses += 1;
+        let c = npn_canonical(f);
+        self.map.insert(key, c.clone());
+        c
+    }
+
+    /// Number of cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of cache misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    permute_rec(&mut items, 0, &mut out);
+    out
+}
+
+fn permute_rec(items: &mut Vec<usize>, start: usize, out: &mut Vec<Vec<usize>>) {
+    if start == items.len() {
+        out.push(items.clone());
+        return;
+    }
+    for i in start..items.len() {
+        items.swap(start, i);
+        permute_rec(items, start + 1, out);
+        items.swap(start, i);
+    }
+}
+
+/// Applies an input permutation: canonical variable `i` reads original variable `perm[i]`.
+fn apply_permutation(f: &TruthTable, perm: &[usize]) -> TruthTable {
+    let n = f.num_vars();
+    let mut out = TruthTable::zeros(n);
+    for row in 0..f.num_rows() {
+        // Build the original-row index corresponding to canonical row `row`.
+        let mut src = 0usize;
+        for (canon_var, &orig_var) in perm.iter().enumerate() {
+            if row >> canon_var & 1 == 1 {
+                src |= 1 << orig_var;
+            }
+        }
+        out.set(row, f.get(src));
+    }
+    out
+}
+
+fn apply_negation(f: &TruthTable, mask: u32) -> TruthTable {
+    let mut out = f.clone();
+    for v in 0..f.num_vars() {
+        if mask >> v & 1 == 1 {
+            out = out.flip_var(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and2() -> TruthTable {
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        a.and(&b)
+    }
+
+    #[test]
+    fn npn_merges_and_family() {
+        // AND, NAND, NOR, OR and all their input-phase variants form one class.
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let variants = [
+            a.and(&b),
+            a.and(&b).not(),
+            a.not().and(&b.not()),
+            a.or(&b),
+            a.and(&b.not()),
+        ];
+        let canon: Vec<TruthTable> =
+            variants.iter().map(|f| npn_canonical(f).canonical).collect();
+        for c in &canon[1..] {
+            assert_eq!(c, &canon[0]);
+        }
+    }
+
+    #[test]
+    fn npn_separates_and_from_xor() {
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let and_c = npn_canonical(&a.and(&b)).canonical;
+        let xor_c = npn_canonical(&a.xor(&b)).canonical;
+        assert_ne!(and_c, xor_c);
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let f = and2();
+        let c1 = npn_canonical(&f);
+        let c2 = npn_canonical(&c1.canonical);
+        assert_eq!(c1.canonical, c2.canonical);
+    }
+
+    #[test]
+    fn three_input_majority_class() {
+        let a = TruthTable::var(0, 3);
+        let b = TruthTable::var(1, 3);
+        let c = TruthTable::var(2, 3);
+        let maj = a.and(&b).or(&a.and(&c)).or(&b.and(&c));
+        let maj_neg_inputs = a.not().and(&b.not()).or(&a.not().and(&c.not())).or(&b.not().and(&c.not()));
+        assert_eq!(
+            npn_canonical(&maj).canonical,
+            npn_canonical(&maj_neg_inputs).canonical,
+            "majority is NPN-equivalent to its input-negated version"
+        );
+    }
+
+    #[test]
+    fn cache_hits_on_repeats() {
+        let mut cache = NpnCache::new();
+        let f = and2();
+        let c1 = cache.canonical(&f);
+        let c2 = cache.canonical(&f);
+        assert_eq!(c1.canonical, c2.canonical);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn permutation_application_is_consistent() {
+        // f = x0 & !x1; permuting [1, 0] must swap the roles of the variables.
+        let a = TruthTable::var(0, 2);
+        let b = TruthTable::var(1, 2);
+        let f = a.and(&b.not());
+        let swapped = apply_permutation(&f, &[1, 0]);
+        assert_eq!(swapped, b.and(&a.not()));
+    }
+
+    #[test]
+    fn constants_are_their_own_class() {
+        let zero = TruthTable::zeros(2);
+        let one = TruthTable::ones(2);
+        // Output negation folds them into one class.
+        assert_eq!(npn_canonical(&zero).canonical, npn_canonical(&one).canonical);
+    }
+}

@@ -1,0 +1,172 @@
+//! The transformation set `S` of the paper and the pass dispatcher.
+//!
+//! Section 2.2 of the paper fixes `S = {balance, restructure, rewrite, refactor,
+//! rewrite -z, refactor -z}` (n = 6): six logic transformations that can be
+//! applied in any order.  [`Transform`] enumerates them and
+//! [`Transform::apply`] dispatches to the corresponding pass.
+
+use aig::Aig;
+use serde::{Deserialize, Serialize};
+
+use crate::balance::balance;
+use crate::refactor::refactor;
+use crate::restructure::restructure;
+use crate::rewrite::rewrite;
+
+/// One element of the paper's transformation set `S` (n = 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Transform {
+    /// AND-tree balancing (`balance`).
+    Balance,
+    /// Shannon-decomposition restructuring (`restructure`).
+    Restructure,
+    /// Cut-based rewriting (`rewrite`).
+    Rewrite,
+    /// Large-cut refactoring (`refactor`).
+    Refactor,
+    /// Zero-cost-accepting rewriting (`rewrite -z`).
+    RewriteZ,
+    /// Zero-cost-accepting refactoring (`refactor -z`).
+    RefactorZ,
+}
+
+impl Transform {
+    /// The full transformation set in the order the paper lists it.
+    pub const ALL: [Transform; 6] = [
+        Transform::Balance,
+        Transform::Restructure,
+        Transform::Rewrite,
+        Transform::Refactor,
+        Transform::RewriteZ,
+        Transform::RefactorZ,
+    ];
+
+    /// Number of transformations in the set (`n` in the paper's notation).
+    pub const COUNT: usize = 6;
+
+    /// The ABC command name of this transformation.
+    pub fn command(self) -> &'static str {
+        match self {
+            Transform::Balance => "balance",
+            Transform::Restructure => "restructure",
+            Transform::Rewrite => "rewrite",
+            Transform::Refactor => "refactor",
+            Transform::RewriteZ => "rewrite -z",
+            Transform::RefactorZ => "refactor -z",
+        }
+    }
+
+    /// The index of this transformation within [`Transform::ALL`]
+    /// (the `i` of `p_i` in the paper's notation, used by the one-hot encoding).
+    pub fn index(self) -> usize {
+        match self {
+            Transform::Balance => 0,
+            Transform::Restructure => 1,
+            Transform::Rewrite => 2,
+            Transform::Refactor => 3,
+            Transform::RewriteZ => 4,
+            Transform::RefactorZ => 5,
+        }
+    }
+
+    /// Returns the transformation with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Transform::COUNT`.
+    pub fn from_index(index: usize) -> Transform {
+        Transform::ALL[index]
+    }
+
+    /// Applies this transformation to a network and returns the result.
+    pub fn apply(self, aig: &Aig) -> Aig {
+        match self {
+            Transform::Balance => balance(aig),
+            Transform::Restructure => restructure(aig),
+            Transform::Rewrite => rewrite(aig, false),
+            Transform::Refactor => refactor(aig, false),
+            Transform::RewriteZ => rewrite(aig, true),
+            Transform::RefactorZ => refactor(aig, true),
+        }
+    }
+}
+
+impl std::fmt::Display for Transform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.command())
+    }
+}
+
+/// Applies a sequence of transformations in order and returns the final network.
+///
+/// This is exactly what running a synthesis flow inside ABC does to the design.
+pub fn apply_sequence(aig: &Aig, transforms: &[Transform]) -> Aig {
+    let mut current = aig.cleanup();
+    for &t in transforms {
+        current = t.apply(&current);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::random_equivalence_check;
+    use circuits::{Design, DesignScale};
+
+    #[test]
+    fn indices_roundtrip() {
+        for (i, t) in Transform::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(Transform::from_index(i), *t);
+        }
+        assert_eq!(Transform::COUNT, Transform::ALL.len());
+    }
+
+    #[test]
+    fn command_names_match_abc() {
+        assert_eq!(Transform::Balance.command(), "balance");
+        assert_eq!(Transform::RewriteZ.command(), "rewrite -z");
+        assert_eq!(Transform::RefactorZ.to_string(), "refactor -z");
+    }
+
+    #[test]
+    fn every_transform_preserves_function() {
+        let g = Design::Montgomery64.generate(DesignScale::Tiny);
+        for t in Transform::ALL {
+            let out = t.apply(&g);
+            assert!(random_equivalence_check(&g, &out, 4, 7), "{t} changed the function");
+        }
+    }
+
+    #[test]
+    fn sequences_preserve_function_and_differ_in_qor() {
+        let g = Design::Alu64.generate(DesignScale::Tiny);
+        let flows: [&[Transform]; 4] = [
+            &[Transform::Balance, Transform::Rewrite, Transform::Refactor],
+            &[Transform::Refactor, Transform::Rewrite, Transform::Balance],
+            &[Transform::Restructure, Transform::Balance, Transform::RewriteZ],
+            &[Transform::RefactorZ, Transform::Restructure, Transform::Rewrite],
+        ];
+        let mut signatures = Vec::new();
+        for flow in flows {
+            let r = apply_sequence(&g, flow);
+            assert!(random_equivalence_check(&g, &r, 4, 3), "{flow:?}");
+            signatures.push((r.num_ands(), r.depth()));
+        }
+        // The whole premise of the paper: order/choice matters for QoR, so the
+        // four flows must not all collapse to the same structural result.
+        let first = signatures[0];
+        assert!(
+            signatures.iter().any(|&s| s != first),
+            "all flows produced identical structure: {signatures:?}"
+        );
+    }
+
+    #[test]
+    fn empty_sequence_is_cleanup() {
+        let g = Design::Alu64.generate(DesignScale::Tiny);
+        let out = apply_sequence(&g, &[]);
+        assert_eq!(out.num_ands(), g.cleanup().num_ands());
+    }
+}

@@ -1,0 +1,85 @@
+//! Quality-of-result records.
+
+use serde::{Deserialize, Serialize};
+
+/// The post-mapping quality of result of one synthesis run: the metrics the
+/// paper labels flows with (Table 1 uses delay, area, power, …; this
+/// reproduction provides area and delay).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Qor {
+    /// Total standard-cell area in µm².
+    pub area_um2: f64,
+    /// Critical-path delay in ps.
+    pub delay_ps: f64,
+    /// Number of mapped gate instances.
+    pub gates: usize,
+    /// AND-node count of the optimised subject graph (pre-mapping size).
+    pub and_nodes: usize,
+    /// Depth of the optimised subject graph in AND levels.
+    pub depth: u32,
+}
+
+impl Qor {
+    /// Returns the metric selected by `metric`.
+    pub fn metric(&self, metric: QorMetric) -> f64 {
+        match metric {
+            QorMetric::Area => self.area_um2,
+            QorMetric::Delay => self.delay_ps,
+        }
+    }
+}
+
+impl std::fmt::Display for Qor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "area = {:.2} um^2  delay = {:.1} ps  gates = {}  and = {}  lev = {}",
+            self.area_um2, self.delay_ps, self.gates, self.and_nodes, self.depth
+        )
+    }
+}
+
+/// The QoR metric a flow-generation run optimises (the `r` of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QorMetric {
+    /// Standard-cell area.
+    Area,
+    /// Critical-path delay.
+    Delay,
+}
+
+impl QorMetric {
+    /// Both supported metrics.
+    pub const ALL: [QorMetric; 2] = [QorMetric::Area, QorMetric::Delay];
+}
+
+impl std::fmt::Display for QorMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QorMetric::Area => f.write_str("area"),
+            QorMetric::Delay => f.write_str("delay"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_selection() {
+        let q = Qor { area_um2: 12.5, delay_ps: 80.0, gates: 10, and_nodes: 20, depth: 5 };
+        assert_eq!(q.metric(QorMetric::Area), 12.5);
+        assert_eq!(q.metric(QorMetric::Delay), 80.0);
+    }
+
+    #[test]
+    fn display_contains_both_metrics() {
+        let q = Qor { area_um2: 1.0, delay_ps: 2.0, gates: 3, and_nodes: 4, depth: 5 };
+        let s = q.to_string();
+        assert!(s.contains("area"));
+        assert!(s.contains("delay"));
+        assert_eq!(QorMetric::Area.to_string(), "area");
+        assert_eq!(QorMetric::Delay.to_string(), "delay");
+    }
+}

@@ -1,0 +1,147 @@
+//! Reconvergence-driven cut computation.
+//!
+//! `refactor` and `restructure` operate on one large cut per node instead of the
+//! enumerated 4-feasible cuts used by `rewrite`.  The cut is grown greedily from
+//! the node's fanins, preferring expansions that do not increase the leaf count
+//! (reconvergent paths), exactly in the spirit of ABC's reconvergence-driven
+//! cut computation.
+
+use aig::{Aig, NodeId};
+
+/// Parameters of the reconvergence-driven cut growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconvParams {
+    /// Maximum number of cut leaves.
+    pub max_leaves: usize,
+}
+
+impl Default for ReconvParams {
+    fn default() -> Self {
+        ReconvParams { max_leaves: 8 }
+    }
+}
+
+/// Computes a reconvergence-driven cut of `root`, returning the sorted leaf set.
+///
+/// The cut always covers the cone of `root`: every path from a primary input to
+/// `root` goes through a leaf.  Primary inputs and the constant node are never
+/// expanded.
+pub fn reconv_cut(aig: &Aig, root: NodeId, params: ReconvParams) -> Vec<NodeId> {
+    let mut leaves: Vec<NodeId> = Vec::new();
+    let mut visited: Vec<NodeId> = vec![root];
+    match aig.node(root).fanins() {
+        Some((a, b)) => {
+            push_unique(&mut leaves, a.node());
+            push_unique(&mut leaves, b.node());
+        }
+        None => return vec![root],
+    }
+
+    loop {
+        // Find the best leaf to expand: an AND node whose expansion increases
+        // the leaf count the least (negative cost = reconvergence).
+        let mut best: Option<(usize, i32)> = None;
+        for (i, &leaf) in leaves.iter().enumerate() {
+            if !aig.node(leaf).is_and() {
+                continue;
+            }
+            let (a, b) = aig.node(leaf).fanins().expect("AND node");
+            let mut cost = -1i32; // removing the leaf itself
+            for f in [a.node(), b.node()] {
+                if !leaves.contains(&f) && !visited.contains(&f) {
+                    cost += 1;
+                }
+            }
+            if leaves.len() as i32 + cost > params.max_leaves as i32 {
+                continue;
+            }
+            if best.map_or(true, |(_, c)| cost < c) {
+                best = Some((i, cost));
+            }
+            if cost <= 0 {
+                break; // cannot do better than free
+            }
+        }
+        let Some((idx, _)) = best else { break };
+        let leaf = leaves.swap_remove(idx);
+        visited.push(leaf);
+        let (a, b) = aig.node(leaf).fanins().expect("AND node");
+        for f in [a.node(), b.node()] {
+            if !visited.contains(&f) {
+                push_unique(&mut leaves, f);
+            }
+        }
+    }
+    leaves.sort_unstable();
+    leaves
+}
+
+fn push_unique(v: &mut Vec<NodeId>, x: NodeId) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::{cut_truth, Cut};
+
+    #[test]
+    fn cut_of_input_is_trivial() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let cut = reconv_cut(&g, a.node(), ReconvParams::default());
+        assert_eq!(cut, vec![a.node()]);
+    }
+
+    #[test]
+    fn cut_covers_cone_and_respects_limit() {
+        let mut g = Aig::new();
+        let xs = g.add_inputs("x", 6);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            let t = g.xor(acc, x);
+            acc = t;
+        }
+        g.add_output("f", acc);
+        for max_leaves in [4usize, 6, 8] {
+            let leaves = reconv_cut(&g, acc.node(), ReconvParams { max_leaves });
+            assert!(leaves.len() <= max_leaves, "limit {max_leaves}");
+            // The leaf set must be a valid cut: truth computation succeeds.
+            let cut = Cut::from_leaves(leaves);
+            assert!(cut_truth(&g, acc.node(), &cut).is_ok());
+        }
+    }
+
+    #[test]
+    fn wide_limit_reaches_primary_inputs() {
+        let mut g = Aig::new();
+        let xs = g.add_inputs("x", 4);
+        let ab = g.and(xs[0], xs[1]);
+        let cd = g.and(xs[2], xs[3]);
+        let f = g.and(ab, cd);
+        g.add_output("f", f);
+        let leaves = reconv_cut(&g, f.node(), ReconvParams { max_leaves: 8 });
+        let mut want: Vec<NodeId> = xs.iter().map(|l| l.node()).collect();
+        want.sort_unstable();
+        assert_eq!(leaves, want);
+    }
+
+    #[test]
+    fn reconvergence_is_preferred() {
+        // f = (a & b) & (a & c): expanding either fanin re-uses `a`.
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let ab = g.and(a, b);
+        let ac = g.and(a, c);
+        let f = g.and(ab, ac);
+        g.add_output("f", f);
+        let leaves = reconv_cut(&g, f.node(), ReconvParams { max_leaves: 3 });
+        let mut want = vec![a.node(), b.node(), c.node()];
+        want.sort_unstable();
+        assert_eq!(leaves, want);
+    }
+}

@@ -1,0 +1,128 @@
+//! The `refactor` pass: large-cut resynthesis.
+//!
+//! Analogue of ABC's `refactor` (`rf`) and `refactor -z` (`rfz`) commands: a
+//! single reconvergence-driven cut (up to eight leaves by default) is computed
+//! per node, the cut function is collapsed to a truth table, re-expressed as an
+//! irredundant SOP and rebuilt.  Because the cut is much larger than rewrite's
+//! 4-feasible cuts, refactoring restructures whole fanin cones at once.
+
+use aig::{cut_truth, Aig, Cut, Lit, Mffc, NodeId};
+
+use crate::reconv::{reconv_cut, ReconvParams};
+use crate::resyn::{resynthesis_sweep, Acceptance, Proposal, Structure};
+use crate::sop::{count_sop_nodes, isop};
+
+/// Parameters of the refactor pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefactorParams {
+    /// Maximum number of leaves of the reconvergence-driven cut.
+    pub max_leaves: usize,
+    /// Covers with more cubes than this are not considered (keeps the pass fast).
+    pub max_cubes: usize,
+}
+
+impl Default for RefactorParams {
+    fn default() -> Self {
+        RefactorParams { max_leaves: 8, max_cubes: 24 }
+    }
+}
+
+/// Applies large-cut refactoring; `zero_cost` selects the `-z` behaviour.
+pub fn refactor(aig: &Aig, zero_cost: bool) -> Aig {
+    refactor_with_params(aig, zero_cost, RefactorParams::default())
+}
+
+/// Applies large-cut refactoring with explicit parameters.
+pub fn refactor_with_params(aig: &Aig, zero_cost: bool, params: RefactorParams) -> Aig {
+    let acceptance = if zero_cost { Acceptance::zero_cost() } else { Acceptance::strict() };
+    resynthesis_sweep(aig, acceptance, |graph, id| propose(graph, id, params))
+}
+
+fn propose(graph: &mut Aig, id: NodeId, params: RefactorParams) -> Vec<Proposal> {
+    let leaves = reconv_cut(graph, id, ReconvParams { max_leaves: params.max_leaves });
+    if leaves.len() < 3 || leaves.len() > aig::MAX_TRUTH_VARS {
+        return Vec::new();
+    }
+    let cut = Cut::from_leaves(leaves.clone());
+    let Ok(truth) = cut_truth(graph, id, &cut) else { return Vec::new() };
+    let sop = isop(&truth);
+    if sop.num_cubes() > params.max_cubes {
+        return Vec::new();
+    }
+    let leaf_lits: Vec<Lit> = leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
+    let mffc = Mffc::compute(graph, id, &leaves);
+    let added = count_sop_nodes(graph, &sop, &leaf_lits, |n| mffc.contains(n));
+    vec![Proposal { leaves, structure: Structure::SumOfProducts(sop), added }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::random_equivalence_check;
+    use circuits::{Design, DesignScale};
+
+    /// A cone that is smaller when collapsed: a chain of ORs that a flat SOP
+    /// plus sharing expresses more compactly after intermediate XOR detours.
+    fn bloated_cone() -> Aig {
+        let mut g = Aig::new();
+        let xs = g.add_inputs("x", 5);
+        // f = (x0 | x1 | x2) computed wastefully via muxes.
+        let t0 = g.mux(xs[0], Lit::TRUE, xs[1]);
+        let t1 = g.mux(t0, Lit::TRUE, xs[2]);
+        let dup0 = g.or(xs[0], xs[1]);
+        let dup1 = g.or(dup0, xs[2]);
+        let f = g.and(t1, dup1); // equals dup1
+        let out = g.and(f, xs[3]);
+        let out2 = g.or(out, xs[4]);
+        g.add_output("o", out2);
+        g
+    }
+
+    #[test]
+    fn refactor_preserves_function() {
+        let g = bloated_cone();
+        let r = refactor(&g, false);
+        assert!(random_equivalence_check(&g, &r, 16, 3));
+    }
+
+    #[test]
+    fn refactor_collapses_redundant_cone() {
+        let g = bloated_cone();
+        let r = refactor(&g, false);
+        assert!(
+            r.num_ands() < g.num_ands(),
+            "refactor should simplify: {} -> {}",
+            g.num_ands(),
+            r.num_ands()
+        );
+    }
+
+    #[test]
+    fn refactor_on_designs_preserves_function_and_size_bound() {
+        for design in [Design::Montgomery64, Design::Alu64] {
+            let g = design.generate(DesignScale::Tiny);
+            let r = refactor(&g, false);
+            assert!(random_equivalence_check(&g, &r, 4, 11), "{design}");
+            assert!(
+                r.num_ands() <= g.cleanup().num_ands() + g.cleanup().num_ands() / 20,
+                "{design}: {} -> {}",
+                g.num_ands(),
+                r.num_ands()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_cost_refactor_preserves_function() {
+        let g = bloated_cone();
+        let r = refactor(&g, true);
+        assert!(random_equivalence_check(&g, &r, 16, 19));
+    }
+
+    #[test]
+    fn default_params_are_sane() {
+        let p = RefactorParams::default();
+        assert!(p.max_leaves >= 6 && p.max_leaves <= 12);
+        assert!(p.max_cubes >= p.max_leaves);
+    }
+}

@@ -1,0 +1,217 @@
+//! Shared machinery of the resynthesis-style passes.
+//!
+//! `rewrite`, `refactor` and `restructure` all follow the same scheme:
+//!
+//! 1. sweep the nodes in topological order,
+//! 2. for each node pick a cut, compute the cut function, and propose a new
+//!    implementation of that function over the cut leaves,
+//! 3. accept the proposal when the estimated gain (MFFC nodes freed minus new
+//!    nodes added) meets the pass's threshold,
+//! 4. rebuild the network applying the accepted proposals.
+//!
+//! This module owns steps 1, 3 and 4; each pass provides step 2 as a
+//! [`Proposal`] generator.
+
+use std::collections::HashMap;
+
+use aig::{Aig, Lit, Mffc, NodeId, TruthTable};
+
+use crate::decomp::build_shannon;
+use crate::sop::{build_sop, Sop};
+
+/// How the new implementation of a node's cut function is expressed.
+#[derive(Debug, Clone)]
+pub enum Structure {
+    /// Irredundant sum-of-products (used by `rewrite`/`refactor`).
+    SumOfProducts(Sop),
+    /// Shannon / mux-tree decomposition (used by `restructure`).
+    Shannon(TruthTable),
+}
+
+/// A resynthesis decision for one node: re-express it over `leaves` using `structure`.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Cut leaves (node ids of the working graph), defining the variable order.
+    pub leaves: Vec<NodeId>,
+    /// The replacement structure.
+    pub structure: Structure,
+    /// Estimated gain in AND nodes (may be zero for zero-cost variants).
+    pub gain: i64,
+}
+
+/// A candidate produced by a pass for one node, before gain thresholding.
+#[derive(Debug, Clone)]
+pub struct Proposal {
+    /// Cut leaves defining the variable order of `structure`.
+    pub leaves: Vec<NodeId>,
+    /// The proposed replacement structure.
+    pub structure: Structure,
+    /// Estimated number of new AND nodes the structure would add.
+    pub added: usize,
+}
+
+/// Acceptance policy of a pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Acceptance {
+    /// Minimum accepted gain: `1` for strict passes, `0` for the `-z` variants
+    /// that also accept zero-gain (structure-changing) rewrites.
+    pub min_gain: i64,
+}
+
+impl Acceptance {
+    /// Strictly improving: only accept proposals that remove at least one node.
+    pub fn strict() -> Self {
+        Acceptance { min_gain: 1 }
+    }
+
+    /// Zero-cost accepting (the `-z` flavour of ABC's rewrite/refactor).
+    pub fn zero_cost() -> Self {
+        Acceptance { min_gain: 0 }
+    }
+}
+
+/// Runs a resynthesis sweep over `aig`.
+///
+/// `propose` is called for every AND node (with up-to-date fanout counts) and
+/// may return any number of candidate implementations; the best accepted one is
+/// recorded.  The function returns the rebuilt, cleaned-up network.
+pub fn resynthesis_sweep<F>(aig: &Aig, acceptance: Acceptance, mut propose: F) -> Aig
+where
+    F: FnMut(&mut Aig, NodeId) -> Vec<Proposal>,
+{
+    let mut work = aig.cleanup();
+    work.compute_fanouts();
+    let ids: Vec<NodeId> = work.and_ids().collect();
+    let mut decisions: HashMap<NodeId, Decision> = HashMap::new();
+
+    for id in ids {
+        if work.fanout_count(id) == 0 {
+            continue;
+        }
+        let proposals = propose(&mut work, id);
+        let mut best: Option<Decision> = None;
+        for p in proposals {
+            let mffc = Mffc::compute(&mut work, id, &p.leaves);
+            let gain = mffc.size() as i64 - p.added as i64;
+            if gain < acceptance.min_gain {
+                continue;
+            }
+            if best.as_ref().map_or(true, |b| gain > b.gain) {
+                best = Some(Decision { leaves: p.leaves, structure: p.structure, gain });
+            }
+        }
+        if let Some(d) = best {
+            decisions.insert(id, d);
+        }
+    }
+
+    rebuild_with_decisions(&work, &decisions).cleanup()
+}
+
+/// Rebuilds `src` into a fresh graph, replacing each decided node by its new
+/// structure over the mapped cut leaves and copying every other node verbatim.
+pub fn rebuild_with_decisions(src: &Aig, decisions: &HashMap<NodeId, Decision>) -> Aig {
+    let mut out = Aig::with_name(src.name().to_string());
+    let mut map: Vec<Lit> = vec![Lit::FALSE; src.len()];
+    for (i, &id) in src.input_ids().iter().enumerate() {
+        map[id] = out.add_input(src.input_name(i).to_string());
+    }
+    for id in src.node_ids() {
+        let Some((a, b)) = src.node(id).fanins() else { continue };
+        if let Some(d) = decisions.get(&id) {
+            let leaf_lits: Vec<Lit> = d.leaves.iter().map(|&l| map[l]).collect();
+            map[id] = match &d.structure {
+                Structure::SumOfProducts(sop) => build_sop(&mut out, sop, &leaf_lits),
+                Structure::Shannon(truth) => build_shannon(&mut out, truth, &leaf_lits),
+            };
+        } else {
+            let na = map[a.node()] ^ a.is_complemented();
+            let nb = map[b.node()] ^ b.is_complemented();
+            map[id] = out.and(na, nb);
+        }
+    }
+    for (i, &l) in src.outputs().iter().enumerate() {
+        out.add_output(src.output_name(i).to_string(), map[l.node()] ^ l.is_complemented());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sop::isop;
+    use aig::{cut_truth, random_equivalence_check, Cut};
+
+    /// f = (a & b) | (a & c) has a redundant two-node structure when written as
+    /// a & (b | c); a sweep proposing the ISOP of the 3-leaf cut should shrink it.
+    fn redundant_aig() -> Aig {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let ab = g.and(a, b);
+        let ac = g.and(a, c);
+        let f = g.or(ab, ac);
+        g.add_output("f", f);
+        g
+    }
+
+    #[test]
+    fn sweep_preserves_function_and_reduces_nodes() {
+        let g = redundant_aig();
+        let before = g.num_ands();
+        let result = resynthesis_sweep(&g, Acceptance::strict(), |work, id| {
+            let leaves: Vec<NodeId> = work.input_ids().to_vec();
+            let cut = Cut::from_leaves(leaves.clone());
+            let Ok(truth) = cut_truth(work, id, &cut) else { return vec![] };
+            let sop = isop(&truth);
+            let leaf_lits: Vec<Lit> =
+                leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
+            let added = crate::sop::count_sop_nodes(work, &sop, &leaf_lits, |_| false);
+            vec![Proposal { leaves, structure: Structure::SumOfProducts(sop), added }]
+        });
+        assert!(random_equivalence_check(&g, &result, 8, 3), "function must be preserved");
+        assert!(
+            result.num_ands() <= before,
+            "strict sweep never grows the network: {} -> {}",
+            before,
+            result.num_ands()
+        );
+    }
+
+    #[test]
+    fn sweep_without_proposals_is_identity_up_to_cleanup() {
+        let g = redundant_aig();
+        let result = resynthesis_sweep(&g, Acceptance::strict(), |_, _| vec![]);
+        assert!(random_equivalence_check(&g, &result, 8, 5));
+        assert_eq!(result.num_ands(), g.cleanup().num_ands());
+    }
+
+    #[test]
+    fn rebuild_honours_decisions() {
+        let g = redundant_aig();
+        // Decide to replace the top OR node by the SOP over the primary inputs.
+        let root = g.outputs()[0].node();
+        let leaves: Vec<NodeId> = g.input_ids().to_vec();
+        let cut = Cut::from_leaves(leaves.clone());
+        let truth = cut_truth(&g, root, &cut).expect("covered");
+        let mut decisions = HashMap::new();
+        decisions.insert(
+            root,
+            Decision {
+                leaves,
+                structure: Structure::SumOfProducts(isop(&truth)),
+                gain: 1,
+            },
+        );
+        let rebuilt = rebuild_with_decisions(&g, &decisions).cleanup();
+        assert!(random_equivalence_check(&g, &rebuilt, 8, 11));
+        assert!(rebuilt.num_ands() <= g.num_ands());
+    }
+
+    #[test]
+    fn zero_cost_acceptance_accepts_equal_size() {
+        assert_eq!(Acceptance::zero_cost().min_gain, 0);
+        assert_eq!(Acceptance::strict().min_gain, 1);
+    }
+}

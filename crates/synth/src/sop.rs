@@ -1,0 +1,421 @@
+//! Sum-of-products resynthesis.
+//!
+//! The rewriting and refactoring passes re-express a cut function as an
+//! irredundant sum of products (ISOP, Minato–Morreale algorithm) and rebuild it
+//! as an AND/OR tree on top of the cut leaves.  A dry-run cost estimator shares
+//! the construction logic so the gain of a candidate rewrite can be evaluated
+//! before committing to it.
+
+use aig::{Aig, Lit, NodeId, TruthTable};
+
+/// One product term over the cut leaves.
+///
+/// Bit `i` of `pos` (`neg`) means leaf `i` appears positively (negatively) in
+/// the product.  A cube with both masks empty is the constant-true product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cube {
+    /// Positive-literal mask.
+    pub pos: u32,
+    /// Negative-literal mask.
+    pub neg: u32,
+}
+
+impl Cube {
+    /// The constant-true cube (no literals).
+    pub const TRUE: Cube = Cube { pos: 0, neg: 0 };
+
+    /// Number of literals in the cube.
+    pub fn num_literals(&self) -> u32 {
+        self.pos.count_ones() + self.neg.count_ones()
+    }
+
+    /// Returns the characteristic function of the cube over `num_vars` variables.
+    pub fn truth(&self, num_vars: usize) -> TruthTable {
+        let mut t = TruthTable::ones(num_vars);
+        for v in 0..num_vars {
+            if self.pos >> v & 1 == 1 {
+                t = t.and(&TruthTable::var(v, num_vars));
+            }
+            if self.neg >> v & 1 == 1 {
+                t = t.and(&TruthTable::var(v, num_vars).not());
+            }
+        }
+        t
+    }
+}
+
+/// A sum of products: the function is the OR of all cubes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sop {
+    cubes: Vec<Cube>,
+}
+
+impl Sop {
+    /// The constant-false cover (no cubes).
+    pub fn zero() -> Self {
+        Sop { cubes: Vec::new() }
+    }
+
+    /// The constant-true cover (one empty cube).
+    pub fn one() -> Self {
+        Sop { cubes: vec![Cube::TRUE] }
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes.
+    pub fn num_cubes(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total number of literals over all cubes.
+    pub fn num_literals(&self) -> u32 {
+        self.cubes.iter().map(Cube::num_literals).sum()
+    }
+
+    /// Returns the characteristic function of the cover.
+    pub fn truth(&self, num_vars: usize) -> TruthTable {
+        let mut t = TruthTable::zeros(num_vars);
+        for c in &self.cubes {
+            t = t.or(&c.truth(num_vars));
+        }
+        t
+    }
+}
+
+/// Computes an irredundant sum-of-products cover of `f` (Minato–Morreale).
+///
+/// The cover is exact: `isop(f).truth(n) == *f`.
+pub fn isop(f: &TruthTable) -> Sop {
+    let n = f.num_vars();
+    let (cover, _) = isop_rec(f, f, n, n);
+    cover
+}
+
+/// Recursive ISOP over the interval `[lower, upper]`; returns the cover and its
+/// characteristic function.
+fn isop_rec(
+    lower: &TruthTable,
+    upper: &TruthTable,
+    var: usize,
+    num_vars: usize,
+) -> (Sop, TruthTable) {
+    if lower.is_zero() {
+        return (Sop::zero(), TruthTable::zeros(num_vars));
+    }
+    if upper.is_one() {
+        return (Sop::one(), TruthTable::ones(num_vars));
+    }
+    // Find the topmost variable either bound depends on.
+    let mut v = var;
+    loop {
+        assert!(v > 0, "non-constant function must depend on some variable");
+        v -= 1;
+        if lower.depends_on(v) || upper.depends_on(v) {
+            break;
+        }
+    }
+    let l0 = lower.cofactor0(v);
+    let l1 = lower.cofactor1(v);
+    let u0 = upper.cofactor0(v);
+    let u1 = upper.cofactor1(v);
+    // Cubes that must contain !v.
+    let (c0, f0) = isop_rec(&l0.and(&u1.not()), &u0, v, num_vars);
+    // Cubes that must contain v.
+    let (c1, f1) = isop_rec(&l1.and(&u0.not()), &u1, v, num_vars);
+    // Remaining onset not yet covered, independent of v.
+    let l_new = l0.and(&f0.not()).or(&l1.and(&f1.not()));
+    let (cstar, fstar) = isop_rec(&l_new, &u0.and(&u1), v, num_vars);
+    let mut cubes = Vec::with_capacity(c0.num_cubes() + c1.num_cubes() + cstar.num_cubes());
+    for c in c0.cubes() {
+        cubes.push(Cube { pos: c.pos, neg: c.neg | 1 << v });
+    }
+    for c in c1.cubes() {
+        cubes.push(Cube { pos: c.pos | 1 << v, neg: c.neg });
+    }
+    cubes.extend_from_slice(cstar.cubes());
+    let var_t = TruthTable::var(v, num_vars);
+    let cover_fn = f0.and(&var_t.not()).or(&f1.and(&var_t)).or(&fstar);
+    (Sop { cubes }, cover_fn)
+}
+
+// ---------------------------------------------------------------------------
+// Construction / cost estimation
+// ---------------------------------------------------------------------------
+
+/// Abstraction over "building an AND" so the real construction and the dry-run
+/// cost estimation share exactly the same structure.
+trait GateSink {
+    /// Handle to a (possibly virtual) signal.
+    type Signal: Copy;
+
+    fn leaf(&mut self, lit: Lit) -> Self::Signal;
+    fn constant(&mut self, value: bool) -> Self::Signal;
+    fn and(&mut self, a: Self::Signal, b: Self::Signal) -> Self::Signal;
+    fn not(&mut self, a: Self::Signal) -> Self::Signal;
+}
+
+struct RealBuilder<'a> {
+    aig: &'a mut Aig,
+}
+
+impl GateSink for RealBuilder<'_> {
+    type Signal = Lit;
+
+    fn leaf(&mut self, lit: Lit) -> Lit {
+        lit
+    }
+    fn constant(&mut self, value: bool) -> Lit {
+        if value {
+            Lit::TRUE
+        } else {
+            Lit::FALSE
+        }
+    }
+    fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        self.aig.and(a, b)
+    }
+    fn not(&mut self, a: Lit) -> Lit {
+        !a
+    }
+}
+
+/// A signal during cost estimation: either an existing literal or a virtual
+/// node that would have to be created.
+#[derive(Clone, Copy)]
+enum CostSignal {
+    Existing(Lit),
+    Virtual { complemented: bool },
+}
+
+struct CostCounter<'a, F: Fn(NodeId) -> bool> {
+    aig: &'a Aig,
+    /// Nodes that may *not* be counted as free reuse (e.g. the MFFC that the
+    /// rewrite is about to delete).
+    excluded: F,
+    added: usize,
+}
+
+impl<F: Fn(NodeId) -> bool> GateSink for CostCounter<'_, F> {
+    type Signal = CostSignal;
+
+    fn leaf(&mut self, lit: Lit) -> CostSignal {
+        CostSignal::Existing(lit)
+    }
+    fn constant(&mut self, value: bool) -> CostSignal {
+        CostSignal::Existing(if value { Lit::TRUE } else { Lit::FALSE })
+    }
+    fn and(&mut self, a: CostSignal, b: CostSignal) -> CostSignal {
+        if let (CostSignal::Existing(x), CostSignal::Existing(y)) = (a, b) {
+            if let Some(found) = self.aig.find_and(x, y) {
+                if found.is_const() || !(self.excluded)(found.node()) {
+                    return CostSignal::Existing(found);
+                }
+            }
+        }
+        self.added += 1;
+        CostSignal::Virtual { complemented: false }
+    }
+    fn not(&mut self, a: CostSignal) -> CostSignal {
+        match a {
+            CostSignal::Existing(l) => CostSignal::Existing(!l),
+            CostSignal::Virtual { complemented } => CostSignal::Virtual { complemented: !complemented },
+        }
+    }
+}
+
+/// Builds (or costs) the SOP over the given leaf literals using balanced
+/// AND/OR trees.
+fn emit_sop<S: GateSink>(sink: &mut S, sop: &Sop, leaves: &[Lit]) -> S::Signal {
+    if sop.num_cubes() == 0 {
+        return sink.constant(false);
+    }
+    let mut cube_signals = Vec::with_capacity(sop.num_cubes());
+    for cube in sop.cubes() {
+        let mut lits = Vec::new();
+        for (v, &leaf) in leaves.iter().enumerate() {
+            if cube.pos >> v & 1 == 1 {
+                lits.push(sink.leaf(leaf));
+            } else if cube.neg >> v & 1 == 1 {
+                let l = sink.leaf(leaf);
+                lits.push(sink.not(l));
+            }
+        }
+        let product = reduce_balanced(sink, lits, true);
+        cube_signals.push(product);
+    }
+    // OR of cubes: complement, AND, complement.
+    let negated: Vec<S::Signal> = cube_signals.into_iter().map(|s| sink.not(s)).collect();
+    let all_off = reduce_balanced(sink, negated, true);
+    sink.not(all_off)
+}
+
+fn reduce_balanced<S: GateSink>(sink: &mut S, mut items: Vec<S::Signal>, and_identity: bool) -> S::Signal {
+    if items.is_empty() {
+        return sink.constant(and_identity);
+    }
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(b) = it.next() {
+                next.push(sink.and(a, b));
+            } else {
+                next.push(a);
+            }
+        }
+        items = next;
+    }
+    items.pop().expect("non-empty")
+}
+
+/// Builds the SOP into `aig` on top of `leaves` and returns the root literal.
+///
+/// Leaf `i` of the SOP corresponds to `leaves[i]`.
+pub fn build_sop(aig: &mut Aig, sop: &Sop, leaves: &[Lit]) -> Lit {
+    let mut builder = RealBuilder { aig };
+    emit_sop(&mut builder, sop, leaves)
+}
+
+/// Estimates how many *new* AND nodes building the SOP would add to `aig`,
+/// reusing structurally present nodes except those for which `excluded`
+/// returns `true`.
+pub fn count_sop_nodes(
+    aig: &Aig,
+    sop: &Sop,
+    leaves: &[Lit],
+    excluded: impl Fn(NodeId) -> bool,
+) -> usize {
+    let mut counter = CostCounter { aig, excluded, added: 0 };
+    emit_sop(&mut counter, sop, leaves);
+    counter.added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_truth(num_vars: usize, seed: u64) -> TruthTable {
+        let mut t = TruthTable::zeros(num_vars);
+        let mut state = seed | 1;
+        for row in 0..t.num_rows() {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            if state.wrapping_mul(0x2545_F491_4F6C_DD1D) & 1 == 1 {
+                t.set(row, true);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn isop_covers_exactly() {
+        for num_vars in 1..=6 {
+            for seed in 1..=10u64 {
+                let f = random_truth(num_vars, seed * 7 + num_vars as u64);
+                let cover = isop(&f);
+                assert_eq!(cover.truth(num_vars), f, "nv={num_vars} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn isop_of_constants() {
+        assert_eq!(isop(&TruthTable::zeros(3)).num_cubes(), 0);
+        let one = isop(&TruthTable::ones(3));
+        assert_eq!(one.num_cubes(), 1);
+        assert_eq!(one.cubes()[0], Cube::TRUE);
+    }
+
+    #[test]
+    fn isop_of_single_variable() {
+        let f = TruthTable::var(2, 4);
+        let cover = isop(&f);
+        assert_eq!(cover.num_cubes(), 1);
+        assert_eq!(cover.cubes()[0], Cube { pos: 1 << 2, neg: 0 });
+        let g = f.not();
+        let cover_n = isop(&g);
+        assert_eq!(cover_n.cubes()[0], Cube { pos: 0, neg: 1 << 2 });
+    }
+
+    #[test]
+    fn isop_is_reasonably_small_for_and() {
+        let a = TruthTable::var(0, 4);
+        let b = TruthTable::var(1, 4);
+        let c = TruthTable::var(2, 4);
+        let d = TruthTable::var(3, 4);
+        let f = a.and(&b).and(&c).and(&d);
+        let cover = isop(&f);
+        assert_eq!(cover.num_cubes(), 1);
+        assert_eq!(cover.num_literals(), 4);
+    }
+
+    #[test]
+    fn build_sop_realises_the_function() {
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 4);
+        for seed in 1..=6u64 {
+            let f = random_truth(4, seed);
+            let cover = isop(&f);
+            let root = build_sop(&mut g, &cover, &inputs);
+            // Verify by simulation over all 16 assignments.
+            let mut probe = g.clone();
+            probe.add_output("f", root);
+            let sim = aig::Simulator::new(&probe);
+            for row in 0..16 {
+                let bits: Vec<bool> = (0..4).map(|i| row >> i & 1 == 1).collect();
+                let got = *sim.evaluate(&bits).last().expect("one output");
+                assert_eq!(got, f.get(row), "seed={seed} row={row}");
+            }
+        }
+    }
+
+    #[test]
+    fn cost_estimation_reuses_existing_structure() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let ab = g.and(a, b);
+        g.add_output("keep", ab);
+        // f = a & b & c : the a&b part already exists, so only one new node is needed.
+        let t = TruthTable::var(0, 3).and(&TruthTable::var(1, 3)).and(&TruthTable::var(2, 3));
+        let cover = isop(&t);
+        let added = count_sop_nodes(&g, &cover, &[a, b, c], |_| false);
+        assert_eq!(added, 1);
+        // With the existing node excluded (e.g. it is in the MFFC being replaced),
+        // the estimate must pay for it again.
+        let added_excl = count_sop_nodes(&g, &cover, &[a, b, c], |id| id == ab.node());
+        assert_eq!(added_excl, 2);
+    }
+
+    #[test]
+    fn cost_matches_actual_build_for_fresh_structure() {
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 4);
+        let f = random_truth(4, 99);
+        let cover = isop(&f);
+        let estimated = count_sop_nodes(&g, &cover, &inputs, |_| false);
+        let before = g.num_ands();
+        let _ = build_sop(&mut g, &cover, &inputs);
+        let actual = g.num_ands() - before;
+        assert!(
+            actual <= estimated,
+            "structural hashing can only make the real build cheaper: actual {actual} vs estimated {estimated}"
+        );
+    }
+
+    #[test]
+    fn cube_truth_and_literals() {
+        let c = Cube { pos: 0b01, neg: 0b10 };
+        assert_eq!(c.num_literals(), 2);
+        let t = c.truth(2);
+        assert!(t.get(0b01));
+        assert!(!t.get(0b11));
+        assert!(!t.get(0b00));
+    }
+}

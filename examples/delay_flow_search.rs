@@ -1,0 +1,45 @@
+//! Delay-driven angel-flow search on the Montgomery multiplier.
+//!
+//! Same pipeline as `area_flow_search`, optimising critical-path delay instead
+//! of area, on a different design — demonstrating that flows are design- and
+//! objective-specific (the paper's core motivation).
+//!
+//! ```text
+//! cargo run --release --example delay_flow_search
+//! ```
+
+use circuits::{Design, DesignScale};
+use flowgen::{Framework, FrameworkConfig};
+use synth::QorMetric;
+
+fn main() {
+    let design = Design::Montgomery64.generate(DesignScale::Tiny);
+    let mut config = FrameworkConfig::laptop(QorMetric::Delay);
+    config.training_flows = 60;
+    config.initial_flows = 30;
+    config.retrain_interval = 15;
+    config.sample_flows = 120;
+    config.output_flows = 10;
+    let framework = Framework::new(config);
+
+    println!("searching delay-driven flows for {} ...", design.name());
+    let report = framework.run(&design);
+
+    let sample_mean = report.sample_qors.iter().map(|q| q.delay_ps).sum::<f64>()
+        / report.sample_qors.len().max(1) as f64;
+    let best_sample = report
+        .sample_qors
+        .iter()
+        .map(|q| q.delay_ps)
+        .fold(f64::MAX, f64::min);
+    println!("\nsample flows: mean delay {sample_mean:.1} ps, best delay {best_sample:.1} ps");
+
+    println!("top delay angel-flows:");
+    for (angel, qor) in report.selection.angel_flows.iter().zip(report.angel_qors()) {
+        println!("  delay {:>7.1} ps  conf {:.2}  {}", qor.delay_ps, angel.confidence, angel.flow);
+    }
+    println!("devil-flows (worst delay, useful for diagnosing weak transformations):");
+    for (devil, qor) in report.selection.devil_flows.iter().zip(report.devil_qors()).take(3) {
+        println!("  delay {:>7.1} ps  conf {:.2}  {}", qor.delay_ps, devil.confidence, devil.flow);
+    }
+}

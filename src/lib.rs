@@ -1,0 +1,11 @@
+//! # flow-repro
+//!
+//! Umbrella crate for the reproduction of *Developing Synthesis Flows Without
+//! Human Knowledge* (DAC 2018).  It re-exports the workspace crates so the
+//! examples and integration tests can use a single dependency.
+
+pub use aig;
+pub use circuits;
+pub use flowgen;
+pub use nn;
+pub use synth;

@@ -1,0 +1,56 @@
+//! Functional-correctness integration tests: every transformation and every
+//! composed flow must preserve the combinational function of the designs.
+
+use aig::random_equivalence_check;
+use circuits::{Design, DesignScale};
+use flowgen::FlowSpace;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use synth::{apply_sequence, Transform};
+
+#[test]
+fn every_transform_preserves_every_design() {
+    for design in Design::ALL {
+        let g = design.generate(DesignScale::Tiny);
+        for t in Transform::ALL {
+            let out = t.apply(&g);
+            assert!(
+                random_equivalence_check(&g, &out, 4, 0xE0 + t.index() as u64),
+                "{t} broke {design}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_full_length_flows_preserve_function() {
+    let space = FlowSpace::paper();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xE0E0);
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+    for _ in 0..2 {
+        let flow = space.random_flow(&mut rng);
+        let out = apply_sequence(&design, flow.transforms());
+        assert!(
+            random_equivalence_check(&design, &out, 4, 0xBEEF),
+            "flow `{flow}` broke the design"
+        );
+    }
+}
+
+#[test]
+fn flows_never_increase_size_catastrophically() {
+    // Strict passes only shrink; -z passes may move sideways.  A full flow must
+    // never blow the network up.
+    let space = FlowSpace::paper();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xE0E1);
+    let design = Design::Montgomery64.generate(DesignScale::Tiny);
+    let baseline = design.cleanup().num_ands();
+    let flow = space.random_flow(&mut rng);
+    let out = apply_sequence(&design, flow.transforms());
+    assert!(
+        out.num_ands() <= baseline + baseline / 5,
+        "flow `{flow}` grew the network: {} -> {}",
+        baseline,
+        out.num_ands()
+    );
+}

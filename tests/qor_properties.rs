@@ -1,0 +1,74 @@
+//! Property-based integration tests over the flow space, encoding, labelling
+//! and synthesis QoR invariants.
+
+use circuits::{Design, DesignScale};
+use flowgen::{Flow, FlowEncoder, FlowSpace, Labeler};
+use proptest::prelude::*;
+use synth::{FlowRunner, QorMetric, Transform};
+
+/// Strategy producing an arbitrary (possibly short) flow.
+fn arb_flow(max_len: usize) -> impl Strategy<Value = Flow> {
+    prop::collection::vec(0usize..Transform::COUNT, 0..=max_len)
+        .prop_map(|idx| Flow::new(idx.into_iter().map(Transform::from_index).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn script_roundtrip_for_arbitrary_flows(flow in arb_flow(24)) {
+        let script = flow.to_script();
+        let parsed = Flow::parse_script(&script).expect("round-trip");
+        prop_assert_eq!(parsed, flow);
+    }
+
+    #[test]
+    fn one_hot_encoding_has_one_bit_per_step(flow in arb_flow(24)) {
+        let encoder = FlowEncoder::new(Transform::COUNT, flow.len(), false);
+        if flow.is_empty() {
+            return Ok(());
+        }
+        let t = encoder.encode(&flow);
+        prop_assert_eq!(t.sum() as usize, flow.len());
+        for row in 0..flow.len() {
+            let ones: f32 = (0..Transform::COUNT).map(|c| t.data()[row * Transform::COUNT + c]).sum();
+            prop_assert_eq!(ones as usize, 1);
+        }
+    }
+
+    #[test]
+    fn labeler_classes_are_monotone(values in prop::collection::vec(1.0f64..1000.0, 10..60), probe in 0.0f64..1200.0) {
+        let labeler = Labeler::from_percentiles(QorMetric::Area, &values, &flowgen::PAPER_PERCENTILES);
+        let class = labeler.classify_value(probe);
+        prop_assert!(class < labeler.num_classes());
+        // A strictly larger value never gets a strictly better (smaller) class.
+        let worse = labeler.classify_value(probe + 1.0);
+        prop_assert!(worse >= class);
+    }
+
+    #[test]
+    fn partial_flow_counts_are_monotone_in_length(n in 2usize..=5, m in 1usize..=3) {
+        let space = FlowSpace::new(n, m);
+        let mut last = 1u128;
+        for length in 1..=(n * m) {
+            let count = space.num_partial_flows(length);
+            prop_assert!(count >= last || length == n * m,
+                "counts should grow until the space saturates");
+            last = count;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn short_random_flows_yield_positive_qor(flow in arb_flow(3)) {
+        let design = Design::Alu64.generate(DesignScale::Tiny);
+        let runner = FlowRunner::new();
+        let outcome = runner.run(&design, flow.transforms());
+        prop_assert!(outcome.qor.area_um2 > 0.0);
+        prop_assert!(outcome.qor.delay_ps > 0.0);
+        prop_assert!(outcome.qor.gates > 0);
+    }
+}
