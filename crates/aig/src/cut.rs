@@ -18,7 +18,10 @@ pub struct Cut {
 impl Cut {
     /// Creates the trivial cut `{node}`.
     pub fn trivial(node: NodeId) -> Self {
-        Cut { leaves: vec![node], signature: Self::sig_of(node) }
+        Cut {
+            leaves: vec![node],
+            signature: Self::sig_of(node),
+        }
     }
 
     /// Creates a cut from a sorted, de-duplicated list of leaves.
@@ -54,7 +57,9 @@ impl Cut {
         if self.signature & !other.signature != 0 {
             return false;
         }
-        self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+        self.leaves
+            .iter()
+            .all(|l| other.leaves.binary_search(l).is_ok())
     }
 
     /// Merges two cuts; returns `None` if the union has more than `k` leaves.
@@ -149,7 +154,11 @@ pub struct CutParams {
 
 impl Default for CutParams {
     fn default() -> Self {
-        CutParams { max_cut_size: 4, max_cuts_per_node: 8, include_trivial: true }
+        CutParams {
+            max_cut_size: 4,
+            max_cuts_per_node: 8,
+            include_trivial: true,
+        }
     }
 }
 
@@ -178,7 +187,9 @@ impl CutEnumerator {
             sets[pi].cuts.push(Cut::trivial(pi));
         }
         for id in aig.node_ids() {
-            let Some((a, b)) = aig.node(id).fanins() else { continue };
+            let Some((a, b)) = aig.node(id).fanins() else {
+                continue;
+            };
             let mut set = CutSet::default();
             // Cross-merge the fanin cut sets.
             let limit = self.params.max_cuts_per_node;
@@ -292,10 +303,12 @@ mod tests {
         let root_cuts = &sets[f.node()];
         assert!(!root_cuts.is_empty());
         // The full-support cut {a,b,c,d} must be found with k = 4.
-        let want: Vec<NodeId> =
-            vec![a.node(), b.node(), c.node(), g.input_ids()[3]];
+        let want: Vec<NodeId> = vec![a.node(), b.node(), c.node(), g.input_ids()[3]];
         assert!(
-            root_cuts.cuts().iter().any(|cut| cut.leaves() == want.as_slice()),
+            root_cuts
+                .cuts()
+                .iter()
+                .any(|cut| cut.leaves() == want.as_slice()),
             "expected PI cut in {root_cuts:?}"
         );
         let _ = c;
@@ -340,7 +353,11 @@ mod tests {
 
     #[test]
     fn cuts_bounded_by_limit() {
-        let params = CutParams { max_cut_size: 4, max_cuts_per_node: 3, include_trivial: true };
+        let params = CutParams {
+            max_cut_size: 4,
+            max_cuts_per_node: 3,
+            include_trivial: true,
+        };
         let (g, ..) = sample_aig();
         let sets = CutEnumerator::new(params).enumerate(&g);
         for s in &sets {

@@ -95,7 +95,9 @@ impl Aig {
 
     /// Adds `count` primary inputs named `prefix[0..count]` and returns their literals.
     pub fn add_inputs(&mut self, prefix: &str, count: usize) -> Vec<Lit> {
-        (0..count).map(|i| self.add_input(format!("{prefix}[{i}]"))).collect()
+        (0..count)
+            .map(|i| self.add_input(format!("{prefix}[{i}]")))
+            .collect()
     }
 
     /// Registers `lit` as a primary output under `name`.
@@ -132,7 +134,9 @@ impl Aig {
         if let Some(&id) = self.strash.get(&(x.raw(), y.raw())) {
             return Lit::from_node(id, false);
         }
-        let level = 1 + self.nodes[x.node()].level().max(self.nodes[y.node()].level());
+        let level = 1 + self.nodes[x.node()]
+            .level()
+            .max(self.nodes[y.node()].level());
         let id = self.nodes.len();
         self.nodes.push(Node::and(x, y, level));
         self.strash.insert((x.raw(), y.raw()), id);
@@ -249,7 +253,9 @@ impl Aig {
 
     /// Returns the node referenced by a literal, or an error for dangling literals.
     pub fn try_node(&self, lit: Lit) -> Result<&Node> {
-        self.nodes.get(lit.node()).ok_or(AigError::InvalidLiteral(lit))
+        self.nodes
+            .get(lit.node())
+            .ok_or(AigError::InvalidLiteral(lit))
     }
 
     /// Returns the ids of all primary-input nodes in PI order.
@@ -259,7 +265,10 @@ impl Aig {
 
     /// Returns the literals of all primary inputs in PI order.
     pub fn input_lits(&self) -> Vec<Lit> {
-        self.inputs.iter().map(|&id| Lit::from_node(id, false)).collect()
+        self.inputs
+            .iter()
+            .map(|&id| Lit::from_node(id, false))
+            .collect()
     }
 
     /// Returns the name of the `i`-th primary input.
@@ -289,7 +298,11 @@ impl Aig {
 
     /// Logic depth: the maximum level over all primary outputs.
     pub fn depth(&self) -> u32 {
-        self.outputs.iter().map(|l| self.nodes[l.node()].level()).max().unwrap_or(0)
+        self.outputs
+            .iter()
+            .map(|l| self.nodes[l.node()].level())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns the logic level of the node referenced by `lit`.
@@ -427,7 +440,9 @@ impl Aig {
             return Some(a);
         }
         let (x, y) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
-        self.strash.get(&(x.raw(), y.raw())).map(|&id| Lit::from_node(id, false))
+        self.strash
+            .get(&(x.raw(), y.raw()))
+            .map(|&id| Lit::from_node(id, false))
     }
 }
 

@@ -6,7 +6,7 @@
 //! cut enumeration, truth-table computation, maximum-fanout-free-cone analysis and
 //! random simulation.
 //!
-//! The synthesis passes of the [`synth`](https://docs.rs) crate (the analogue of the
+//! The synthesis passes of the `synth` crate (the analogue of the
 //! ABC commands `balance`, `rewrite`, `refactor`, `restructure` the paper uses) all
 //! operate on [`Aig`].
 //!
@@ -44,8 +44,8 @@ mod truth;
 pub use cut::{cut_truth, Cut, CutEnumerator, CutParams, CutSet};
 pub use graph::{Aig, NodeId};
 pub use lit::Lit;
-pub use node::{Node, NodeKind};
 pub use mffc::Mffc;
+pub use node::{Node, NodeKind};
 pub use simulate::{random_equivalence_check, SimVector, Simulator};
 pub use stats::AigStats;
 pub use truth::{TruthTable, MAX_TRUTH_VARS};

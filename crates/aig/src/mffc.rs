@@ -65,7 +65,11 @@ fn deref_rec(aig: &mut Aig, id: NodeId, leaves: &[NodeId], acc: &mut Vec<NodeId>
         if !aig.node(fanin).is_and() || leaves.contains(&fanin) {
             continue;
         }
-        let count = if deref { aig.dec_fanout(fanin) } else { aig.inc_fanout(fanin) };
+        let count = if deref {
+            aig.dec_fanout(fanin)
+        } else {
+            aig.inc_fanout(fanin)
+        };
         let recurse = if deref { count == 0 } else { count == 1 };
         if recurse {
             deref_rec(aig, fanin, leaves, acc, deref);
@@ -121,7 +125,11 @@ mod tests {
     fn mffc_bounded_by_leaves() {
         let (mut g, f, _, cd) = shared_aig();
         let m = Mffc::compute(&mut g, f.node(), &[cd.node()]);
-        assert_eq!(m.size(), 1, "only the root when its fanins are leaves/shared");
+        assert_eq!(
+            m.size(),
+            1,
+            "only the root when its fanins are leaves/shared"
+        );
         assert!(m.contains(f.node()));
     }
 

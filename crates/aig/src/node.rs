@@ -30,17 +30,29 @@ pub struct Node {
 impl Node {
     /// Creates the constant node.
     pub(crate) fn constant() -> Self {
-        Node { kind: NodeKind::Constant, level: 0, fanout: 0 }
+        Node {
+            kind: NodeKind::Constant,
+            level: 0,
+            fanout: 0,
+        }
     }
 
     /// Creates a primary-input node with the given PI index.
     pub(crate) fn input(index: u32) -> Self {
-        Node { kind: NodeKind::Input(index), level: 0, fanout: 0 }
+        Node {
+            kind: NodeKind::Input(index),
+            level: 0,
+            fanout: 0,
+        }
     }
 
     /// Creates an AND node over two fanin literals at the given logic level.
     pub(crate) fn and(a: Lit, b: Lit, level: u32) -> Self {
-        Node { kind: NodeKind::And(a, b), level, fanout: 0 }
+        Node {
+            kind: NodeKind::And(a, b),
+            level,
+            fanout: 0,
+        }
     }
 
     /// Returns the node kind.
@@ -115,7 +127,10 @@ mod tests {
         assert_eq!(i.kind(), NodeKind::Input(3));
         let a = Node::and(Lit::from_node(1, false), Lit::from_node(2, true), 1);
         assert!(a.is_and());
-        assert_eq!(a.fanins(), Some((Lit::from_node(1, false), Lit::from_node(2, true))));
+        assert_eq!(
+            a.fanins(),
+            Some((Lit::from_node(1, false), Lit::from_node(2, true)))
+        );
         assert_eq!(a.level(), 1);
     }
 

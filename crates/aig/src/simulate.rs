@@ -81,8 +81,10 @@ impl<'a> Simulator<'a> {
 
     /// Evaluates the graph for a single fully-specified input assignment.
     pub fn evaluate(&self, assignment: &[bool]) -> Vec<bool> {
-        let patterns: Vec<SimVector> =
-            assignment.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        let patterns: Vec<SimVector> = assignment
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
         self.run(&patterns).iter().map(|&v| v & 1 == 1).collect()
     }
 }
@@ -151,11 +153,14 @@ mod tests {
     fn bit_parallel_matches_scalar() {
         let g = full_adder();
         let sim = Simulator::new(&g);
-        let patterns = [0xDEAD_BEEF_0123_4567, 0xF0F0_F0F0_AAAA_5555, 0x0F1E_2D3C_4B5A_6978];
+        let patterns = [
+            0xDEAD_BEEF_0123_4567,
+            0xF0F0_F0F0_AAAA_5555,
+            0x0F1E_2D3C_4B5A_6978,
+        ];
         let vec_out = sim.run(&patterns);
         for bit in 0..64 {
-            let assignment: Vec<bool> =
-                patterns.iter().map(|p| p >> bit & 1 == 1).collect();
+            let assignment: Vec<bool> = patterns.iter().map(|p| p >> bit & 1 == 1).collect();
             let scalar = sim.evaluate(&assignment);
             for (o, &v) in vec_out.iter().enumerate() {
                 assert_eq!(scalar[o], v >> bit & 1 == 1, "output {o} bit {bit}");

@@ -61,8 +61,14 @@ impl TruthTable {
     ///
     /// Panics if `num_vars > 16`.
     pub fn zeros(num_vars: usize) -> Self {
-        assert!(num_vars <= MAX_TRUTH_VARS, "at most {MAX_TRUTH_VARS} variables supported");
-        TruthTable { num_vars, words: vec![0; Self::word_count(num_vars)] }
+        assert!(
+            num_vars <= MAX_TRUTH_VARS,
+            "at most {MAX_TRUTH_VARS} variables supported"
+        );
+        TruthTable {
+            num_vars,
+            words: vec![0; Self::word_count(num_vars)],
+        }
     }
 
     /// The constant-true function over `num_vars` variables.
@@ -164,13 +170,24 @@ impl TruthTable {
     pub fn not(&self) -> Self {
         let tail = Self::tail_mask(self.num_vars);
         let words = self.words.iter().map(|w| !w & tail).collect();
-        TruthTable { num_vars: self.num_vars, words }
+        TruthTable {
+            num_vars: self.num_vars,
+            words,
+        }
     }
 
     fn zip(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
         assert_eq!(self.num_vars, other.num_vars, "variable count mismatch");
-        let words = self.words.iter().zip(&other.words).map(|(&a, &b)| f(a, b)).collect();
-        TruthTable { num_vars: self.num_vars, words }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        TruthTable {
+            num_vars: self.num_vars,
+            words,
+        }
     }
 
     /// Returns `true` if the table is constant false.
@@ -303,7 +320,7 @@ impl std::fmt::Display for TruthTable {
             if self.num_vars >= 6 || i > 0 {
                 write!(f, "{w:016x}")?;
             } else {
-                let digits = (self.num_rows() + 3) / 4;
+                let digits = self.num_rows().div_ceil(4);
                 write!(f, "{:0width$x}", w, width = digits.max(1))?;
             }
         }

@@ -11,10 +11,20 @@ fn synthetic_dataset(count: usize) -> Dataset {
     let space = FlowSpace::paper();
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let mut ds = Dataset::new();
-    for (i, flow) in space.random_unique_flows(count, &mut rng).into_iter().enumerate() {
+    for (i, flow) in space
+        .random_unique_flows(count, &mut rng)
+        .into_iter()
+        .enumerate()
+    {
         ds.push(LabeledFlow {
             flow,
-            qor: Qor { area_um2: i as f64, delay_ps: i as f64, gates: 0, and_nodes: 0, depth: 0 },
+            qor: Qor {
+                area_um2: i as f64,
+                delay_ps: i as f64,
+                gates: 0,
+                and_nodes: 0,
+                depth: 0,
+            },
             label: i % 7,
         });
     }
@@ -33,8 +43,7 @@ fn bench_classifier(c: &mut Criterion) {
     });
     let mut clf = FlowClassifier::new(FlowEncoder::paper(), ClassifierConfig::default());
     clf.train(&dataset, 10);
-    let flows: Vec<flowgen::Flow> =
-        dataset.examples().iter().map(|e| e.flow.clone()).collect();
+    let flows: Vec<flowgen::Flow> = dataset.examples().iter().map(|e| e.flow.clone()).collect();
     group.bench_function("predict_64_flows", |b| b.iter(|| clf.predict_proba(&flows)));
     group.finish();
 }

@@ -17,8 +17,12 @@ fn bench_encoding(c: &mut Criterion) {
             space.random_unique_flows(256, &mut rng)
         })
     });
-    group.bench_function("encode_256_flows", |b| b.iter(|| encoder.encode_owned(&flows)));
-    group.bench_function("count_search_space", |b| b.iter(|| space.num_complete_flows()));
+    group.bench_function("encode_256_flows", |b| {
+        b.iter(|| encoder.encode_owned(&flows))
+    });
+    group.bench_function("count_search_space", |b| {
+        b.iter(|| space.num_complete_flows())
+    });
     group.finish();
 }
 

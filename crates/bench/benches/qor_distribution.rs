@@ -17,9 +17,11 @@ fn bench_flow_evaluation(c: &mut Criterion) {
     group.sample_size(10);
     for design in [Design::Alu64, Design::Montgomery64] {
         let aig = design.generate(DesignScale::Tiny);
-        group.bench_with_input(BenchmarkId::from_parameter(design.name()), &aig, |b, aig| {
-            b.iter(|| runner.run(aig, flow.transforms()).qor)
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(design.name()),
+            &aig,
+            |b, aig| b.iter(|| runner.run(aig, flow.transforms()).qor),
+        );
     }
     group.finish();
 }

@@ -11,9 +11,11 @@ fn bench_mapping(c: &mut Criterion) {
     group.sample_size(10);
     for design in Design::ALL {
         let aig = design.generate(DesignScale::Tiny);
-        group.bench_with_input(BenchmarkId::from_parameter(design.name()), &aig, |b, aig| {
-            b.iter(|| map_qor(aig, &library, MapperParams::default()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(design.name()),
+            &aig,
+            |b, aig| b.iter(|| map_qor(aig, &library, MapperParams::default())),
+        );
     }
     group.finish();
 }

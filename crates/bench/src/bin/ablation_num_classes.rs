@@ -8,7 +8,7 @@
 
 use bench::{design_at_scale, print_table, summarize, Scale};
 use circuits::Design;
-use flowgen::{ClassifierConfig, Framework, FrameworkConfig};
+use flowgen::{ClassifierConfig, FrameworkConfig};
 use synth::QorMetric;
 
 fn main() {
@@ -24,17 +24,34 @@ fn main() {
             steps_per_round: scale.training_steps() / 2,
             sample_flows: scale.sample_flows(),
             output_flows: scale.output_flows(),
-            classifier: ClassifierConfig { num_classes, ..ClassifierConfig::default() },
+            classifier: ClassifierConfig {
+                num_classes,
+                ..ClassifierConfig::default()
+            },
             ..FrameworkConfig::laptop(metric)
         };
-        let report = Framework::new(config).run(&design);
-        let holdout = report.rounds.last().map(|r| r.holdout_accuracy).unwrap_or(0.0);
-        let sample_mean =
-            summarize(&report.sample_qors.iter().map(|q| q.metric(metric)).collect::<Vec<_>>())
-                .mean;
-        let angel_mean =
-            summarize(&report.angel_qors().iter().map(|q| q.metric(metric)).collect::<Vec<_>>())
-                .mean;
+        let report = bench::run_framework(config, &design);
+        let holdout = report
+            .rounds
+            .last()
+            .map(|r| r.holdout_accuracy)
+            .unwrap_or(0.0);
+        let sample_mean = summarize(
+            &report
+                .sample_qors
+                .iter()
+                .map(|q| q.metric(metric))
+                .collect::<Vec<_>>(),
+        )
+        .mean;
+        let angel_mean = summarize(
+            &report
+                .angel_qors()
+                .iter()
+                .map(|q| q.metric(metric))
+                .collect::<Vec<_>>(),
+        )
+        .mean;
         rows.push(vec![
             num_classes.to_string(),
             format!("{holdout:.3}"),
@@ -48,7 +65,13 @@ fn main() {
     }
     print_table(
         "Class-count ablation (ALU, area-driven)",
-        &["classes", "holdout_acc", "selection_acc", "sample_mean_area", "angel_mean_area"],
+        &[
+            "classes",
+            "holdout_acc",
+            "selection_acc",
+            "sample_mean_area",
+            "angel_mean_area",
+        ],
         &rows,
     );
 }

@@ -5,7 +5,7 @@
 
 use bench::{design_at_scale, print_table, Scale};
 use circuits::Design;
-use flowgen::{ClassifierConfig, Framework, FrameworkConfig};
+use flowgen::{ClassifierConfig, FrameworkConfig};
 use synth::QorMetric;
 
 fn main() {
@@ -25,13 +25,20 @@ fn main() {
             classifier: ClassifierConfig::default(),
             ..FrameworkConfig::laptop(QorMetric::Area)
         };
-        let report = Framework::new(config).run(&design);
-        let final_acc = report.rounds.last().map(|r| r.holdout_accuracy).unwrap_or(0.0);
+        let report = bench::run_framework(config, &design);
+        let final_acc = report
+            .rounds
+            .last()
+            .map(|r| r.holdout_accuracy)
+            .unwrap_or(0.0);
         rows.push(vec![
             interval.to_string(),
             report.rounds.len().to_string(),
             format!("{final_acc:.3}"),
-            report.selection_accuracy.map(|a| format!("{a:.3}")).unwrap_or_else(|| "-".into()),
+            report
+                .selection_accuracy
+                .map(|a| format!("{a:.3}"))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     print_table(

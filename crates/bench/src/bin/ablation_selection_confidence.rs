@@ -34,14 +34,27 @@ fn main() {
     random_pool.truncate(k);
 
     let qor_of = |idx: usize| sample.qors[idx].metric(metric);
-    let confident_qor: Vec<f64> = confident.angel_flows.iter().map(|s| qor_of(s.index)).collect();
+    let confident_qor: Vec<f64> = confident
+        .angel_flows
+        .iter()
+        .map(|s| qor_of(s.index))
+        .collect();
     let random_qor: Vec<f64> = random_pool.iter().map(|s| qor_of(s.index)).collect();
     let baseline: Vec<f64> = sample.qors.iter().map(|q| q.metric(metric)).collect();
 
     let rows = vec![
-        vec!["all sample flows".into(), format!("{:.1}", summarize(&baseline).mean)],
-        vec!["random class-0 flows".into(), format!("{:.1}", summarize(&random_qor).mean)],
-        vec!["confidence-ranked angel flows".into(), format!("{:.1}", summarize(&confident_qor).mean)],
+        vec![
+            "all sample flows".into(),
+            format!("{:.1}", summarize(&baseline).mean),
+        ],
+        vec![
+            "random class-0 flows".into(),
+            format!("{:.1}", summarize(&random_qor).mean),
+        ],
+        vec![
+            "confidence-ranked angel flows".into(),
+            format!("{:.1}", summarize(&confident_qor).mean),
+        ],
     ];
     print_table(
         "Selection-rule ablation (ALU, area-driven): mean area of selected flows",

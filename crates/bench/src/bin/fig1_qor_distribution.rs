@@ -13,7 +13,9 @@ use synth::QorMetric;
 fn main() {
     let scale = Scale::from_env();
     let flows = scale.distribution_flows();
-    println!("Figure 1 reproduction: {flows} random 4-repetition flows per design (scale {scale:?})");
+    println!(
+        "Figure 1 reproduction: {flows} random 4-repetition flows per design (scale {scale:?})"
+    );
     for design in [Design::Aes128, Design::Alu64] {
         let aig = design_at_scale(design, scale);
         let data = collect_labeled_flows(&aig, QorMetric::Area, flows, 0xF161);
@@ -25,20 +27,54 @@ fn main() {
             &format!("{design}: QoR spread over {} flows", data.qors.len()),
             &["metric", "min", "max", "mean", "spread_%"],
             &[
-                vec!["area_um2".into(), format!("{:.2}", sa.min), format!("{:.2}", sa.max), format!("{:.2}", sa.mean), format!("{:.1}", sa.spread_pct)],
-                vec!["delay_ps".into(), format!("{:.1}", sd.min), format!("{:.1}", sd.max), format!("{:.1}", sd.mean), format!("{:.1}", sd.spread_pct)],
+                vec![
+                    "area_um2".into(),
+                    format!("{:.2}", sa.min),
+                    format!("{:.2}", sa.max),
+                    format!("{:.2}", sa.mean),
+                    format!("{:.1}", sa.spread_pct),
+                ],
+                vec![
+                    "delay_ps".into(),
+                    format!("{:.1}", sd.min),
+                    format!("{:.1}", sd.max),
+                    format!("{:.1}", sd.mean),
+                    format!("{:.1}", sd.spread_pct),
+                ],
             ],
         );
         let rows: Vec<Vec<String>> = histogram(&delays, 10)
             .into_iter()
-            .map(|(lo, hi, count)| vec![format!("{lo:.1}-{hi:.1}"), count.to_string(), "#".repeat(count * 50 / data.qors.len().max(1))])
+            .map(|(lo, hi, count)| {
+                vec![
+                    format!("{lo:.1}-{hi:.1}"),
+                    count.to_string(),
+                    "#".repeat(count * 50 / data.qors.len().max(1)),
+                ]
+            })
             .collect();
-        print_table(&format!("{design}: delay histogram (3-D view analogue)"), &["delay_ps bin", "designs", ""], &rows);
+        print_table(
+            &format!("{design}: delay histogram (3-D view analogue)"),
+            &["delay_ps bin", "designs", ""],
+            &rows,
+        );
         let rows: Vec<Vec<String>> = histogram(&areas, 10)
             .into_iter()
-            .map(|(lo, hi, count)| vec![format!("{lo:.1}-{hi:.1}"), count.to_string(), "#".repeat(count * 50 / data.qors.len().max(1))])
+            .map(|(lo, hi, count)| {
+                vec![
+                    format!("{lo:.1}-{hi:.1}"),
+                    count.to_string(),
+                    "#".repeat(count * 50 / data.qors.len().max(1)),
+                ]
+            })
             .collect();
-        print_table(&format!("{design}: area histogram (3-D view analogue)"), &["area_um2 bin", "designs", ""], &rows);
+        print_table(
+            &format!("{design}: area histogram (3-D view analogue)"),
+            &["area_um2 bin", "designs", ""],
+            &rows,
+        );
     }
-    println!("\nPaper reference: AES delay spread up to ~40% and area spread up to ~90% across flows.");
+    println!(
+        "\nPaper reference: AES delay spread up to ~40% and area spread up to ~90% across flows."
+    );
 }

@@ -10,5 +10,7 @@ use synth::QorMetric;
 
 fn main() {
     run_optimizer_study(QorMetric::Area, Scale::from_env());
-    println!("\nPaper reference: RMSProp outperforms the other algorithms and reaches ~95% accuracy.");
+    println!(
+        "\nPaper reference: RMSProp outperforms the other algorithms and reaches ~95% accuracy."
+    );
 }

@@ -7,7 +7,7 @@
 
 use bench::{design_at_scale, print_table, summarize, Scale};
 use circuits::Design;
-use flowgen::{Framework, FrameworkConfig};
+use flowgen::FrameworkConfig;
 use synth::QorMetric;
 
 fn main() {
@@ -24,11 +24,22 @@ fn main() {
             config.steps_per_round = scale.training_steps() / 2;
             config.retrain_interval = (config.training_flows / 4).max(1);
             config.initial_flows = (config.training_flows / 2).max(1);
-            let framework = Framework::new(config);
-            let report = framework.run(&aig);
-            let sample: Vec<f64> = report.sample_qors.iter().map(|q| q.metric(metric)).collect();
-            let angels: Vec<f64> = report.angel_qors().iter().map(|q| q.metric(metric)).collect();
-            let devils: Vec<f64> = report.devil_qors().iter().map(|q| q.metric(metric)).collect();
+            let report = bench::run_framework(config, &aig);
+            let sample: Vec<f64> = report
+                .sample_qors
+                .iter()
+                .map(|q| q.metric(metric))
+                .collect();
+            let angels: Vec<f64> = report
+                .angel_qors()
+                .iter()
+                .map(|q| q.metric(metric))
+                .collect();
+            let devils: Vec<f64> = report
+                .devil_qors()
+                .iter()
+                .map(|q| q.metric(metric))
+                .collect();
             let ss = summarize(&sample);
             let sa = summarize(&angels);
             let sd = summarize(&devils);
@@ -47,7 +58,15 @@ fn main() {
         }
         print_table(
             &format!("{design}: sample distribution vs angel/devil flows"),
-            &["metric", "sample_min", "sample_mean", "sample_max", "angel_mean", "devil_mean", "sel_accuracy"],
+            &[
+                "metric",
+                "sample_min",
+                "sample_mean",
+                "sample_max",
+                "angel_mean",
+                "devil_mean",
+                "sel_accuracy",
+            ],
             &rows,
         );
     }

@@ -19,7 +19,11 @@ fn main() {
             ]);
         }
     }
-    print_table("Remark 3: number of complete m-repetition flows", &["n", "m", "L", "f(n, L, m)"], &rows);
+    print_table(
+        "Remark 3: number of complete m-repetition flows",
+        &["n", "m", "L", "f(n, L, m)"],
+        &rows,
+    );
     let paper = FlowSpace::paper();
     println!(
         "\nPaper setup (n = 6, m = 4, L = 24): {} flows (the paper quotes 'more than 10^16'; the exact multiset count is 3.2e15).",
@@ -29,5 +33,9 @@ fn main() {
     for l in [1usize, 4, 8, 12, 16, 20, 24] {
         rows.push(vec![l.to_string(), paper.num_partial_flows(l).to_string()]);
     }
-    print_table("Partial flows f(6, L, 4) by length L", &["L", "count"], &rows);
+    print_table(
+        "Partial flows f(6, L, 4) by length L",
+        &["L", "count"],
+        &rows,
+    );
 }

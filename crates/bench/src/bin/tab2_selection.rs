@@ -6,7 +6,9 @@
 
 use bench::{collect_labeled_flows, design_at_scale, print_table, Scale};
 use circuits::Design;
-use flowgen::{select_angel_devil_flows, ClassifierConfig, Flow, FlowClassifier, FlowEncoder, FlowSpace};
+use flowgen::{
+    select_angel_devil_flows, ClassifierConfig, Flow, FlowClassifier, FlowEncoder, FlowSpace,
+};
 use nn::Tensor;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -14,15 +16,14 @@ use synth::{QorMetric, Transform};
 
 fn main() {
     // Part 1: the literal Table 2 example.
-    let flows: Vec<Flow> =
-        (0..5).map(|i| Flow::new(vec![Transform::from_index(i % Transform::COUNT)])).collect();
+    let flows: Vec<Flow> = (0..5)
+        .map(|i| Flow::new(vec![Transform::from_index(i % Transform::COUNT)]))
+        .collect();
     let probs = Tensor::from_vec(
         &[5, 7],
         vec![
-            0.47, 0.13, 0.22, 0.02, 0.03, 0.12, 0.01,
-            0.51, 0.12, 0.01, 0.09, 0.17, 0.08, 0.02,
-            0.02, 0.45, 0.14, 0.12, 0.11, 0.10, 0.06,
-            0.12, 0.03, 0.17, 0.62, 0.01, 0.02, 0.03,
+            0.47, 0.13, 0.22, 0.02, 0.03, 0.12, 0.01, 0.51, 0.12, 0.01, 0.09, 0.17, 0.08, 0.02,
+            0.02, 0.45, 0.14, 0.12, 0.11, 0.10, 0.06, 0.12, 0.03, 0.17, 0.62, 0.01, 0.02, 0.03,
             0.35, 0.23, 0.09, 0.02, 0.13, 0.17, 0.01,
         ],
     );
@@ -32,7 +33,11 @@ fn main() {
         .iter()
         .map(|s| vec![format!("F{}", s.index), format!("{:.2}", s.confidence)])
         .collect();
-    print_table("Table 2: angel-flows selected from the published example", &["flow", "p(class 0)"], &rows);
+    print_table(
+        "Table 2: angel-flows selected from the published example",
+        &["flow", "p(class 0)"],
+        &rows,
+    );
 
     // Part 2: the same rule applied to a real trained classifier.
     let scale = Scale::from_env();
@@ -50,5 +55,9 @@ fn main() {
         .iter()
         .map(|s| vec![s.flow.to_script(), format!("{:.3}", s.confidence)])
         .collect();
-    print_table("Trained classifier: top angel-flow candidates (ALU, area)", &["flow", "confidence"], &rows);
+    print_table(
+        "Trained classifier: top angel-flow candidates (ALU, area)",
+        &["flow", "confidence"],
+        &rows,
+    );
 }

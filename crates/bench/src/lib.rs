@@ -9,14 +9,47 @@
 //! `FLOWGEN_SCALE` to `tiny`, `small` or `full` to change the design sizes and
 //! flow counts (`full` approaches the paper's setup and takes correspondingly
 //! long).
+//!
+//! All QoR collection goes through one process-wide [`floweval::EvalEngine`],
+//! so binaries that revisit a design (ablations sweep several configurations
+//! over the same flows) reuse earlier evaluations.  Set `FLOWGEN_QOR_STORE`
+//! to a JSON-lines file path to persist evaluations across runs of different
+//! binaries.
 
 pub mod studies;
 
+use std::sync::{Arc, OnceLock};
+
 use circuits::{Design, DesignScale};
-use flowgen::{Dataset, Flow, FlowSpace, Labeler};
+use floweval::{EngineConfig, EvalEngine};
+use flowgen::{Dataset, Flow, FlowSpace, Framework, FrameworkConfig, FrameworkReport, Labeler};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use synth::{FlowRunner, Qor, QorMetric, Transform};
+use synth::{Qor, QorMetric, Transform};
+
+/// The process-wide evaluation engine used by every experiment binary.
+///
+/// Honours the `FLOWGEN_QOR_STORE` environment variable: when set, evaluated
+/// flows are persisted there and reused by later runs.
+pub fn shared_engine() -> Arc<EvalEngine> {
+    static ENGINE: OnceLock<Arc<EvalEngine>> = OnceLock::new();
+    ENGINE
+        .get_or_init(|| {
+            let store_path = std::env::var_os("FLOWGEN_QOR_STORE").map(std::path::PathBuf::from);
+            Arc::new(EvalEngine::new(EngineConfig {
+                store_path,
+                ..EngineConfig::default()
+            }))
+        })
+        .clone()
+}
+
+/// Runs the autonomous framework through the process-wide [`shared_engine`],
+/// so sweep binaries re-running the same flows (ablations over classifier
+/// settings, retrain intervals, …) hit the cache instead of re-evaluating.
+pub fn run_framework(config: FrameworkConfig, design: &aig::Aig) -> FrameworkReport {
+    Framework::with_engine(config, shared_engine()).run(design)
+}
 
 /// Experiment scale selected through the `FLOWGEN_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +65,11 @@ pub enum Scale {
 impl Scale {
     /// Reads the scale from the environment (default: [`Scale::Tiny`]).
     pub fn from_env() -> Scale {
-        match std::env::var("FLOWGEN_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("FLOWGEN_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "full" => Scale::Full,
             "small" => Scale::Small,
             _ => Scale::Tiny,
@@ -120,10 +157,9 @@ pub fn collect_labeled_flows(
     let space = FlowSpace::paper();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let flows = space.random_unique_flows(count, &mut rng);
-    let runner = FlowRunner::new();
     let transform_seqs: Vec<Vec<Transform>> =
         flows.iter().map(|f| f.transforms().to_vec()).collect();
-    let qors = runner.run_batch(design, &transform_seqs);
+    let qors = shared_engine().evaluate_batch(design, &transform_seqs);
     let labeler = Labeler::paper_model(metric, &qors);
     let dataset = Dataset::from_evaluations(flows.clone(), qors.clone(), &labeler);
     CollectedData {
@@ -152,8 +188,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let header_line: Vec<String> =
-        headers.iter().enumerate().map(|(i, h)| format!("{h:>width$}", width = widths[i])).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+        .collect();
     println!("{}", header_line.join("  "));
     for row in rows {
         let line: Vec<String> = row
@@ -181,13 +220,27 @@ pub struct Summary {
 /// Computes summary statistics; returns zeros for an empty slice.
 pub fn summarize(values: &[f64]) -> Summary {
     if values.is_empty() {
-        return Summary { min: 0.0, max: 0.0, mean: 0.0, spread_pct: 0.0 };
+        return Summary {
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            spread_pct: 0.0,
+        };
     }
     let min = values.iter().cloned().fold(f64::MAX, f64::min);
     let max = values.iter().cloned().fold(f64::MIN, f64::max);
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let spread_pct = if min > 0.0 { (max - min) / min * 100.0 } else { 0.0 };
-    Summary { min, max, mean, spread_pct }
+    let spread_pct = if min > 0.0 {
+        (max - min) / min * 100.0
+    } else {
+        0.0
+    };
+    Summary {
+        min,
+        max,
+        mean,
+        spread_pct,
+    }
 }
 
 /// Builds a text histogram (bin counts) over `bins` equal-width bins.

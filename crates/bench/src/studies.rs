@@ -59,7 +59,7 @@ pub fn run_optimizer_study(metric: QorMetric, scale: Scale) {
     );
     for design in Design::ALL {
         let aig = design_at_scale(design, scale);
-        let data = collect_labeled_flows(&aig, metric, scale.training_flows(), 0xF16_4);
+        let data = collect_labeled_flows(&aig, metric, scale.training_flows(), 0xF164);
         let mut rows = Vec::new();
         for method in GradientDescent::PAPER_SET {
             let config = ClassifierConfig {
@@ -88,10 +88,13 @@ pub fn run_optimizer_study(metric: QorMetric, scale: Scale) {
 pub fn run_kernel_study(scale: Scale) {
     println!("Convolution kernel study (AES, delay-driven), scale {scale:?} — paper Figure 6");
     let aig = design_at_scale(Design::Aes128, scale);
-    let data = collect_labeled_flows(&aig, QorMetric::Delay, scale.training_flows(), 0xF16_6);
+    let data = collect_labeled_flows(&aig, QorMetric::Delay, scale.training_flows(), 0xF166);
     let mut rows = Vec::new();
     for kernel in [(3usize, 6usize), (6, 6), (6, 12)] {
-        let config = ClassifierConfig { kernel, ..ClassifierConfig::default() };
+        let config = ClassifierConfig {
+            kernel,
+            ..ClassifierConfig::default()
+        };
         let curve = training_curve(&data, config, scale.training_steps(), 4, 0x0F8);
         for p in &curve {
             rows.push(vec![
@@ -113,15 +116,25 @@ pub fn run_kernel_study(scale: Scale) {
 pub fn run_activation_study(scale: Scale) {
     println!("Activation-function study (AES, delay-driven), scale {scale:?} — paper Figure 7");
     let aig = design_at_scale(Design::Aes128, scale);
-    let data = collect_labeled_flows(&aig, QorMetric::Delay, scale.training_flows(), 0xF16_7);
+    let data = collect_labeled_flows(&aig, QorMetric::Delay, scale.training_flows(), 0xF167);
     let mut rows = Vec::new();
     for activation in Activation::PAPER_SET {
-        let config = ClassifierConfig { activation, ..ClassifierConfig::default() };
+        let config = ClassifierConfig {
+            activation,
+            ..ClassifierConfig::default()
+        };
         let curve = training_curve(&data, config, scale.training_steps(), 1, 0x0F9);
         let final_acc = curve.last().map(|p| p.accuracy).unwrap_or(0.0);
-        rows.push(vec![activation.name().to_string(), format!("{final_acc:.3}")]);
+        rows.push(vec![
+            activation.name().to_string(),
+            format!("{final_acc:.3}"),
+        ]);
     }
-    print_table("AES core: final accuracy per activation", &["activation", "accuracy"], &rows);
+    print_table(
+        "AES core: final accuracy per activation",
+        &["activation", "accuracy"],
+        &rows,
+    );
 }
 
 #[cfg(test)]

@@ -94,14 +94,11 @@ pub fn gf_mul(g: &mut Aig, a: &ByteBus, b: &ByteBus) -> ByteBus {
         // shifted = xtime(shifted)
         let msb = shifted[7];
         let mut next = vec![Lit::FALSE; 8];
-        for i in (1..8).rev() {
-            next[i] = shifted[i - 1];
-        }
-        next[0] = Lit::FALSE;
+        next[1..8].copy_from_slice(&shifted[..7]);
         // Conditionally XOR the reduction constant 0x1B.
-        for i in 0..8 {
+        for (i, bit) in next.iter_mut().enumerate() {
             if 0x1B >> i & 1 == 1 {
-                next[i] = g.xor(next[i], msb);
+                *bit = g.xor(*bit, msb);
             }
         }
         shifted = next;
@@ -167,7 +164,10 @@ impl Default for AesConfig {
     /// The paper's benchmark: the 128-bit AES core (full 4-column state, one
     /// unrolled round of the iterative core).
     fn default() -> Self {
-        AesConfig { columns: 4, rounds: 1 }
+        AesConfig {
+            columns: 4,
+            rounds: 1,
+        }
     }
 }
 
@@ -188,16 +188,22 @@ impl AesConfig {
 /// Inputs: `pt[state_bits]` (plaintext state, column-major byte order) and
 /// `rk{r}[state_bits]` for each round `r`.  Outputs: `ct[state_bits]`.
 pub fn aes(config: AesConfig) -> Aig {
-    assert!(config.columns >= 1 && config.columns <= 4, "1..=4 state columns supported");
+    assert!(
+        config.columns >= 1 && config.columns <= 4,
+        "1..=4 state columns supported"
+    );
     assert!(config.rounds >= 1, "at least one round required");
     let nbytes = config.columns * 4;
     let mut g = Aig::with_name(format!("aes{}x{}", config.state_bits(), config.rounds));
     let pt = g.add_inputs("pt", nbytes * 8);
-    let round_keys: Vec<Vec<Lit>> =
-        (0..config.rounds).map(|r| g.add_inputs(&format!("rk{r}"), nbytes * 8)).collect();
+    let round_keys: Vec<Vec<Lit>> = (0..config.rounds)
+        .map(|r| g.add_inputs(&format!("rk{r}"), nbytes * 8))
+        .collect();
 
     // State as bytes in column-major order: byte index = col * 4 + row.
-    let mut state: Vec<ByteBus> = (0..nbytes).map(|i| to_byte(&pt[i * 8..i * 8 + 8])).collect();
+    let mut state: Vec<ByteBus> = (0..nbytes)
+        .map(|i| to_byte(&pt[i * 8..i * 8 + 8]))
+        .collect();
 
     for rk in &round_keys {
         // SubBytes.
@@ -275,12 +281,19 @@ mod tests {
     }
 
     fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
-        bytes.iter().flat_map(|&b| (0..8).map(move |i| b >> i & 1 == 1)).collect()
+        bytes
+            .iter()
+            .flat_map(|&b| (0..8).map(move |i| b >> i & 1 == 1))
+            .collect()
     }
 
     fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
         bits.chunks(8)
-            .map(|c| c.iter().enumerate().fold(0u8, |acc, (i, &b)| acc | (u8::from(b) << i)))
+            .map(|c| {
+                c.iter()
+                    .enumerate()
+                    .fold(0u8, |acc, (i, &b)| acc | (u8::from(b) << i))
+            })
             .collect()
     }
 
@@ -311,7 +324,13 @@ mod tests {
         let p = gf_mul(&mut g, &to_byte(&a), &to_byte(&b));
         g.add_outputs("p", &p);
         let sim = Simulator::new(&g);
-        for &(x, y) in &[(0x57u8, 0x83u8), (0x13, 0xFE), (0xFF, 0xFF), (0x02, 0x80), (0, 0x55)] {
+        for &(x, y) in &[
+            (0x57u8, 0x83u8),
+            (0x13, 0xFE),
+            (0xFF, 0xFF),
+            (0x02, 0x80),
+            (0, 0x55),
+        ] {
             let bits = bytes_to_bits(&[x, y]);
             let out = bits_to_bytes(&sim.evaluate(&bits));
             assert_eq!(out[0], gf_mul_model(x, y), "{x:#x} * {y:#x}");
@@ -357,7 +376,11 @@ mod tests {
     #[test]
     fn aes_network_is_substantial() {
         let g = aes(AesConfig::reduced(1, 1));
-        assert!(g.num_ands() > 3000, "S-box logic dominates: got {}", g.num_ands());
+        assert!(
+            g.num_ands() > 3000,
+            "S-box logic dominates: got {}",
+            g.num_ands()
+        );
         assert!(g.depth() > 20);
     }
 }

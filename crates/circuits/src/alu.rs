@@ -49,7 +49,11 @@ impl AluOp {
 
     /// Software model of the operation, used by the tests.
     pub fn model(self, a: u128, b: u128, width: usize) -> u128 {
-        let mask = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+        let mask = if width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
         let shift_mask = (width.next_power_of_two().trailing_zeros()) as u128;
         let sh = (b & ((1 << shift_mask) - 1)) as u32;
         let r = match self {

@@ -11,7 +11,13 @@ pub type Bus = Vec<Lit>;
 /// Returns a bus of the given width holding the constant `value`.
 pub fn constant_bus(width: usize, value: u128) -> Bus {
     (0..width)
-        .map(|i| if value >> i & 1 == 1 { Lit::TRUE } else { Lit::FALSE })
+        .map(|i| {
+            if value >> i & 1 == 1 {
+                Lit::TRUE
+            } else {
+                Lit::FALSE
+            }
+        })
         .collect()
 }
 
@@ -82,13 +88,11 @@ pub fn barrel_shift_left(g: &mut Aig, value: &[Lit], amount: &[Lit]) -> Bus {
     let width = value.len();
     let stages = usize::BITS as usize - (width.max(2) - 1).leading_zeros() as usize;
     let mut cur: Bus = value.to_vec();
-    for s in 0..stages.min(amount.len()) {
+    for (s, &select) in amount.iter().enumerate().take(stages) {
         let shift = 1usize << s;
         let mut shifted = vec![Lit::FALSE; width];
-        for i in shift..width {
-            shifted[i] = cur[i - shift];
-        }
-        cur = mux_bus(g, amount[s], &shifted, &cur);
+        shifted[shift..width].copy_from_slice(&cur[..width - shift]);
+        cur = mux_bus(g, select, &shifted, &cur);
     }
     cur
 }
@@ -98,13 +102,12 @@ pub fn barrel_shift_right(g: &mut Aig, value: &[Lit], amount: &[Lit]) -> Bus {
     let width = value.len();
     let stages = usize::BITS as usize - (width.max(2) - 1).leading_zeros() as usize;
     let mut cur: Bus = value.to_vec();
-    for s in 0..stages.min(amount.len()) {
+    for (s, &select) in amount.iter().enumerate().take(stages) {
         let shift = 1usize << s;
         let mut shifted = vec![Lit::FALSE; width];
-        for i in 0..width.saturating_sub(shift) {
-            shifted[i] = cur[i + shift];
-        }
-        cur = mux_bus(g, amount[s], &shifted, &cur);
+        let kept = width.saturating_sub(shift);
+        shifted[..kept].copy_from_slice(&cur[shift..shift + kept]);
+        cur = mux_bus(g, select, &shifted, &cur);
     }
     cur
 }
@@ -162,7 +165,9 @@ mod tests {
     use aig::Simulator;
 
     fn eval_bus(out: &[bool]) -> u128 {
-        out.iter().enumerate().fold(0u128, |acc, (i, &b)| acc | (u128::from(b) << i))
+        out.iter()
+            .enumerate()
+            .fold(0u128, |acc, (i, &b)| acc | (u128::from(b) << i))
     }
 
     /// Builds a circuit with two `width`-bit inputs, applies `f`, and checks the
@@ -215,19 +220,24 @@ mod tests {
 
     #[test]
     fn subtractor_is_correct() {
-        check_binary(8, |g, a, b| ripple_sub(g, a, b).0, |x, y| x.wrapping_sub(y), 8);
+        check_binary(
+            8,
+            |g, a, b| ripple_sub(g, a, b).0,
+            |x, y| x.wrapping_sub(y),
+            8,
+        );
     }
 
     #[test]
     fn bitwise_ops_are_correct() {
-        check_binary(6, |g, a, b| bitwise_and(g, a, b), |x, y| x & y, 6);
-        check_binary(6, |g, a, b| bitwise_or(g, a, b), |x, y| x | y, 6);
-        check_binary(6, |g, a, b| bitwise_xor(g, a, b), |x, y| x ^ y, 6);
+        check_binary(6, bitwise_and, |x, y| x & y, 6);
+        check_binary(6, bitwise_or, |x, y| x | y, 6);
+        check_binary(6, bitwise_xor, |x, y| x ^ y, 6);
     }
 
     #[test]
     fn multiplier_is_correct() {
-        check_binary(5, |g, a, b| array_multiply(g, a, b), |x, y| x * y, 10);
+        check_binary(5, array_multiply, |x, y| x * y, 10);
     }
 
     #[test]
@@ -261,7 +271,7 @@ mod tests {
     fn conditional_subtract_reduces() {
         check_binary(
             8,
-            |g, a, b| conditional_subtract(g, a, b),
+            conditional_subtract,
             |x, y| if x >= y { x - y } else { x },
             8,
         );

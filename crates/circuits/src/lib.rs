@@ -76,12 +76,8 @@ impl Design {
     /// Generates the design at the requested scale.
     pub fn generate(self, scale: DesignScale) -> Aig {
         match (self, scale) {
-            (Design::Montgomery64, DesignScale::Tiny) => {
-                montgomery(MontgomeryConfig::reduced(8))
-            }
-            (Design::Montgomery64, DesignScale::Small) => {
-                montgomery(MontgomeryConfig::reduced(16))
-            }
+            (Design::Montgomery64, DesignScale::Tiny) => montgomery(MontgomeryConfig::reduced(8)),
+            (Design::Montgomery64, DesignScale::Small) => montgomery(MontgomeryConfig::reduced(16)),
             (Design::Montgomery64, DesignScale::Full) => montgomery(MontgomeryConfig::default()),
             (Design::Aes128, DesignScale::Tiny) => aes(AesConfig::reduced(1, 1)),
             (Design::Aes128, DesignScale::Small) => aes(AesConfig::reduced(2, 1)),

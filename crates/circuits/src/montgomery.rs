@@ -156,7 +156,11 @@ mod tests {
         let g = montgomery(MontgomeryConfig::reduced(16));
         assert_eq!(g.num_inputs(), 48);
         assert_eq!(g.num_outputs(), 17);
-        assert!(g.num_ands() > 1000, "unrolled datapath is non-trivial: {}", g.num_ands());
+        assert!(
+            g.num_ands() > 1000,
+            "unrolled datapath is non-trivial: {}",
+            g.num_ands()
+        );
     }
 
     #[test]

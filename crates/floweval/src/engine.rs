@@ -1,0 +1,620 @@
+//! The cache-aware batch evaluation engine.
+//!
+//! [`EvalEngine::evaluate_batch`] replaces naive `FlowRunner::run_batch`
+//! calls on the framework's hot path.  A batch is served in three layers:
+//!
+//! 1. **Persistent QoR store** — flows already evaluated for this design and
+//!    configuration (in this process or a previous one) are answered without
+//!    touching the synthesis passes at all.
+//! 2. **Prefix trie** — the remaining flows are merged into a per-design
+//!    prefix trie; each distinct trie edge is evaluated exactly once, and
+//!    interior AIGs memoized by earlier batches short-circuit whole prefixes.
+//! 3. **Batched parallel scheduler** — the active sub-trie is split into
+//!    independent subtrees at a configurable depth and the subtrees are
+//!    evaluated in parallel, each worker walking its subtree depth-first so
+//!    at most one intermediate AIG per level is alive per worker.
+//!
+//! Because every synthesis pass and the mapper are deterministic, the engine
+//! returns **bit-identical** QoR to `FlowRunner::run` (the integration tests
+//! assert this), while applying strictly fewer transform passes on any batch
+//! with shared prefixes.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use aig::{random_equivalence_check, Aig, NodeKind};
+use flow_core::{Fingerprint, Fnv64};
+use rayon::prelude::*;
+use synth::{map_qor, CellLibrary, FlowRunner, MapperParams, Qor, Transform};
+
+use crate::stats::EvalStats;
+use crate::store::{QorStore, StoreKey};
+use crate::trie::{FlowTrie, TrieNodeId, TRIE_ROOT};
+
+/// Tuning knobs of the evaluation engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Memory budget for memoized intermediate AIGs, in total AIG nodes,
+    /// per design trie.  Least-recently-used prefixes are evicted beyond it.
+    pub cache_budget_aig_nodes: usize,
+    /// Memoize intermediate AIGs for prefixes up to this depth.  Deeper
+    /// prefixes are recomputed on demand (they are rarely shared).
+    pub cache_depth: usize,
+    /// Depth at which the active sub-trie is split into parallel subtrees.
+    pub split_depth: usize,
+    /// Optional JSON-lines file backing the persistent QoR store.
+    pub store_path: Option<PathBuf>,
+    /// Functionally verify every evaluated flow by random simulation against
+    /// the input design (the analogue of `FlowRunner::with_verification`).
+    /// A verification failure panics: it means a synthesis pass is broken.
+    pub verify: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cache_budget_aig_nodes: 4_000_000,
+            cache_depth: 6,
+            split_depth: 2,
+            store_path: None,
+            verify: false,
+        }
+    }
+}
+
+/// Mutable engine state behind one lock: the store, the per-design tries and
+/// the cumulative statistics.
+#[derive(Debug)]
+struct EngineState {
+    store: QorStore,
+    tries: HashMap<Fingerprint, FlowTrie>,
+    stats: EvalStats,
+}
+
+/// The cache-aware flow-evaluation engine.
+///
+/// ```
+/// use circuits::{Design, DesignScale};
+/// use floweval::EvalEngine;
+/// use synth::Transform;
+///
+/// let design = Design::Alu64.generate(DesignScale::Tiny);
+/// let engine = EvalEngine::default();
+/// let flows = vec![
+///     vec![Transform::Balance, Transform::Rewrite],
+///     vec![Transform::Balance, Transform::Refactor],
+/// ];
+/// let first = engine.evaluate_batch(&design, &flows);
+/// let second = engine.evaluate_batch(&design, &flows);
+/// assert_eq!(first, second);
+/// assert_eq!(engine.stats().store_hits, 2, "second batch is all store hits");
+/// ```
+#[derive(Debug)]
+pub struct EvalEngine {
+    library: CellLibrary,
+    mapper: MapperParams,
+    config_fp: Fingerprint,
+    config: EngineConfig,
+    state: Mutex<EngineState>,
+}
+
+impl Default for EvalEngine {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl EvalEngine {
+    /// Creates an engine with the built-in library and default mapping.
+    pub fn new(config: EngineConfig) -> Self {
+        Self::with_library(CellLibrary::nangate14(), MapperParams::default(), config)
+    }
+
+    /// Creates an engine with an explicit library and mapper configuration.
+    pub fn with_library(library: CellLibrary, mapper: MapperParams, config: EngineConfig) -> Self {
+        let store = match &config.store_path {
+            Some(path) => QorStore::open(path).unwrap_or_else(|e| {
+                eprintln!(
+                    "floweval: cannot open QoR store at {}: {e}; continuing in memory",
+                    path.display()
+                );
+                QorStore::in_memory()
+            }),
+            None => QorStore::in_memory(),
+        };
+        let config_fp = fingerprint_config(&library, mapper);
+        EvalEngine {
+            library,
+            mapper,
+            config_fp,
+            config,
+            state: Mutex::new(EngineState {
+                store,
+                tries: HashMap::new(),
+                stats: EvalStats::default(),
+            }),
+        }
+    }
+
+    /// Creates an engine that evaluates exactly like `runner`: same library,
+    /// mapper parameters and verification setting.
+    pub fn from_runner(runner: &FlowRunner, config: EngineConfig) -> Self {
+        let config = EngineConfig {
+            verify: config.verify || runner.verification_enabled(),
+            ..config
+        };
+        Self::with_library(runner.library().clone(), runner.mapper_params(), config)
+    }
+
+    /// The cell library in use.
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// The mapper parameters in use.
+    pub fn mapper_params(&self) -> MapperParams {
+        self.mapper
+    }
+
+    /// Cumulative statistics since engine creation.
+    pub fn stats(&self) -> EvalStats {
+        self.state.lock().expect("engine lock").stats
+    }
+
+    /// Resets the cumulative statistics (the caches are kept).
+    pub fn reset_stats(&self) {
+        self.state.lock().expect("engine lock").stats = EvalStats::default();
+    }
+
+    /// Number of records in the persistent QoR store.
+    pub fn store_len(&self) -> usize {
+        self.state.lock().expect("engine lock").store.len()
+    }
+
+    /// Evaluates a batch of flows on `design`, returning QoR in input order.
+    ///
+    /// Results are bit-identical to `FlowRunner::run` with the same library
+    /// and mapper parameters.
+    ///
+    /// The engine lock is held only for store lookups and the final commit;
+    /// the evaluation itself — including the parallel subtree phase — runs
+    /// with the lock released, so concurrent callers (e.g. `engine.stats()`
+    /// from a monitoring thread) are never blocked behind a long batch.  Two
+    /// callers evaluating the *same* design concurrently may duplicate work
+    /// (each checks out its own trie); results stay correct and store inserts
+    /// are idempotent.
+    pub fn evaluate_batch(&self, design: &Aig, flows: &[Vec<Transform>]) -> Vec<Qor> {
+        let start = std::time::Instant::now();
+        let design_fp = fingerprint_design(design);
+        let mut batch = EvalStats {
+            flows_requested: flows.len(),
+            passes_requested: flows.iter().map(Vec::len).sum(),
+            ..EvalStats::default()
+        };
+
+        // Store keys are built once, outside the lock, so the critical
+        // sections below do lookups and inserts only.
+        let keys: Vec<StoreKey> = flows
+            .iter()
+            .map(|flow| StoreKey {
+                design: design_fp,
+                config: self.config_fp,
+                flow: flow_script(flow),
+            })
+            .collect();
+
+        // Phase 1 (locked): persistent-store lookups + trie check-out.
+        let mut results: Vec<Option<Qor>> = Vec::with_capacity(flows.len());
+        let mut misses: Vec<usize> = Vec::new();
+        let mut trie: Option<FlowTrie> = None;
+        {
+            let mut state = self.state.lock().expect("engine lock");
+            for key in &keys {
+                match state.store.get(key) {
+                    Some(qor) => {
+                        batch.store_hits += 1;
+                        results.push(Some(qor));
+                    }
+                    None => {
+                        misses.push(results.len());
+                        results.push(None);
+                    }
+                }
+            }
+            if !misses.is_empty() {
+                trie = Some(
+                    state
+                        .tries
+                        .remove(&design_fp)
+                        .unwrap_or_else(|| FlowTrie::new(self.config.cache_budget_aig_nodes)),
+                );
+            }
+        }
+        batch.flows_evaluated = misses.len();
+
+        // Phase 2 (unlocked): trie evaluation, parallel across subtrees.
+        let mut evaluated: Vec<(usize, Qor)> = Vec::new();
+        if let Some(trie) = trie.as_mut() {
+            evaluated = self.evaluate_misses(trie, design, flows, &misses, &mut batch);
+        }
+
+        // Phase 3 (locked): commit results, trie and statistics.
+        {
+            let mut state = self.state.lock().expect("engine lock");
+            for &(idx, qor) in &evaluated {
+                state.store.insert(keys[idx].clone(), qor);
+                results[idx] = Some(qor);
+            }
+            if let Some(trie) = trie {
+                // On a same-design race the last writer wins; the loser's
+                // cached prefixes are advisory and safe to drop.
+                state.tries.insert(design_fp, trie);
+            }
+            let _ = state.store.flush();
+            batch.wall_s = start.elapsed().as_secs_f64();
+            state.stats.absorb(&batch);
+        }
+        results
+            .into_iter()
+            .map(|q| q.expect("every flow evaluated"))
+            .collect()
+    }
+
+    /// Evaluates the store misses through the prefix trie.
+    fn evaluate_misses(
+        &self,
+        trie: &mut FlowTrie,
+        design: &Aig,
+        flows: &[Vec<Transform>],
+        misses: &[usize],
+        batch: &mut EvalStats,
+    ) -> Vec<(usize, Qor)> {
+        if trie.peek_aig(TRIE_ROOT).is_none() {
+            trie.cache_aig(TRIE_ROOT, design.cleanup());
+        }
+
+        // Merge the miss flows into the trie; note terminals and active edges.
+        let mut terminals: HashMap<TrieNodeId, Vec<usize>> = HashMap::new();
+        let mut active: HashMap<TrieNodeId, Vec<(Transform, TrieNodeId)>> = HashMap::new();
+        for &idx in misses {
+            let terminal = trie.insert(&flows[idx]);
+            terminals.entry(terminal).or_default().push(idx);
+            let mut current = TRIE_ROOT;
+            for &t in &flows[idx] {
+                let child = trie.child(current, t).expect("edge just inserted");
+                let edges = active.entry(current).or_default();
+                if !edges.iter().any(|&(et, _)| et == t) {
+                    edges.push((t, child));
+                }
+                current = child;
+            }
+        }
+
+        // Sequential descent to the split depth, spawning one task per
+        // independent subtree.
+        let mut outputs: Vec<(usize, Qor)> = Vec::new();
+        let mut tasks: Vec<(TrieNodeId, Aig)> = Vec::new();
+        let mut shallow_failures: Vec<usize> = Vec::new();
+        let root_aig = trie
+            .cached_aig(TRIE_ROOT)
+            .expect("root cached above")
+            .clone();
+        self.descend(
+            trie,
+            design,
+            &terminals,
+            &active,
+            TRIE_ROOT,
+            root_aig,
+            0,
+            &mut outputs,
+            &mut tasks,
+            &mut shallow_failures,
+            batch,
+        );
+
+        // Parallel subtree evaluation over the shared, now-immutable trie.
+        // `claimed` bounds the total AIG nodes workers may clone as cache
+        // candidates, so peak memory respects the budget even before the
+        // commit-time LRU accounting runs.
+        let claimed = AtomicUsize::new(trie.cached_aig_nodes());
+        let ctx = BatchContext {
+            trie: &*trie,
+            terminals: &terminals,
+            active: &active,
+            claimed: &claimed,
+            verify_against: self.config.verify.then_some(design),
+        };
+        let worker_results: Vec<WorkerResult> = tasks
+            .par_iter()
+            .map(|(node, aig)| {
+                let mut result = WorkerResult::default();
+                self.eval_subtree(&ctx, *node, aig, &mut result);
+                result
+            })
+            .collect();
+
+        // Commit: merge outputs, stats, LRU touches and new cache entries
+        // (budget-enforced a second time by the trie itself).
+        let mut verify_failures: Vec<usize> = shallow_failures;
+        for result in worker_results {
+            outputs.extend(result.outputs);
+            batch.passes_applied += result.passes_applied;
+            batch.trie_hits += result.trie_hits;
+            batch.mappings_run += result.mappings_run;
+            verify_failures.extend(result.verify_failures);
+            for node in result.touched {
+                trie.cached_aig(node); // refresh LRU clocks for worker hits
+            }
+            for (node, aig) in result.cache_candidates {
+                trie.cache_aig(node, aig);
+            }
+        }
+        if !verify_failures.is_empty() {
+            let scripts: Vec<String> = verify_failures
+                .iter()
+                .map(|&idx| flow_script(&flows[idx]))
+                .collect();
+            panic!(
+                "floweval verification failed: {} flow(s) changed the function of `{}`: {:?}",
+                scripts.len(),
+                design.name(),
+                scripts
+            );
+        }
+        outputs
+    }
+
+    /// Sequential evaluation of the shallow levels (depth < `split_depth`).
+    #[allow(clippy::too_many_arguments)]
+    fn descend(
+        &self,
+        trie: &mut FlowTrie,
+        design: &Aig,
+        terminals: &HashMap<TrieNodeId, Vec<usize>>,
+        active: &HashMap<TrieNodeId, Vec<(Transform, TrieNodeId)>>,
+        node: TrieNodeId,
+        aig: Aig,
+        depth: usize,
+        outputs: &mut Vec<(usize, Qor)>,
+        tasks: &mut Vec<(TrieNodeId, Aig)>,
+        failures: &mut Vec<usize>,
+        batch: &mut EvalStats,
+    ) {
+        if depth >= self.config.split_depth {
+            tasks.push((node, aig));
+            return;
+        }
+        if let Some(indices) = terminals.get(&node) {
+            if self.config.verify && !random_equivalence_check(design, &aig, 8, VERIFY_SEED) {
+                failures.extend_from_slice(indices);
+            }
+            let qor = map_qor(&aig, &self.library, self.mapper);
+            batch.mappings_run += 1;
+            outputs.extend(indices.iter().map(|&idx| (idx, qor)));
+        }
+        let Some(edges) = active.get(&node) else {
+            return;
+        };
+        for &(t, child) in edges {
+            let cached: Option<Aig> = trie.peek_aig(child).cloned();
+            let child_aig = match cached {
+                Some(hit) => {
+                    batch.trie_hits += 1;
+                    trie.cached_aig(child); // touch LRU
+                    hit
+                }
+                None => {
+                    let next = t.apply(&aig);
+                    batch.passes_applied += 1;
+                    if trie.depth(child) <= self.config.cache_depth {
+                        trie.cache_aig(child, next.clone());
+                    }
+                    next
+                }
+            };
+            self.descend(
+                trie,
+                design,
+                terminals,
+                active,
+                child,
+                child_aig,
+                depth + 1,
+                outputs,
+                tasks,
+                failures,
+                batch,
+            );
+        }
+    }
+
+    /// Depth-first evaluation of one subtree (runs on a worker thread).
+    fn eval_subtree(
+        &self,
+        ctx: &BatchContext<'_>,
+        node: TrieNodeId,
+        aig: &Aig,
+        result: &mut WorkerResult,
+    ) {
+        if let Some(indices) = ctx.terminals.get(&node) {
+            if let Some(reference) = ctx.verify_against {
+                if !random_equivalence_check(reference, aig, 8, VERIFY_SEED) {
+                    result.verify_failures.extend_from_slice(indices);
+                }
+            }
+            let qor = map_qor(aig, &self.library, self.mapper);
+            result.mappings_run += 1;
+            result.outputs.extend(indices.iter().map(|&idx| (idx, qor)));
+        }
+        let Some(edges) = ctx.active.get(&node) else {
+            return;
+        };
+        for &(t, child) in edges {
+            if let Some(cached) = ctx.trie.peek_aig(child) {
+                result.trie_hits += 1;
+                result.touched.push(child);
+                self.eval_subtree(ctx, child, cached, result);
+            } else {
+                let next = t.apply(aig);
+                result.passes_applied += 1;
+                if ctx.trie.depth(child) <= self.config.cache_depth
+                    && ctx.try_claim(next.len(), self.config.cache_budget_aig_nodes)
+                {
+                    result.cache_candidates.push((child, next.clone()));
+                }
+                self.eval_subtree(ctx, child, &next, result);
+            }
+        }
+    }
+}
+
+/// Seed used for random-simulation verification, matching `FlowRunner`.
+const VERIFY_SEED: u64 = 0x5EED;
+
+/// Shared read-only context of one batch's parallel phase.
+struct BatchContext<'a> {
+    trie: &'a FlowTrie,
+    terminals: &'a HashMap<TrieNodeId, Vec<usize>>,
+    active: &'a HashMap<TrieNodeId, Vec<(Transform, TrieNodeId)>>,
+    /// AIG nodes claimed for cache candidates across all workers (including
+    /// what the trie already holds), bounding peak memory of the batch.
+    claimed: &'a AtomicUsize,
+    /// When verification is enabled, the reference design to simulate against.
+    verify_against: Option<&'a Aig>,
+}
+
+impl BatchContext<'_> {
+    /// Attempts to reserve `size` AIG nodes of cache-candidate memory.
+    fn try_claim(&self, size: usize, budget: usize) -> bool {
+        let before = self.claimed.fetch_add(size, Ordering::Relaxed);
+        if before.saturating_add(size) <= budget {
+            true
+        } else {
+            self.claimed.fetch_sub(size, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// Per-worker evaluation scratch, merged under the engine lock afterwards.
+#[derive(Debug, Default)]
+struct WorkerResult {
+    outputs: Vec<(usize, Qor)>,
+    cache_candidates: Vec<(TrieNodeId, Aig)>,
+    touched: Vec<TrieNodeId>,
+    verify_failures: Vec<usize>,
+    passes_applied: usize,
+    trie_hits: usize,
+    mappings_run: usize,
+}
+
+/// Renders a transform sequence as the canonical ABC-style script, identical
+/// to `flowgen::Flow::to_script` so store records interoperate.
+pub fn flow_script(flow: &[Transform]) -> String {
+    flow.iter()
+        .map(|t| t.command())
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// Stable structural fingerprint of a design (name-independent).
+pub fn fingerprint_design(aig: &Aig) -> Fingerprint {
+    let mut h = Fnv64::new();
+    h.write_usize(aig.len());
+    h.write_usize(aig.num_inputs());
+    h.write_usize(aig.num_outputs());
+    for id in aig.node_ids() {
+        match aig.node(id).kind() {
+            NodeKind::Constant => h.write_u32(0),
+            NodeKind::Input(index) => {
+                h.write_u32(1);
+                h.write_u32(index);
+            }
+            NodeKind::And(a, b) => {
+                h.write_u32(2);
+                h.write_u32(a.raw());
+                h.write_u32(b.raw());
+            }
+        }
+    }
+    for &output in aig.outputs() {
+        h.write_u32(output.raw());
+    }
+    Fingerprint::from_hasher(h)
+}
+
+/// Stable fingerprint of the evaluation configuration (library + mapper).
+pub fn fingerprint_config(library: &CellLibrary, params: MapperParams) -> Fingerprint {
+    let mut h = Fnv64::new();
+    h.write_str(library.name());
+    h.write_usize(library.len());
+    for cell in library.cells() {
+        h.write_str(&cell.name);
+        h.write_u64(cell.area.to_bits());
+        h.write_u64(cell.delay_ps.to_bits());
+        h.write_u64(cell.load_delay_ps.to_bits());
+        h.write_usize(cell.num_inputs);
+        h.write_usize(cell.function.num_vars());
+        for &word in cell.function.words() {
+            h.write_u64(word);
+        }
+    }
+    h.write_usize(params.cut_size);
+    h.write_usize(params.cuts_per_node);
+    h.write_u32(match params.mode {
+        synth::MapMode::Delay => 0,
+        synth::MapMode::Area => 1,
+    });
+    Fingerprint::from_hasher(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_stable_and_content_sensitive() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let f = g.and(a, b);
+        g.add_output("f", f);
+        let mut h = g.clone();
+        h.set_name("renamed");
+        assert_eq!(
+            fingerprint_design(&g),
+            fingerprint_design(&h),
+            "names do not matter"
+        );
+        let mut k = g.clone();
+        let extra = k.and(a, !b);
+        k.add_output("g", extra);
+        assert_ne!(fingerprint_design(&g), fingerprint_design(&k));
+    }
+
+    #[test]
+    fn config_fingerprint_depends_on_mapper_mode() {
+        let lib = CellLibrary::nangate14();
+        let delay = fingerprint_config(&lib, MapperParams::default());
+        let area = fingerprint_config(
+            &lib,
+            MapperParams {
+                mode: synth::MapMode::Area,
+                ..MapperParams::default()
+            },
+        );
+        assert_ne!(delay, area);
+    }
+
+    #[test]
+    fn flow_script_matches_abc_style() {
+        assert_eq!(flow_script(&[]), "");
+        assert_eq!(
+            flow_script(&[Transform::Balance, Transform::RewriteZ]),
+            "balance; rewrite -z"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! # floweval — cache-aware flow-evaluation engine
+//!
+//! Dataset collection dominates the paper's runtime: labelling 10,000 training
+//! flows and evaluating 100,000 sample flows takes 3–4 days on a 2 × 12-core
+//! machine (Yu, Xiao, De Micheli — DAC 2018), yet flows drawn from the §2.1
+//! search space share long common prefixes whose intermediate AIGs a naive
+//! `run_batch` recomputes from scratch for every flow.
+//!
+//! This crate is the evaluation layer the rest of the workspace goes through:
+//!
+//! * [`FlowTrie`] — a prefix trie over transform sequences that memoizes
+//!   intermediate optimized AIGs under an LRU memory budget, so a batch costs
+//!   one pass application per **distinct trie edge** instead of one per flow
+//!   step;
+//! * [`QorStore`] — a persistent JSON-lines store of evaluation results,
+//!   content-addressed by design fingerprint + configuration fingerprint +
+//!   flow script, so repeated runs, benches and ablations never re-evaluate a
+//!   known flow;
+//! * [`EvalEngine`] — the batched scheduler tying both together and fanning
+//!   independent subtrees out across worker threads;
+//! * [`EvalStats`] — hit/miss/passes-avoided counters surfaced through
+//!   `flowgen::FrameworkReport`.
+//!
+//! Evaluation is **bit-identical** to `synth::FlowRunner`: every pass and the
+//! mapper are deterministic, so a memoized prefix yields exactly the AIG the
+//! naive evaluator would have recomputed.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use circuits::{Design, DesignScale};
+//! use floweval::{EvalEngine, EngineConfig};
+//! use synth::Transform;
+//!
+//! let design = Design::Alu64.generate(DesignScale::Tiny);
+//! let engine = EvalEngine::new(EngineConfig::default());
+//! let flows = vec![
+//!     vec![Transform::Balance, Transform::Rewrite, Transform::Refactor],
+//!     vec![Transform::Balance, Transform::Rewrite, Transform::Restructure],
+//! ];
+//! let qors = engine.evaluate_batch(&design, &flows);
+//! assert_eq!(qors.len(), 2);
+//! // The shared `balance; rewrite` prefix was applied once, not twice.
+//! assert!(engine.stats().passes_applied < 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod stats;
+mod store;
+mod trie;
+
+pub use engine::{fingerprint_config, fingerprint_design, flow_script, EngineConfig, EvalEngine};
+pub use stats::EvalStats;
+pub use store::{QorStore, StoreKey};
+pub use trie::{FlowTrie, TrieNodeId, TRIE_ROOT};

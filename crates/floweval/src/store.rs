@@ -1,0 +1,334 @@
+//! Persistent, content-addressed QoR store.
+//!
+//! Every evaluated (design, evaluation-config, flow) triple maps to exactly
+//! one [`Qor`] because the whole pipeline is deterministic, so results are
+//! addressed by content: a stable design fingerprint, a fingerprint of the
+//! cell library + mapper parameters, and the flow's ABC-style script.  Records
+//! are appended to a JSON-lines file, making the store crash-tolerant (a torn
+//! final line is skipped on load) and trivially mergeable across machines —
+//! concatenating two stores is a valid store.
+//!
+//! Repeated framework runs, benches and ablations over the same design never
+//! re-evaluate a known flow: dataset collection is the dominant cost in the
+//! paper (3–4 days of compute) and this store amortises it across processes.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use flow_core::Fingerprint;
+use serde::{Deserialize, Serialize};
+use synth::Qor;
+
+/// The address of one evaluation result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// Fingerprint of the design's structure.
+    pub design: Fingerprint,
+    /// Fingerprint of the evaluation configuration (library + mapper).
+    pub config: Fingerprint,
+    /// The flow as an ABC-style script (`cmd; cmd; …`).
+    pub flow: String,
+}
+
+/// One JSON-lines record of the store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct QorRecord {
+    /// Hex design fingerprint.
+    design: String,
+    /// Hex evaluation-config fingerprint.
+    config: String,
+    /// Flow script.
+    flow: String,
+    /// The evaluation result.
+    qor: Qor,
+}
+
+/// A persistent map from [`StoreKey`] to [`Qor`], with optional disk backing.
+#[derive(Debug)]
+pub struct QorStore {
+    index: HashMap<StoreKey, Qor>,
+    writer: Option<File>,
+    path: Option<PathBuf>,
+    loaded: usize,
+    skipped: usize,
+}
+
+impl QorStore {
+    /// Creates a store with no disk backing (useful for tests and one-shot
+    /// runs).
+    pub fn in_memory() -> Self {
+        QorStore {
+            index: HashMap::new(),
+            writer: None,
+            path: None,
+            loaded: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Opens (or creates) a JSON-lines store at `path`, loading every valid
+    /// record.  Malformed lines — e.g. a torn final line after a crash — are
+    /// counted in [`QorStore::skipped_records`] and otherwise ignored.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut index = HashMap::new();
+        let mut loaded = 0usize;
+        let mut skipped = 0usize;
+        let mut ends_mid_line = false;
+        match File::open(&path) {
+            Ok(mut file) => {
+                ends_mid_line = !ends_with_newline(&mut file)?;
+                for line in BufReader::new(file).lines() {
+                    let line = line?;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match parse_record(&line) {
+                        Some((key, qor)) => {
+                            index.insert(key, qor);
+                            loaded += 1;
+                        }
+                        None => skipped += 1,
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if ends_mid_line {
+            // A crash tore the final line; terminate it so the next record
+            // starts on a fresh line instead of being glued to the fragment.
+            file.write_all(b"\n")?;
+        }
+        Ok(QorStore {
+            index,
+            writer: Some(file),
+            path: Some(path),
+            loaded,
+            skipped,
+        })
+    }
+
+    /// The backing file, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of records currently indexed.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Returns `true` when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Records loaded from disk at open time.
+    pub fn loaded_records(&self) -> usize {
+        self.loaded
+    }
+
+    /// Malformed lines skipped at open time.
+    pub fn skipped_records(&self) -> usize {
+        self.skipped
+    }
+
+    /// Looks up a result.
+    pub fn get(&self, key: &StoreKey) -> Option<Qor> {
+        self.index.get(key).copied()
+    }
+
+    /// Inserts a result, appending it to the backing file when present.
+    ///
+    /// Each record (including its trailing newline) is submitted as one
+    /// unbuffered write on an `O_APPEND` file, which keeps concurrent
+    /// processes sharing a store file from interleaving partial lines on
+    /// local filesystems (records are far below the pipe/page sizes where
+    /// short writes occur; a torn line would be skipped on the next load,
+    /// never mis-parsed).
+    pub fn insert(&mut self, key: StoreKey, qor: Qor) {
+        if self.index.contains_key(&key) {
+            return;
+        }
+        if let Some(writer) = &mut self.writer {
+            let record = QorRecord {
+                design: key.design.to_string(),
+                config: key.config.to_string(),
+                flow: key.flow.clone(),
+                qor,
+            };
+            if let Ok(mut json) = serde_json::to_string(&record) {
+                json.push('\n');
+                // A failed write degrades the store to in-memory for this
+                // record; the evaluation result itself is still served.
+                let _ = writer.write_all(json.as_bytes());
+            }
+        }
+        self.index.insert(key, qor);
+    }
+
+    /// Flushes appends to disk (records are written unbuffered, so this only
+    /// forwards to the OS handle).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        match &mut self.writer {
+            Some(writer) => writer.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Returns `true` for an empty file or one whose last byte is `\n`.
+fn ends_with_newline(file: &mut File) -> std::io::Result<bool> {
+    use std::io::{Read, Seek, SeekFrom};
+    let len = file.metadata()?.len();
+    if len == 0 {
+        return Ok(true);
+    }
+    file.seek(SeekFrom::End(-1))?;
+    let mut last = [0u8; 1];
+    file.read_exact(&mut last)?;
+    file.seek(SeekFrom::Start(0))?;
+    Ok(last[0] == b'\n')
+}
+
+impl Drop for QorStore {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+fn parse_record(line: &str) -> Option<(StoreKey, Qor)> {
+    let record: QorRecord = serde_json::from_str(line).ok()?;
+    let key = StoreKey {
+        design: Fingerprint::parse(&record.design)?,
+        config: Fingerprint::parse(&record.config)?,
+        flow: record.flow,
+    };
+    Some((key, record.qor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(flow: &str) -> StoreKey {
+        StoreKey {
+            design: Fingerprint(0xAB),
+            config: Fingerprint(0xCD),
+            flow: flow.to_string(),
+        }
+    }
+
+    fn qor(area: f64) -> Qor {
+        Qor {
+            area_um2: area,
+            delay_ps: 10.0,
+            gates: 3,
+            and_nodes: 4,
+            depth: 2,
+        }
+    }
+
+    #[test]
+    fn in_memory_store_roundtrip() {
+        let mut store = QorStore::in_memory();
+        assert!(store.is_empty());
+        store.insert(key("balance"), qor(1.5));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(&key("balance")), Some(qor(1.5)));
+        assert_eq!(store.get(&key("rewrite")), None);
+    }
+
+    #[test]
+    fn disk_store_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("floweval-store-{}", std::process::id()));
+        let path = dir.join("qor.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = QorStore::open(&path).expect("open");
+            store.insert(key("balance; rewrite"), qor(2.25));
+            store.insert(key("refactor"), qor(3.5));
+            store.flush().expect("flush");
+        }
+        {
+            let store = QorStore::open(&path).expect("reopen");
+            assert_eq!(store.loaded_records(), 2);
+            assert_eq!(store.skipped_records(), 0);
+            assert_eq!(store.get(&key("balance; rewrite")), Some(qor(2.25)));
+            assert_eq!(store.get(&key("refactor")), Some(qor(3.5)));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_lines_are_skipped() {
+        let dir = std::env::temp_dir().join(format!("floweval-torn-{}", std::process::id()));
+        let path = dir.join("qor.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = QorStore::open(&path).expect("open");
+            store.insert(key("balance"), qor(1.0));
+            store.flush().expect("flush");
+        }
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).expect("append");
+            write!(f, "{{\"design\":\"torn").expect("write");
+        }
+        let store = QorStore::open(&path).expect("reopen");
+        assert_eq!(store.loaded_records(), 1);
+        assert_eq!(store.skipped_records(), 1);
+        assert_eq!(store.get(&key("balance")), Some(qor(1.0)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn appends_after_a_torn_line_without_newline_survive() {
+        let dir = std::env::temp_dir().join(format!("floweval-notnl-{}", std::process::id()));
+        let path = dir.join("qor.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = QorStore::open(&path).expect("open");
+            store.insert(key("balance"), qor(1.0));
+        }
+        {
+            // Crash mid-append: torn fragment with NO trailing newline.
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).expect("append");
+            write!(f, "{{\"design\":\"torn").expect("write");
+        }
+        {
+            let mut store = QorStore::open(&path).expect("reopen");
+            assert_eq!(store.skipped_records(), 1);
+            store.insert(key("rewrite"), qor(2.0));
+        }
+        // The record appended after the torn fragment must load cleanly.
+        let store = QorStore::open(&path).expect("re-reopen");
+        assert_eq!(store.loaded_records(), 2);
+        assert_eq!(store.skipped_records(), 1);
+        assert_eq!(store.get(&key("rewrite")), Some(qor(2.0)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_inserts_are_idempotent() {
+        let mut store = QorStore::in_memory();
+        store.insert(key("balance"), qor(1.0));
+        store.insert(key("balance"), qor(9.0));
+        assert_eq!(
+            store.get(&key("balance")),
+            Some(qor(1.0)),
+            "first write wins"
+        );
+        assert_eq!(store.len(), 1);
+    }
+}

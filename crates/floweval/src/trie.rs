@@ -1,0 +1,245 @@
+//! Prefix trie over transform sequences with memoized intermediate AIGs.
+//!
+//! Flows drawn from the paper's search space are sequences over six
+//! transforms; a batch of random flows shares long common prefixes, and the
+//! intermediate AIG after a prefix is a pure function of (design, prefix).
+//! The trie stores one node per distinct prefix seen so far and optionally
+//! caches the prefix's optimized AIG, so evaluating a batch costs one pass
+//! application per *distinct trie edge* instead of one per flow step.
+//!
+//! Cached AIGs are bounded by a memory budget expressed in total AIG nodes and
+//! evicted least-recently-used; the root AIG (the cleaned design) is pinned.
+
+use aig::Aig;
+use synth::Transform;
+
+/// Index of a node inside a [`FlowTrie`].
+pub type TrieNodeId = u32;
+
+/// The root node of every trie (the empty prefix).
+pub const TRIE_ROOT: TrieNodeId = 0;
+
+#[derive(Debug)]
+struct TrieNode {
+    /// Child node per transform, indexed by [`Transform::index`].
+    children: [Option<TrieNodeId>; Transform::COUNT],
+    /// Prefix length of this node.
+    depth: u16,
+    /// Memoized optimized AIG for this prefix, if currently cached.
+    aig: Option<Aig>,
+    /// `aig.len()` at caching time, for budget accounting.
+    aig_size: usize,
+    /// LRU clock value of the last access to the cached AIG.
+    last_used: u64,
+}
+
+impl TrieNode {
+    fn new(depth: u16) -> Self {
+        TrieNode {
+            children: [None; Transform::COUNT],
+            depth,
+            aig: None,
+            aig_size: 0,
+            last_used: 0,
+        }
+    }
+}
+
+/// A prefix trie over transform sequences for one design.
+#[derive(Debug)]
+pub struct FlowTrie {
+    nodes: Vec<TrieNode>,
+    clock: u64,
+    cached_aig_nodes: usize,
+    budget_aig_nodes: usize,
+}
+
+impl FlowTrie {
+    /// Creates an empty trie whose cached AIGs may total at most
+    /// `budget_aig_nodes` AIG nodes (the root AIG is pinned and not counted).
+    pub fn new(budget_aig_nodes: usize) -> Self {
+        FlowTrie {
+            nodes: vec![TrieNode::new(0)],
+            clock: 0,
+            cached_aig_nodes: 0,
+            budget_aig_nodes,
+        }
+    }
+
+    /// Number of trie nodes (distinct prefixes, including the empty one).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Total AIG nodes currently cached at non-root trie nodes.
+    pub fn cached_aig_nodes(&self) -> usize {
+        self.cached_aig_nodes
+    }
+
+    /// Number of trie nodes holding a cached AIG.
+    pub fn cached_prefixes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.aig.is_some()).count()
+    }
+
+    /// The prefix length of `node`.
+    pub fn depth(&self, node: TrieNodeId) -> usize {
+        usize::from(self.nodes[node as usize].depth)
+    }
+
+    /// The child of `node` along `transform`, if it exists.
+    pub fn child(&self, node: TrieNodeId, transform: Transform) -> Option<TrieNodeId> {
+        self.nodes[node as usize].children[transform.index()]
+    }
+
+    /// Inserts a flow, creating missing nodes, and returns its terminal node.
+    pub fn insert(&mut self, flow: &[Transform]) -> TrieNodeId {
+        let mut current = TRIE_ROOT;
+        for &t in flow {
+            current = match self.child(current, t) {
+                Some(child) => child,
+                None => {
+                    let child = self.nodes.len() as TrieNodeId;
+                    let depth = self.nodes[current as usize].depth + 1;
+                    self.nodes.push(TrieNode::new(depth));
+                    self.nodes[current as usize].children[t.index()] = Some(child);
+                    child
+                }
+            };
+        }
+        current
+    }
+
+    /// The cached AIG at `node`, touching its LRU clock.
+    pub fn cached_aig(&mut self, node: TrieNodeId) -> Option<&Aig> {
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = &mut self.nodes[node as usize];
+        if entry.aig.is_some() {
+            entry.last_used = clock;
+        }
+        entry.aig.as_ref()
+    }
+
+    /// Peeks at the cached AIG without updating LRU state (read-only sharing
+    /// across evaluation workers).
+    pub fn peek_aig(&self, node: TrieNodeId) -> Option<&Aig> {
+        self.nodes[node as usize].aig.as_ref()
+    }
+
+    /// Caches `aig` at `node`, evicting least-recently-used entries if the
+    /// budget is exceeded.  The root is pinned and never evicted.
+    pub fn cache_aig(&mut self, node: TrieNodeId, aig: Aig) {
+        let size = aig.len();
+        if node != TRIE_ROOT && size > self.budget_aig_nodes {
+            return; // one oversized entry would evict everything else
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = &mut self.nodes[node as usize];
+        if entry.aig.is_some() && node != TRIE_ROOT {
+            self.cached_aig_nodes -= entry.aig_size;
+        }
+        if node != TRIE_ROOT {
+            self.cached_aig_nodes += size;
+        }
+        entry.aig = Some(aig);
+        entry.aig_size = size;
+        entry.last_used = clock;
+        self.enforce_budget();
+    }
+
+    /// Drops cached entries (oldest first) until the budget is respected.
+    fn enforce_budget(&mut self) {
+        if self.cached_aig_nodes <= self.budget_aig_nodes {
+            return;
+        }
+        let mut candidates: Vec<(u64, TrieNodeId)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, n)| n.aig.is_some())
+            .map(|(i, n)| (n.last_used, i as TrieNodeId))
+            .collect();
+        candidates.sort_unstable();
+        for (_, node) in candidates {
+            if self.cached_aig_nodes <= self.budget_aig_nodes {
+                break;
+            }
+            let entry = &mut self.nodes[node as usize];
+            entry.aig = None;
+            self.cached_aig_nodes -= entry.aig_size;
+            entry.aig_size = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_aig(ands: usize) -> Aig {
+        let mut g = Aig::new();
+        let mut prev = g.add_input("a");
+        let b = g.add_input("b");
+        for _ in 0..ands {
+            prev = g.and(prev, b);
+            // Structural hashing collapses repeats; vary by negation.
+            prev = !prev;
+        }
+        g.add_output("f", prev);
+        g
+    }
+
+    #[test]
+    fn insert_shares_prefixes() {
+        let mut trie = FlowTrie::new(1_000_000);
+        use Transform::*;
+        let a = trie.insert(&[Balance, Rewrite, Refactor]);
+        let b = trie.insert(&[Balance, Rewrite, Restructure]);
+        let c = trie.insert(&[Balance, Rewrite, Refactor]);
+        assert_eq!(a, c, "identical flows share the terminal");
+        assert_ne!(a, b);
+        // Root + shared (Balance, Rewrite) + two distinct third steps.
+        assert_eq!(trie.len(), 5);
+        assert_eq!(trie.depth(a), 3);
+        assert!(trie.child(TRIE_ROOT, Balance).is_some());
+        assert_eq!(trie.child(TRIE_ROOT, Rewrite), None);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_pins_root() {
+        let size = toy_aig(3).len();
+        let mut trie = FlowTrie::new(2 * size);
+        use Transform::*;
+        let n1 = trie.insert(&[Balance]);
+        let n2 = trie.insert(&[Rewrite]);
+        let n3 = trie.insert(&[Refactor]);
+        trie.cache_aig(TRIE_ROOT, toy_aig(3));
+        trie.cache_aig(n1, toy_aig(3));
+        trie.cache_aig(n2, toy_aig(3));
+        assert_eq!(trie.cached_prefixes(), 3);
+        // Touch n1 so n2 is the LRU entry, then overflow the budget.
+        assert!(trie.cached_aig(n1).is_some());
+        trie.cache_aig(n3, toy_aig(3));
+        assert!(trie.peek_aig(TRIE_ROOT).is_some(), "root is pinned");
+        assert!(trie.peek_aig(n2).is_none(), "LRU entry evicted");
+        assert!(trie.peek_aig(n1).is_some());
+        assert!(trie.peek_aig(n3).is_some());
+        assert!(trie.cached_aig_nodes() <= 2 * size);
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected() {
+        let mut trie = FlowTrie::new(1);
+        let n = trie.insert(&[Transform::Balance]);
+        trie.cache_aig(n, toy_aig(5));
+        assert!(trie.peek_aig(n).is_none());
+        assert_eq!(trie.cached_aig_nodes(), 0);
+    }
+}

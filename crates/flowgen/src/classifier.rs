@@ -6,12 +6,12 @@
 //! Kernel shape, kernel count, activation function and optimiser are all
 //! configurable because the paper studies each of them (Figures 4–7).
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use nn::{
-    ActivationLayer, Activation, Conv2d, Dense, Dropout, Flatten, GradientDescent,
+    Activation, ActivationLayer, Conv2d, Dense, Dropout, Flatten, GradientDescent,
     LocallyConnected2d, MaxPool2d, Network, Optimizer, Tensor,
 };
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::dataset::Dataset;
 use crate::encode::FlowEncoder;
@@ -57,7 +57,7 @@ impl Default for ClassifierConfig {
             optimizer: GradientDescent::RmsProp { decay: 0.9 },
             learning_rate: 1e-3,
             batch_size: 5,
-            seed: 0xDAC1_8,
+            seed: 0xDAC18,
         }
     }
 }
@@ -76,7 +76,7 @@ impl ClassifierConfig {
             optimizer: GradientDescent::RmsProp { decay: 0.9 },
             learning_rate: 1e-4,
             batch_size: 5,
-            seed: 0xDAC1_8,
+            seed: 0xDAC18,
         }
     }
 }
@@ -112,7 +112,12 @@ impl FlowClassifier {
         // Locally-connected layer over the remaining spatial map.
         let local_kernel = (2.min(h2), 2.min(w2));
         let local_out = (k / 2).max(1);
-        network.push(LocallyConnected2d::new((h2, w2, k), local_kernel, local_out, &mut rng));
+        network.push(LocallyConnected2d::new(
+            (h2, w2, k),
+            local_kernel,
+            local_out,
+            &mut rng,
+        ));
         network.push(ActivationLayer::new(config.activation));
         network.push(Flatten::new());
         let local_h = h2 - local_kernel.0 + 1;
@@ -125,7 +130,14 @@ impl FlowClassifier {
         network.push(Dense::new(config.dense_units, config.num_classes, &mut rng));
 
         let optimizer = Optimizer::new(config.optimizer, config.learning_rate);
-        FlowClassifier { config, encoder, network, optimizer, rng, steps_trained: 0 }
+        FlowClassifier {
+            config,
+            encoder,
+            network,
+            optimizer,
+            rng,
+            steps_trained: 0,
+        }
     }
 
     /// Builds the classifier for the paper's flow space (24-step flows over six
@@ -231,8 +243,9 @@ mod tests {
                 }
             })
             .collect();
-        let percentiles: Vec<f64> =
-            (1..num_classes).map(|i| i as f64 / num_classes as f64).collect();
+        let percentiles: Vec<f64> = (1..num_classes)
+            .map(|i| i as f64 / num_classes as f64)
+            .collect();
         let values: Vec<f64> = qors.iter().map(|q| q.area_um2).collect();
         let labeler = Labeler::from_percentiles(QorMetric::Area, &values, &percentiles);
         Dataset::from_evaluations(flows, qors, &labeler)
@@ -254,7 +267,10 @@ mod tests {
         let mut clf = FlowClassifier::for_paper_space(tiny_config());
         let s = clf.summary();
         assert!(s.contains("Conv2d"), "{s}");
-        assert!(s.matches("Conv2d").count() == 2, "two convolution stages: {s}");
+        assert!(
+            s.matches("Conv2d").count() == 2,
+            "two convolution stages: {s}"
+        );
         assert!(s.contains("MaxPool2d"));
         assert!(s.contains("LocallyConnected2d"));
         assert!(s.contains("Dropout"));

@@ -33,7 +33,9 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset.
     pub fn new() -> Self {
-        Dataset { examples: Vec::new() }
+        Dataset {
+            examples: Vec::new(),
+        }
     }
 
     /// Builds a dataset by labelling `(flow, qor)` pairs with `labeler`.
@@ -42,7 +44,11 @@ impl Dataset {
         let examples = flows
             .into_iter()
             .zip(qors)
-            .map(|(flow, qor)| LabeledFlow { label: labeler.classify(&qor), flow, qor })
+            .map(|(flow, qor)| LabeledFlow {
+                label: labeler.classify(&qor),
+                flow,
+                qor,
+            })
             .collect();
         Dataset { examples }
     }
@@ -97,7 +103,10 @@ impl Dataset {
     /// Splits into `(train, test)` with `test_fraction` of examples held out,
     /// shuffling with the provided RNG.
     pub fn split(&self, test_fraction: f64, rng: &mut impl Rng) -> (Dataset, Dataset) {
-        assert!((0.0..1.0).contains(&test_fraction), "fraction must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&test_fraction),
+            "fraction must be in [0, 1)"
+        );
         let mut shuffled = self.examples.clone();
         shuffled.shuffle(rng);
         let test_len = (shuffled.len() as f64 * test_fraction).round() as usize;
@@ -107,9 +116,15 @@ impl Dataset {
 
     /// Draws a random mini-batch of `batch_size` examples (with replacement if
     /// the dataset is smaller than the batch).
-    pub fn sample_batch<'a>(&'a self, batch_size: usize, rng: &mut impl Rng) -> Vec<&'a LabeledFlow> {
+    pub fn sample_batch<'a>(
+        &'a self,
+        batch_size: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<&'a LabeledFlow> {
         assert!(!self.is_empty(), "cannot sample from an empty dataset");
-        (0..batch_size).map(|_| &self.examples[rng.gen_range(0..self.examples.len())]).collect()
+        (0..batch_size)
+            .map(|_| &self.examples[rng.gen_range(0..self.examples.len())])
+            .collect()
     }
 
     /// Serialises the dataset to JSON (the paper releases its datasets publicly;
@@ -120,7 +135,9 @@ impl Dataset {
 
     /// Restores a dataset from its JSON form.
     pub fn from_json(json: &str) -> serde_json::Result<Self> {
-        Ok(Dataset { examples: serde_json::from_str(json)? })
+        Ok(Dataset {
+            examples: serde_json::from_str(json)?,
+        })
     }
 }
 
@@ -164,10 +181,16 @@ mod tests {
     #[test]
     fn relabeling_with_delay_flips_the_order() {
         let mut ds = toy_dataset(100);
-        let delay_labeler =
-            Labeler::paper_model(QorMetric::Delay, &ds.examples().iter().map(|e| e.qor).collect::<Vec<_>>());
+        let delay_labeler = Labeler::paper_model(
+            QorMetric::Delay,
+            &ds.examples().iter().map(|e| e.qor).collect::<Vec<_>>(),
+        );
         ds.relabel(&delay_labeler);
-        assert_eq!(ds.examples()[0].label, 6, "smallest area has the largest delay");
+        assert_eq!(
+            ds.examples()[0].label,
+            6,
+            "smallest area has the largest delay"
+        );
         assert_eq!(ds.examples()[99].label, 0);
     }
 

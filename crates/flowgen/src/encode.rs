@@ -25,7 +25,11 @@ impl FlowEncoder {
     /// perfect square, encoded matrices are reshaped to that square (the paper
     /// reshapes 24×6 to 12×12).
     pub fn new(num_transforms: usize, flow_length: usize, reshape_square: bool) -> Self {
-        FlowEncoder { num_transforms, flow_length, reshape_square }
+        FlowEncoder {
+            num_transforms,
+            flow_length,
+            reshape_square,
+        }
     }
 
     /// The paper's encoder: 24×6 one-hot matrices reshaped to 12×12.
@@ -91,8 +95,8 @@ impl FlowEncoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use synth::Transform;
     use rand::SeedableRng;
+    use synth::Transform;
 
     #[test]
     fn example_3_one_hot_matrix() {

@@ -53,7 +53,11 @@ impl Flow {
 
     /// Renders the flow as an ABC-style script (`cmd; cmd; …`).
     pub fn to_script(&self) -> String {
-        self.transforms.iter().map(|t| t.command()).collect::<Vec<_>>().join("; ")
+        self.transforms
+            .iter()
+            .map(|t| t.command())
+            .collect::<Vec<_>>()
+            .join("; ")
     }
 
     /// Parses an ABC-style script back into a flow.

@@ -12,7 +12,10 @@
 //!    flows and keep the most confident class-0 / class-n predictions
 //!    ([`select_angel_devil_flows`]).
 
+use std::sync::Arc;
+
 use aig::Aig;
+use floweval::{EngineConfig, EvalEngine, EvalStats};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -124,6 +127,9 @@ pub struct FrameworkReport {
     pub selection_accuracy: Option<f64>,
     /// The labelled training dataset (released publicly by the paper).
     pub dataset: Dataset,
+    /// Evaluation-engine statistics for this run: store hits, trie hits and
+    /// transform passes avoided relative to naive batch evaluation.
+    pub eval_stats: EvalStats,
     /// Total wall-clock runtime in seconds.
     pub runtime_s: f64,
 }
@@ -131,31 +137,59 @@ pub struct FrameworkReport {
 impl FrameworkReport {
     /// QoR records of the selected angel flows (requires `evaluate_samples`).
     pub fn angel_qors(&self) -> Vec<Qor> {
-        self.selection.angel_flows.iter().map(|s| self.sample_qors[s.index]).collect()
+        self.selection
+            .angel_flows
+            .iter()
+            .map(|s| self.sample_qors[s.index])
+            .collect()
     }
 
     /// QoR records of the selected devil flows (requires `evaluate_samples`).
     pub fn devil_qors(&self) -> Vec<Qor> {
-        self.selection.devil_flows.iter().map(|s| self.sample_qors[s.index]).collect()
+        self.selection
+            .devil_flows
+            .iter()
+            .map(|s| self.sample_qors[s.index])
+            .collect()
     }
 }
 
 /// The autonomous framework: design in, angel-/devil-flows out.
+///
+/// All QoR evaluation goes through a [`floweval::EvalEngine`], so batches
+/// with shared prefixes cost one pass application per distinct prefix edge,
+/// and flows already known to the engine's persistent store are never
+/// re-evaluated.
 #[derive(Debug)]
 pub struct Framework {
     config: FrameworkConfig,
-    runner: FlowRunner,
+    engine: Arc<EvalEngine>,
 }
 
 impl Framework {
     /// Creates a framework with the default synthesis-tool configuration.
     pub fn new(config: FrameworkConfig) -> Self {
-        Framework { config, runner: FlowRunner::new() }
+        Framework {
+            config,
+            engine: Arc::new(EvalEngine::new(EngineConfig::default())),
+        }
     }
 
-    /// Creates a framework with an explicit flow runner (custom library, etc.).
+    /// Creates a framework evaluating exactly like `runner` (custom library,
+    /// mapper parameters, verification).
     pub fn with_runner(config: FrameworkConfig, runner: FlowRunner) -> Self {
-        Framework { config, runner }
+        let engine = EvalEngine::from_runner(&runner, EngineConfig::default());
+        Framework {
+            config,
+            engine: Arc::new(engine),
+        }
+    }
+
+    /// Creates a framework around a (possibly shared) evaluation engine —
+    /// e.g. one backed by a persistent QoR store, reused across sweep points
+    /// of an ablation so repeated flows are never re-evaluated.
+    pub fn with_engine(config: FrameworkConfig, engine: Arc<EvalEngine>) -> Self {
+        Framework { config, engine }
     }
 
     /// The configuration in use.
@@ -163,22 +197,23 @@ impl Framework {
         &self.config
     }
 
+    /// The evaluation engine in use.
+    pub fn engine(&self) -> &EvalEngine {
+        &self.engine
+    }
+
     /// Runs the complete pipeline on `design` (the "HDL input" of Figure 2).
     pub fn run(&self, design: &Aig) -> FrameworkReport {
         let start = std::time::Instant::now();
+        let stats_before = self.engine.stats();
         let cfg = &self.config;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
 
         // ------------------------------------------------------------------
         // 1. Incremental training-data collection + (re-)training.
         // ------------------------------------------------------------------
-        let all_training_flows =
-            cfg.space.random_unique_flows(cfg.training_flows, &mut rng);
-        let encoder = FlowEncoder::new(
-            cfg.space.num_transforms(),
-            cfg.space.flow_length(),
-            true,
-        );
+        let all_training_flows = cfg.space.random_unique_flows(cfg.training_flows, &mut rng);
+        let encoder = FlowEncoder::new(cfg.space.num_transforms(), cfg.space.flow_length(), true);
         let mut classifier_config = cfg.classifier.clone();
         classifier_config.seed = cfg.seed ^ 0xC1A55;
         let mut classifier = FlowClassifier::new(encoder, classifier_config);
@@ -194,15 +229,17 @@ impl Framework {
             let chunk = &all_training_flows[cursor..end];
             let chunk_flows: Vec<Vec<synth::Transform>> =
                 chunk.iter().map(|f| f.transforms().to_vec()).collect();
-            let qors = self.runner.run_batch(design, &chunk_flows);
+            let qors = self.engine.evaluate_batch(design, &chunk_flows);
             collected_flows.extend_from_slice(chunk);
             collected_qors.extend_from_slice(&qors);
             cursor = end;
 
             // Re-fit the determinators on everything collected so far
             // ("the definitions of classes may change dynamically").
-            let values: Vec<f64> =
-                collected_qors.iter().map(|q| q.metric(cfg.metric)).collect();
+            let values: Vec<f64> = collected_qors
+                .iter()
+                .map(|q| q.metric(cfg.metric))
+                .collect();
             let percentiles = class_percentiles(cfg.classifier.num_classes);
             let labeler = Labeler::from_percentiles(cfg.metric, &values, &percentiles);
             let dataset = Dataset::from_evaluations(
@@ -223,27 +260,30 @@ impl Framework {
         }
 
         // Final labeler / dataset over all training flows.
-        let values: Vec<f64> = collected_qors.iter().map(|q| q.metric(cfg.metric)).collect();
+        let values: Vec<f64> = collected_qors
+            .iter()
+            .map(|q| q.metric(cfg.metric))
+            .collect();
         let percentiles = class_percentiles(cfg.classifier.num_classes);
         let labeler = Labeler::from_percentiles(cfg.metric, &values, &percentiles);
-        let dataset =
-            Dataset::from_evaluations(collected_flows, collected_qors, &labeler);
+        let dataset = Dataset::from_evaluations(collected_flows, collected_qors, &labeler);
 
         // ------------------------------------------------------------------
         // 2. Classify the unlabeled sample pool and select angel/devil flows.
         // ------------------------------------------------------------------
         let sample_flows = cfg.space.random_unique_flows(cfg.sample_flows, &mut rng);
         let probabilities = classifier.predict_proba(&sample_flows);
-        let selection =
-            select_angel_devil_flows(&sample_flows, &probabilities, cfg.output_flows);
+        let selection = select_angel_devil_flows(&sample_flows, &probabilities, cfg.output_flows);
 
         // ------------------------------------------------------------------
         // 3. Optional evaluation against ground truth (Section 4).
         // ------------------------------------------------------------------
         let (sample_qors, sample_labels, selection_accuracy) = if cfg.evaluate_samples {
-            let flows_as_transforms: Vec<Vec<synth::Transform>> =
-                sample_flows.iter().map(|f| f.transforms().to_vec()).collect();
-            let qors = self.runner.run_batch(design, &flows_as_transforms);
+            let flows_as_transforms: Vec<Vec<synth::Transform>> = sample_flows
+                .iter()
+                .map(|f| f.transforms().to_vec())
+                .collect();
+            let qors = self.engine.evaluate_batch(design, &flows_as_transforms);
             let sample_values: Vec<f64> = qors.iter().map(|q| q.metric(cfg.metric)).collect();
             let sample_labeler =
                 Labeler::from_percentiles(cfg.metric, &sample_values, &percentiles);
@@ -263,6 +303,7 @@ impl Framework {
             sample_labels,
             selection_accuracy,
             dataset,
+            eval_stats: self.engine.stats().since(&stats_before),
             runtime_s: start.elapsed().as_secs_f64(),
         }
     }
@@ -326,10 +367,15 @@ mod tests {
         let framework = Framework::new(quick_config(QorMetric::Area));
         let report = framework.run(&design);
         assert_eq!(report.design, design.name());
-        assert!(!report.rounds.is_empty(), "incremental training must happen");
+        assert!(
+            !report.rounds.is_empty(),
+            "incremental training must happen"
+        );
         assert!(report.rounds.len() >= 2, "re-training after the interval");
         assert!(report.dataset.len() == 24);
-        assert!(!report.selection.angel_flows.is_empty() || !report.selection.devil_flows.is_empty());
+        assert!(
+            !report.selection.angel_flows.is_empty() || !report.selection.devil_flows.is_empty()
+        );
         assert_eq!(report.sample_qors.len(), 30);
         assert_eq!(report.sample_labels.len(), 30);
         assert!(report.selection_accuracy.is_some());
@@ -337,10 +383,46 @@ mod tests {
         assert!((0.0..=1.0).contains(&acc));
         assert!(report.runtime_s > 0.0);
         // Angel/devil QoR vectors are consistent with the selection sizes.
-        assert_eq!(report.angel_qors().len(), report.selection.angel_flows.len());
-        assert_eq!(report.devil_qors().len(), report.selection.devil_flows.len());
+        assert_eq!(
+            report.angel_qors().len(),
+            report.selection.angel_flows.len()
+        );
+        assert_eq!(
+            report.devil_qors().len(),
+            report.selection.devil_flows.len()
+        );
         // Rounds record monotonically increasing labelled-flow counts.
-        assert!(report.rounds.windows(2).all(|w| w[0].labelled_flows < w[1].labelled_flows));
+        assert!(report
+            .rounds
+            .windows(2)
+            .all(|w| w[0].labelled_flows < w[1].labelled_flows));
+    }
+
+    #[test]
+    fn report_surfaces_engine_statistics() {
+        let design = Design::Alu64.generate(DesignScale::Tiny);
+        let framework = Framework::new(quick_config(QorMetric::Area));
+        let report = framework.run(&design);
+        let stats = report.eval_stats;
+        // Training flows + evaluated samples all went through the engine.
+        assert_eq!(stats.flows_requested, 24 + 30);
+        assert_eq!(
+            stats.store_hits + stats.flows_evaluated,
+            stats.flows_requested
+        );
+        // Full-length m-repetition flows share prefixes, so the trie must
+        // save passes relative to naive batch evaluation.
+        assert!(stats.passes_applied < stats.passes_requested);
+        assert!(stats.mappings_run > 0);
+        // Running the identical configuration again is answered from the
+        // engine's store without a single new transform pass.
+        let again = framework.run(&design);
+        assert_eq!(
+            again.eval_stats.store_hits,
+            again.eval_stats.flows_requested
+        );
+        assert_eq!(again.eval_stats.passes_applied, 0);
+        assert_eq!(again.sample_qors, report.sample_qors);
     }
 
     #[test]

@@ -28,8 +28,14 @@ impl Labeler {
     ///
     /// Panics if `values` is empty or `percentiles` is empty / not sorted.
     pub fn from_percentiles(metric: QorMetric, values: &[f64], percentiles: &[f64]) -> Self {
-        assert!(!values.is_empty(), "cannot derive determinators from no data");
-        assert!(!percentiles.is_empty(), "at least one determinator required");
+        assert!(
+            !values.is_empty(),
+            "cannot derive determinators from no data"
+        );
+        assert!(
+            !percentiles.is_empty(),
+            "at least one determinator required"
+        );
         assert!(
             percentiles.windows(2).all(|w| w[0] <= w[1]),
             "percentiles must be non-decreasing"
@@ -43,7 +49,10 @@ impl Labeler {
                 sorted[idx.min(sorted.len() - 1)]
             })
             .collect();
-        Labeler { metric, determinators }
+        Labeler {
+            metric,
+            determinators,
+        }
     }
 
     /// Builds the paper's 7-class labeler from raw QoR records.
@@ -125,7 +134,11 @@ impl MultiMetricLabeler {
 
     /// Classifies a QoR record as the worst per-metric class.
     pub fn classify(&self, qor: &Qor) -> usize {
-        self.labelers.iter().map(|l| l.classify(qor)).max().unwrap_or(0)
+        self.labelers
+            .iter()
+            .map(|l| l.classify(qor))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The underlying per-metric labelers.
@@ -139,7 +152,13 @@ mod tests {
     use super::*;
 
     fn qor(area: f64, delay: f64) -> Qor {
-        Qor { area_um2: area, delay_ps: delay, gates: 0, and_nodes: 0, depth: 0 }
+        Qor {
+            area_um2: area,
+            delay_ps: delay,
+            gates: 0,
+            and_nodes: 0,
+            depth: 0,
+        }
     }
 
     #[test]
@@ -167,14 +186,23 @@ mod tests {
         let values: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
         let labeler = Labeler::from_percentiles(QorMetric::Delay, &values, &PAPER_PERCENTILES);
         let d = labeler.determinators();
-        assert!((d[0] - 51.0).abs() <= 1.0, "5% determinator near the 50th value, got {}", d[0]);
-        assert!((d[5] - 950.0).abs() <= 2.0, "95% determinator near the 950th value");
+        assert!(
+            (d[0] - 51.0).abs() <= 1.0,
+            "5% determinator near the 50th value, got {}",
+            d[0]
+        );
+        assert!(
+            (d[5] - 950.0).abs() <= 2.0,
+            "95% determinator near the 950th value"
+        );
         assert_eq!(labeler.metric(), QorMetric::Delay);
     }
 
     #[test]
     fn class_proportions_match_percentile_gaps() {
-        let values: Vec<f64> = (0..10_000).map(|i| (i as f64).sin() * 100.0 + 200.0).collect();
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| (i as f64).sin() * 100.0 + 200.0)
+            .collect();
         let labeler = Labeler::from_percentiles(QorMetric::Area, &values, &PAPER_PERCENTILES);
         let mut counts = vec![0usize; labeler.num_classes()];
         for &v in &values {
@@ -193,12 +221,18 @@ mod tests {
 
     #[test]
     fn qor_classification_uses_selected_metric() {
-        let qors: Vec<Qor> = (1..=100).map(|i| qor(i as f64, 1000.0 - i as f64)).collect();
+        let qors: Vec<Qor> = (1..=100)
+            .map(|i| qor(i as f64, 1000.0 - i as f64))
+            .collect();
         let area = Labeler::paper_model(QorMetric::Area, &qors);
         let delay = Labeler::paper_model(QorMetric::Delay, &qors);
         let best_area = qor(1.0, 999.0);
         assert_eq!(area.classify(&best_area), 0);
-        assert_eq!(delay.classify(&best_area), 6, "worst delay even though best area");
+        assert_eq!(
+            delay.classify(&best_area),
+            6,
+            "worst delay even though best area"
+        );
     }
 
     #[test]

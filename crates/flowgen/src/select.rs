@@ -41,13 +41,17 @@ pub struct Selection {
 /// # Panics
 ///
 /// Panics if the probability tensor shape does not match `flows`.
-pub fn select_angel_devil_flows(
-    flows: &[Flow],
-    probabilities: &Tensor,
-    count: usize,
-) -> Selection {
-    assert_eq!(probabilities.shape().len(), 2, "probabilities must be [flows, classes]");
-    assert_eq!(probabilities.shape()[0], flows.len(), "one probability row per flow");
+pub fn select_angel_devil_flows(flows: &[Flow], probabilities: &Tensor, count: usize) -> Selection {
+    assert_eq!(
+        probabilities.shape().len(),
+        2,
+        "probabilities must be [flows, classes]"
+    );
+    assert_eq!(
+        probabilities.shape()[0],
+        flows.len(),
+        "one probability row per flow"
+    );
     let num_classes = probabilities.shape()[1];
     assert!(num_classes >= 2, "need at least two classes");
     let best_class = 0usize;
@@ -64,16 +68,35 @@ pub fn select_angel_devil_flows(
             .map(|(c, _)| c)
             .unwrap_or(0);
         if predicted == best_class {
-            angels.push(SelectedFlow { index: i, flow: flow.clone(), confidence: row[best_class] });
+            angels.push(SelectedFlow {
+                index: i,
+                flow: flow.clone(),
+                confidence: row[best_class],
+            });
         } else if predicted == worst_class {
-            devils.push(SelectedFlow { index: i, flow: flow.clone(), confidence: row[worst_class] });
+            devils.push(SelectedFlow {
+                index: i,
+                flow: flow.clone(),
+                confidence: row[worst_class],
+            });
         }
     }
-    angels.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal));
-    devils.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal));
+    angels.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    devils.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     angels.truncate(count);
     devils.truncate(count);
-    Selection { angel_flows: angels, devil_flows: devils }
+    Selection {
+        angel_flows: angels,
+        devil_flows: devils,
+    }
 }
 
 /// The accuracy definition of Section 4.1: the fraction of generated angel- and
@@ -109,7 +132,9 @@ mod tests {
     use synth::Transform;
 
     fn flows(n: usize) -> Vec<Flow> {
-        (0..n).map(|i| Flow::new(vec![Transform::from_index(i % Transform::COUNT)])).collect()
+        (0..n)
+            .map(|i| Flow::new(vec![Transform::from_index(i % Transform::COUNT)]))
+            .collect()
     }
 
     /// Table 2 of the paper as a literal test case.
@@ -128,8 +153,15 @@ mod tests {
         );
         let sel = select_angel_devil_flows(&fls, &probs, 2);
         let picked: Vec<usize> = sel.angel_flows.iter().map(|s| s.index).collect();
-        assert_eq!(picked, vec![1, 0], "F1 (0.51) and F0 (0.47) selected, F4 eliminated");
-        assert!(sel.devil_flows.is_empty(), "no flow is predicted in class 6");
+        assert_eq!(
+            picked,
+            vec![1, 0],
+            "F1 (0.51) and F0 (0.47) selected, F4 eliminated"
+        );
+        assert!(
+            sel.devil_flows.is_empty(),
+            "no flow is predicted in class 6"
+        );
     }
 
     #[test]
@@ -147,7 +179,10 @@ mod tests {
         let sel = select_angel_devil_flows(&fls, &probs, 10);
         assert_eq!(sel.angel_flows.len(), 1);
         assert_eq!(sel.devil_flows.len(), 2);
-        assert_eq!(sel.devil_flows[0].index, 1, "highest worst-class confidence first");
+        assert_eq!(
+            sel.devil_flows[0].index, 1,
+            "highest worst-class confidence first"
+        );
         assert!(sel.devil_flows[0].confidence > sel.devil_flows[1].confidence);
     }
 

@@ -36,9 +36,12 @@ impl FlowSpace {
     /// Panics if `num_transforms` is zero or exceeds the available set, or if
     /// `repetition` is zero.
     pub fn new(num_transforms: usize, repetition: usize) -> Self {
-        assert!(num_transforms >= 1 && num_transforms <= Transform::COUNT);
+        assert!((1..=Transform::COUNT).contains(&num_transforms));
         assert!(repetition >= 1, "at least one repetition required");
-        FlowSpace { num_transforms, repetition }
+        FlowSpace {
+            num_transforms,
+            repetition,
+        }
     }
 
     /// The paper's setup: all six transformations with 4 repetitions (L = 24).

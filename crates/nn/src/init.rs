@@ -16,7 +16,10 @@ pub struct Param {
 impl Param {
     /// Creates a parameter of `len` zeros.
     pub fn zeros(len: usize) -> Self {
-        Param { value: vec![0.0; len], grad: vec![0.0; len] }
+        Param {
+            value: vec![0.0; len],
+            grad: vec![0.0; len],
+        }
     }
 
     /// Creates a parameter initialised with Glorot/Xavier uniform values.
@@ -25,7 +28,10 @@ impl Param {
     pub fn glorot(len: usize, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Self {
         let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
         let dist = rand::distributions::Uniform::new_inclusive(-limit, limit);
-        Param { value: (0..len).map(|_| dist.sample(rng)).collect(), grad: vec![0.0; len] }
+        Param {
+            value: (0..len).map(|_| dist.sample(rng)).collect(),
+            grad: vec![0.0; len],
+        }
     }
 
     /// Number of scalar parameters.

@@ -18,7 +18,10 @@ pub struct ActivationLayer {
 impl ActivationLayer {
     /// Creates an activation layer.
     pub fn new(activation: Activation) -> Self {
-        ActivationLayer { activation, cached_input: None }
+        ActivationLayer {
+            activation,
+            cached_input: None,
+        }
     }
 
     /// The wrapped activation function.

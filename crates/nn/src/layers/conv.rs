@@ -34,8 +34,12 @@ impl Conv2d {
         let (kernel_h, kernel_w) = kernel;
         let fan_in = kernel_h * kernel_w * in_channels;
         let fan_out = kernel_h * kernel_w * out_channels;
-        let weights =
-            Param::glorot(kernel_h * kernel_w * in_channels * out_channels, fan_in, fan_out, rng);
+        let weights = Param::glorot(
+            kernel_h * kernel_w * in_channels * out_channels,
+            fan_in,
+            fan_out,
+            rng,
+        );
         Conv2d {
             kernel_h,
             kernel_w,
@@ -114,7 +118,11 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("forward before backward").clone();
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("forward before backward")
+            .clone();
         let (n, h, w, _) = (
             input.shape()[0],
             input.shape()[1],
@@ -147,8 +155,7 @@ impl Layer for Conv2d {
                                     let x = input.at4(b, ih as usize, iw as usize, ic);
                                     let wv = self.w_at(kh, kw, ic, oc);
                                     *self.w_grad_at(kh, kw, ic, oc) += go * x;
-                                    *grad_input.at4_mut(b, ih as usize, iw as usize, ic) +=
-                                        go * wv;
+                                    *grad_input.at4_mut(b, ih as usize, iw as usize, ic) += go * wv;
                                 }
                             }
                         }
@@ -236,8 +243,10 @@ mod tests {
     #[test]
     fn input_gradient_check() {
         let mut conv = Conv2d::new((3, 3), 1, 1, &mut rng());
-        let mut input =
-            Tensor::from_vec(&[1, 3, 3, 1], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]);
+        let mut input = Tensor::from_vec(
+            &[1, 3, 3, 1],
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+        );
         let out = conv.forward(&input, true);
         let grad_out = Tensor::full(out.shape(), 1.0);
         let grad_in = conv.backward(&grad_out);

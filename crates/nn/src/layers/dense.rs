@@ -62,7 +62,11 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("forward before backward").clone();
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("forward before backward")
+            .clone();
         let batch = input.shape()[0];
         let mut grad_input = Tensor::zeros(input.shape());
         for b in 0..batch {
@@ -128,7 +132,10 @@ mod tests {
             let down = layer.forward(&x, true).sum();
             layer.weights.value[wi] = orig;
             let numeric = (up - down) / (2.0 * eps);
-            assert!((analytic - numeric).abs() < 1e-2, "w{wi}: {analytic} vs {numeric}");
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "w{wi}: {analytic} vs {numeric}"
+            );
         }
         // Input gradient: every input contributes through out_features weights.
         assert_eq!(grad_in.shape(), x.shape());

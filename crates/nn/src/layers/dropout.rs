@@ -25,7 +25,11 @@ impl Dropout {
     /// Panics if `rate` is not in `[0, 1)`.
     pub fn new(rate: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
-        Dropout { rate, rng: ChaCha8Rng::seed_from_u64(seed), cached_mask: None }
+        Dropout {
+            rate,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            cached_mask: None,
+        }
     }
 
     /// The drop probability.
@@ -42,7 +46,13 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.rate;
         let mask_data: Vec<f32> = (0..input.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mask = Tensor::from_vec(input.shape(), mask_data);
         let out = input.mul(&mask);

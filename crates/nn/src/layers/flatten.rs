@@ -12,7 +12,9 @@ pub struct Flatten {
 impl Flatten {
     /// Creates a flatten layer.
     pub fn new() -> Self {
-        Flatten { cached_shape: Vec::new() }
+        Flatten {
+            cached_shape: Vec::new(),
+        }
     }
 }
 

@@ -37,7 +37,10 @@ impl LocallyConnected2d {
     ) -> Self {
         let (in_h, in_w, in_channels) = input_shape;
         let (kernel_h, kernel_w) = kernel;
-        assert!(kernel_h <= in_h && kernel_w <= in_w, "kernel larger than input");
+        assert!(
+            kernel_h <= in_h && kernel_w <= in_w,
+            "kernel larger than input"
+        );
         let (oh, ow) = (in_h - kernel_h + 1, in_w - kernel_w + 1);
         let fan_in = kernel_h * kernel_w * in_channels;
         let weights = Param::glorot(
@@ -76,7 +79,11 @@ impl LocallyConnected2d {
 
 impl Layer for LocallyConnected2d {
     fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
-        assert_eq!(input.shape().len(), 4, "LocallyConnected2d expects NHWC input");
+        assert_eq!(
+            input.shape().len(),
+            4,
+            "LocallyConnected2d expects NHWC input"
+        );
         let n = input.shape()[0];
         assert_eq!(input.shape()[1], self.in_h, "height mismatch");
         assert_eq!(input.shape()[2], self.in_w, "width mismatch");
@@ -93,8 +100,7 @@ impl Layer for LocallyConnected2d {
                             for kw in 0..self.kernel_w {
                                 for ic in 0..self.in_channels {
                                     acc += input.at4(b, oh + kh, ow_ + kw, ic)
-                                        * self.weights.value
-                                            [self.w_index(oh, ow_, kh, kw, ic, oc)];
+                                        * self.weights.value[self.w_index(oh, ow_, kh, kw, ic, oc)];
                                 }
                             }
                         }
@@ -108,7 +114,11 @@ impl Layer for LocallyConnected2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("forward before backward").clone();
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("forward before backward")
+            .clone();
         let n = input.shape()[0];
         let (oh_total, ow_total) = self.out_dims();
         let mut grad_input = Tensor::zeros(input.shape());
@@ -125,7 +135,8 @@ impl Layer for LocallyConnected2d {
                             for kw in 0..self.kernel_w {
                                 for ic in 0..self.in_channels {
                                     let wi = self.w_index(oh, ow_, kh, kw, ic, oc);
-                                    self.weights.grad[wi] += go * input.at4(b, oh + kh, ow_ + kw, ic);
+                                    self.weights.grad[wi] +=
+                                        go * input.at4(b, oh + kh, ow_ + kw, ic);
                                     *grad_input.at4_mut(b, oh + kh, ow_ + kw, ic) +=
                                         go * self.weights.value[wi];
                                 }
@@ -202,7 +213,10 @@ mod tests {
             let down = layer.forward(&input, true).sum();
             layer.weights.value[wi] = orig;
             let numeric = (up - down) / (2.0 * eps);
-            assert!((analytic - numeric).abs() < 1e-2, "w{wi}: {analytic} vs {numeric}");
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "w{wi}: {analytic} vs {numeric}"
+            );
         }
     }
 }

@@ -79,7 +79,10 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        assert!(!self.cached_input_shape.is_empty(), "forward before backward");
+        assert!(
+            !self.cached_input_shape.is_empty(),
+            "forward before backward"
+        );
         let mut grad_input = Tensor::zeros(&self.cached_input_shape);
         for (out_idx, &in_idx) in self.cached_argmax.iter().enumerate() {
             grad_input.data_mut()[in_idx] += grad_output.data()[out_idx];
@@ -99,10 +102,7 @@ mod tests {
     #[test]
     fn pools_maxima() {
         let mut pool = MaxPool2d::new((2, 2));
-        let input = Tensor::from_vec(
-            &[1, 2, 4, 1],
-            vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 4.0, 9.0],
-        );
+        let input = Tensor::from_vec(&[1, 2, 4, 1], vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 4.0, 9.0]);
         let out = pool.forward(&input, false);
         assert_eq!(out.shape(), &[1, 1, 2, 1]);
         assert_eq!(out.data(), &[5.0, 9.0]);
@@ -111,10 +111,7 @@ mod tests {
     #[test]
     fn backward_routes_gradient_to_argmax() {
         let mut pool = MaxPool2d::new((2, 2));
-        let input = Tensor::from_vec(
-            &[1, 2, 2, 1],
-            vec![1.0, 5.0, 2.0, 0.0],
-        );
+        let input = Tensor::from_vec(&[1, 2, 2, 1], vec![1.0, 5.0, 2.0, 0.0]);
         let _ = pool.forward(&input, true);
         let grad = pool.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![3.0]));
         assert_eq!(grad.data(), &[0.0, 3.0, 0.0, 0.0]);

@@ -46,7 +46,10 @@ pub fn sparse_softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOu
     let mut loss = 0.0f32;
     let mut grad = probs.clone();
     for (b, &label) in labels.iter().enumerate() {
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         let p = probs.at2(b, label).max(1e-12);
         loss -= p.ln();
         grad.data_mut()[b * classes + label] -= 1.0;

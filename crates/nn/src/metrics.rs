@@ -10,7 +10,11 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
     if predictions.is_empty() {
         return 0.0;
     }
-    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     correct as f64 / predictions.len() as f64
 }
 
@@ -27,10 +31,16 @@ impl ConfusionMatrix {
         assert_eq!(predictions.len(), labels.len(), "length mismatch");
         let mut counts = vec![0usize; num_classes * num_classes];
         for (&p, &l) in predictions.iter().zip(labels) {
-            assert!(p < num_classes && l < num_classes, "class index out of range");
+            assert!(
+                p < num_classes && l < num_classes,
+                "class index out of range"
+            );
             counts[l * num_classes + p] += 1;
         }
-        ConfusionMatrix { num_classes, counts }
+        ConfusionMatrix {
+            num_classes,
+            counts,
+        }
     }
 
     /// Number of samples with true class `t` predicted as class `p`.

@@ -45,12 +45,20 @@ impl Network {
 
     /// Total number of trainable scalar parameters.
     pub fn num_parameters(&mut self) -> usize {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).map(|p| p.len()).sum()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .map(|p| p.len())
+            .sum()
     }
 
     /// A human-readable summary of the layer stack.
     pub fn summary(&self) -> String {
-        self.layers.iter().map(|l| l.name()).collect::<Vec<_>>().join(" -> ")
+        self.layers
+            .iter()
+            .map(|l| l.name())
+            .collect::<Vec<_>>()
+            .join(" -> ")
     }
 
     /// Runs the forward pass.
@@ -158,9 +166,16 @@ mod tests {
         for _ in 0..200 {
             last_loss = net.train_step(&x, &y, &mut opt).loss;
         }
-        assert!(last_loss < first_loss * 0.5, "loss {first_loss} -> {last_loss}");
+        assert!(
+            last_loss < first_loss * 0.5,
+            "loss {first_loss} -> {last_loss}"
+        );
         let (xt, yt) = toy_batch(256, 9);
-        assert!(net.accuracy(&xt, &yt) > 0.9, "accuracy {}", net.accuracy(&xt, &yt));
+        assert!(
+            net.accuracy(&xt, &yt) > 0.9,
+            "accuracy {}",
+            net.accuracy(&xt, &yt)
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl GradientDescent {
         GradientDescent::Momentum { momentum: 0.9 },
         GradientDescent::AdaGrad,
         GradientDescent::RmsProp { decay: 0.9 },
-        GradientDescent::Ftrl { l1: 0.0, l2: 0.0, beta: 1.0 },
+        GradientDescent::Ftrl {
+            l1: 0.0,
+            l2: 0.0,
+            beta: 1.0,
+        },
     ];
 
     /// Short display name used in reports.
@@ -88,7 +92,11 @@ pub struct Optimizer {
 impl Optimizer {
     /// Creates an optimiser.  The paper uses a learning rate of `1e-4`.
     pub fn new(method: GradientDescent, learning_rate: f32) -> Self {
-        Optimizer { method, learning_rate, slots: HashMap::new() }
+        Optimizer {
+            method,
+            learning_rate,
+            slots: HashMap::new(),
+        }
     }
 
     /// The configured algorithm.
@@ -148,8 +156,7 @@ impl Optimizer {
                         param.value[i] = 0.0;
                     } else {
                         let sign = if z < 0.0 { -1.0 } else { 1.0 };
-                        param.value[i] = -(z - sign * l1)
-                            / ((beta + n_new.sqrt()) / lr + l2);
+                        param.value[i] = -(z - sign * l1) / ((beta + n_new.sqrt()) / lr + l2);
                     }
                 }
             }
@@ -212,27 +219,45 @@ mod tests {
         p.grad = vec![1.0];
         opt.update(0, &mut p);
         let second_step = p.value[0] - after_one;
-        assert!(second_step.abs() > 0.1 * 1.0 - 1e-6, "velocity should amplify the step");
+        assert!(
+            second_step.abs() > 0.1 * 1.0 - 1e-6,
+            "velocity should amplify the step"
+        );
     }
 
     #[test]
     fn ftrl_with_l1_produces_sparsity() {
         let mut p = Param::zeros(4);
-        let mut opt =
-            Optimizer::new(GradientDescent::Ftrl { l1: 10.0, l2: 0.0, beta: 1.0 }, 0.1);
+        let mut opt = Optimizer::new(
+            GradientDescent::Ftrl {
+                l1: 10.0,
+                l2: 0.0,
+                beta: 1.0,
+            },
+            0.1,
+        );
         // Tiny gradients: with a large L1 penalty the weights must stay at zero.
         for _ in 0..10 {
             p.grad = vec![0.01, -0.02, 0.03, -0.01];
             opt.update(0, &mut p);
         }
-        assert!(p.value.iter().all(|&v| v == 0.0), "L1 should clamp small weights to zero");
+        assert!(
+            p.value.iter().all(|&v| v == 0.0),
+            "L1 should clamp small weights to zero"
+        );
     }
 
     #[test]
     fn names_are_stable() {
-        let names: Vec<&str> = GradientDescent::PAPER_SET.iter().map(|m| m.name()).collect();
+        let names: Vec<&str> = GradientDescent::PAPER_SET
+            .iter()
+            .map(|m| m.name())
+            .collect();
         assert_eq!(names, vec!["SGD", "Momentum", "AdaGrad", "RMSProp", "FTRL"]);
-        assert_eq!(GradientDescent::RmsProp { decay: 0.9 }.to_string(), "RMSProp");
+        assert_eq!(
+            GradientDescent::RmsProp { decay: 0.9 }.to_string(),
+            "RMSProp"
+        );
     }
 
     #[test]

@@ -23,13 +23,19 @@ impl Tensor {
     /// Creates a tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; len] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let len = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![value; len] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
     }
 
     /// Creates a tensor from a flat data vector.
@@ -43,7 +49,10 @@ impl Tensor {
             shape.iter().product::<usize>(),
             "data length must match shape volume"
         );
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The tensor shape.
@@ -82,7 +91,10 @@ impl Tensor {
             shape.iter().product::<usize>(),
             "reshape must preserve the number of elements"
         );
-        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// Element at a 2-D index (row-major).
@@ -107,7 +119,10 @@ impl Tensor {
 
     /// Applies a function element-wise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Element-wise addition.
@@ -117,15 +132,31 @@ impl Tensor {
     /// Panics if the shapes differ.
     pub fn add(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Element-wise multiplication.
     pub fn mul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Tensor { shape: self.shape.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Scales every element by `s`.
@@ -192,7 +223,7 @@ mod tests {
         let mut t = Tensor::zeros(&[1, 2, 3, 2]);
         *t.at4_mut(0, 1, 2, 1) = 7.0;
         assert_eq!(t.at4(0, 1, 2, 1), 7.0);
-        assert_eq!(t.data()[(1 * 3 + 2) * 2 + 1], 7.0);
+        assert_eq!(t.data()[(3 + 2) * 2 + 1], 7.0);
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub fn build_shannon(aig: &mut Aig, f: &TruthTable, leaves: &[Lit]) -> Lit {
     if support.len() == 1 {
         let v = support[0];
         let leaf = leaves[v];
-        return if f == &TruthTable::var(v, f.num_vars()) { leaf } else { !leaf };
+        return if f == &TruthTable::var(v, f.num_vars()) {
+            leaf
+        } else {
+            !leaf
+        };
     }
     let v = pick_split_var(f, &support);
     let f0 = f.cofactor0(v);
@@ -62,7 +66,11 @@ fn count_rec(
     if support.len() == 1 {
         let v = support[0];
         let leaf = leaves[v];
-        let lit = if f == &TruthTable::var(v, f.num_vars()) { leaf } else { !leaf };
+        let lit = if f == &TruthTable::var(v, f.num_vars()) {
+            leaf
+        } else {
+            !leaf
+        };
         return (Some(lit), 0);
     }
     let v = pick_split_var(f, &support);
@@ -72,7 +80,8 @@ fn count_rec(
     // The mux needs sel&t, !sel&e and an OR node unless the pieces already exist.
     let sel = leaves[v];
     let reuse = |x: Lit, y: Lit, aig: &Aig| -> Option<Lit> {
-        aig.find_and(x, y).filter(|l| l.is_const() || !excluded(l.node()))
+        aig.find_and(x, y)
+            .filter(|l| l.is_const() || !excluded(l.node()))
     };
     match (l1, l0) {
         (Some(t), Some(e)) => {
@@ -166,10 +175,22 @@ mod tests {
     fn shannon_handles_constants_and_literals() {
         let mut g = Aig::new();
         let inputs = g.add_inputs("x", 3);
-        assert_eq!(build_shannon(&mut g, &TruthTable::zeros(3), &inputs), Lit::FALSE);
-        assert_eq!(build_shannon(&mut g, &TruthTable::ones(3), &inputs), Lit::TRUE);
-        assert_eq!(build_shannon(&mut g, &TruthTable::var(1, 3), &inputs), inputs[1]);
-        assert_eq!(build_shannon(&mut g, &TruthTable::var(2, 3).not(), &inputs), !inputs[2]);
+        assert_eq!(
+            build_shannon(&mut g, &TruthTable::zeros(3), &inputs),
+            Lit::FALSE
+        );
+        assert_eq!(
+            build_shannon(&mut g, &TruthTable::ones(3), &inputs),
+            Lit::TRUE
+        );
+        assert_eq!(
+            build_shannon(&mut g, &TruthTable::var(1, 3), &inputs),
+            inputs[1]
+        );
+        assert_eq!(
+            build_shannon(&mut g, &TruthTable::var(2, 3).not(), &inputs),
+            !inputs[2]
+        );
         assert_eq!(g.num_ands(), 0);
     }
 
@@ -183,7 +204,10 @@ mod tests {
             let before = g.num_ands();
             build_shannon(&mut g, &f, &inputs);
             let actual = g.num_ands() - before;
-            assert!(actual <= estimated, "seed={seed}: actual {actual} > estimated {estimated}");
+            assert!(
+                actual <= estimated,
+                "seed={seed}: actual {actual} > estimated {estimated}"
+            );
         }
     }
 

@@ -47,7 +47,11 @@ impl FlowRunner {
 
     /// Creates a runner with an explicit library and mapper configuration.
     pub fn with_library(library: CellLibrary, mapper_params: MapperParams) -> Self {
-        FlowRunner { library, mapper_params, verify: false }
+        FlowRunner {
+            library,
+            mapper_params,
+            verify: false,
+        }
     }
 
     /// Enables per-flow functional verification by random simulation.
@@ -62,6 +66,16 @@ impl FlowRunner {
     /// The cell library in use.
     pub fn library(&self) -> &CellLibrary {
         &self.library
+    }
+
+    /// The mapper parameters in use.
+    pub fn mapper_params(&self) -> MapperParams {
+        self.mapper_params
+    }
+
+    /// Whether per-flow functional verification is enabled.
+    pub fn verification_enabled(&self) -> bool {
+        self.verify
     }
 
     /// Runs a single flow on `design` and returns its outcome.
@@ -87,7 +101,10 @@ impl FlowRunner {
     /// This is the bulk data-collection primitive used to build training
     /// datasets (10,000 flows in the paper) and evaluation sets (100,000 flows).
     pub fn run_batch(&self, design: &Aig, flows: &[Vec<Transform>]) -> Vec<Qor> {
-        flows.par_iter().map(|flow| self.run(design, flow).qor).collect()
+        flows
+            .par_iter()
+            .map(|flow| self.run(design, flow).qor)
+            .collect()
     }
 }
 
@@ -119,10 +136,14 @@ mod tests {
     fn different_flows_give_different_qor() {
         let design = Design::Alu64.generate(DesignScale::Tiny);
         let runner = FlowRunner::new();
-        let q1 = runner.run(&design, &[Transform::Balance, Transform::Rewrite]).qor;
-        let q2 = runner.run(&design, &[Transform::RefactorZ, Transform::Restructure]).qor;
-        let differs = (q1.area_um2 - q2.area_um2).abs() > 1e-9
-            || (q1.delay_ps - q2.delay_ps).abs() > 1e-9;
+        let q1 = runner
+            .run(&design, &[Transform::Balance, Transform::Rewrite])
+            .qor;
+        let q2 = runner
+            .run(&design, &[Transform::RefactorZ, Transform::Restructure])
+            .qor;
+        let differs =
+            (q1.area_um2 - q2.area_um2).abs() > 1e-9 || (q1.delay_ps - q2.delay_ps).abs() > 1e-9;
         assert!(differs, "the premise of the paper: flow choice changes QoR");
     }
 
@@ -139,7 +160,10 @@ mod tests {
         assert_eq!(batch.len(), 3);
         for (flow, q) in flows.iter().zip(&batch) {
             let single = runner.run(&design, flow).qor;
-            assert!((single.area_um2 - q.area_um2).abs() < 1e-9, "deterministic evaluation");
+            assert!(
+                (single.area_um2 - q.area_um2).abs() < 1e-9,
+                "deterministic evaluation"
+            );
             assert!((single.delay_ps - q.delay_ps).abs() < 1e-9);
         }
     }

@@ -64,7 +64,12 @@ impl CellLibrary {
             }
         }
         let inverter = inverter.expect("library must contain an inverter");
-        CellLibrary { name: name.into(), cells, npn_index, inverter }
+        CellLibrary {
+            name: name.into(),
+            cells,
+            npn_index,
+            inverter,
+        }
     }
 
     /// The built-in synthetic library scaled to a 14 nm-like operating point.
@@ -133,46 +138,81 @@ fn bit(row: usize, i: usize) -> bool {
 /// area/delay figures (areas in µm², delays in ps).
 fn standard_cells() -> Vec<Cell> {
     let mut cells = Vec::new();
-    let mut push = |name: &str, area: f64, delay: f64, load: f64, n: usize, f: &dyn Fn(usize) -> bool| {
-        cells.push(Cell {
-            name: name.to_string(),
-            area,
-            delay_ps: delay,
-            load_delay_ps: load,
-            num_inputs: n,
-            function: table(n, f),
-        });
-    };
+    let mut push =
+        |name: &str, area: f64, delay: f64, load: f64, n: usize, f: &dyn Fn(usize) -> bool| {
+            cells.push(Cell {
+                name: name.to_string(),
+                area,
+                delay_ps: delay,
+                load_delay_ps: load,
+                num_inputs: n,
+                function: table(n, f),
+            });
+        };
 
     push("INV_X1", 0.117, 6.0, 1.2, 1, &|r| !bit(r, 0));
     push("BUF_X1", 0.156, 9.5, 1.0, 1, &|r| bit(r, 0));
-    push("NAND2_X1", 0.156, 8.5, 1.4, 2, &|r| !(bit(r, 0) && bit(r, 1)));
-    push("NOR2_X1", 0.156, 10.0, 1.6, 2, &|r| !(bit(r, 0) || bit(r, 1)));
+    push("NAND2_X1", 0.156, 8.5, 1.4, 2, &|r| {
+        !(bit(r, 0) && bit(r, 1))
+    });
+    push("NOR2_X1", 0.156, 10.0, 1.6, 2, &|r| {
+        !(bit(r, 0) || bit(r, 1))
+    });
     push("AND2_X1", 0.195, 11.0, 1.3, 2, &|r| bit(r, 0) && bit(r, 1));
     push("OR2_X1", 0.195, 12.0, 1.3, 2, &|r| bit(r, 0) || bit(r, 1));
     push("XOR2_X1", 0.273, 14.5, 1.8, 2, &|r| bit(r, 0) ^ bit(r, 1));
-    push("XNOR2_X1", 0.273, 14.5, 1.8, 2, &|r| !(bit(r, 0) ^ bit(r, 1)));
-    push("NAND3_X1", 0.195, 10.5, 1.5, 3, &|r| !(bit(r, 0) && bit(r, 1) && bit(r, 2)));
-    push("NOR3_X1", 0.195, 13.0, 1.8, 3, &|r| !(bit(r, 0) || bit(r, 1) || bit(r, 2)));
-    push("AND3_X1", 0.234, 13.0, 1.4, 3, &|r| bit(r, 0) && bit(r, 1) && bit(r, 2));
-    push("OR3_X1", 0.234, 14.0, 1.4, 3, &|r| bit(r, 0) || bit(r, 1) || bit(r, 2));
-    push("NAND4_X1", 0.234, 12.5, 1.6, 4, &|r| !(bit(r, 0) && bit(r, 1) && bit(r, 2) && bit(r, 3)));
-    push("NOR4_X1", 0.234, 16.0, 2.0, 4, &|r| !(bit(r, 0) || bit(r, 1) || bit(r, 2) || bit(r, 3)));
-    push("AND4_X1", 0.273, 15.0, 1.5, 4, &|r| bit(r, 0) && bit(r, 1) && bit(r, 2) && bit(r, 3));
-    push("OR4_X1", 0.273, 16.0, 1.5, 4, &|r| bit(r, 0) || bit(r, 1) || bit(r, 2) || bit(r, 3));
-    push("AOI21_X1", 0.195, 10.0, 1.5, 3, &|r| !((bit(r, 0) && bit(r, 1)) || bit(r, 2)));
-    push("OAI21_X1", 0.195, 10.0, 1.5, 3, &|r| !((bit(r, 0) || bit(r, 1)) && bit(r, 2)));
+    push("XNOR2_X1", 0.273, 14.5, 1.8, 2, &|r| {
+        !(bit(r, 0) ^ bit(r, 1))
+    });
+    push("NAND3_X1", 0.195, 10.5, 1.5, 3, &|r| {
+        !(bit(r, 0) && bit(r, 1) && bit(r, 2))
+    });
+    push("NOR3_X1", 0.195, 13.0, 1.8, 3, &|r| {
+        !(bit(r, 0) || bit(r, 1) || bit(r, 2))
+    });
+    push("AND3_X1", 0.234, 13.0, 1.4, 3, &|r| {
+        bit(r, 0) && bit(r, 1) && bit(r, 2)
+    });
+    push("OR3_X1", 0.234, 14.0, 1.4, 3, &|r| {
+        bit(r, 0) || bit(r, 1) || bit(r, 2)
+    });
+    push("NAND4_X1", 0.234, 12.5, 1.6, 4, &|r| {
+        !(bit(r, 0) && bit(r, 1) && bit(r, 2) && bit(r, 3))
+    });
+    push("NOR4_X1", 0.234, 16.0, 2.0, 4, &|r| {
+        !(bit(r, 0) || bit(r, 1) || bit(r, 2) || bit(r, 3))
+    });
+    push("AND4_X1", 0.273, 15.0, 1.5, 4, &|r| {
+        bit(r, 0) && bit(r, 1) && bit(r, 2) && bit(r, 3)
+    });
+    push("OR4_X1", 0.273, 16.0, 1.5, 4, &|r| {
+        bit(r, 0) || bit(r, 1) || bit(r, 2) || bit(r, 3)
+    });
+    push("AOI21_X1", 0.195, 10.0, 1.5, 3, &|r| {
+        !((bit(r, 0) && bit(r, 1)) || bit(r, 2))
+    });
+    push("OAI21_X1", 0.195, 10.0, 1.5, 3, &|r| {
+        !((bit(r, 0) || bit(r, 1)) && bit(r, 2))
+    });
     push("AOI22_X1", 0.234, 12.0, 1.7, 4, &|r| {
         !((bit(r, 0) && bit(r, 1)) || (bit(r, 2) && bit(r, 3)))
     });
     push("OAI22_X1", 0.234, 12.0, 1.7, 4, &|r| {
         !((bit(r, 0) || bit(r, 1)) && (bit(r, 2) || bit(r, 3)))
     });
-    push("MUX2_X1", 0.273, 13.5, 1.6, 3, &|r| if bit(r, 2) { bit(r, 1) } else { bit(r, 0) });
+    push("MUX2_X1", 0.273, 13.5, 1.6, 3, &|r| {
+        if bit(r, 2) {
+            bit(r, 1)
+        } else {
+            bit(r, 0)
+        }
+    });
     push("MAJ3_X1", 0.273, 14.0, 1.7, 3, &|r| {
         (bit(r, 0) as u8 + bit(r, 1) as u8 + bit(r, 2) as u8) >= 2
     });
-    push("XOR3_X1", 0.390, 20.0, 2.2, 3, &|r| bit(r, 0) ^ bit(r, 1) ^ bit(r, 2));
+    push("XOR3_X1", 0.390, 20.0, 2.2, 3, &|r| {
+        bit(r, 0) ^ bit(r, 1) ^ bit(r, 2)
+    });
     push("AOI211_X1", 0.234, 13.0, 1.8, 4, &|r| {
         !((bit(r, 0) && bit(r, 1)) || bit(r, 2) || bit(r, 3))
     });
@@ -189,7 +229,10 @@ mod tests {
     #[test]
     fn builtin_library_is_well_formed() {
         let lib = CellLibrary::nangate14();
-        assert!(lib.len() >= 20, "a usable library needs a reasonable cell set");
+        assert!(
+            lib.len() >= 20,
+            "a usable library needs a reasonable cell set"
+        );
         assert!(!lib.is_empty());
         assert_eq!(lib.cell(lib.inverter()).num_inputs, 1);
         for cell in lib.cells() {
@@ -207,9 +250,17 @@ mod tests {
         let f = a.and(&b);
         let matches = lib.matches(&f);
         assert!(!matches.is_empty());
-        let names: Vec<&str> = matches.iter().map(|&id| lib.cell(id).name.as_str()).collect();
-        assert!(names.iter().any(|n| n.contains("AND2") || n.contains("NAND2") || n.contains("NOR2") || n.contains("OR2")),
-            "AND-class match expected, got {names:?}");
+        let names: Vec<&str> = matches
+            .iter()
+            .map(|&id| lib.cell(id).name.as_str())
+            .collect();
+        assert!(
+            names.iter().any(|n| n.contains("AND2")
+                || n.contains("NAND2")
+                || n.contains("NOR2")
+                || n.contains("OR2")),
+            "AND-class match expected, got {names:?}"
+        );
     }
 
     #[test]
@@ -218,9 +269,17 @@ mod tests {
         let a = TruthTable::var(0, 2);
         let b = TruthTable::var(1, 2);
         let matches = lib.matches(&a.xor(&b));
-        let names: Vec<&str> = matches.iter().map(|&id| lib.cell(id).name.as_str()).collect();
+        let names: Vec<&str> = matches
+            .iter()
+            .map(|&id| lib.cell(id).name.as_str())
+            .collect();
         assert!(!names.is_empty());
-        assert!(names.iter().all(|n| n.contains("XOR") || n.contains("XNOR")), "{names:?}");
+        assert!(
+            names
+                .iter()
+                .all(|n| n.contains("XOR") || n.contains("XNOR")),
+            "{names:?}"
+        );
     }
 
     #[test]

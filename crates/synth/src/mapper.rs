@@ -37,7 +37,11 @@ pub struct MapperParams {
 
 impl Default for MapperParams {
     fn default() -> Self {
-        MapperParams { cut_size: 4, cuts_per_node: 8, mode: MapMode::Delay }
+        MapperParams {
+            cut_size: 4,
+            cuts_per_node: 8,
+            mode: MapMode::Delay,
+        }
     }
 }
 
@@ -113,7 +117,9 @@ pub fn map(aig: &Aig, library: &CellLibrary, params: MapperParams) -> MappedNetl
         }
         let mut best: Option<Choice> = None;
         for cut in cut_sets[id].cuts() {
-            let Ok(truth) = cut_truth(&subject, id, cut) else { continue };
+            let Ok(truth) = cut_truth(&subject, id, cut) else {
+                continue;
+            };
             // Reduce to the true support so e.g. a 3-leaf cut computing a
             // 2-input function can match 2-input cells.
             let support = truth.support();
@@ -123,8 +129,7 @@ pub fn map(aig: &Aig, library: &CellLibrary, params: MapperParams) -> MappedNetl
             let (reduced, leaves) = reduce_support(&truth, &support, cut.leaves());
             for &cell_id in library.matches(&reduced) {
                 let cell = library.cell(cell_id);
-                let leaf_arrival =
-                    leaves.iter().map(|&l| arrivals[l]).fold(0.0f64, f64::max);
+                let leaf_arrival = leaves.iter().map(|&l| arrivals[l]).fold(0.0f64, f64::max);
                 let arrival = leaf_arrival
                     + cell.delay_ps
                     + cell.load_delay_ps * (subject.fanout_count(id) as f64);
@@ -133,8 +138,12 @@ pub fn map(aig: &Aig, library: &CellLibrary, params: MapperParams) -> MappedNetl
                     .map(|&l| area_flows[l] / (subject.fanout_count(l).max(1) as f64))
                     .sum();
                 let area_flow = cell.area + leaf_flow;
-                let candidate =
-                    Choice { cell: cell_id, leaves: leaves.clone(), arrival, area_flow };
+                let candidate = Choice {
+                    cell: cell_id,
+                    leaves: leaves.clone(),
+                    arrival,
+                    area_flow,
+                };
                 let better = match (&best, params.mode) {
                     (None, _) => true,
                     (Some(b), MapMode::Delay) => {
@@ -178,8 +187,12 @@ pub fn map(aig: &Aig, library: &CellLibrary, params: MapperParams) -> MappedNetl
     }
 
     // Cover extraction from the primary outputs.
-    let mut required: Vec<NodeId> =
-        subject.outputs().iter().map(|l| l.node()).filter(|&n| subject.node(n).is_and()).collect();
+    let mut required: Vec<NodeId> = subject
+        .outputs()
+        .iter()
+        .map(|l| l.node())
+        .filter(|&n| subject.node(n).is_and())
+        .collect();
     required.sort_unstable();
     required.dedup();
     let mut in_cover: Vec<bool> = vec![false; subject.len()];
@@ -293,8 +306,22 @@ mod tests {
     #[test]
     fn delay_mode_is_no_slower_than_area_mode() {
         let g = Design::Alu64.generate(DesignScale::Tiny);
-        let delay_q = map_qor(&g, &lib(), MapperParams { mode: MapMode::Delay, ..Default::default() });
-        let area_q = map_qor(&g, &lib(), MapperParams { mode: MapMode::Area, ..Default::default() });
+        let delay_q = map_qor(
+            &g,
+            &lib(),
+            MapperParams {
+                mode: MapMode::Delay,
+                ..Default::default()
+            },
+        );
+        let area_q = map_qor(
+            &g,
+            &lib(),
+            MapperParams {
+                mode: MapMode::Area,
+                ..Default::default()
+            },
+        );
         assert!(delay_q.delay_ps <= area_q.delay_ps + 1e-6);
         assert!(area_q.area_um2 <= delay_q.area_um2 + 1e-6);
     }
@@ -309,7 +336,11 @@ mod tests {
             mapped.gates.iter().map(|gate| gate.root).collect();
         for po in subject.outputs() {
             if subject.node(po.node()).is_and() {
-                assert!(roots.contains(&po.node()), "output node {} not covered", po.node());
+                assert!(
+                    roots.contains(&po.node()),
+                    "output node {} not covered",
+                    po.node()
+                );
             }
         }
     }

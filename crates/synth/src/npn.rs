@@ -38,7 +38,10 @@ pub struct NpnClass {
 /// Panics if the function has more than [`MAX_NPN_VARS`] variables.
 pub fn npn_canonical(f: &TruthTable) -> NpnClass {
     let n = f.num_vars();
-    assert!(n <= MAX_NPN_VARS, "NPN canonization supports at most {MAX_NPN_VARS} inputs");
+    assert!(
+        n <= MAX_NPN_VARS,
+        "NPN canonization supports at most {MAX_NPN_VARS} inputs"
+    );
     let mut best: Option<NpnClass> = None;
     let perms = permutations(n);
     for out_neg in [false, true] {
@@ -174,8 +177,10 @@ mod tests {
             a.or(&b),
             a.and(&b.not()),
         ];
-        let canon: Vec<TruthTable> =
-            variants.iter().map(|f| npn_canonical(f).canonical).collect();
+        let canon: Vec<TruthTable> = variants
+            .iter()
+            .map(|f| npn_canonical(f).canonical)
+            .collect();
         for c in &canon[1..] {
             assert_eq!(c, &canon[0]);
         }
@@ -204,7 +209,11 @@ mod tests {
         let b = TruthTable::var(1, 3);
         let c = TruthTable::var(2, 3);
         let maj = a.and(&b).or(&a.and(&c)).or(&b.and(&c));
-        let maj_neg_inputs = a.not().and(&b.not()).or(&a.not().and(&c.not())).or(&b.not().and(&c.not()));
+        let maj_neg_inputs = a
+            .not()
+            .and(&b.not())
+            .or(&a.not().and(&c.not()))
+            .or(&b.not().and(&c.not()));
         assert_eq!(
             npn_canonical(&maj).canonical,
             npn_canonical(&maj_neg_inputs).canonical,
@@ -238,6 +247,9 @@ mod tests {
         let zero = TruthTable::zeros(2);
         let one = TruthTable::ones(2);
         // Output negation folds them into one class.
-        assert_eq!(npn_canonical(&zero).canonical, npn_canonical(&one).canonical);
+        assert_eq!(
+            npn_canonical(&zero).canonical,
+            npn_canonical(&one).canonical
+        );
     }
 }

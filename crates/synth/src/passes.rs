@@ -135,7 +135,10 @@ mod tests {
         let g = Design::Montgomery64.generate(DesignScale::Tiny);
         for t in Transform::ALL {
             let out = t.apply(&g);
-            assert!(random_equivalence_check(&g, &out, 4, 7), "{t} changed the function");
+            assert!(
+                random_equivalence_check(&g, &out, 4, 7),
+                "{t} changed the function"
+            );
         }
     }
 
@@ -145,8 +148,16 @@ mod tests {
         let flows: [&[Transform]; 4] = [
             &[Transform::Balance, Transform::Rewrite, Transform::Refactor],
             &[Transform::Refactor, Transform::Rewrite, Transform::Balance],
-            &[Transform::Restructure, Transform::Balance, Transform::RewriteZ],
-            &[Transform::RefactorZ, Transform::Restructure, Transform::Rewrite],
+            &[
+                Transform::Restructure,
+                Transform::Balance,
+                Transform::RewriteZ,
+            ],
+            &[
+                Transform::RefactorZ,
+                Transform::Restructure,
+                Transform::Rewrite,
+            ],
         ];
         let mut signatures = Vec::new();
         for flow in flows {

@@ -68,14 +68,26 @@ mod tests {
 
     #[test]
     fn metric_selection() {
-        let q = Qor { area_um2: 12.5, delay_ps: 80.0, gates: 10, and_nodes: 20, depth: 5 };
+        let q = Qor {
+            area_um2: 12.5,
+            delay_ps: 80.0,
+            gates: 10,
+            and_nodes: 20,
+            depth: 5,
+        };
         assert_eq!(q.metric(QorMetric::Area), 12.5);
         assert_eq!(q.metric(QorMetric::Delay), 80.0);
     }
 
     #[test]
     fn display_contains_both_metrics() {
-        let q = Qor { area_um2: 1.0, delay_ps: 2.0, gates: 3, and_nodes: 4, depth: 5 };
+        let q = Qor {
+            area_um2: 1.0,
+            delay_ps: 2.0,
+            gates: 3,
+            and_nodes: 4,
+            depth: 5,
+        };
         let s = q.to_string();
         assert!(s.contains("area"));
         assert!(s.contains("delay"));

@@ -55,7 +55,7 @@ pub fn reconv_cut(aig: &Aig, root: NodeId, params: ReconvParams) -> Vec<NodeId> 
             if leaves.len() as i32 + cost > params.max_leaves as i32 {
                 continue;
             }
-            if best.map_or(true, |(_, c)| cost < c) {
+            if best.is_none_or(|(_, c)| cost < c) {
                 best = Some((i, cost));
             }
             if cost <= 0 {

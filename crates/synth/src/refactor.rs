@@ -23,7 +23,10 @@ pub struct RefactorParams {
 
 impl Default for RefactorParams {
     fn default() -> Self {
-        RefactorParams { max_leaves: 8, max_cubes: 24 }
+        RefactorParams {
+            max_leaves: 8,
+            max_cubes: 24,
+        }
     }
 }
 
@@ -34,17 +37,29 @@ pub fn refactor(aig: &Aig, zero_cost: bool) -> Aig {
 
 /// Applies large-cut refactoring with explicit parameters.
 pub fn refactor_with_params(aig: &Aig, zero_cost: bool, params: RefactorParams) -> Aig {
-    let acceptance = if zero_cost { Acceptance::zero_cost() } else { Acceptance::strict() };
+    let acceptance = if zero_cost {
+        Acceptance::zero_cost()
+    } else {
+        Acceptance::strict()
+    };
     resynthesis_sweep(aig, acceptance, |graph, id| propose(graph, id, params))
 }
 
 fn propose(graph: &mut Aig, id: NodeId, params: RefactorParams) -> Vec<Proposal> {
-    let leaves = reconv_cut(graph, id, ReconvParams { max_leaves: params.max_leaves });
+    let leaves = reconv_cut(
+        graph,
+        id,
+        ReconvParams {
+            max_leaves: params.max_leaves,
+        },
+    );
     if leaves.len() < 3 || leaves.len() > aig::MAX_TRUTH_VARS {
         return Vec::new();
     }
     let cut = Cut::from_leaves(leaves.clone());
-    let Ok(truth) = cut_truth(graph, id, &cut) else { return Vec::new() };
+    let Ok(truth) = cut_truth(graph, id, &cut) else {
+        return Vec::new();
+    };
     let sop = isop(&truth);
     if sop.num_cubes() > params.max_cubes {
         return Vec::new();
@@ -52,7 +67,11 @@ fn propose(graph: &mut Aig, id: NodeId, params: RefactorParams) -> Vec<Proposal>
     let leaf_lits: Vec<Lit> = leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
     let mffc = Mffc::compute(graph, id, &leaves);
     let added = count_sop_nodes(graph, &sop, &leaf_lits, |n| mffc.contains(n));
-    vec![Proposal { leaves, structure: Structure::SumOfProducts(sop), added }]
+    vec![Proposal {
+        leaves,
+        structure: Structure::SumOfProducts(sop),
+        added,
+    }]
 }
 
 #[cfg(test)]

@@ -35,20 +35,34 @@ pub fn restructure(aig: &Aig) -> Aig {
 
 /// Applies Shannon-decomposition restructuring with explicit parameters.
 pub fn restructure_with_params(aig: &Aig, params: RestructureParams) -> Aig {
-    resynthesis_sweep(aig, Acceptance::strict(), |graph, id| propose(graph, id, params))
+    resynthesis_sweep(aig, Acceptance::strict(), |graph, id| {
+        propose(graph, id, params)
+    })
 }
 
 fn propose(graph: &mut Aig, id: NodeId, params: RestructureParams) -> Vec<Proposal> {
-    let leaves = reconv_cut(graph, id, ReconvParams { max_leaves: params.max_leaves });
+    let leaves = reconv_cut(
+        graph,
+        id,
+        ReconvParams {
+            max_leaves: params.max_leaves,
+        },
+    );
     if leaves.len() < 3 || leaves.len() > aig::MAX_TRUTH_VARS {
         return Vec::new();
     }
     let cut = Cut::from_leaves(leaves.clone());
-    let Ok(truth) = cut_truth(graph, id, &cut) else { return Vec::new() };
+    let Ok(truth) = cut_truth(graph, id, &cut) else {
+        return Vec::new();
+    };
     let leaf_lits: Vec<Lit> = leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
     let mffc = Mffc::compute(graph, id, &leaves);
     let added = count_shannon_nodes(graph, &truth, &leaf_lits, |n| mffc.contains(n));
-    vec![Proposal { leaves, structure: Structure::Shannon(truth), added }]
+    vec![Proposal {
+        leaves,
+        structure: Structure::Shannon(truth),
+        added,
+    }]
 }
 
 #[cfg(test)]
@@ -109,7 +123,10 @@ mod tests {
         let rf = crate::refactor::refactor(&g, false);
         assert!(random_equivalence_check(&rs, &rf, 4, 29));
         let same_size = rs.num_ands() == rf.num_ands() && rs.depth() == rf.depth();
-        assert!(!same_size, "restructure and refactor should not be identical in effect");
+        assert!(
+            !same_size,
+            "restructure and refactor should not be identical in effect"
+        );
     }
 
     #[test]

@@ -96,8 +96,12 @@ where
             if gain < acceptance.min_gain {
                 continue;
             }
-            if best.as_ref().map_or(true, |b| gain > b.gain) {
-                best = Some(Decision { leaves: p.leaves, structure: p.structure, gain });
+            if best.as_ref().is_none_or(|b| gain > b.gain) {
+                best = Some(Decision {
+                    leaves: p.leaves,
+                    structure: p.structure,
+                    gain,
+                });
             }
         }
         if let Some(d) = best {
@@ -117,7 +121,9 @@ pub fn rebuild_with_decisions(src: &Aig, decisions: &HashMap<NodeId, Decision>) 
         map[id] = out.add_input(src.input_name(i).to_string());
     }
     for id in src.node_ids() {
-        let Some((a, b)) = src.node(id).fanins() else { continue };
+        let Some((a, b)) = src.node(id).fanins() else {
+            continue;
+        };
         if let Some(d) = decisions.get(&id) {
             let leaf_lits: Vec<Lit> = d.leaves.iter().map(|&l| map[l]).collect();
             map[id] = match &d.structure {
@@ -131,7 +137,10 @@ pub fn rebuild_with_decisions(src: &Aig, decisions: &HashMap<NodeId, Decision>) 
         }
     }
     for (i, &l) in src.outputs().iter().enumerate() {
-        out.add_output(src.output_name(i).to_string(), map[l.node()] ^ l.is_complemented());
+        out.add_output(
+            src.output_name(i).to_string(),
+            map[l.node()] ^ l.is_complemented(),
+        );
     }
     out
 }
@@ -163,14 +172,22 @@ mod tests {
         let result = resynthesis_sweep(&g, Acceptance::strict(), |work, id| {
             let leaves: Vec<NodeId> = work.input_ids().to_vec();
             let cut = Cut::from_leaves(leaves.clone());
-            let Ok(truth) = cut_truth(work, id, &cut) else { return vec![] };
+            let Ok(truth) = cut_truth(work, id, &cut) else {
+                return vec![];
+            };
             let sop = isop(&truth);
-            let leaf_lits: Vec<Lit> =
-                leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
+            let leaf_lits: Vec<Lit> = leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
             let added = crate::sop::count_sop_nodes(work, &sop, &leaf_lits, |_| false);
-            vec![Proposal { leaves, structure: Structure::SumOfProducts(sop), added }]
+            vec![Proposal {
+                leaves,
+                structure: Structure::SumOfProducts(sop),
+                added,
+            }]
         });
-        assert!(random_equivalence_check(&g, &result, 8, 3), "function must be preserved");
+        assert!(
+            random_equivalence_check(&g, &result, 8, 3),
+            "function must be preserved"
+        );
         assert!(
             result.num_ands() <= before,
             "strict sweep never grows the network: {} -> {}",

@@ -23,7 +23,10 @@ pub struct RewriteParams {
 
 impl Default for RewriteParams {
     fn default() -> Self {
-        RewriteParams { cut_size: 4, cuts_per_node: 8 }
+        RewriteParams {
+            cut_size: 4,
+            cuts_per_node: 8,
+        }
     }
 }
 
@@ -34,7 +37,11 @@ pub fn rewrite(aig: &Aig, zero_cost: bool) -> Aig {
 
 /// Applies cut-based rewriting with explicit parameters.
 pub fn rewrite_with_params(aig: &Aig, zero_cost: bool, params: RewriteParams) -> Aig {
-    let acceptance = if zero_cost { Acceptance::zero_cost() } else { Acceptance::strict() };
+    let acceptance = if zero_cost {
+        Acceptance::zero_cost()
+    } else {
+        Acceptance::strict()
+    };
     // Cuts are enumerated once on the cleaned-up working copy inside the sweep;
     // to keep the proposal closure self-contained we enumerate lazily per node
     // from a snapshot taken on first use.
@@ -49,11 +56,7 @@ pub fn rewrite_with_params(aig: &Aig, zero_cost: bool, params: RewriteParams) ->
     resynthesis_sweep(&work, acceptance, |graph, id| propose(graph, id, &cut_sets))
 }
 
-fn propose(
-    graph: &mut Aig,
-    id: NodeId,
-    cut_sets: &[aig::CutSet],
-) -> Vec<Proposal> {
+fn propose(graph: &mut Aig, id: NodeId, cut_sets: &[aig::CutSet]) -> Vec<Proposal> {
     let mut proposals = Vec::new();
     if id >= cut_sets.len() {
         return proposals;
@@ -62,7 +65,9 @@ fn propose(
         if cut.size() < 2 {
             continue;
         }
-        let Ok(truth) = cut_truth(graph, id, cut) else { continue };
+        let Ok(truth) = cut_truth(graph, id, cut) else {
+            continue;
+        };
         let sop = isop(&truth);
         // Very large covers cannot win at cut size 4; skip pathological cases.
         if sop.num_cubes() > 16 {
@@ -74,7 +79,11 @@ fn propose(
         // them must not be counted as free.
         let mffc = aig::Mffc::compute(graph, id, &leaves);
         let added = count_sop_nodes(graph, &sop, &leaf_lits, |n| mffc.contains(n));
-        proposals.push(Proposal { leaves, structure: Structure::SumOfProducts(sop), added });
+        proposals.push(Proposal {
+            leaves,
+            structure: Structure::SumOfProducts(sop),
+            added,
+        });
     }
     proposals
 }
@@ -133,7 +142,10 @@ mod tests {
                 g.num_ands(),
                 r.num_ands()
             );
-            assert!(random_equivalence_check(&g, &r, 4, 5), "{design} function changed");
+            assert!(
+                random_equivalence_check(&g, &r, 4, 5),
+                "{design} function changed"
+            );
         }
     }
 

@@ -58,7 +58,9 @@ impl Sop {
 
     /// The constant-true cover (one empty cube).
     pub fn one() -> Self {
-        Sop { cubes: vec![Cube::TRUE] }
+        Sop {
+            cubes: vec![Cube::TRUE],
+        }
     }
 
     /// The cubes of the cover.
@@ -131,10 +133,16 @@ fn isop_rec(
     let (cstar, fstar) = isop_rec(&l_new, &u0.and(&u1), v, num_vars);
     let mut cubes = Vec::with_capacity(c0.num_cubes() + c1.num_cubes() + cstar.num_cubes());
     for c in c0.cubes() {
-        cubes.push(Cube { pos: c.pos, neg: c.neg | 1 << v });
+        cubes.push(Cube {
+            pos: c.pos,
+            neg: c.neg | 1 << v,
+        });
     }
     for c in c1.cubes() {
-        cubes.push(Cube { pos: c.pos | 1 << v, neg: c.neg });
+        cubes.push(Cube {
+            pos: c.pos | 1 << v,
+            neg: c.neg,
+        });
     }
     cubes.extend_from_slice(cstar.cubes());
     let var_t = TruthTable::var(v, num_vars);
@@ -217,12 +225,16 @@ impl<F: Fn(NodeId) -> bool> GateSink for CostCounter<'_, F> {
             }
         }
         self.added += 1;
-        CostSignal::Virtual { complemented: false }
+        CostSignal::Virtual {
+            complemented: false,
+        }
     }
     fn not(&mut self, a: CostSignal) -> CostSignal {
         match a {
             CostSignal::Existing(l) => CostSignal::Existing(!l),
-            CostSignal::Virtual { complemented } => CostSignal::Virtual { complemented: !complemented },
+            CostSignal::Virtual { complemented } => CostSignal::Virtual {
+                complemented: !complemented,
+            },
         }
     }
 }
@@ -253,7 +265,11 @@ fn emit_sop<S: GateSink>(sink: &mut S, sop: &Sop, leaves: &[Lit]) -> S::Signal {
     sink.not(all_off)
 }
 
-fn reduce_balanced<S: GateSink>(sink: &mut S, mut items: Vec<S::Signal>, and_identity: bool) -> S::Signal {
+fn reduce_balanced<S: GateSink>(
+    sink: &mut S,
+    mut items: Vec<S::Signal>,
+    and_identity: bool,
+) -> S::Signal {
     if items.is_empty() {
         return sink.constant(and_identity);
     }
@@ -289,7 +305,11 @@ pub fn count_sop_nodes(
     leaves: &[Lit],
     excluded: impl Fn(NodeId) -> bool,
 ) -> usize {
-    let mut counter = CostCounter { aig, excluded, added: 0 };
+    let mut counter = CostCounter {
+        aig,
+        excluded,
+        added: 0,
+    };
     emit_sop(&mut counter, sop, leaves);
     counter.added
 }
@@ -336,10 +356,22 @@ mod tests {
         let f = TruthTable::var(2, 4);
         let cover = isop(&f);
         assert_eq!(cover.num_cubes(), 1);
-        assert_eq!(cover.cubes()[0], Cube { pos: 1 << 2, neg: 0 });
+        assert_eq!(
+            cover.cubes()[0],
+            Cube {
+                pos: 1 << 2,
+                neg: 0
+            }
+        );
         let g = f.not();
         let cover_n = isop(&g);
-        assert_eq!(cover_n.cubes()[0], Cube { pos: 0, neg: 1 << 2 });
+        assert_eq!(
+            cover_n.cubes()[0],
+            Cube {
+                pos: 0,
+                neg: 1 << 2
+            }
+        );
     }
 
     #[test]
@@ -383,7 +415,9 @@ mod tests {
         let ab = g.and(a, b);
         g.add_output("keep", ab);
         // f = a & b & c : the a&b part already exists, so only one new node is needed.
-        let t = TruthTable::var(0, 3).and(&TruthTable::var(1, 3)).and(&TruthTable::var(2, 3));
+        let t = TruthTable::var(0, 3)
+            .and(&TruthTable::var(1, 3))
+            .and(&TruthTable::var(2, 3));
         let cover = isop(&t);
         let added = count_sop_nodes(&g, &cover, &[a, b, c], |_| false);
         assert_eq!(added, 1);
@@ -411,7 +445,10 @@ mod tests {
 
     #[test]
     fn cube_truth_and_literals() {
-        let c = Cube { pos: 0b01, neg: 0b10 };
+        let c = Cube {
+            pos: 0b01,
+            neg: 0b10,
+        };
         assert_eq!(c.num_literals(), 2);
         let t = c.truth(2);
         assert!(t.get(0b01));

@@ -35,12 +35,20 @@ fn main() {
 
     let sample_mean = report.sample_qors.iter().map(|q| q.area_um2).sum::<f64>()
         / report.sample_qors.len().max(1) as f64;
-    println!("\nmean area over {} sample flows: {:.2} um^2", report.sample_qors.len(), sample_mean);
+    println!(
+        "\nmean area over {} sample flows: {:.2} um^2",
+        report.sample_qors.len(),
+        sample_mean
+    );
     println!("top area angel-flows:");
     for (angel, qor) in report.selection.angel_flows.iter().zip(report.angel_qors()) {
-        println!("  area {:>8.2} um^2  conf {:.2}  {}", qor.area_um2, angel.confidence, angel.flow);
+        println!(
+            "  area {:>8.2} um^2  conf {:.2}  {}",
+            qor.area_um2, angel.confidence, angel.flow
+        );
     }
     if let Some(acc) = report.selection_accuracy {
         println!("selection accuracy (paper Section 4.1 definition): {acc:.2}");
     }
+    println!("evaluation engine: {}", report.eval_stats);
 }

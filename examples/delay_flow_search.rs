@@ -36,10 +36,23 @@ fn main() {
 
     println!("top delay angel-flows:");
     for (angel, qor) in report.selection.angel_flows.iter().zip(report.angel_qors()) {
-        println!("  delay {:>7.1} ps  conf {:.2}  {}", qor.delay_ps, angel.confidence, angel.flow);
+        println!(
+            "  delay {:>7.1} ps  conf {:.2}  {}",
+            qor.delay_ps, angel.confidence, angel.flow
+        );
     }
     println!("devil-flows (worst delay, useful for diagnosing weak transformations):");
-    for (devil, qor) in report.selection.devil_flows.iter().zip(report.devil_qors()).take(3) {
-        println!("  delay {:>7.1} ps  conf {:.2}  {}", qor.delay_ps, devil.confidence, devil.flow);
+    for (devil, qor) in report
+        .selection
+        .devil_flows
+        .iter()
+        .zip(report.devil_qors())
+        .take(3)
+    {
+        println!(
+            "  delay {:>7.1} ps  conf {:.2}  {}",
+            qor.delay_ps, devil.confidence, devil.flow
+        );
     }
+    println!("\nevaluation engine: {}", report.eval_stats);
 }

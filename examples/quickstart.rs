@@ -11,7 +11,12 @@ use synth::{FlowRunner, Transform};
 fn main() {
     // 1. Generate a benchmark design (the 64-bit ALU at a laptop-friendly size).
     let design = Design::Alu64.generate(DesignScale::Tiny);
-    println!("design: {} ({} AND nodes, depth {})", design.name(), design.num_ands(), design.depth());
+    println!(
+        "design: {} ({} AND nodes, depth {})",
+        design.name(),
+        design.num_ands(),
+        design.depth()
+    );
 
     // 2. Describe a synthesis flow — the classic "resyn"-style ordering.
     let flow = Flow::new(vec![

@@ -9,17 +9,21 @@
 //! ```
 
 use circuits::{Design, DesignScale};
+use floweval::EvalEngine;
 use flowgen::FlowSpace;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use synth::FlowRunner;
 
 fn main() {
     // Search-space sizes (Remark 3).
     println!("size of the m-repetition flow space f(n, L, m):");
     for m in 1..=4usize {
         let space = FlowSpace::new(6, m);
-        println!("  n = 6, m = {m}, L = {:>2}: {:>22} flows", space.flow_length(), space.num_complete_flows());
+        println!(
+            "  n = 6, m = {m}, L = {:>2}: {:>22} flows",
+            space.flow_length(),
+            space.num_complete_flows()
+        );
     }
 
     // QoR spread of a handful of random flows on one design.
@@ -27,11 +31,16 @@ fn main() {
     let space = FlowSpace::paper();
     let mut rng = ChaCha8Rng::seed_from_u64(2024);
     let flows = space.random_unique_flows(8, &mut rng);
-    let runner = FlowRunner::new();
+    let engine = EvalEngine::default();
+    let seqs: Vec<Vec<synth::Transform>> = flows.iter().map(|f| f.transforms().to_vec()).collect();
+    let qors = engine.evaluate_batch(&design, &seqs);
     println!("\nQoR of 8 random 24-step flows on {}:", design.name());
-    for flow in &flows {
-        let qor = runner.run(&design, flow.transforms()).qor;
-        println!("  area {:>8.2} um^2  delay {:>7.1} ps   {}", qor.area_um2, qor.delay_ps, flow);
+    for (flow, qor) in flows.iter().zip(&qors) {
+        println!(
+            "  area {:>8.2} um^2  delay {:>7.1} ps   {}",
+            qor.area_um2, qor.delay_ps, flow
+        );
     }
-    println!("\nSame transformations, different order, different QoR — the paper's motivation.");
+    println!("\nengine: {}", engine.stats());
+    println!("Same transformations, different order, different QoR — the paper's motivation.");
 }

@@ -6,6 +6,7 @@
 
 pub use aig;
 pub use circuits;
+pub use floweval;
 pub use flowgen;
 pub use nn;
 pub use synth;

@@ -36,7 +36,11 @@ fn manual_pipeline_produces_consistent_artifacts() {
     assert!(hist[0] >= 1, "some flows must land in the best class");
 
     // 4. CNN training on the labelled flows.
-    let config = ClassifierConfig { num_kernels: 4, dense_units: 16, ..ClassifierConfig::default() };
+    let config = ClassifierConfig {
+        num_kernels: 4,
+        dense_units: 16,
+        ..ClassifierConfig::default()
+    };
     let mut classifier = FlowClassifier::new(FlowEncoder::paper(), config);
     let loss = classifier.train(&dataset, 60);
     assert!(loss.is_finite() && loss > 0.0);
@@ -77,7 +81,12 @@ fn framework_report_is_internally_consistent() {
     assert_eq!(report.sample_qors.len(), 24);
     assert_eq!(report.sample_labels.len(), 24);
     // Every selected flow references a valid sample index with a known label.
-    for s in report.selection.angel_flows.iter().chain(&report.selection.devil_flows) {
+    for s in report
+        .selection
+        .angel_flows
+        .iter()
+        .chain(&report.selection.devil_flows)
+    {
         assert!(s.index < 24);
         assert!(report.sample_labels[s.index] < 7);
     }

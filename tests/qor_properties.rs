@@ -1,74 +1,101 @@
-//! Property-based integration tests over the flow space, encoding, labelling
+//! Property-style integration tests over the flow space, encoding, labelling
 //! and synthesis QoR invariants.
+//!
+//! The properties are checked over seeded random cases (no external
+//! property-testing framework is available offline); failures print the
+//! offending case so it can be pinned as a regression test.
 
 use circuits::{Design, DesignScale};
 use flowgen::{Flow, FlowEncoder, FlowSpace, Labeler};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use synth::{FlowRunner, QorMetric, Transform};
 
-/// Strategy producing an arbitrary (possibly short) flow.
-fn arb_flow(max_len: usize) -> impl Strategy<Value = Flow> {
-    prop::collection::vec(0usize..Transform::COUNT, 0..=max_len)
-        .prop_map(|idx| Flow::new(idx.into_iter().map(Transform::from_index).collect()))
+/// Draws an arbitrary (possibly short) flow of at most `max_len` steps.
+fn arb_flow(max_len: usize, rng: &mut ChaCha8Rng) -> Flow {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| Transform::from_index(rng.gen_range(0..Transform::COUNT)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn script_roundtrip_for_arbitrary_flows(flow in arb_flow(24)) {
+#[test]
+fn script_roundtrip_for_arbitrary_flows() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x51);
+    for case in 0..16 {
+        let flow = arb_flow(24, &mut rng);
         let script = flow.to_script();
         let parsed = Flow::parse_script(&script).expect("round-trip");
-        prop_assert_eq!(parsed, flow);
+        assert_eq!(parsed, flow, "case {case}: script `{script}`");
     }
+}
 
-    #[test]
-    fn one_hot_encoding_has_one_bit_per_step(flow in arb_flow(24)) {
-        let encoder = FlowEncoder::new(Transform::COUNT, flow.len(), false);
+#[test]
+fn one_hot_encoding_has_one_bit_per_step() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x52);
+    for case in 0..16 {
+        let flow = arb_flow(24, &mut rng);
         if flow.is_empty() {
-            return Ok(());
+            continue;
         }
+        let encoder = FlowEncoder::new(Transform::COUNT, flow.len(), false);
         let t = encoder.encode(&flow);
-        prop_assert_eq!(t.sum() as usize, flow.len());
+        assert_eq!(t.sum() as usize, flow.len(), "case {case}");
         for row in 0..flow.len() {
-            let ones: f32 = (0..Transform::COUNT).map(|c| t.data()[row * Transform::COUNT + c]).sum();
-            prop_assert_eq!(ones as usize, 1);
+            let ones: f32 = (0..Transform::COUNT)
+                .map(|c| t.data()[row * Transform::COUNT + c])
+                .sum();
+            assert_eq!(ones as usize, 1, "case {case}, row {row}");
         }
     }
+}
 
-    #[test]
-    fn labeler_classes_are_monotone(values in prop::collection::vec(1.0f64..1000.0, 10..60), probe in 0.0f64..1200.0) {
-        let labeler = Labeler::from_percentiles(QorMetric::Area, &values, &flowgen::PAPER_PERCENTILES);
+#[test]
+fn labeler_classes_are_monotone() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x53);
+    for case in 0..16 {
+        let n = rng.gen_range(10..60);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..1000.0)).collect();
+        let labeler =
+            Labeler::from_percentiles(QorMetric::Area, &values, &flowgen::PAPER_PERCENTILES);
+        let probe: f64 = rng.gen_range(0.0..1200.0);
         let class = labeler.classify_value(probe);
-        prop_assert!(class < labeler.num_classes());
+        assert!(class < labeler.num_classes(), "case {case}");
         // A strictly larger value never gets a strictly better (smaller) class.
         let worse = labeler.classify_value(probe + 1.0);
-        prop_assert!(worse >= class);
+        assert!(worse >= class, "case {case}: probe {probe}");
     }
+}
 
-    #[test]
-    fn partial_flow_counts_are_monotone_in_length(n in 2usize..=5, m in 1usize..=3) {
+#[test]
+fn partial_flow_counts_are_monotone_in_length() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x54);
+    for case in 0..16 {
+        let n = rng.gen_range(2..=5usize);
+        let m = rng.gen_range(1..=3usize);
         let space = FlowSpace::new(n, m);
         let mut last = 1u128;
         for length in 1..=(n * m) {
             let count = space.num_partial_flows(length);
-            prop_assert!(count >= last || length == n * m,
-                "counts should grow until the space saturates");
+            assert!(
+                count >= last || length == n * m,
+                "case {case} (n={n}, m={m}): counts should grow until the space saturates"
+            );
             last = count;
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(4))]
-
-    #[test]
-    fn short_random_flows_yield_positive_qor(flow in arb_flow(3)) {
-        let design = Design::Alu64.generate(DesignScale::Tiny);
-        let runner = FlowRunner::new();
+#[test]
+fn short_random_flows_yield_positive_qor() {
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+    let runner = FlowRunner::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x55);
+    for case in 0..4 {
+        let flow = arb_flow(3, &mut rng);
         let outcome = runner.run(&design, flow.transforms());
-        prop_assert!(outcome.qor.area_um2 > 0.0);
-        prop_assert!(outcome.qor.delay_ps > 0.0);
-        prop_assert!(outcome.qor.gates > 0);
+        assert!(outcome.qor.area_um2 > 0.0, "case {case}: {flow}");
+        assert!(outcome.qor.delay_ps > 0.0, "case {case}: {flow}");
+        assert!(outcome.qor.gates > 0, "case {case}: {flow}");
     }
 }

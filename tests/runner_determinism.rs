@@ -1,0 +1,57 @@
+//! Determinism of parallel batch evaluation: `FlowRunner::run_batch` (and the
+//! floweval engine built on top of it) must return the same values in the
+//! same order regardless of the worker-thread count.
+
+use circuits::{Design, DesignScale};
+use floweval::EvalEngine;
+use flowgen::FlowSpace;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use synth::{FlowRunner, Qor, Transform};
+
+/// Property test over several seeds and thread counts.  All thread-count
+/// variations run inside this single `#[test]` because `RAYON_NUM_THREADS`
+/// is process-global state and the default test harness runs tests
+/// concurrently.
+#[test]
+fn run_batch_is_independent_of_thread_count() {
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+    let runner = FlowRunner::new();
+    let space = FlowSpace::new(6, 1);
+
+    for seed in [1u64, 7, 42] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let flows: Vec<Vec<Transform>> = space
+            .random_unique_flows(10, &mut rng)
+            .iter()
+            .map(|f| f.transforms().to_vec())
+            .collect();
+
+        // Pin the thread count through the pool API (portable between the
+        // vendored rayon stand-in and upstream rayon, which reads
+        // RAYON_NUM_THREADS only once at global-pool creation).
+        let mut per_thread_count: Vec<Vec<Qor>> = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            per_thread_count.push(pool.install(|| runner.run_batch(&design, &flows)));
+        }
+        let reference = &per_thread_count[0];
+        for (i, result) in per_thread_count.iter().enumerate().skip(1) {
+            assert_eq!(
+                result, reference,
+                "seed {seed}: thread-count variant {i} changed order or values"
+            );
+        }
+
+        // The engine path must agree with the single-threaded runner too.
+        let engine = EvalEngine::default();
+        assert_eq!(
+            &engine.evaluate_batch(&design, &flows),
+            reference,
+            "seed {seed}"
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the API surface the workspace's benches use: benchmark groups,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`black_box`] and
+//! the `criterion_group!` / `criterion_main!` macros.  Timing is a simple
+//! best-of-N wall-clock measurement printed as one line per benchmark — enough
+//! to compare hot paths offline, without the statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a shared input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        best: Duration::MAX,
+        iters: 0,
+        samples: sample_size,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("  {label}: no measurement");
+    } else {
+        println!(
+            "  {label}: best {:?} over {} samples",
+            bencher.best, bencher.iters
+        );
+    }
+}
+
+/// Times closures handed to it by the benchmark body.
+pub struct Bencher {
+    best: Duration,
+    iters: usize,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measures `routine` `sample_size` times and records the best time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            if elapsed < self.best {
+                self.best = elapsed;
+            }
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", "x").to_string(), "f/x");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

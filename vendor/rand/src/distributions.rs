@@ -1,0 +1,153 @@
+//! The subset of `rand::distributions` used by the workspace.
+
+use crate::{unit_f32, unit_float, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: unit-interval floats, full-range integers.
+pub struct Standard;
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        unit_f32(rng)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_float(rng)
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types that [`Uniform`] can sample.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a sample from `[low, high)` or `[low, high]`.
+    fn sample_uniform<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+/// A uniform distribution over a closed or half-open interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Uniform distribution over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new requires low < high");
+        Uniform {
+            low,
+            high,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform distribution over `[low, high]`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+        Uniform {
+            low,
+            high,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_uniform(self.low, self.high, self.inclusive, rng)
+    }
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                use crate::SampleRange;
+                if inclusive {
+                    (low..=high).sample_single(rng)
+                } else {
+                    (low..high).sample_single(rng)
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngCore;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn uniform_float_bounds() {
+        let dist = Uniform::new_inclusive(-2.0f32, 2.0f32);
+        let mut rng = Counter(3);
+        for _ in 0..500 {
+            let v = dist.sample(&mut rng);
+            assert!((-2.0..=2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_int_bounds() {
+        let dist = Uniform::new(10usize, 20usize);
+        let mut rng = Counter(5);
+        for _ in 0..500 {
+            let v = dist.sample(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

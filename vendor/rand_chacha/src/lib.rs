@@ -1,0 +1,130 @@
+//! Offline stand-in for the `rand_chacha` crate: a real ChaCha8 generator.
+//!
+//! Implements the ChaCha stream cipher core (Bernstein, 2008) with 8 rounds,
+//! exposed through the vendored [`rand`] traits.  Deterministic for a given
+//! seed; the keystream is genuine ChaCha8 although the word-consumption order
+//! (and therefore the sample stream) differs from upstream `rand_chacha`.
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha stream cipher based generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher input state: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current output block.
+    block: [u32; 16],
+    /// Next unread word of `block`; 16 means exhausted.
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // One double round: a column round followed by a diagonal round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self.block.iter_mut().zip(working.iter().zip(&self.state)) {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12..13.
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        hi << 32 | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_style_block_matches_rfc_structure() {
+        // RFC 7539 test vector uses 20 rounds; here we only check that the
+        // 8-round core is deterministic, non-trivial and seed-sensitive.
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let mut c = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys, "same seed, same stream");
+        assert_ne!(xs, zs, "different seed, different stream");
+        assert!(xs.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn words_are_roughly_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let ones: u32 = (0..1024).map(|_| rng.next_u32().count_ones()).sum();
+        let total = 1024 * 32;
+        let ratio = f64::from(ones) / f64::from(total);
+        assert!((0.48..0.52).contains(&ratio), "bit balance off: {ratio}");
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..5 {
+            rng.next_u32();
+        }
+        let mut fork = rng.clone();
+        assert_eq!(rng.next_u64(), fork.next_u64());
+    }
+}

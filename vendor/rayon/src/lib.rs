@@ -1,0 +1,270 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the data-parallel slice API the workspace uses — `par_iter()`
+//! followed by `map`/`for_each`/`collect` — implemented with scoped OS threads
+//! and an atomic work-stealing index, so batches really do run in parallel.
+//!
+//! The thread count honours the `RAYON_NUM_THREADS` environment variable
+//! (like upstream rayon) and defaults to the available parallelism.  Results
+//! are always returned in input order regardless of the thread count.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    //! Traits that make `par_iter()` available on slices and vectors.
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Thread count forced by an enclosing [`ThreadPool::install`] call.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads to use for one parallel call.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(Cell::get) {
+        return n;
+    }
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) | Err(_) => default_threads(),
+            Ok(n) => n,
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (never produced by this
+/// stand-in; it exists for upstream API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("could not build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (automatic) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker-thread count; `0` means automatic.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                default_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A scoped thread-count context, mirroring `rayon::ThreadPool`.
+///
+/// This stand-in spawns threads per parallel call rather than keeping a pool
+/// alive, so [`ThreadPool::install`] simply pins the thread count used by
+/// parallel calls made from the closure (on the calling thread).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's thread count in effect.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _guard = Restore(INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads))));
+        op()
+    }
+}
+
+/// Runs `f` over every item, in parallel, preserving input order.
+fn parallel_map<'data, T, R, F>(items: &'data [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("worker thread panicked") {
+                slots[i] = Some(r);
+            }
+        }
+        slots
+    });
+    slots
+        .iter_mut()
+        .map(|slot| slot.take().expect("every index produced"))
+        .collect()
+}
+
+/// Conversion of `&collection` into a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type yielded by the iterator.
+    type Item: 'data;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Returns a parallel iterator over borrowed items.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParSlice<'data, T>;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParSlice<'data, T>;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// A parallel iterator: a recipe that can be mapped and then collected.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Executes the recipe and returns all items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+
+    /// Collects the mapped items, in input order, into `C`.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(self.run())
+    }
+}
+
+/// Parallel iterator over a borrowed slice.
+pub struct ParSlice<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for ParSlice<'data, T> {
+    type Item = &'data T;
+
+    fn run(self) -> Vec<&'data T> {
+        self.items.iter().collect()
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'data, T, R, F> ParallelIterator for ParMap<ParSlice<'data, T>, F>
+where
+    T: Sync + 'data,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        parallel_map(self.inner.items, self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..997).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..997).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_under_any_thread_count() {
+        let input: Vec<u64> = (0..200).collect();
+        let expected: Vec<u64> = input.iter().map(|&x| x * x + 1).collect();
+        let got: Vec<u64> = input.par_iter().map(|&x| x * x + 1).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -1,0 +1,459 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually contains — structs with named fields, tuple
+//! structs, unit structs, and enums with unit / tuple / struct variants —
+//! without depending on `syn`/`quote` (which are unavailable offline).  The
+//! only recognised field attribute is `#[serde(skip)]`: the field is omitted
+//! on serialization and filled with `Default::default()` on deserialization.
+//!
+//! Generic types are rejected with a compile-time panic; nothing in the
+//! workspace derives serde impls on a generic type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the vendored serde derive does not support generic type `{name}`");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(group.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other}`"),
+    };
+    Parsed { name, shape }
+}
+
+/// Advances past outer attributes (`#[...]`) and a visibility modifier.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracketed group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` and friends
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Returns `true` when an attribute group's content is exactly `serde(skip)`.
+fn attribute_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes leading field/variant attributes, returning whether one was
+/// `#[serde(skip)]`.
+fn take_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(group)) = tokens.get(*i + 1) {
+            if attribute_is_serde_skip(group.stream()) {
+                skip = true;
+            }
+        }
+        *i += 2;
+    }
+    skip
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let skip = take_attributes(&tokens, &mut i);
+        // Visibility.
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, skip });
+        // Optional trailing comma already consumed by `skip_type`.
+    }
+    fields
+}
+
+/// Advances past one type, stopping after the following top-level comma (or at
+/// the end of the stream).  Angle brackets are tracked manually because they
+/// are plain punctuation at the token level.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*i) {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = true;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+            }
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        take_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let data = match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantData::Tuple(count_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantData::Struct(parse_named_fields(group.stream()))
+            }
+            _ => VariantData::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("explicit enum discriminants are not supported by the vendored serde derive");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, data });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let mut out =
+                String::from("let mut entries: Vec<(String, serde::Value)> = Vec::new();\n");
+            for field in fields.iter().filter(|f| !f.skip) {
+                out.push_str(&format!(
+                    "entries.push((String::from(\"{f}\"), serde::Serialize::to_value(&self.{f})));\n",
+                    f = field.name
+                ));
+            }
+            out.push_str("serde::Value::Object(entries)");
+            out
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(count) => {
+            let items: Vec<String> = (0..*count)
+                .map(|idx| format!("serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.data {
+                    VariantData::Unit => arms.push_str(&format!(
+                        "{name}::{v} => serde::Value::Str(String::from(\"{v}\")),\n"
+                    )),
+                    VariantData::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => serde::Value::Object(vec![(String::from(\"{v}\"), \
+                         serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantData::Tuple(count) => {
+                        let binders: Vec<String> = (0..*count).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => serde::Value::Object(vec![(String::from(\"{v}\"), \
+                             serde::Value::Array(vec![{items}]))]),\n",
+                            binds = binders.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantData::Struct(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), serde::Serialize::to_value({f}))",
+                                    f = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => serde::Value::Object(vec![(String::from(\"{v}\"), \
+                             serde::Value::Object(vec![{items}]))]),\n",
+                            binds = binders.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|field| {
+                    if field.skip {
+                        format!("{}: Default::default()", field.name)
+                    } else {
+                        format!(
+                            "{f}: serde::Deserialize::from_value(serde::field(value, \"{f}\", \"{name}\")?)?",
+                            f = field.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "if value.as_object().is_none() {{\n\
+                 return Err(serde::Error::custom(\"expected object for {name}\"));\n}}\n\
+                 Ok({name} {{ {inits} }})",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(value)?))")
+        }
+        Shape::TupleStruct(count) => {
+            let items: Vec<String> = (0..*count)
+                .map(|idx| format!("serde::Deserialize::from_value(&__arr[{idx}])?"))
+                .collect();
+            format!(
+                "let __arr = value.as_array()\
+                 .ok_or_else(|| serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {count} {{\n\
+                 return Err(serde::Error::custom(\"wrong tuple length for {name}\"));\n}}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.data {
+                    VariantData::Unit => {
+                        unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+                    }
+                    VariantData::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => Ok({name}::{v}(serde::Deserialize::from_value(__val)?)),\n"
+                        ));
+                    }
+                    VariantData::Tuple(count) => {
+                        let items: Vec<String> = (0..*count)
+                            .map(|idx| format!("serde::Deserialize::from_value(&__arr[{idx}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __arr = __val.as_array()\
+                             .ok_or_else(|| serde::Error::custom(\"expected array for {name}::{v}\"))?;\n\
+                             if __arr.len() != {count} {{\n\
+                             return Err(serde::Error::custom(\"wrong tuple length for {name}::{v}\"));\n}}\n\
+                             Ok({name}::{v}({items}))\n}}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantData::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|field| {
+                                if field.skip {
+                                    format!("{}: Default::default()", field.name)
+                                } else {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(serde::field(__val, \"{f}\", \"{name}::{v}\")?)?",
+                                        f = field.name
+                                    )
+                                }
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => Ok({name}::{v} {{ {inits} }}),\n",
+                            inits = inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 _ => Err(serde::Error::custom(\"unknown variant of {name}\")),\n}},\n\
+                 serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __val) = &__entries[0];\n\
+                 let _ = __val;\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 _ => Err(serde::Error::custom(\"unknown variant of {name}\")),\n}}\n}},\n\
+                 _ => Err(serde::Error::custom(\"expected enum value for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
