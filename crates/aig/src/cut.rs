@@ -232,6 +232,143 @@ pub fn cut_truth(aig: &Aig, root: NodeId, cut: &Cut) -> crate::Result<TruthTable
     eval_node(aig, root, nv, &mut memo)
 }
 
+/// Maximum cut width supported by the scratch-based fast path of
+/// [`cut_truth_with`] (wider cuts fall back to [`cut_truth`]).
+pub const MAX_SCRATCH_TRUTH_VARS: usize = 8;
+
+/// Reusable buffers for allocation-free cut-function computation.
+///
+/// The resynthesis passes compute one cut function per node per sweep; with a
+/// scratch carried across calls, [`cut_truth_with`] performs the cone walk
+/// iteratively over dense, stamped word buffers instead of rebuilding a
+/// `HashMap<NodeId, TruthTable>` (and one heap allocation per cone node) on
+/// every call.
+#[derive(Debug, Default)]
+pub struct CutTruthScratch {
+    words: Vec<[u64; 4]>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    stack: Vec<NodeId>,
+}
+
+impl CutTruthScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, len: usize) {
+        if self.stamp.len() < len {
+            self.stamp.resize(len, 0);
+            self.words.resize(len, [0; 4]);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn stamped(&self, id: NodeId) -> bool {
+        self.stamp[id] == self.epoch
+    }
+
+    #[inline]
+    fn set(&mut self, id: NodeId, w: [u64; 4]) {
+        self.words[id] = w;
+        self.stamp[id] = self.epoch;
+    }
+}
+
+/// Truth-table words of variable `v` over the full 8-variable scratch domain.
+#[inline]
+fn var_words8(v: usize) -> [u64; 4] {
+    match v {
+        0..=5 => [crate::truth::VAR_MASKS[v]; 4],
+        6 => [0, u64::MAX, 0, u64::MAX],
+        _ => [0, 0, u64::MAX, u64::MAX],
+    }
+}
+
+/// Computes the truth table of `root` over the leaves of `cut`, reusing the
+/// buffers of `scratch` so the cone walk itself performs no heap allocation.
+///
+/// Produces exactly the same result as [`cut_truth`]; cuts wider than
+/// [`MAX_SCRATCH_TRUTH_VARS`] fall back to it.
+///
+/// # Errors
+///
+/// Same conditions as [`cut_truth`].
+pub fn cut_truth_with(
+    aig: &Aig,
+    root: NodeId,
+    cut: &Cut,
+    scratch: &mut CutTruthScratch,
+) -> crate::Result<TruthTable> {
+    let nv = cut.size();
+    if nv > MAX_SCRATCH_TRUTH_VARS {
+        return cut_truth(aig, root, cut);
+    }
+    scratch.begin(aig.len());
+    for (i, &leaf) in cut.leaves().iter().enumerate() {
+        scratch.set(leaf, var_words8(i));
+    }
+    if !scratch.stamped(root) {
+        // The computation runs over the full 8-variable domain (leaf patterns
+        // replicate), so complement and AND are plain word operations; the
+        // result is truncated to `nv` variables at the end.
+        let mut stack = std::mem::take(&mut scratch.stack);
+        stack.clear();
+        stack.push(root);
+        while let Some(&id) = stack.last() {
+            if scratch.stamped(id) {
+                stack.pop();
+                continue;
+            }
+            if id == 0 {
+                scratch.set(0, [0; 4]);
+                stack.pop();
+                continue;
+            }
+            let Some((a, b)) = aig.node(id).fanins() else {
+                // A primary input not covered by the cut.
+                scratch.stack = stack;
+                return Err(crate::AigError::InvalidLiteral(Lit::from_node(id, false)));
+            };
+            let (an, bn) = (a.node(), b.node());
+            let mut ready = true;
+            // Push `b` first so `a`'s subtree is evaluated first, mirroring the
+            // recursive reference (relevant for which uncovered input errors).
+            if !scratch.stamped(bn) {
+                stack.push(bn);
+                ready = false;
+            }
+            if !scratch.stamped(an) {
+                stack.push(an);
+                ready = false;
+            }
+            if !ready {
+                continue;
+            }
+            let wa = scratch.words[an];
+            let wb = scratch.words[bn];
+            let mut w = [0u64; 4];
+            for (i, slot) in w.iter_mut().enumerate() {
+                let x = if a.is_complemented() { !wa[i] } else { wa[i] };
+                let y = if b.is_complemented() { !wb[i] } else { wb[i] };
+                *slot = x & y;
+            }
+            scratch.set(id, w);
+            stack.pop();
+        }
+        scratch.stack = stack;
+    }
+    let result = scratch.words[root];
+    let word_count = if nv <= 6 { 1 } else { 1 << (nv - 6) };
+    Ok(TruthTable::from_words(nv, result[..word_count].to_vec()))
+}
+
 fn eval_node(
     aig: &Aig,
     id: NodeId,
@@ -349,6 +486,29 @@ mod tests {
         let cut = Cut::trivial(f.node());
         let t = cut_truth(&g, f.node(), &cut).expect("trivial cut");
         assert_eq!(t, TruthTable::var(0, 1));
+    }
+
+    #[test]
+    fn scratch_truth_matches_reference() {
+        let (g, a, b, c, f, ab) = sample_aig();
+        let d = g.input_ids()[3];
+        let mut scratch = CutTruthScratch::new();
+        let cuts = [
+            Cut::from_leaves(vec![a.node(), b.node(), c.node(), d]),
+            Cut::from_leaves(vec![ab.node(), c.node(), d]),
+            Cut::trivial(f.node()),
+        ];
+        for cut in &cuts {
+            let want = cut_truth(&g, f.node(), cut).expect("covered");
+            let got = cut_truth_with(&g, f.node(), cut, &mut scratch).expect("covered");
+            assert_eq!(want, got, "cut {:?}", cut.leaves());
+        }
+        // Uncovered cones error identically.
+        let bad = Cut::from_leaves(vec![a.node(), b.node()]);
+        assert_eq!(
+            cut_truth(&g, f.node(), &bad),
+            cut_truth_with(&g, f.node(), &bad, &mut scratch)
+        );
     }
 
     #[test]

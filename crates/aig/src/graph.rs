@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use crate::{AigError, Lit, Node, Result};
 
@@ -31,7 +31,7 @@ pub type NodeId = usize;
 /// assert_eq!(x, y, "structural hashing merges identical ANDs");
 /// assert_eq!(g.and(a, !a), aig::Lit::FALSE);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Aig {
     name: String,
     nodes: Vec<Node>,
@@ -41,6 +41,25 @@ pub struct Aig {
     output_names: Vec<String>,
     #[serde(skip)]
     strash: HashMap<(u32, u32), NodeId>,
+}
+
+// Deserialization must rebuild the structural-hash table: the hash is skipped
+// on the wire, and a graph with an empty `strash` silently stops merging
+// structurally identical ANDs.
+impl serde::Deserialize for Aig {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let mut aig = Aig {
+            name: String::from_value(serde::field(value, "name", "Aig")?)?,
+            nodes: Vec::from_value(serde::field(value, "nodes", "Aig")?)?,
+            inputs: Vec::from_value(serde::field(value, "inputs", "Aig")?)?,
+            input_names: Vec::from_value(serde::field(value, "input_names", "Aig")?)?,
+            outputs: Vec::from_value(serde::field(value, "outputs", "Aig")?)?,
+            output_names: Vec::from_value(serde::field(value, "output_names", "Aig")?)?,
+            strash: HashMap::new(),
+        };
+        aig.rebuild_strash();
+        Ok(aig)
+    }
 }
 
 impl Default for Aig {
@@ -561,6 +580,28 @@ mod tests {
         assert_eq!(g.find_and(a, c), None);
         assert_eq!(g.find_and(a, Lit::TRUE), Some(a));
         assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn deserialization_rebuilds_strash() {
+        let (mut g, a, b, c) = simple();
+        let ab = g.and(a, b);
+        let bc = g.and(b, c);
+        let f = g.and(ab, bc);
+        g.add_output("f", f);
+
+        let json = serde_json::to_string(&g).expect("serialize");
+        let mut restored: Aig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(restored.num_ands(), g.num_ands());
+
+        // The structural hash must be live again: requesting existing ANDs
+        // returns the existing nodes instead of growing the graph.
+        assert_eq!(restored.find_and(a, b), Some(ab));
+        let again = restored.and(a, b);
+        assert_eq!(again, ab);
+        let merged_top = restored.and(ab, bc);
+        assert_eq!(merged_top, f);
+        assert_eq!(restored.num_ands(), g.num_ands(), "no duplicate nodes");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod cut;
+mod cut4;
 mod graph;
 mod lit;
 mod mffc;
@@ -41,14 +42,21 @@ mod simulate;
 mod stats;
 mod truth;
 
-pub use cut::{cut_truth, Cut, CutEnumerator, CutParams, CutSet};
+pub use cut::{
+    cut_truth, cut_truth_with, Cut, CutEnumerator, CutParams, CutSet, CutTruthScratch,
+    MAX_SCRATCH_TRUTH_VARS,
+};
+pub use cut4::{
+    truth4_pad, truth4_reduce, truth4_support, Cut4, Cut4Enumerator, CutSet4, CUT4_MAX_LEAVES,
+    CUT4_SET_CAPACITY,
+};
 pub use graph::{Aig, NodeId};
 pub use lit::Lit;
 pub use mffc::Mffc;
 pub use node::{Node, NodeKind};
 pub use simulate::{random_equivalence_check, SimVector, Simulator};
 pub use stats::AigStats;
-pub use truth::{TruthTable, MAX_TRUTH_VARS};
+pub use truth::{SmallTruth, TruthOps, TruthTable, MAX_TRUTH_VARS};
 
 /// Errors produced by AIG construction and analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]

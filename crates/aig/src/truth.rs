@@ -28,7 +28,7 @@ pub struct TruthTable {
 }
 
 /// Pattern of variable `v` within one 64-bit word, for `v < 6`.
-const VAR_MASKS: [u64; 6] = [
+pub(crate) const VAR_MASKS: [u64; 6] = [
     0xAAAA_AAAA_AAAA_AAAA,
     0xCCCC_CCCC_CCCC_CCCC,
     0xF0F0_F0F0_F0F0_F0F0,
@@ -313,6 +313,270 @@ impl TruthTable {
     }
 }
 
+/// Shared interface of [`TruthTable`] and [`SmallTruth`].
+///
+/// Recursive truth-table algorithms (ISOP extraction, Shannon decomposition)
+/// are written once against this trait; running them on [`SmallTruth`] makes
+/// the recursion allocation-free for functions of up to
+/// [`SmallTruth::MAX_VARS`] variables while producing bit-identical results.
+pub trait TruthOps: Sized + Clone + PartialEq {
+    /// The constant-false function over `num_vars` variables.
+    fn zeros_like(num_vars: usize) -> Self;
+    /// The constant-true function over `num_vars` variables.
+    fn ones_like(num_vars: usize) -> Self;
+    /// The projection of variable `var` over `num_vars` variables.
+    fn var_like(var: usize, num_vars: usize) -> Self;
+    /// Number of variables.
+    fn num_vars(&self) -> usize;
+    /// `true` if constant false.
+    fn is_zero(&self) -> bool;
+    /// `true` if constant true.
+    fn is_one(&self) -> bool;
+    /// Number of satisfying assignments.
+    fn count_ones(&self) -> u32;
+    /// Complement.
+    fn not(&self) -> Self;
+    /// Conjunction.
+    fn and(&self, other: &Self) -> Self;
+    /// Disjunction.
+    fn or(&self, other: &Self) -> Self;
+    /// Negative cofactor (replicated over the full domain).
+    fn cofactor0(&self, var: usize) -> Self;
+    /// Positive cofactor (replicated over the full domain).
+    fn cofactor1(&self, var: usize) -> Self;
+
+    /// `true` if the function depends on `var`.
+    fn depends_on(&self, var: usize) -> bool {
+        self.cofactor0(var) != self.cofactor1(var)
+    }
+}
+
+impl TruthOps for TruthTable {
+    fn zeros_like(num_vars: usize) -> Self {
+        TruthTable::zeros(num_vars)
+    }
+    fn ones_like(num_vars: usize) -> Self {
+        TruthTable::ones(num_vars)
+    }
+    fn var_like(var: usize, num_vars: usize) -> Self {
+        TruthTable::var(var, num_vars)
+    }
+    fn num_vars(&self) -> usize {
+        TruthTable::num_vars(self)
+    }
+    fn is_zero(&self) -> bool {
+        TruthTable::is_zero(self)
+    }
+    fn is_one(&self) -> bool {
+        TruthTable::is_one(self)
+    }
+    fn count_ones(&self) -> u32 {
+        TruthTable::count_ones(self)
+    }
+    fn not(&self) -> Self {
+        TruthTable::not(self)
+    }
+    fn and(&self, other: &Self) -> Self {
+        TruthTable::and(self, other)
+    }
+    fn or(&self, other: &Self) -> Self {
+        TruthTable::or(self, other)
+    }
+    fn cofactor0(&self, var: usize) -> Self {
+        TruthTable::cofactor0(self, var)
+    }
+    fn cofactor1(&self, var: usize) -> Self {
+        TruthTable::cofactor1(self, var)
+    }
+    fn depends_on(&self, var: usize) -> bool {
+        TruthTable::depends_on(self, var)
+    }
+}
+
+/// An inline, heap-free truth table over at most [`SmallTruth::MAX_VARS`]
+/// variables — the working type of the fast resynthesis paths.
+///
+/// Semantics match [`TruthTable`] bit for bit (the differential tests compare
+/// the two directly); only the storage differs: four inline words instead of a
+/// heap vector, so the type is `Copy` and every operation allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmallTruth {
+    num_vars: u8,
+    words: [u64; 4],
+}
+
+impl SmallTruth {
+    /// Maximum number of variables (4 inline words = 256 rows).
+    pub const MAX_VARS: usize = 8;
+
+    fn word_count(num_vars: usize) -> usize {
+        if num_vars <= 6 {
+            1
+        } else {
+            1 << (num_vars - 6)
+        }
+    }
+
+    /// Converts from a [`TruthTable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has more than [`SmallTruth::MAX_VARS`] variables.
+    pub fn from_table(t: &TruthTable) -> Self {
+        let nv = t.num_vars();
+        assert!(nv <= Self::MAX_VARS, "SmallTruth spans at most 8 variables");
+        let mut words = [0u64; 4];
+        words[..t.words().len()].copy_from_slice(t.words());
+        SmallTruth {
+            num_vars: nv as u8,
+            words,
+        }
+    }
+
+    /// Converts into a heap-backed [`TruthTable`].
+    pub fn to_table(&self) -> TruthTable {
+        let wc = Self::word_count(self.num_vars as usize);
+        TruthTable::from_words(self.num_vars as usize, self.words[..wc].to_vec())
+    }
+
+    /// Returns the function value for assignment `row`.
+    pub fn get(&self, row: usize) -> bool {
+        assert!(row < 1usize << self.num_vars, "row out of range");
+        self.words[row / 64] >> (row % 64) & 1 == 1
+    }
+}
+
+impl TruthOps for SmallTruth {
+    fn zeros_like(num_vars: usize) -> Self {
+        assert!(num_vars <= Self::MAX_VARS);
+        SmallTruth {
+            num_vars: num_vars as u8,
+            words: [0; 4],
+        }
+    }
+
+    fn ones_like(num_vars: usize) -> Self {
+        let mut t = Self::zeros_like(num_vars);
+        let tail = TruthTable::tail_mask(num_vars);
+        for w in t.words[..Self::word_count(num_vars)].iter_mut() {
+            *w = tail;
+        }
+        t
+    }
+
+    fn var_like(var: usize, num_vars: usize) -> Self {
+        assert!(var < num_vars, "variable index out of range");
+        let mut t = Self::zeros_like(num_vars);
+        let wc = Self::word_count(num_vars);
+        if var < 6 {
+            let mask = VAR_MASKS[var] & TruthTable::tail_mask(num_vars);
+            for w in t.words[..wc].iter_mut() {
+                *w = mask;
+            }
+        } else {
+            let block = 1 << (var - 6);
+            for (i, w) in t.words[..wc].iter_mut().enumerate() {
+                if (i / block) % 2 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        t
+    }
+
+    fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    fn is_zero(&self) -> bool {
+        self.words == [0; 4]
+    }
+
+    fn is_one(&self) -> bool {
+        *self == Self::ones_like(self.num_vars as usize)
+    }
+
+    fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    fn not(&self) -> Self {
+        let tail = TruthTable::tail_mask(self.num_vars as usize);
+        let wc = Self::word_count(self.num_vars as usize);
+        let mut out = *self;
+        for w in out.words[..wc].iter_mut() {
+            *w = !*w & tail;
+        }
+        out
+    }
+
+    fn and(&self, other: &Self) -> Self {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        let mut out = *self;
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+        out
+    }
+
+    fn or(&self, other: &Self) -> Self {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        let mut out = *self;
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        out
+    }
+
+    fn cofactor0(&self, var: usize) -> Self {
+        assert!(var < self.num_vars as usize);
+        let mut out = *self;
+        let wc = Self::word_count(self.num_vars as usize);
+        if var < 6 {
+            let shift = 1usize << var;
+            let mask = !VAR_MASKS[var];
+            for w in out.words[..wc].iter_mut() {
+                let low = *w & mask;
+                *w = low | (low << shift);
+            }
+        } else {
+            let block = 1 << (var - 6);
+            let mut i = 0;
+            while i < wc {
+                for j in 0..block {
+                    out.words[i + block + j] = out.words[i + j];
+                }
+                i += 2 * block;
+            }
+        }
+        out
+    }
+
+    fn cofactor1(&self, var: usize) -> Self {
+        assert!(var < self.num_vars as usize);
+        let mut out = *self;
+        let wc = Self::word_count(self.num_vars as usize);
+        if var < 6 {
+            let shift = 1usize << var;
+            let mask = VAR_MASKS[var];
+            for w in out.words[..wc].iter_mut() {
+                let high = *w & mask;
+                *w = high | (high >> shift);
+            }
+        } else {
+            let block = 1 << (var - 6);
+            let mut i = 0;
+            while i < wc {
+                for j in 0..block {
+                    out.words[i + j] = out.words[i + block + j];
+                }
+                i += 2 * block;
+            }
+        }
+        out
+    }
+}
+
 impl std::fmt::Display for TruthTable {
     /// Hexadecimal display, most-significant row first (ABC convention).
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -423,6 +687,46 @@ mod tests {
         assert_eq!(a.to_string(), "a");
         let f = TruthTable::ones(6);
         assert_eq!(f.to_string(), "ffffffffffffffff");
+    }
+
+    /// Every `SmallTruth` operation must match `TruthTable` bit for bit.
+    #[test]
+    fn small_truth_matches_table_operations() {
+        let mut state = 0xA5A5_5A5A_DEAD_BEEFu64;
+        for nv in 1..=8usize {
+            for _ in 0..10 {
+                let mut a = TruthTable::zeros(nv);
+                let mut b = TruthTable::zeros(nv);
+                for row in 0..a.num_rows() {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    a.set(row, state >> 17 & 1 == 1);
+                    b.set(row, state >> 43 & 1 == 1);
+                }
+                let (sa, sb) = (SmallTruth::from_table(&a), SmallTruth::from_table(&b));
+                assert_eq!(sa.to_table(), a);
+                assert_eq!(TruthOps::and(&sa, &sb).to_table(), a.and(&b), "nv={nv}");
+                assert_eq!(TruthOps::or(&sa, &sb).to_table(), a.or(&b), "nv={nv}");
+                assert_eq!(TruthOps::not(&sa).to_table(), a.not(), "nv={nv}");
+                assert_eq!(TruthOps::is_zero(&sa), a.is_zero());
+                assert_eq!(TruthOps::is_one(&sa), a.is_one());
+                assert_eq!(TruthOps::count_ones(&sa), a.count_ones());
+                for v in 0..nv {
+                    assert_eq!(sa.cofactor0(v).to_table(), a.cofactor0(v), "nv={nv} v={v}");
+                    assert_eq!(sa.cofactor1(v).to_table(), a.cofactor1(v), "nv={nv} v={v}");
+                    assert_eq!(TruthOps::depends_on(&sa, v), a.depends_on(v));
+                    assert_eq!(
+                        SmallTruth::var_like(v, nv).to_table(),
+                        TruthTable::var(v, nv)
+                    );
+                }
+            }
+        }
+        for nv in 1..=8usize {
+            assert_eq!(SmallTruth::zeros_like(nv).to_table(), TruthTable::zeros(nv));
+            assert_eq!(SmallTruth::ones_like(nv).to_table(), TruthTable::ones(nv));
+        }
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Performance report of the small-cut engine (PR 2).
+//!
+//! Times a fixed flow-evaluation workload — every benchmark design crossed
+//! with a set of representative synthesis flows, each followed by technology
+//! mapping — on both cut engines:
+//!
+//! * **baseline**: the reference machinery (`CutEngine::Reference`) — heap
+//!   cuts, per-(node, cut) hash-map cone walks, NPN orbit search;
+//! * **fast**: the zero-allocation small-cut engine (`CutEngine::Fast`) —
+//!   inline `Cut4` sets with fused `u16` truths, scratch-based cone walk,
+//!   precomputed NPN4 table.
+//!
+//! Both engines are verified to produce bit-identical QoR on every item (the
+//! fast path changes cost, not results); the binary exits non-zero otherwise.
+//! Results are written to `BENCH_PR2.json` (override with `PERF_REPORT_OUT`)
+//! so later PRs have a perf trajectory to compare against.  The workload is
+//! deterministic: same designs, same flows, no randomness.
+//!
+//! Scale is selected with `FLOWGEN_SCALE` (`tiny` for the CI smoke run,
+//! `small` — the default here — for the recorded report, `full` for
+//! paper-scale designs).
+
+use std::time::Instant;
+
+use circuits::{Design, DesignScale};
+use serde::Serialize;
+use synth::{
+    apply_sequence_with_engine, map_with_engine, CellLibrary, CutEngine, MapperParams, Qor,
+    Transform,
+};
+
+/// The fixed, named flows of the workload (ABC-style mixes the paper's random
+/// flows are built from; rewrite and mapping dominate real flow evaluation).
+fn workload_flows() -> Vec<(&'static str, Vec<Transform>)> {
+    use Transform::*;
+    vec![
+        (
+            "compress",
+            vec![Balance, Rewrite, RewriteZ, Balance, Rewrite],
+        ),
+        (
+            "resyn2",
+            vec![Balance, Rewrite, Refactor, Balance, RewriteZ, RefactorZ],
+        ),
+        ("mixed-a", vec![Restructure, Rewrite, Balance, Refactor]),
+        ("mixed-b", vec![RefactorZ, Balance, Restructure, RewriteZ]),
+    ]
+}
+
+fn design_scale() -> (&'static str, DesignScale) {
+    match std::env::var("FLOWGEN_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
+        "tiny" => ("tiny", DesignScale::Tiny),
+        "full" => ("full", DesignScale::Full),
+        _ => ("small", DesignScale::Small),
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct ItemReport {
+    design: String,
+    flow: String,
+    subject_ands: usize,
+    baseline_ms: f64,
+    fast_ms: f64,
+    speedup: f64,
+    qor_identical: bool,
+    area_um2: f64,
+    delay_ps: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    pr: String,
+    workload: String,
+    scale: String,
+    items: Vec<ItemReport>,
+    baseline_total_ms: f64,
+    fast_total_ms: f64,
+    speedup: f64,
+    qor_identical: bool,
+}
+
+/// Evaluates one flow end to end (passes + mapping) on one engine.
+fn evaluate(design: &aig::Aig, flow: &[Transform], lib: &CellLibrary, engine: CutEngine) -> Qor {
+    let optimized = apply_sequence_with_engine(design, flow, engine);
+    map_with_engine(&optimized, lib, MapperParams::default(), engine).qor()
+}
+
+fn qor_bits_equal(a: &Qor, b: &Qor) -> bool {
+    a.area_um2.to_bits() == b.area_um2.to_bits()
+        && a.delay_ps.to_bits() == b.delay_ps.to_bits()
+        && a.gates == b.gates
+        && a.and_nodes == b.and_nodes
+        && a.depth == b.depth
+}
+
+fn main() {
+    let (scale_name, scale) = design_scale();
+    let lib = CellLibrary::nangate14();
+    let flows = workload_flows();
+    let designs: Vec<(Design, aig::Aig, usize)> = Design::ALL
+        .iter()
+        .map(|&d| {
+            let g = d.generate(scale);
+            let ands = g.cleanup().num_ands();
+            (d, g, ands)
+        })
+        .collect();
+
+    // Warm-up: touch both engines once (builds the NPN4 table, faults in the
+    // code paths) so neither pays one-time costs inside the measured region.
+    let warm = &designs[0].1;
+    let _ = evaluate(warm, &[Transform::Rewrite], &lib, CutEngine::Reference);
+    let _ = evaluate(warm, &[Transform::Rewrite], &lib, CutEngine::Fast);
+
+    let mut items = Vec::new();
+    let mut all_identical = true;
+    println!(
+        "perf_report: {} designs x {} flows (scale {scale_name})",
+        designs.len(),
+        flows.len()
+    );
+    for (design, graph, subject_ands) in &designs {
+        for (flow_name, flow) in &flows {
+            let t0 = Instant::now();
+            let baseline = evaluate(graph, flow, &lib, CutEngine::Reference);
+            let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let t1 = Instant::now();
+            let fast = evaluate(graph, flow, &lib, CutEngine::Fast);
+            let fast_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+            let identical = qor_bits_equal(&baseline, &fast);
+            all_identical &= identical;
+            let speedup = baseline_ms / fast_ms.max(1e-9);
+            println!(
+                "  {design:<14} {flow_name:<10} baseline {baseline_ms:>9.1} ms   fast {fast_ms:>9.1} ms   x{speedup:.2}   qor {}",
+                if identical { "identical" } else { "MISMATCH" }
+            );
+            items.push(ItemReport {
+                design: design.to_string(),
+                flow: flow_name.to_string(),
+                subject_ands: *subject_ands,
+                baseline_ms,
+                fast_ms,
+                speedup,
+                qor_identical: identical,
+                area_um2: fast.area_um2,
+                delay_ps: fast.delay_ps,
+            });
+        }
+    }
+
+    let baseline_total_ms: f64 = items.iter().map(|i| i.baseline_ms).sum();
+    let fast_total_ms: f64 = items.iter().map(|i| i.fast_ms).sum();
+    let speedup = baseline_total_ms / fast_total_ms.max(1e-9);
+    let report = Report {
+        pr: "PR2-small-cut-engine".to_string(),
+        workload: "designs x representative flows, passes + mapping".to_string(),
+        scale: scale_name.to_string(),
+        items,
+        baseline_total_ms,
+        fast_total_ms,
+        speedup,
+        qor_identical: all_identical,
+    };
+    println!(
+        "total: baseline {baseline_total_ms:.1} ms, fast {fast_total_ms:.1} ms, speedup x{speedup:.2}"
+    );
+
+    let out = std::env::var("PERF_REPORT_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write perf report");
+    println!("wrote {out}");
+
+    if !all_identical {
+        eprintln!("FAIL: fast engine changed QoR");
+        std::process::exit(1);
+    }
+}

@@ -5,7 +5,7 @@
 //! structurally different network than the sum-of-products form used by
 //! `rewrite`/`refactor`.
 
-use aig::{Aig, Lit, NodeId, TruthTable};
+use aig::{Aig, Lit, NodeId, SmallTruth, TruthOps, TruthTable};
 
 /// Builds the Shannon decomposition of `f` into `aig` over the leaf literals.
 ///
@@ -39,7 +39,10 @@ pub fn build_shannon(aig: &mut Aig, f: &TruthTable, leaves: &[Lit]) -> Lit {
 /// reusing already-present structure except nodes for which `excluded` is true.
 ///
 /// The estimate is conservative (an upper bound): it assumes the recursion
-/// creates fresh nodes whenever either mux operand is itself fresh.
+/// creates fresh nodes whenever either mux operand is itself fresh.  This is
+/// the reference entry point; the restructure fast path uses
+/// [`count_shannon_nodes_fast`], which returns the identical count without
+/// allocating during the recursion.
 pub fn count_shannon_nodes(
     aig: &Aig,
     f: &TruthTable,
@@ -49,10 +52,24 @@ pub fn count_shannon_nodes(
     count_rec(aig, f, leaves, excluded).1
 }
 
-/// Returns `(existing_literal_if_free, added_nodes)`.
-fn count_rec(
+/// Allocation-free variant of [`count_shannon_nodes`] for functions of up to
+/// [`SmallTruth::MAX_VARS`] variables (wider functions fall back).
+pub fn count_shannon_nodes_fast(
     aig: &Aig,
     f: &TruthTable,
+    leaves: &[Lit],
+    excluded: impl Fn(NodeId) -> bool + Copy,
+) -> usize {
+    if f.num_vars() > SmallTruth::MAX_VARS {
+        return count_shannon_nodes(aig, f, leaves, excluded);
+    }
+    count_rec(aig, &SmallTruth::from_table(f), leaves, excluded).1
+}
+
+/// Returns `(existing_literal_if_free, added_nodes)`.
+fn count_rec<T: TruthOps>(
+    aig: &Aig,
+    f: &T,
     leaves: &[Lit],
     excluded: impl Fn(NodeId) -> bool + Copy,
 ) -> (Option<Lit>, usize) {
@@ -62,18 +79,26 @@ fn count_rec(
     if f.is_one() {
         return (Some(Lit::TRUE), 0);
     }
-    let support = f.support();
+    let mut support = [0usize; aig::MAX_TRUTH_VARS];
+    let mut num_support = 0usize;
+    for v in 0..TruthOps::num_vars(f) {
+        if f.depends_on(v) {
+            support[num_support] = v;
+            num_support += 1;
+        }
+    }
+    let support = &support[..num_support];
     if support.len() == 1 {
         let v = support[0];
         let leaf = leaves[v];
-        let lit = if f == &TruthTable::var(v, f.num_vars()) {
+        let lit = if f == &T::var_like(v, TruthOps::num_vars(f)) {
             leaf
         } else {
             !leaf
         };
         return (Some(lit), 0);
     }
-    let v = pick_split_var(f, &support);
+    let v = pick_split_var(f, support);
     let (l0, c0) = count_rec(aig, &f0_of(f, v), leaves, excluded);
     let (l1, c1) = count_rec(aig, &f1_of(f, v), leaves, excluded);
     let mut added = c0 + c1;
@@ -108,23 +133,23 @@ fn count_rec(
     }
 }
 
-fn f0_of(f: &TruthTable, v: usize) -> TruthTable {
+fn f0_of<T: TruthOps>(f: &T, v: usize) -> T {
     f.cofactor0(v)
 }
 
-fn f1_of(f: &TruthTable, v: usize) -> TruthTable {
+fn f1_of<T: TruthOps>(f: &T, v: usize) -> T {
     f.cofactor1(v)
 }
 
 /// Picks the splitting variable: the support variable whose cofactors are most
 /// unbalanced in ones-count, which tends to expose constant branches early.
-fn pick_split_var(f: &TruthTable, support: &[usize]) -> usize {
+fn pick_split_var<T: TruthOps>(f: &T, support: &[usize]) -> usize {
     let mut best = support[0];
     let mut best_score = -1i64;
     for &v in support {
-        let c0 = f.cofactor0(v).count_ones() as i64;
-        let c1 = f.cofactor1(v).count_ones() as i64;
-        let half = (f.num_rows() / 2) as i64;
+        let c0 = TruthOps::count_ones(&f.cofactor0(v)) as i64;
+        let c1 = TruthOps::count_ones(&f.cofactor1(v)) as i64;
+        let half = (1i64 << TruthOps::num_vars(f)) / 2;
         // Distance of each cofactor from "constant": prefer splits that make a
         // cofactor nearly constant 0 or constant 1.
         let score = (c0 - half).abs() + (c1 - half).abs();
@@ -208,6 +233,24 @@ mod tests {
                 actual <= estimated,
                 "seed={seed}: actual {actual} > estimated {estimated}"
             );
+        }
+    }
+
+    #[test]
+    fn fast_count_is_identical_to_reference() {
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 6);
+        let pre0 = g.and(inputs[0], inputs[1]);
+        let pre1 = g.mux(inputs[2], pre0, inputs[3]);
+        g.add_output("keep", pre1);
+        for nv in 2..=6usize {
+            for seed in 1..=10u64 {
+                let f = random_truth(nv, seed * 31 + nv as u64);
+                let leaves = &inputs[..nv];
+                let reference = count_shannon_nodes(&g, &f, leaves, |_| false);
+                let fast = count_shannon_nodes_fast(&g, &f, leaves, |_| false);
+                assert_eq!(reference, fast, "nv={nv} seed={seed}");
+            }
         }
     }
 

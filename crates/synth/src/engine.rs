@@ -1,0 +1,109 @@
+//! Selection between the reference and the fast cut/truth/NPN machinery.
+//!
+//! Every 4-cut consumer (`rewrite`, the technology mapper) and every
+//! reconvergence-cut consumer (`refactor`, `restructure`) exists in two
+//! functionally identical implementations:
+//!
+//! * **Reference** — the original allocation-heavy path: [`aig::CutEnumerator`]
+//!   plus a per-(node, cut) [`aig::cut_truth`] cone walk, and exhaustive NPN
+//!   orbit search during library matching.
+//! * **Fast** — the small-cut engine: [`aig::Cut4Enumerator`] with fused
+//!   `u16` truths, the scratch-based [`aig::cut_truth_with`] cone walk for
+//!   wide cuts, and the precomputed [`crate::npn4`] table for matching.
+//!
+//! The fast path changes *cost only*: for any graph, library and parameter
+//! set, both engines produce bit-identical results (pinned by differential
+//! tests and by the `perf_report` benchmark binary, which times one against
+//! the other).  The reference path is kept callable so the speedup remains
+//! measurable and the equivalence remains testable.
+
+use aig::Aig;
+
+use crate::passes::Transform;
+
+/// Which cut/truth/NPN implementation a pass should run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CutEngine {
+    /// The original enumeration + cone-walk + orbit-search machinery.
+    Reference,
+    /// The zero-allocation small-cut engine (default).
+    #[default]
+    Fast,
+}
+
+impl Transform {
+    /// Applies this transformation using an explicit [`CutEngine`].
+    pub fn apply_with_engine(self, aig: &Aig, engine: CutEngine) -> Aig {
+        match self {
+            Transform::Balance => crate::balance::balance(aig),
+            Transform::Restructure => crate::restructure::restructure_with_engine(
+                aig,
+                crate::restructure::RestructureParams::default(),
+                engine,
+            ),
+            Transform::Rewrite => crate::rewrite::rewrite_with_engine(
+                aig,
+                false,
+                crate::rewrite::RewriteParams::default(),
+                engine,
+            ),
+            Transform::Refactor => crate::refactor::refactor_with_engine(
+                aig,
+                false,
+                crate::refactor::RefactorParams::default(),
+                engine,
+            ),
+            Transform::RewriteZ => crate::rewrite::rewrite_with_engine(
+                aig,
+                true,
+                crate::rewrite::RewriteParams::default(),
+                engine,
+            ),
+            Transform::RefactorZ => crate::refactor::refactor_with_engine(
+                aig,
+                true,
+                crate::refactor::RefactorParams::default(),
+                engine,
+            ),
+        }
+    }
+}
+
+/// Applies a sequence of transformations with an explicit [`CutEngine`].
+pub fn apply_sequence_with_engine(aig: &Aig, transforms: &[Transform], engine: CutEngine) -> Aig {
+    let mut current = aig.cleanup();
+    for &t in transforms {
+        current = t.apply_with_engine(&current, engine);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuits::{Design, DesignScale};
+
+    #[test]
+    fn engines_produce_identical_networks() {
+        let g = Design::Alu64.generate(DesignScale::Tiny);
+        for t in Transform::ALL {
+            let reference = t.apply_with_engine(&g, CutEngine::Reference);
+            let fast = t.apply_with_engine(&g, CutEngine::Fast);
+            assert_eq!(
+                reference.num_ands(),
+                fast.num_ands(),
+                "{t}: node count diverged"
+            );
+            assert_eq!(reference.depth(), fast.depth(), "{t}: depth diverged");
+            assert!(
+                aig::random_equivalence_check(&reference, &fast, 4, 41),
+                "{t}: function diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn default_engine_is_fast() {
+        assert_eq!(CutEngine::default(), CutEngine::Fast);
+    }
+}

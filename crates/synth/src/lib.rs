@@ -39,10 +39,12 @@
 
 pub mod balance;
 pub mod decomp;
+pub mod engine;
 pub mod flow_runner;
 pub mod library;
 pub mod mapper;
 pub mod npn;
+pub mod npn4;
 pub mod passes;
 pub mod qor;
 pub mod reconv;
@@ -53,9 +55,10 @@ pub mod rewrite;
 pub mod sop;
 
 pub use balance::balance;
+pub use engine::{apply_sequence_with_engine, CutEngine};
 pub use flow_runner::{FlowOutcome, FlowRunner};
 pub use library::{Cell, CellId, CellLibrary};
-pub use mapper::{map, map_qor, MapMode, MappedGate, MappedNetlist, MapperParams};
+pub use mapper::{map, map_qor, map_with_engine, MapMode, MappedGate, MappedNetlist, MapperParams};
 pub use passes::{apply_sequence, Transform};
 pub use qor::{Qor, QorMetric};
 pub use refactor::refactor;

@@ -14,6 +14,7 @@ use aig::TruthTable;
 use serde::{Deserialize, Serialize};
 
 use crate::npn::npn_canonical;
+use crate::npn4::canonical4_padded;
 
 /// One combinational standard cell.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -41,6 +42,10 @@ pub struct CellLibrary {
     name: String,
     cells: Vec<Cell>,
     npn_index: HashMap<(usize, Vec<u64>), Vec<CellId>>,
+    /// Fast-path index keyed by the padded-to-4-variables NPN4 canonical form
+    /// (see [`crate::npn4`]): NPN transforms preserve support size, so the
+    /// padded grouping is identical to the per-arity grouping of `npn_index`.
+    npn4_index: HashMap<u16, Vec<CellId>>,
     inverter: CellId,
 }
 
@@ -54,11 +59,24 @@ impl CellLibrary {
     /// needs one.
     pub fn new(name: impl Into<String>, cells: Vec<Cell>) -> Self {
         let mut npn_index: HashMap<(usize, Vec<u64>), Vec<CellId>> = HashMap::new();
+        let mut npn4_index: HashMap<u16, Vec<CellId>> = HashMap::new();
         let mut inverter = None;
         for (id, cell) in cells.iter().enumerate() {
             let canon = npn_canonical(&cell.function);
             let key = (cell.function.num_vars(), canon.canonical.words().to_vec());
             npn_index.entry(key).or_default().push(id);
+            // The padded NPN4 fast index relies on a cell depending on all of
+            // its pins (padding erases the declared arity).  A dead-pin cell
+            // is unreachable through `matches` anyway — queries are reduced to
+            // their support, so their canonical class always has full support
+            // while the cell's does not — so leaving it out of the fast index
+            // keeps both mappers bit-identical without rejecting the library.
+            if cell.function.support().len() == cell.num_inputs {
+                npn4_index
+                    .entry(canonical4_padded(&cell.function))
+                    .or_default()
+                    .push(id);
+            }
             if cell.num_inputs == 1 && cell.function == TruthTable::var(0, 1).not() {
                 inverter.get_or_insert(id);
             }
@@ -68,6 +86,7 @@ impl CellLibrary {
             name: name.into(),
             cells,
             npn_index,
+            npn4_index,
             inverter,
         }
     }
@@ -106,6 +125,22 @@ impl CellLibrary {
         let canon = npn_canonical(f);
         let key = (f.num_vars(), canon.canonical.words().to_vec());
         self.npn_index.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Returns the ids of cells whose function's padded NPN4 canonical form is
+    /// `canon4` (see [`crate::npn4::canonical4_padded`]).
+    ///
+    /// This is the orbit-search-free fast path of [`CellLibrary::matches`]:
+    /// for *full-support* queries (the mapper reduces every cut function to
+    /// its support before matching, and every library cell depends on all its
+    /// pins) both produce the same cell lists in the same order.  A query with
+    /// dead variables would additionally match cells of smaller arity here,
+    /// because padding erases the declared variable count.
+    pub fn matches_npn4(&self, canon4: u16) -> &[CellId] {
+        self.npn4_index
+            .get(&canon4)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Number of cells in the library.
@@ -305,6 +340,79 @@ mod tests {
             }
         }
         assert!(lib.matches(&parity).is_empty());
+    }
+
+    #[test]
+    fn npn4_index_agrees_with_orbit_index() {
+        let lib = CellLibrary::nangate14();
+        for cell in lib.cells() {
+            let via_orbit = lib.matches(&cell.function);
+            let via_table = lib.matches_npn4(canonical4_padded(&cell.function));
+            assert_eq!(via_orbit, via_table, "{}", cell.name);
+        }
+        // Random *full-support* functions of every arity take the same path
+        // (the mapper reduces to the support before matching, so these are the
+        // only queries the fast path ever receives).
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for nv in 1..=4usize {
+            let mut checked = 0;
+            while checked < 25 {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                let bits = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                let mut f = TruthTable::zeros(nv);
+                for row in 0..f.num_rows() {
+                    if bits >> row & 1 == 1 {
+                        f.set(row, true);
+                    }
+                }
+                if f.support().len() != nv {
+                    continue;
+                }
+                checked += 1;
+                assert_eq!(
+                    lib.matches(&f),
+                    lib.matches_npn4(canonical4_padded(&f)),
+                    "nv={nv} f={f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_pin_cell_is_accepted_and_never_fast_matched() {
+        // A cell whose function ignores a declared pin must not panic at
+        // construction, and must stay invisible to both matching paths (the
+        // reference path can never reach it either: queries are reduced to
+        // their support first).
+        let inv = Cell {
+            name: "INV".into(),
+            area: 1.0,
+            delay_ps: 1.0,
+            load_delay_ps: 0.1,
+            num_inputs: 1,
+            function: TruthTable::var(0, 1).not(),
+        };
+        let dead_pin = Cell {
+            name: "BUF_DEADPIN".into(),
+            area: 1.0,
+            delay_ps: 1.0,
+            load_delay_ps: 0.1,
+            num_inputs: 2,
+            function: TruthTable::var(0, 2),
+        };
+        let lib = CellLibrary::new("deadpin", vec![inv, dead_pin]);
+        // A full-support 1-var query matches only the inverter family.
+        let buf1 = TruthTable::var(0, 1);
+        assert_eq!(
+            lib.matches(&buf1),
+            lib.matches_npn4(canonical4_padded(&buf1))
+        );
+        // A full-support 2-var query matches nothing in either path.
+        let and2 = TruthTable::var(0, 2).and(&TruthTable::var(1, 2));
+        assert!(lib.matches(&and2).is_empty());
+        assert!(lib.matches_npn4(canonical4_padded(&and2)).is_empty());
     }
 
     #[test]

@@ -9,10 +9,15 @@
 
 use std::collections::HashMap;
 
-use aig::{cut_truth, Aig, CutEnumerator, CutParams, NodeId};
+use aig::{
+    cut_truth, truth4_pad, truth4_reduce, truth4_support, Aig, Cut4Enumerator, CutEnumerator,
+    CutParams, NodeId,
+};
 use serde::{Deserialize, Serialize};
 
+use crate::engine::CutEngine;
 use crate::library::{CellId, CellLibrary};
+use crate::npn4::npn4;
 use crate::qor::Qor;
 
 /// Objective used to choose among matched cells.
@@ -98,6 +103,76 @@ struct Choice {
 ///
 /// Mapping is deterministic for a given graph, library and parameter set.
 pub fn map(aig: &Aig, library: &CellLibrary, params: MapperParams) -> MappedNetlist {
+    map_with_engine(aig, library, params, CutEngine::default())
+}
+
+/// Per-node matching state shared by both cut engines.
+struct Matcher<'a> {
+    library: &'a CellLibrary,
+    mode: MapMode,
+    arrivals: &'a [f64],
+    area_flows: &'a [f64],
+}
+
+impl Matcher<'_> {
+    /// Scores every `cell` implementing `leaves -> id` and keeps the best.
+    fn consider(
+        &self,
+        best: &mut Option<Choice>,
+        subject: &Aig,
+        id: NodeId,
+        leaves: &[NodeId],
+        cells: &[CellId],
+    ) {
+        for &cell_id in cells {
+            let cell = self.library.cell(cell_id);
+            let leaf_arrival = leaves
+                .iter()
+                .map(|&l| self.arrivals[l])
+                .fold(0.0f64, f64::max);
+            let arrival = leaf_arrival
+                + cell.delay_ps
+                + cell.load_delay_ps * (subject.fanout_count(id) as f64);
+            let leaf_flow: f64 = leaves
+                .iter()
+                .map(|&l| self.area_flows[l] / (subject.fanout_count(l).max(1) as f64))
+                .sum();
+            let area_flow = cell.area + leaf_flow;
+            let better = match (&best, self.mode) {
+                (None, _) => true,
+                (Some(b), MapMode::Delay) => {
+                    arrival < b.arrival - 1e-9
+                        || (arrival < b.arrival + 1e-9 && area_flow < b.area_flow)
+                }
+                (Some(b), MapMode::Area) => {
+                    area_flow < b.area_flow - 1e-9
+                        || (area_flow < b.area_flow + 1e-9 && arrival < b.arrival)
+                }
+            };
+            if better {
+                *best = Some(Choice {
+                    cell: cell_id,
+                    leaves: leaves.to_vec(),
+                    arrival,
+                    area_flow,
+                });
+            }
+        }
+    }
+}
+
+/// Maps `aig` onto `library` with an explicit [`CutEngine`].
+///
+/// Both engines produce bit-identical netlists and QoR; `Fast` enumerates
+/// inline 4-cuts with fused `u16` truths, reduces support with bitwise
+/// operations and matches through the precomputed NPN4 table, eliminating the
+/// per-cut cone walk and orbit search of the reference path.
+pub fn map_with_engine(
+    aig: &Aig,
+    library: &CellLibrary,
+    params: MapperParams,
+    engine: CutEngine,
+) -> MappedNetlist {
     let mut subject = aig.cleanup();
     subject.compute_fanouts();
     let cut_params = CutParams {
@@ -105,61 +180,72 @@ pub fn map(aig: &Aig, library: &CellLibrary, params: MapperParams) -> MappedNetl
         max_cuts_per_node: params.cuts_per_node,
         include_trivial: false,
     };
-    let cut_sets = CutEnumerator::new(cut_params).enumerate(&subject);
+    let fast = engine == CutEngine::Fast && params.cuts_per_node <= aig::CUT4_SET_CAPACITY;
+    let cut_sets = if fast {
+        Vec::new()
+    } else {
+        CutEnumerator::new(cut_params).enumerate(&subject)
+    };
+    let cut4_sets = if fast {
+        Cut4Enumerator::new(cut_params).enumerate(&subject)
+    } else {
+        Vec::new()
+    };
 
     let mut choices: HashMap<NodeId, Choice> = HashMap::new();
     let mut arrivals: Vec<f64> = vec![0.0; subject.len()];
     let mut area_flows: Vec<f64> = vec![0.0; subject.len()];
+    // Scratch buffer for the fast path's reduced leaf list.
+    let mut leaf_buf: Vec<NodeId> = Vec::with_capacity(4);
 
     for id in subject.node_ids() {
         if !subject.node(id).is_and() {
             continue;
         }
+        let matcher = Matcher {
+            library,
+            mode: params.mode,
+            arrivals: &arrivals,
+            area_flows: &area_flows,
+        };
         let mut best: Option<Choice> = None;
-        for cut in cut_sets[id].cuts() {
-            let Ok(truth) = cut_truth(&subject, id, cut) else {
-                continue;
-            };
-            // Reduce to the true support so e.g. a 3-leaf cut computing a
-            // 2-input function can match 2-input cells.
-            let support = truth.support();
-            if support.is_empty() {
-                continue; // constant functions never reach the cover
-            }
-            let (reduced, leaves) = reduce_support(&truth, &support, cut.leaves());
-            for &cell_id in library.matches(&reduced) {
-                let cell = library.cell(cell_id);
-                let leaf_arrival = leaves.iter().map(|&l| arrivals[l]).fold(0.0f64, f64::max);
-                let arrival = leaf_arrival
-                    + cell.delay_ps
-                    + cell.load_delay_ps * (subject.fanout_count(id) as f64);
-                let leaf_flow: f64 = leaves
-                    .iter()
-                    .map(|&l| area_flows[l] / (subject.fanout_count(l).max(1) as f64))
-                    .sum();
-                let area_flow = cell.area + leaf_flow;
-                let candidate = Choice {
-                    cell: cell_id,
-                    leaves: leaves.clone(),
-                    arrival,
-                    area_flow,
-                };
-                let better = match (&best, params.mode) {
-                    (None, _) => true,
-                    (Some(b), MapMode::Delay) => {
-                        candidate.arrival < b.arrival - 1e-9
-                            || (candidate.arrival < b.arrival + 1e-9
-                                && candidate.area_flow < b.area_flow)
-                    }
-                    (Some(b), MapMode::Area) => {
-                        candidate.area_flow < b.area_flow - 1e-9
-                            || (candidate.area_flow < b.area_flow + 1e-9
-                                && candidate.arrival < b.arrival)
-                    }
-                };
-                if better {
-                    best = Some(candidate);
+        if fast {
+            for cut in cut4_sets[id].cuts() {
+                let nv = cut.size();
+                let truth = cut.truth();
+                // Reduce to the true support so e.g. a 3-leaf cut computing a
+                // 2-input function can match 2-input cells.
+                let support = truth4_support(truth, nv);
+                if support == 0 {
+                    continue; // constant functions never reach the cover
                 }
+                let (reduced, rnv) = truth4_reduce(truth, nv, support);
+                leaf_buf.clear();
+                for (v, &leaf) in cut.leaves().iter().enumerate() {
+                    if support >> v & 1 == 1 {
+                        leaf_buf.push(leaf as NodeId);
+                    }
+                }
+                let canon = npn4().canonical(truth4_pad(reduced, rnv));
+                matcher.consider(
+                    &mut best,
+                    &subject,
+                    id,
+                    &leaf_buf,
+                    library.matches_npn4(canon),
+                );
+            }
+        } else {
+            for cut in cut_sets[id].cuts() {
+                let Ok(truth) = cut_truth(&subject, id, cut) else {
+                    continue;
+                };
+                let support = truth.support();
+                if support.is_empty() {
+                    continue;
+                }
+                let (reduced, leaves) = reduce_support(&truth, &support, cut.leaves());
+                matcher.consider(&mut best, &subject, id, &leaves, library.matches(&reduced));
             }
         }
         let choice = best.unwrap_or_else(|| {

@@ -72,12 +72,18 @@ pub fn npn_canonical(f: &TruthTable) -> NpnClass {
 ///
 /// Cut functions repeat heavily during technology mapping, so caching the
 /// canonical form by raw truth bits removes almost all of the orbit searches.
+/// Functions of up to [`MAX_NPN_VARS`] variables fit a single truth word, so
+/// the cache key is a plain `(num_vars, word)` pair — the hit path performs no
+/// heap allocation.
 #[derive(Debug, Default)]
 pub struct NpnCache {
-    map: HashMap<(usize, Vec<u64>), NpnClass>,
+    map: HashMap<(usize, u64), NpnClass>,
     hits: u64,
     misses: u64,
 }
+
+// The inline key relies on every supported function fitting one truth word.
+const _: () = assert!(MAX_NPN_VARS <= 6, "NpnCache key holds a single word");
 
 impl NpnCache {
     /// Creates an empty cache.
@@ -87,7 +93,7 @@ impl NpnCache {
 
     /// Returns the canonical class of `f`, computing and caching it if needed.
     pub fn canonical(&mut self, f: &TruthTable) -> NpnClass {
-        let key = (f.num_vars(), f.words().to_vec());
+        let key = (f.num_vars(), f.words()[0]);
         if let Some(c) = self.map.get(&key) {
             self.hits += 1;
             return c.clone();

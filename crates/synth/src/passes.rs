@@ -8,10 +8,7 @@
 use aig::Aig;
 use serde::{Deserialize, Serialize};
 
-use crate::balance::balance;
-use crate::refactor::refactor;
-use crate::restructure::restructure;
-use crate::rewrite::rewrite;
+use crate::engine::CutEngine;
 
 /// One element of the paper's transformation set `S` (n = 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -80,14 +77,7 @@ impl Transform {
 
     /// Applies this transformation to a network and returns the result.
     pub fn apply(self, aig: &Aig) -> Aig {
-        match self {
-            Transform::Balance => balance(aig),
-            Transform::Restructure => restructure(aig),
-            Transform::Rewrite => rewrite(aig, false),
-            Transform::Refactor => refactor(aig, false),
-            Transform::RewriteZ => rewrite(aig, true),
-            Transform::RefactorZ => refactor(aig, true),
-        }
+        self.apply_with_engine(aig, CutEngine::default())
     }
 }
 

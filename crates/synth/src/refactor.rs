@@ -6,11 +6,12 @@
 //! irredundant SOP and rebuilt.  Because the cut is much larger than rewrite's
 //! 4-feasible cuts, refactoring restructures whole fanin cones at once.
 
-use aig::{cut_truth, Aig, Cut, Lit, Mffc, NodeId};
+use aig::{cut_truth, cut_truth_with, Aig, Cut, CutTruthScratch, Lit, Mffc, NodeId, TruthTable};
 
+use crate::engine::CutEngine;
 use crate::reconv::{reconv_cut, ReconvParams};
 use crate::resyn::{resynthesis_sweep, Acceptance, Proposal, Structure};
-use crate::sop::{count_sop_nodes, isop};
+use crate::sop::{count_sop_nodes, isop, isop_fast};
 
 /// Parameters of the refactor pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,15 +38,38 @@ pub fn refactor(aig: &Aig, zero_cost: bool) -> Aig {
 
 /// Applies large-cut refactoring with explicit parameters.
 pub fn refactor_with_params(aig: &Aig, zero_cost: bool, params: RefactorParams) -> Aig {
+    refactor_with_engine(aig, zero_cost, params, CutEngine::default())
+}
+
+/// Applies large-cut refactoring with explicit parameters and cut engine.
+///
+/// Both engines produce bit-identical results; `Fast` computes the cut
+/// function through the scratch-based allocation-free cone walk
+/// ([`cut_truth_with`]) instead of rebuilding a hash map per node.
+pub fn refactor_with_engine(
+    aig: &Aig,
+    zero_cost: bool,
+    params: RefactorParams,
+    engine: CutEngine,
+) -> Aig {
     let acceptance = if zero_cost {
         Acceptance::zero_cost()
     } else {
         Acceptance::strict()
     };
-    resynthesis_sweep(aig, acceptance, |graph, id| propose(graph, id, params))
+    let mut scratch = CutTruthScratch::new();
+    resynthesis_sweep(aig, acceptance, |graph, id| {
+        propose(graph, id, params, engine, &mut scratch)
+    })
 }
 
-fn propose(graph: &mut Aig, id: NodeId, params: RefactorParams) -> Vec<Proposal> {
+fn propose(
+    graph: &mut Aig,
+    id: NodeId,
+    params: RefactorParams,
+    engine: CutEngine,
+    scratch: &mut CutTruthScratch,
+) -> Vec<Proposal> {
     let leaves = reconv_cut(
         graph,
         id,
@@ -57,10 +81,13 @@ fn propose(graph: &mut Aig, id: NodeId, params: RefactorParams) -> Vec<Proposal>
         return Vec::new();
     }
     let cut = Cut::from_leaves(leaves.clone());
-    let Ok(truth) = cut_truth(graph, id, &cut) else {
+    let Ok(truth) = compute_truth(graph, id, &cut, engine, scratch) else {
         return Vec::new();
     };
-    let sop = isop(&truth);
+    let sop = match engine {
+        CutEngine::Reference => isop(&truth),
+        CutEngine::Fast => isop_fast(&truth),
+    };
     if sop.num_cubes() > params.max_cubes {
         return Vec::new();
     }
@@ -71,7 +98,22 @@ fn propose(graph: &mut Aig, id: NodeId, params: RefactorParams) -> Vec<Proposal>
         leaves,
         structure: Structure::SumOfProducts(sop),
         added,
+        mffc_size: mffc.size(),
     }]
+}
+
+/// Engine dispatch for the cut-function computation of the large-cut passes.
+pub(crate) fn compute_truth(
+    graph: &Aig,
+    root: NodeId,
+    cut: &Cut,
+    engine: CutEngine,
+    scratch: &mut CutTruthScratch,
+) -> aig::Result<TruthTable> {
+    match engine {
+        CutEngine::Reference => cut_truth(graph, root, cut),
+        CutEngine::Fast => cut_truth_with(graph, root, cut, scratch),
+    }
 }
 
 #[cfg(test)]

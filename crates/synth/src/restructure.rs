@@ -9,10 +9,12 @@
 //! optimisation opportunities they cannot reach on their own — which is exactly
 //! why the ordering of transformations matters (Section 1 of the paper).
 
-use aig::{cut_truth, Aig, Cut, Lit, Mffc, NodeId};
+use aig::{Aig, Cut, CutTruthScratch, Lit, Mffc, NodeId};
 
-use crate::decomp::count_shannon_nodes;
+use crate::decomp::{count_shannon_nodes, count_shannon_nodes_fast};
+use crate::engine::CutEngine;
 use crate::reconv::{reconv_cut, ReconvParams};
+use crate::refactor::compute_truth;
 use crate::resyn::{resynthesis_sweep, Acceptance, Proposal, Structure};
 
 /// Parameters of the restructure pass.
@@ -35,12 +37,27 @@ pub fn restructure(aig: &Aig) -> Aig {
 
 /// Applies Shannon-decomposition restructuring with explicit parameters.
 pub fn restructure_with_params(aig: &Aig, params: RestructureParams) -> Aig {
+    restructure_with_engine(aig, params, CutEngine::default())
+}
+
+/// Applies Shannon-decomposition restructuring with an explicit cut engine.
+///
+/// Both engines produce bit-identical results; `Fast` uses the scratch-based
+/// allocation-free cone walk for the cut function.
+pub fn restructure_with_engine(aig: &Aig, params: RestructureParams, engine: CutEngine) -> Aig {
+    let mut scratch = CutTruthScratch::new();
     resynthesis_sweep(aig, Acceptance::strict(), |graph, id| {
-        propose(graph, id, params)
+        propose(graph, id, params, engine, &mut scratch)
     })
 }
 
-fn propose(graph: &mut Aig, id: NodeId, params: RestructureParams) -> Vec<Proposal> {
+fn propose(
+    graph: &mut Aig,
+    id: NodeId,
+    params: RestructureParams,
+    engine: CutEngine,
+    scratch: &mut CutTruthScratch,
+) -> Vec<Proposal> {
     let leaves = reconv_cut(
         graph,
         id,
@@ -52,16 +69,24 @@ fn propose(graph: &mut Aig, id: NodeId, params: RestructureParams) -> Vec<Propos
         return Vec::new();
     }
     let cut = Cut::from_leaves(leaves.clone());
-    let Ok(truth) = cut_truth(graph, id, &cut) else {
+    let Ok(truth) = compute_truth(graph, id, &cut, engine, scratch) else {
         return Vec::new();
     };
     let leaf_lits: Vec<Lit> = leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
     let mffc = Mffc::compute(graph, id, &leaves);
-    let added = count_shannon_nodes(graph, &truth, &leaf_lits, |n| mffc.contains(n));
+    let added = match engine {
+        CutEngine::Reference => {
+            count_shannon_nodes(graph, &truth, &leaf_lits, |n| mffc.contains(n))
+        }
+        CutEngine::Fast => {
+            count_shannon_nodes_fast(graph, &truth, &leaf_lits, |n| mffc.contains(n))
+        }
+    };
     vec![Proposal {
         leaves,
         structure: Structure::Shannon(truth),
         added,
+        mffc_size: mffc.size(),
     }]
 }
 

@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use aig::{Aig, Lit, Mffc, NodeId, TruthTable};
+use aig::{Aig, Lit, NodeId, TruthTable};
 
 use crate::decomp::build_shannon;
 use crate::sop::{build_sop, Sop};
@@ -48,6 +48,12 @@ pub struct Proposal {
     pub structure: Structure,
     /// Estimated number of new AND nodes the structure would add.
     pub added: usize,
+    /// Size of the node's MFFC bounded by `leaves` (nodes freed on acceptance).
+    ///
+    /// Every pass already computes the MFFC while costing the proposal (the
+    /// cost estimator must not count MFFC nodes as free reuse), so the sweep
+    /// reads the size from here instead of recomputing the cone.
+    pub mffc_size: usize,
 }
 
 /// Acceptance policy of a pass.
@@ -91,8 +97,7 @@ where
         let proposals = propose(&mut work, id);
         let mut best: Option<Decision> = None;
         for p in proposals {
-            let mffc = Mffc::compute(&mut work, id, &p.leaves);
-            let gain = mffc.size() as i64 - p.added as i64;
+            let gain = p.mffc_size as i64 - p.added as i64;
             if gain < acceptance.min_gain {
                 continue;
             }
@@ -177,11 +182,13 @@ mod tests {
             };
             let sop = isop(&truth);
             let leaf_lits: Vec<Lit> = leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
-            let added = crate::sop::count_sop_nodes(work, &sop, &leaf_lits, |_| false);
+            let mffc = aig::Mffc::compute(work, id, &leaves);
+            let added = crate::sop::count_sop_nodes(work, &sop, &leaf_lits, |n| mffc.contains(n));
             vec![Proposal {
                 leaves,
                 structure: Structure::SumOfProducts(sop),
                 added,
+                mffc_size: mffc.size(),
             }]
         });
         assert!(

@@ -7,10 +7,11 @@
 //! accepts zero-gain replacements, which changes structure and can enable later
 //! passes — the reason the paper's flows interleave it with the other passes.
 
-use aig::{cut_truth, Aig, CutEnumerator, CutParams, Lit, NodeId};
+use aig::{cut_truth, Aig, Cut4Enumerator, CutEnumerator, CutParams, Lit, NodeId};
 
+use crate::engine::CutEngine;
 use crate::resyn::{resynthesis_sweep, Acceptance, Proposal, Structure};
-use crate::sop::{count_sop_nodes, isop};
+use crate::sop::{count_sop_nodes, isop, isop_fast};
 
 /// Parameters of the rewrite pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,23 +38,46 @@ pub fn rewrite(aig: &Aig, zero_cost: bool) -> Aig {
 
 /// Applies cut-based rewriting with explicit parameters.
 pub fn rewrite_with_params(aig: &Aig, zero_cost: bool, params: RewriteParams) -> Aig {
+    rewrite_with_engine(aig, zero_cost, params, CutEngine::default())
+}
+
+/// Applies cut-based rewriting with explicit parameters and cut engine.
+///
+/// Both engines produce bit-identical results; `Fast` runs on the
+/// zero-allocation [`Cut4Enumerator`] with fused truth tables when the
+/// parameters fit (`cut_size <= 4`), falling back to the reference machinery
+/// otherwise.
+pub fn rewrite_with_engine(
+    aig: &Aig,
+    zero_cost: bool,
+    params: RewriteParams,
+    engine: CutEngine,
+) -> Aig {
     let acceptance = if zero_cost {
         Acceptance::zero_cost()
     } else {
         Acceptance::strict()
     };
-    // Cuts are enumerated once on the cleaned-up working copy inside the sweep;
-    // to keep the proposal closure self-contained we enumerate lazily per node
-    // from a snapshot taken on first use.
+    // Cuts are enumerated once on the cleaned-up working copy used by the
+    // sweep (the sweep applies all decisions in one rebuild, so the graph the
+    // cuts were enumerated on stays valid for the whole pass).
     let work = aig.cleanup();
     let cut_params = CutParams {
         max_cut_size: params.cut_size,
         max_cuts_per_node: params.cuts_per_node,
         include_trivial: false,
     };
-    let cut_sets = CutEnumerator::new(cut_params).enumerate(&work);
-
-    resynthesis_sweep(&work, acceptance, |graph, id| propose(graph, id, &cut_sets))
+    let fast_capable =
+        params.cut_size <= aig::CUT4_MAX_LEAVES && params.cuts_per_node <= aig::CUT4_SET_CAPACITY;
+    if engine == CutEngine::Fast && fast_capable {
+        let cut_sets = Cut4Enumerator::new(cut_params).enumerate(&work);
+        resynthesis_sweep(&work, acceptance, |graph, id| {
+            propose_fast(graph, id, &cut_sets)
+        })
+    } else {
+        let cut_sets = CutEnumerator::new(cut_params).enumerate(&work);
+        resynthesis_sweep(&work, acceptance, |graph, id| propose(graph, id, &cut_sets))
+    }
 }
 
 fn propose(graph: &mut Aig, id: NodeId, cut_sets: &[aig::CutSet]) -> Vec<Proposal> {
@@ -68,24 +92,58 @@ fn propose(graph: &mut Aig, id: NodeId, cut_sets: &[aig::CutSet]) -> Vec<Proposa
         let Ok(truth) = cut_truth(graph, id, cut) else {
             continue;
         };
-        let sop = isop(&truth);
-        // Very large covers cannot win at cut size 4; skip pathological cases.
-        if sop.num_cubes() > 16 {
-            continue;
-        }
-        let leaves = cut.leaves().to_vec();
-        let leaf_lits: Vec<Lit> = leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
-        // Nodes inside the MFFC will be freed by the replacement, so reusing
-        // them must not be counted as free.
-        let mffc = aig::Mffc::compute(graph, id, &leaves);
-        let added = count_sop_nodes(graph, &sop, &leaf_lits, |n| mffc.contains(n));
-        proposals.push(Proposal {
-            leaves,
-            structure: Structure::SumOfProducts(sop),
-            added,
-        });
+        push_proposal(
+            graph,
+            id,
+            cut.leaves().to_vec(),
+            &truth,
+            false,
+            &mut proposals,
+        );
     }
     proposals
+}
+
+fn propose_fast(graph: &mut Aig, id: NodeId, cut_sets: &[aig::CutSet4]) -> Vec<Proposal> {
+    let mut proposals = Vec::new();
+    if id >= cut_sets.len() {
+        return proposals;
+    }
+    for cut in cut_sets[id].cuts() {
+        if cut.size() < 2 {
+            continue;
+        }
+        // The fused truth makes the per-cut cone walk unnecessary.
+        let truth = cut.truth_table();
+        push_proposal(graph, id, cut.leaf_ids(), &truth, true, &mut proposals);
+    }
+    proposals
+}
+
+fn push_proposal(
+    graph: &mut Aig,
+    id: NodeId,
+    leaves: Vec<NodeId>,
+    truth: &aig::TruthTable,
+    fast: bool,
+    proposals: &mut Vec<Proposal>,
+) {
+    let sop = if fast { isop_fast(truth) } else { isop(truth) };
+    // Very large covers cannot win at cut size 4; skip pathological cases.
+    if sop.num_cubes() > 16 {
+        return;
+    }
+    let leaf_lits: Vec<Lit> = leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
+    // Nodes inside the MFFC will be freed by the replacement, so reusing
+    // them must not be counted as free.
+    let mffc = aig::Mffc::compute(graph, id, &leaves);
+    let added = count_sop_nodes(graph, &sop, &leaf_lits, |n| mffc.contains(n));
+    proposals.push(Proposal {
+        leaves,
+        structure: Structure::SumOfProducts(sop),
+        added,
+        mffc_size: mffc.size(),
+    });
 }
 
 #[cfg(test)]
