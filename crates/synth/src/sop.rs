@@ -6,7 +6,7 @@
 //! the construction logic so the gain of a candidate rewrite can be evaluated
 //! before committing to it.
 
-use aig::{Aig, Lit, NodeId, TruthTable};
+use aig::{Aig, Lit, NodeId, SmallTruth, TruthOps, TruthTable};
 
 /// One product term over the cut leaves.
 ///
@@ -90,26 +90,38 @@ impl Sop {
 
 /// Computes an irredundant sum-of-products cover of `f` (Minato–Morreale).
 ///
-/// The cover is exact: `isop(f).truth(n) == *f`.
+/// The cover is exact: `isop(f).truth(n) == *f`.  This is the reference
+/// entry point working on heap-backed tables; the resynthesis fast paths use
+/// [`isop_fast`], which produces the identical cover without allocating.
 pub fn isop(f: &TruthTable) -> Sop {
     let n = f.num_vars();
     let (cover, _) = isop_rec(f, f, n, n);
     cover
 }
 
+/// Allocation-free variant of [`isop`] for functions of up to
+/// [`SmallTruth::MAX_VARS`] variables (wider functions fall back).
+///
+/// The recursion is the same generic code as [`isop`] running on inline
+/// [`SmallTruth`] tables, so the cover is bit-identical.
+pub fn isop_fast(f: &TruthTable) -> Sop {
+    let n = f.num_vars();
+    if n > SmallTruth::MAX_VARS {
+        return isop(f);
+    }
+    let sf = SmallTruth::from_table(f);
+    let (cover, _) = isop_rec(&sf, &sf, n, n);
+    cover
+}
+
 /// Recursive ISOP over the interval `[lower, upper]`; returns the cover and its
 /// characteristic function.
-fn isop_rec(
-    lower: &TruthTable,
-    upper: &TruthTable,
-    var: usize,
-    num_vars: usize,
-) -> (Sop, TruthTable) {
+fn isop_rec<T: TruthOps>(lower: &T, upper: &T, var: usize, num_vars: usize) -> (Sop, T) {
     if lower.is_zero() {
-        return (Sop::zero(), TruthTable::zeros(num_vars));
+        return (Sop::zero(), T::zeros_like(num_vars));
     }
     if upper.is_one() {
-        return (Sop::one(), TruthTable::ones(num_vars));
+        return (Sop::one(), T::ones_like(num_vars));
     }
     // Find the topmost variable either bound depends on.
     let mut v = var;
@@ -145,7 +157,7 @@ fn isop_rec(
         });
     }
     cubes.extend_from_slice(cstar.cubes());
-    let var_t = TruthTable::var(v, num_vars);
+    let var_t = T::var_like(v, num_vars);
     let cover_fn = f0.and(&var_t.not()).or(&f1.and(&var_t)).or(&fstar);
     (Sop { cubes }, cover_fn)
 }
@@ -341,6 +353,21 @@ mod tests {
                 assert_eq!(cover.truth(num_vars), f, "nv={num_vars} seed={seed}");
             }
         }
+    }
+
+    #[test]
+    fn isop_fast_is_identical_to_reference() {
+        for num_vars in 1..=8 {
+            for seed in 1..=12u64 {
+                let f = random_truth(num_vars, seed * 13 + num_vars as u64);
+                assert_eq!(isop(&f), isop_fast(&f), "nv={num_vars} seed={seed}");
+            }
+        }
+        assert_eq!(
+            isop(&TruthTable::zeros(4)),
+            isop_fast(&TruthTable::zeros(4))
+        );
+        assert_eq!(isop(&TruthTable::ones(4)), isop_fast(&TruthTable::ones(4)));
     }
 
     #[test]
