@@ -1,0 +1,207 @@
+//! Performance report of the nn compute backend (PR 3).
+//!
+//! Times classifier training-step throughput (samples/s) on both nn backends:
+//!
+//! * **reference**: the original scalar loop nests (`Backend::Reference`) —
+//!   7-deep convolution loops, per-element dense products, sequential updates;
+//! * **fast**: the GEMM engine (`Backend::Fast`) — blocked cache-tiled
+//!   parallel matmuls over im2col-packed patches, fused loss, chunk-parallel
+//!   optimizer updates.
+//!
+//! Configurations range from the small default network up to the paper's
+//! full-size architecture (two convolution stages of 200 kernels each with a
+//! 6×12 `n × 2n` kernel) — the scale the seed code explicitly avoided because
+//! scalar training would take hours.  Both backends are also differentially
+//! checked on seeded batches: class probabilities must agree within tolerance
+//! and argmax predictions must be identical, otherwise the binary exits
+//! non-zero (this is the CI smoke gate).
+//!
+//! Results are written to `BENCH_PR3.json` (override with `NN_PERF_OUT`).
+//! `FLOWGEN_SCALE` selects the workload: `tiny` (CI smoke — small configs,
+//! few steps), `small` (default — includes the paper-scale network) or
+//! `full` (more steps per measurement).
+
+use std::time::Instant;
+
+use flowgen::{ClassifierConfig, Dataset, Flow, FlowClassifier};
+use nn::Backend;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scale {
+    Tiny,
+    Small,
+    Full,
+}
+
+impl Scale {
+    fn from_env() -> (Scale, &'static str) {
+        match std::env::var("FLOWGEN_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
+            "tiny" => (Scale::Tiny, "tiny"),
+            "full" => (Scale::Full, "full"),
+            _ => (Scale::Small, "small"),
+        }
+    }
+}
+
+/// Named classifier configurations to measure.
+fn workload(scale: Scale) -> Vec<(&'static str, ClassifierConfig, usize)> {
+    let small = ClassifierConfig::default();
+    let mid = ClassifierConfig {
+        num_kernels: 48,
+        dense_units: 64,
+        ..ClassifierConfig::default()
+    };
+    let paper = ClassifierConfig::paper_scale();
+    match scale {
+        // CI smoke: quick, but still exercises an even-width kernel and the
+        // divergence gate.
+        Scale::Tiny => vec![("small", small, 10)],
+        Scale::Small => vec![
+            ("small", small, 20),
+            ("mid", mid, 6),
+            ("paper_scale", paper, 3),
+        ],
+        Scale::Full => vec![
+            ("small", small, 60),
+            ("mid", mid, 20),
+            ("paper_scale", paper, 8),
+        ],
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct ItemReport {
+    config: String,
+    num_kernels: usize,
+    kernel_h: usize,
+    kernel_w: usize,
+    parameters: usize,
+    batch_size: usize,
+    steps: usize,
+    reference_ms: f64,
+    fast_ms: f64,
+    reference_samples_per_s: f64,
+    fast_samples_per_s: f64,
+    speedup: f64,
+    max_prob_delta: f32,
+    argmax_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    pr: String,
+    workload: String,
+    scale: String,
+    items: Vec<ItemReport>,
+    total_reference_ms: f64,
+    total_fast_ms: f64,
+    speedup: f64,
+    backends_agree: bool,
+}
+
+/// Trains `steps` mini-batches and returns the wall time in milliseconds.
+fn timed_train(clf: &mut FlowClassifier, dataset: &Dataset, steps: usize) -> f64 {
+    let t0 = Instant::now();
+    let _ = clf.train(dataset, steps);
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let (scale, scale_name) = Scale::from_env();
+    let (dataset, eval_flows) = Dataset::synthetic_balance(80, 7);
+    let probe: Vec<Flow> = eval_flows.iter().take(16).cloned().collect();
+
+    // Tolerance for the probability differential (the backends differ only in
+    // floating-point summation order).
+    const PROB_TOL: f32 = 1e-3;
+
+    let mut items = Vec::new();
+    let mut agree = true;
+    println!("nn_perf: classifier training throughput, scale {scale_name}");
+    for (name, config, steps) in workload(scale) {
+        let mut clf_ref =
+            FlowClassifier::for_paper_space(config.clone().with_backend(Backend::Reference));
+        let mut clf_fast =
+            FlowClassifier::for_paper_space(config.clone().with_backend(Backend::Fast));
+        let parameters = clf_ref.num_parameters();
+
+        // Warm-up one step on each backend (faults in code paths, sizes the
+        // reusable packing buffers) before the measured region.
+        let _ = timed_train(&mut clf_ref, &dataset, 1);
+        let _ = timed_train(&mut clf_fast, &dataset, 1);
+
+        let reference_ms = timed_train(&mut clf_ref, &dataset, steps);
+        let fast_ms = timed_train(&mut clf_fast, &dataset, steps);
+        let samples = (steps * config.batch_size) as f64;
+        let reference_sps = samples / (reference_ms / 1e3).max(1e-9);
+        let fast_sps = samples / (fast_ms / 1e3).max(1e-9);
+        let speedup = reference_ms / fast_ms.max(1e-9);
+
+        // Differential gate: both classifiers consumed identical seeded batch
+        // sequences, so their predictions must still agree on a probe batch.
+        let probs_ref = clf_ref.predict_proba(&probe);
+        let probs_fast = clf_fast.predict_proba(&probe);
+        let max_prob_delta = probs_ref
+            .data()
+            .iter()
+            .zip(probs_fast.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        let argmax_identical = clf_ref.predict(&probe) == clf_fast.predict(&probe);
+        let ok = max_prob_delta <= PROB_TOL && argmax_identical;
+        agree &= ok;
+
+        println!(
+            "  {name:<12} {parameters:>9} params   reference {reference_sps:>8.2} samples/s   fast {fast_sps:>8.2} samples/s   x{speedup:.2}   {}",
+            if ok { "backends agree" } else { "DIVERGED" }
+        );
+        items.push(ItemReport {
+            config: name.to_string(),
+            num_kernels: config.num_kernels,
+            kernel_h: config.kernel.0,
+            kernel_w: config.kernel.1,
+            parameters,
+            batch_size: config.batch_size,
+            steps,
+            reference_ms,
+            fast_ms,
+            reference_samples_per_s: reference_sps,
+            fast_samples_per_s: fast_sps,
+            speedup,
+            max_prob_delta,
+            argmax_identical,
+        });
+    }
+
+    let total_reference_ms: f64 = items.iter().map(|i| i.reference_ms).sum();
+    let total_fast_ms: f64 = items.iter().map(|i| i.fast_ms).sum();
+    let speedup = total_reference_ms / total_fast_ms.max(1e-9);
+    println!(
+        "total: reference {total_reference_ms:.0} ms, fast {total_fast_ms:.0} ms, speedup x{speedup:.2}"
+    );
+
+    let report = Report {
+        pr: "PR3-nn-gemm-backend".to_string(),
+        workload: "flow-classifier training steps, synthetic labelled flows".to_string(),
+        scale: scale_name.to_string(),
+        items,
+        total_reference_ms,
+        total_fast_ms,
+        speedup,
+        backends_agree: agree,
+    };
+    let out = std::env::var("NN_PERF_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write perf report");
+    println!("wrote {out}");
+
+    if !agree {
+        eprintln!("FAIL: fast backend diverged from reference");
+        std::process::exit(1);
+    }
+}

@@ -7,7 +7,7 @@
 //! configurable because the paper studies each of them (Figures 4–7).
 
 use nn::{
-    Activation, ActivationLayer, Conv2d, Dense, Dropout, Flatten, GradientDescent,
+    Activation, ActivationLayer, Backend, Conv2d, Dense, Dropout, Flatten, GradientDescent,
     LocallyConnected2d, MaxPool2d, Network, Optimizer, Tensor,
 };
 use rand::SeedableRng;
@@ -40,12 +40,17 @@ pub struct ClassifierConfig {
     pub batch_size: usize,
     /// RNG seed for weight initialisation, dropout and batch sampling.
     pub seed: u64,
+    /// Compute backend for the network layers ([`Backend::Fast`] by default;
+    /// [`Backend::Reference`] keeps the scalar loops for differential tests).
+    pub backend: Backend,
 }
 
 impl Default for ClassifierConfig {
-    /// A laptop-scale configuration: the paper's architecture with fewer
-    /// kernels so training runs in seconds instead of hours.  Use
-    /// [`ClassifierConfig::paper`] for the full-size network.
+    /// A small configuration for quick experiments and unit tests: the
+    /// paper's architecture with fewer kernels.  The full-size network is no
+    /// longer off-limits on a CPU — the GEMM-backed [`Backend::Fast`] trains
+    /// it in minutes, not hours (see the `nn_perf` bench and
+    /// `BENCH_PR3.json`); select it with [`ClassifierConfig::paper_scale`].
     fn default() -> Self {
         ClassifierConfig {
             kernel: (3, 6),
@@ -58,14 +63,16 @@ impl Default for ClassifierConfig {
             learning_rate: 1e-3,
             batch_size: 5,
             seed: 0xDAC18,
+            backend: Backend::Fast,
         }
     }
 }
 
 impl ClassifierConfig {
-    /// The paper's full-size configuration (200 kernels, 6×12 kernel, SELU,
-    /// RMSProp, learning rate 1e-4, batch size 5).
-    pub fn paper() -> Self {
+    /// The paper's full-size configuration (two conv stages of 200 kernels
+    /// each, rectangular 6×12 `n × 2n` kernel, SELU, RMSProp, learning rate
+    /// 1e-4, batch size 5).
+    pub fn paper_scale() -> Self {
         ClassifierConfig {
             kernel: (6, 12),
             num_kernels: 200,
@@ -77,7 +84,20 @@ impl ClassifierConfig {
             learning_rate: 1e-4,
             batch_size: 5,
             seed: 0xDAC18,
+            backend: Backend::Fast,
         }
+    }
+
+    /// Alias of [`ClassifierConfig::paper_scale`] (kept for callers of the
+    /// pre-backend API).
+    pub fn paper() -> Self {
+        Self::paper_scale()
+    }
+
+    /// Returns the configuration with the given compute backend selected.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -128,6 +148,7 @@ impl FlowClassifier {
         network.push(ActivationLayer::new(config.activation));
         network.push(Dropout::new(config.dropout, config.seed ^ 0x5EED));
         network.push(Dense::new(config.dense_units, config.num_classes, &mut rng));
+        network.set_backend(config.backend);
 
         let optimizer = Optimizer::new(config.optimizer, config.learning_rate);
         FlowClassifier {
@@ -217,39 +238,7 @@ impl FlowClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::label::Labeler;
     use crate::space::FlowSpace;
-    use synth::{Qor, QorMetric, Transform};
-
-    /// A synthetic dataset whose label depends on an easily-learnable feature:
-    /// the position of the first `Balance` in the flow.
-    fn synthetic_dataset(space: &FlowSpace, count: usize, num_classes: usize) -> Dataset {
-        let mut rng = ChaCha8Rng::seed_from_u64(11);
-        let flows = space.random_unique_flows(count, &mut rng);
-        let qors: Vec<Qor> = flows
-            .iter()
-            .map(|f| {
-                let pos = f
-                    .transforms()
-                    .iter()
-                    .position(|&t| t == Transform::Balance)
-                    .unwrap_or(f.len());
-                Qor {
-                    area_um2: pos as f64 + 1.0,
-                    delay_ps: pos as f64 + 1.0,
-                    gates: 0,
-                    and_nodes: 0,
-                    depth: 0,
-                }
-            })
-            .collect();
-        let percentiles: Vec<f64> = (1..num_classes)
-            .map(|i| i as f64 / num_classes as f64)
-            .collect();
-        let values: Vec<f64> = qors.iter().map(|q| q.area_um2).collect();
-        let labeler = Labeler::from_percentiles(QorMetric::Area, &values, &percentiles);
-        Dataset::from_evaluations(flows, qors, &labeler)
-    }
 
     fn tiny_config() -> ClassifierConfig {
         ClassifierConfig {
@@ -294,8 +283,7 @@ mod tests {
 
     #[test]
     fn training_improves_over_chance_on_learnable_labels() {
-        let space = FlowSpace::paper();
-        let dataset = synthetic_dataset(&space, 150, 3);
+        let (dataset, _) = Dataset::synthetic_balance(150, 3);
         let mut clf = FlowClassifier::for_paper_space(tiny_config());
         let before = clf.accuracy(&dataset);
         let first_loss = clf.train(&dataset, 30);

@@ -38,6 +38,44 @@ impl Dataset {
         }
     }
 
+    /// Builds a seeded synthetic dataset over the paper's flow space whose
+    /// label depends on an easily-learnable feature (the position of the
+    /// first `Balance` transform), plus the flows it was built from.
+    ///
+    /// Used by the classifier tests and the `nn_perf` benchmark: it gives
+    /// every harness the exact same learnable workload without evaluating
+    /// real designs.
+    pub fn synthetic_balance(count: usize, num_classes: usize) -> (Dataset, Vec<Flow>) {
+        use rand::SeedableRng;
+        let space = crate::space::FlowSpace::paper();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let flows = space.random_unique_flows(count, &mut rng);
+        let qors: Vec<Qor> = flows
+            .iter()
+            .map(|f| {
+                let pos = f
+                    .transforms()
+                    .iter()
+                    .position(|&t| t == synth::Transform::Balance)
+                    .unwrap_or(f.len());
+                Qor {
+                    area_um2: pos as f64 + 1.0,
+                    delay_ps: pos as f64 + 1.0,
+                    gates: 0,
+                    and_nodes: 0,
+                    depth: 0,
+                }
+            })
+            .collect();
+        let percentiles: Vec<f64> = (1..num_classes)
+            .map(|i| i as f64 / num_classes as f64)
+            .collect();
+        let values: Vec<f64> = qors.iter().map(|q| q.area_um2).collect();
+        let labeler = Labeler::from_percentiles(QorMetric::Area, &values, &percentiles);
+        let eval_flows = flows.clone();
+        (Dataset::from_evaluations(flows, qors, &labeler), eval_flows)
+    }
+
     /// Builds a dataset by labelling `(flow, qor)` pairs with `labeler`.
     pub fn from_evaluations(flows: Vec<Flow>, qors: Vec<Qor>, labeler: &Labeler) -> Self {
         assert_eq!(flows.len(), qors.len(), "one QoR per flow required");

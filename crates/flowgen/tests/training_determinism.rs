@@ -1,0 +1,88 @@
+//! End-to-end training determinism of the flow classifier on the fast nn
+//! backend: a seeded training run must produce bit-identical losses and
+//! predictions regardless of the worker-thread count (extending the PR 1
+//! `runner_determinism` pattern from flow evaluation to classifier training).
+
+use flowgen::{ClassifierConfig, Dataset, FlowClassifier};
+use nn::Backend;
+
+/// All thread-count variations run inside this single `#[test]` because the
+/// pool size is process-global state.
+#[test]
+fn seeded_training_is_bit_identical_across_thread_counts() {
+    let (dataset, eval_flows) = Dataset::synthetic_balance(60, 3);
+    let config = ClassifierConfig {
+        num_kernels: 6,
+        dense_units: 16,
+        num_classes: 3,
+        backend: Backend::Fast,
+        ..ClassifierConfig::default()
+    };
+
+    let run = |threads: usize| -> (Vec<f32>, Vec<usize>) {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            let mut clf = FlowClassifier::for_paper_space(config.clone());
+            // Several mean-loss observations along the run, not just the last,
+            // so divergence at any step is caught.
+            let losses: Vec<f32> = (0..4).map(|_| clf.train(&dataset, 10)).collect();
+            let preds = clf.predict(&eval_flows);
+            (losses, preds)
+        })
+    };
+
+    let (losses_1, preds_1) = run(1);
+    for threads in [2usize, 4] {
+        let (losses_n, preds_n) = run(threads);
+        assert_eq!(
+            losses_1.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            losses_n.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            "{threads} threads changed seeded training losses bitwise"
+        );
+        assert_eq!(
+            preds_1, preds_n,
+            "{threads} threads changed post-training predictions"
+        );
+    }
+}
+
+/// The two backends must agree on predictions after identical seeded training
+/// (logits differ only by summation order, within tolerance).
+#[test]
+fn backends_agree_on_seeded_classifier_predictions() {
+    let (dataset, eval_flows) = Dataset::synthetic_balance(40, 3);
+    let mut configs = Vec::new();
+    for backend in [Backend::Reference, Backend::Fast] {
+        configs.push(ClassifierConfig {
+            num_kernels: 4,
+            dense_units: 16,
+            num_classes: 3,
+            backend,
+            ..ClassifierConfig::default()
+        });
+    }
+    let mut results = Vec::new();
+    for config in configs {
+        let mut clf = FlowClassifier::for_paper_space(config);
+        let loss = clf.train(&dataset, 20);
+        let probs = clf.predict_proba(&eval_flows);
+        let preds = clf.predict(&eval_flows);
+        results.push((loss, probs, preds));
+    }
+    let (loss_ref, probs_ref, preds_ref) = &results[0];
+    let (loss_fast, probs_fast, preds_fast) = &results[1];
+    assert!(
+        (loss_ref - loss_fast).abs() <= 1e-3 * loss_ref.abs().max(1.0),
+        "training losses diverged: {loss_ref} vs {loss_fast}"
+    );
+    for (a, b) in probs_ref.data().iter().zip(probs_fast.data()) {
+        assert!(
+            (a - b).abs() <= 1e-3,
+            "class probabilities diverged: {a} vs {b}"
+        );
+    }
+    assert_eq!(preds_ref, preds_fast, "argmax predictions diverged");
+}

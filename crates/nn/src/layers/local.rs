@@ -1,7 +1,9 @@
 //! Locally-connected layer (convolution without weight sharing).
 
 use rand::Rng;
+use rayon::prelude::*;
 
+use crate::gemm::{self, Backend};
 use crate::init::Param;
 use crate::layers::Layer;
 use crate::tensor::Tensor;
@@ -12,6 +14,11 @@ use crate::tensor::Tensor;
 /// Figure 3 of the paper places a "Local" layer between the convolutional
 /// feature extractor and the dense classifier head; this is its implementation.
 /// The layer uses valid padding and stride 1.
+///
+/// Under [`Backend::Fast`] (the default) the layer packs every position's
+/// input patches into a position-major buffer and runs one small matmul per
+/// position against that position's contiguous weight block — positions are
+/// processed in parallel and all packing buffers are reused across steps.
 #[derive(Debug)]
 pub struct LocallyConnected2d {
     kernel_h: usize,
@@ -20,11 +27,21 @@ pub struct LocallyConnected2d {
     in_w: usize,
     in_channels: usize,
     out_channels: usize,
-    /// Weights laid out `[oh, ow, kh, kw, ic, oc]`.
+    /// Weights laid out `[oh, ow, kh, kw, ic, oc]` — one contiguous
+    /// `[kh*kw*ic, oc]` matrix per output position.
     weights: Param,
     /// Bias laid out `[oh, ow, oc]`.
     bias: Param,
+    backend: Backend,
     cached_input: Option<Tensor>,
+    /// Position-major packed patches `[positions][batch][kh*kw*ic]`.
+    pack: Vec<f32>,
+    /// Position-major outputs `[positions][batch][oc]`, reused across steps.
+    out_scratch: Vec<f32>,
+    /// Position-major output gradients, reused across steps.
+    dy_pack: Vec<f32>,
+    /// Position-major patch gradients, reused across steps.
+    dpatch: Vec<f32>,
 }
 
 impl LocallyConnected2d {
@@ -58,12 +75,22 @@ impl LocallyConnected2d {
             out_channels,
             weights,
             bias: Param::zeros(oh * ow * out_channels),
+            backend: Backend::default(),
             cached_input: None,
+            pack: Vec::new(),
+            out_scratch: Vec::new(),
+            dy_pack: Vec::new(),
+            dpatch: Vec::new(),
         }
     }
 
     fn out_dims(&self) -> (usize, usize) {
         (self.in_h - self.kernel_h + 1, self.in_w - self.kernel_w + 1)
+    }
+
+    /// Patch length: `kh * kw * ic`.
+    fn patch(&self) -> usize {
+        self.kernel_h * self.kernel_w * self.in_channels
     }
 
     #[inline]
@@ -75,19 +102,38 @@ impl LocallyConnected2d {
             * self.out_channels
             + oc
     }
-}
 
-impl Layer for LocallyConnected2d {
-    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
-        assert_eq!(
-            input.shape().len(),
-            4,
-            "LocallyConnected2d expects NHWC input"
-        );
+    /// Rebuilds the position-major patch pack from `input`.
+    fn build_pack(&mut self, input: &Tensor) {
         let n = input.shape()[0];
-        assert_eq!(input.shape()[1], self.in_h, "height mismatch");
-        assert_eq!(input.shape()[2], self.in_w, "width mismatch");
-        assert_eq!(input.shape()[3], self.in_channels, "channel mismatch");
+        let (oh_total, ow_total) = self.out_dims();
+        let positions = oh_total * ow_total;
+        let patch = self.patch();
+        let (h, w, c) = (self.in_h, self.in_w, self.in_channels);
+        let (kh, kw) = (self.kernel_h, self.kernel_w);
+        // Every element is overwritten below; reuse a same-size buffer as is.
+        if self.pack.len() != positions * n * patch {
+            self.pack.resize(positions * n * patch, 0.0);
+        }
+        let data = input.data();
+        self.pack
+            .par_chunks_mut(n * patch)
+            .enumerate()
+            .for_each(|(pos, chunk)| {
+                let (oh, ow_) = (pos / ow_total, pos % ow_total);
+                for b in 0..n {
+                    let row = &mut chunk[b * patch..(b + 1) * patch];
+                    for dkh in 0..kh {
+                        let src0 = ((b * h + oh + dkh) * w + ow_) * c;
+                        row[dkh * kw * c..(dkh + 1) * kw * c]
+                            .copy_from_slice(&data[src0..src0 + kw * c]);
+                    }
+                }
+            });
+    }
+
+    fn forward_reference(&mut self, input: &Tensor) -> Tensor {
+        let n = input.shape()[0];
         let (oh_total, ow_total) = self.out_dims();
         let mut out = Tensor::zeros(&[n, oh_total, ow_total, self.out_channels]);
         for b in 0..n {
@@ -109,16 +155,59 @@ impl Layer for LocallyConnected2d {
                 }
             }
         }
-        self.cached_input = Some(input.clone());
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("forward before backward")
-            .clone();
+    fn forward_fast(&mut self, input: &Tensor) -> Tensor {
+        let n = input.shape()[0];
+        let (oh_total, ow_total) = self.out_dims();
+        let positions = oh_total * ow_total;
+        let patch = self.patch();
+        let oc = self.out_channels;
+        self.build_pack(input);
+        if self.out_scratch.len() != positions * n * oc {
+            self.out_scratch.resize(positions * n * oc, 0.0);
+        }
+        {
+            let pack = &self.pack;
+            let weights = &self.weights.value;
+            let bias = &self.bias.value;
+            self.out_scratch
+                .par_chunks_mut(n * oc)
+                .enumerate()
+                .for_each(|(pos, chunk)| {
+                    gemm::matmul_seq(
+                        n,
+                        patch,
+                        oc,
+                        &pack[pos * n * patch..(pos + 1) * n * patch],
+                        &weights[pos * patch * oc..(pos + 1) * patch * oc],
+                        chunk,
+                    );
+                    let b_pos = &bias[pos * oc..(pos + 1) * oc];
+                    for row in chunk.chunks_mut(oc) {
+                        for (cv, &bv) in row.iter_mut().zip(b_pos) {
+                            *cv += bv;
+                        }
+                    }
+                });
+        }
+        // Scatter the position-major scratch into NHWC output order.
+        let mut out = Tensor::zeros(&[n, oh_total, ow_total, oc]);
+        let scratch = &self.out_scratch;
+        out.data_mut()
+            .par_chunks_mut(positions * oc)
+            .enumerate()
+            .for_each(|(b, image)| {
+                for pos in 0..positions {
+                    image[pos * oc..(pos + 1) * oc]
+                        .copy_from_slice(&scratch[(pos * n + b) * oc..(pos * n + b + 1) * oc]);
+                }
+            });
+        out
+    }
+
+    fn backward_reference(&mut self, input: &Tensor, grad_output: &Tensor) -> Tensor {
         let n = input.shape()[0];
         let (oh_total, ow_total) = self.out_dims();
         let mut grad_input = Tensor::zeros(input.shape());
@@ -149,8 +238,147 @@ impl Layer for LocallyConnected2d {
         grad_input
     }
 
+    fn backward_fast(&mut self, input: &Tensor, grad_output: &Tensor) -> Tensor {
+        let n = input.shape()[0];
+        let (oh_total, ow_total) = self.out_dims();
+        let positions = oh_total * ow_total;
+        let patch = self.patch();
+        let oc = self.out_channels;
+        if self.pack.len() != positions * n * patch {
+            self.build_pack(input);
+        }
+        // Gather dY into position-major order.
+        if self.dy_pack.len() != positions * n * oc {
+            self.dy_pack.resize(positions * n * oc, 0.0);
+        }
+        let dy = grad_output.data();
+        self.dy_pack
+            .par_chunks_mut(n * oc)
+            .enumerate()
+            .for_each(|(pos, chunk)| {
+                for b in 0..n {
+                    chunk[b * oc..(b + 1) * oc].copy_from_slice(
+                        &dy[(b * positions + pos) * oc..(b * positions + pos + 1) * oc],
+                    );
+                }
+            });
+        // dW per position: each position's weight block is contiguous, so the
+        // parallel chunks line up exactly with the per-position matmuls.
+        {
+            let pack = &self.pack;
+            let dy_pack = &self.dy_pack;
+            self.weights
+                .grad
+                .par_chunks_mut(patch * oc)
+                .enumerate()
+                .for_each(|(pos, dw)| {
+                    gemm::matmul_tn_acc_seq(
+                        n,
+                        patch,
+                        oc,
+                        &pack[pos * n * patch..(pos + 1) * n * patch],
+                        &dy_pack[pos * n * oc..(pos + 1) * n * oc],
+                        dw,
+                    );
+                });
+        }
+        // db per position (cheap; fixed sequential order).
+        for pos in 0..positions {
+            gemm::col_sums_acc(
+                n,
+                oc,
+                &self.dy_pack[pos * n * oc..(pos + 1) * n * oc],
+                &mut self.bias.grad[pos * oc..(pos + 1) * oc],
+            );
+        }
+        // dPatch per position: dP = dY_pos · W_posᵀ.
+        if self.dpatch.len() != positions * n * patch {
+            self.dpatch.resize(positions * n * patch, 0.0);
+        }
+        {
+            let weights = &self.weights.value;
+            let dy_pack = &self.dy_pack;
+            self.dpatch
+                .par_chunks_mut(n * patch)
+                .enumerate()
+                .for_each(|(pos, dp)| {
+                    gemm::matmul_nt_seq(
+                        n,
+                        oc,
+                        patch,
+                        &dy_pack[pos * n * oc..(pos + 1) * n * oc],
+                        &weights[pos * patch * oc..(pos + 1) * patch * oc],
+                        dp,
+                    );
+                });
+        }
+        // Scatter-add patch gradients back onto the input (parallel over batch
+        // images — the only overlapping writes are within one image).
+        let mut grad_input = Tensor::zeros(input.shape());
+        let (h, w, c) = (self.in_h, self.in_w, self.in_channels);
+        let (kh, kw) = (self.kernel_h, self.kernel_w);
+        let dpatch = &self.dpatch;
+        grad_input
+            .data_mut()
+            .par_chunks_mut(h * w * c)
+            .enumerate()
+            .for_each(|(b, dimage)| {
+                for pos in 0..positions {
+                    let (oh, ow_) = (pos / ow_total, pos % ow_total);
+                    let row = &dpatch[(pos * n + b) * patch..(pos * n + b + 1) * patch];
+                    for dkh in 0..kh {
+                        let dst0 = ((oh + dkh) * w + ow_) * c;
+                        let dst = &mut dimage[dst0..dst0 + kw * c];
+                        let src = &row[dkh * kw * c..(dkh + 1) * kw * c];
+                        for (dv, &sv) in dst.iter_mut().zip(src) {
+                            *dv += sv;
+                        }
+                    }
+                }
+            });
+        grad_input
+    }
+}
+
+impl Layer for LocallyConnected2d {
+    fn forward(&mut self, input: &Tensor, _training: bool) -> Tensor {
+        assert_eq!(
+            input.shape().len(),
+            4,
+            "LocallyConnected2d expects NHWC input"
+        );
+        assert_eq!(input.shape()[1], self.in_h, "height mismatch");
+        assert_eq!(input.shape()[2], self.in_w, "width mismatch");
+        assert_eq!(input.shape()[3], self.in_channels, "channel mismatch");
+        let out = match self.backend {
+            Backend::Reference => {
+                self.pack.clear();
+                self.forward_reference(input)
+            }
+            Backend::Fast => self.forward_fast(input),
+        };
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("forward before backward")
+            .clone();
+        match self.backend {
+            Backend::Reference => self.backward_reference(&input, grad_output),
+            Backend::Fast => self.backward_fast(&input, grad_output),
+        }
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weights, &mut self.bias]
+    }
+
+    fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
     }
 
     fn name(&self) -> String {
@@ -169,54 +397,102 @@ mod tests {
 
     #[test]
     fn output_shape_is_valid_convolution_shape() {
-        let mut rng = ChaCha8Rng::seed_from_u64(11);
-        let mut layer = LocallyConnected2d::new((4, 4, 2), (2, 2), 3, &mut rng);
-        let input = Tensor::zeros(&[2, 4, 4, 2]);
-        let out = layer.forward(&input, false);
-        assert_eq!(out.shape(), &[2, 3, 3, 3]);
-        assert!(layer.name().contains("LocallyConnected2d"));
+        for backend in [Backend::Reference, Backend::Fast] {
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            let mut layer = LocallyConnected2d::new((4, 4, 2), (2, 2), 3, &mut rng);
+            layer.set_backend(backend);
+            let input = Tensor::zeros(&[2, 4, 4, 2]);
+            let out = layer.forward(&input, false);
+            assert_eq!(out.shape(), &[2, 3, 3, 3], "{backend:?}");
+            assert!(layer.name().contains("LocallyConnected2d"));
+        }
     }
 
     #[test]
     fn positions_have_independent_weights() {
-        let mut rng = ChaCha8Rng::seed_from_u64(13);
-        let mut layer = LocallyConnected2d::new((2, 2, 1), (1, 1), 1, &mut rng);
-        // Set each position's weight differently; a shared-weight conv could not do this.
-        for (i, w) in layer.weights.value.iter_mut().enumerate() {
-            *w = (i + 1) as f32;
+        for backend in [Backend::Reference, Backend::Fast] {
+            let mut rng = ChaCha8Rng::seed_from_u64(13);
+            let mut layer = LocallyConnected2d::new((2, 2, 1), (1, 1), 1, &mut rng);
+            layer.set_backend(backend);
+            // Set each position's weight differently; a shared-weight conv could not do this.
+            for (i, w) in layer.weights.value.iter_mut().enumerate() {
+                *w = (i + 1) as f32;
+            }
+            layer.bias.value.iter_mut().for_each(|b| *b = 0.0);
+            let input = Tensor::full(&[1, 2, 2, 1], 1.0);
+            let out = layer.forward(&input, false);
+            assert_eq!(out.data(), &[1.0, 2.0, 3.0, 4.0], "{backend:?}");
         }
-        layer.bias.value.iter_mut().for_each(|b| *b = 0.0);
-        let input = Tensor::full(&[1, 2, 2, 1], 1.0);
-        let out = layer.forward(&input, false);
-        assert_eq!(out.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn fast_matches_reference_forward_and_backward() {
+        let mut drng = ChaCha8Rng::seed_from_u64(23);
+        use rand::Rng;
+        let input = Tensor::from_vec(
+            &[3, 5, 4, 2],
+            (0..3 * 5 * 4 * 2)
+                .map(|_| drng.gen_range(-1.0..1.0))
+                .collect(),
+        );
+        let mut a =
+            LocallyConnected2d::new((5, 4, 2), (2, 3), 3, &mut ChaCha8Rng::seed_from_u64(2));
+        a.set_backend(Backend::Reference);
+        let mut b =
+            LocallyConnected2d::new((5, 4, 2), (2, 3), 3, &mut ChaCha8Rng::seed_from_u64(2));
+        b.set_backend(Backend::Fast);
+        let ya = a.forward(&input, true);
+        let yb = b.forward(&input, true);
+        assert_eq!(ya.shape(), yb.shape());
+        for (p, q) in ya.data().iter().zip(yb.data()) {
+            assert!((p - q).abs() <= 1e-4 * p.abs().max(1.0), "fwd {p} vs {q}");
+        }
+        let grad_out = Tensor::from_vec(
+            ya.shape(),
+            (0..ya.len()).map(|_| drng.gen_range(-1.0..1.0)).collect(),
+        );
+        let ga = a.backward(&grad_out);
+        let gb = b.backward(&grad_out);
+        for (p, q) in ga.data().iter().zip(gb.data()) {
+            assert!((p - q).abs() <= 1e-4 * p.abs().max(1.0), "dX {p} vs {q}");
+        }
+        for (p, q) in a.weights.grad.iter().zip(&b.weights.grad) {
+            assert!((p - q).abs() <= 1e-4 * p.abs().max(1.0), "dW {p} vs {q}");
+        }
+        for (p, q) in a.bias.grad.iter().zip(&b.bias.grad) {
+            assert!((p - q).abs() <= 1e-4 * p.abs().max(1.0), "db {p} vs {q}");
+        }
     }
 
     #[test]
     fn gradient_check() {
-        let mut rng = ChaCha8Rng::seed_from_u64(17);
-        let mut layer = LocallyConnected2d::new((3, 3, 1), (2, 2), 2, &mut rng);
-        let input = Tensor::from_vec(
-            &[1, 3, 3, 1],
-            vec![0.2, -0.4, 0.6, 1.0, -1.2, 0.3, 0.7, 0.1, -0.9],
-        );
-        let out = layer.forward(&input, true);
-        let grad_out = Tensor::full(out.shape(), 1.0);
-        let grad_in = layer.backward(&grad_out);
-        assert_eq!(grad_in.shape(), input.shape());
-        let eps = 1e-2f32;
-        for wi in (0..layer.weights.len()).step_by(7) {
-            let analytic = layer.weights.grad[wi];
-            let orig = layer.weights.value[wi];
-            layer.weights.value[wi] = orig + eps;
-            let up = layer.forward(&input, true).sum();
-            layer.weights.value[wi] = orig - eps;
-            let down = layer.forward(&input, true).sum();
-            layer.weights.value[wi] = orig;
-            let numeric = (up - down) / (2.0 * eps);
-            assert!(
-                (analytic - numeric).abs() < 1e-2,
-                "w{wi}: {analytic} vs {numeric}"
+        for backend in [Backend::Reference, Backend::Fast] {
+            let mut rng = ChaCha8Rng::seed_from_u64(17);
+            let mut layer = LocallyConnected2d::new((3, 3, 1), (2, 2), 2, &mut rng);
+            layer.set_backend(backend);
+            let input = Tensor::from_vec(
+                &[1, 3, 3, 1],
+                vec![0.2, -0.4, 0.6, 1.0, -1.2, 0.3, 0.7, 0.1, -0.9],
             );
+            let out = layer.forward(&input, true);
+            let grad_out = Tensor::full(out.shape(), 1.0);
+            let grad_in = layer.backward(&grad_out);
+            assert_eq!(grad_in.shape(), input.shape());
+            let eps = 1e-2f32;
+            for wi in (0..layer.weights.len()).step_by(7) {
+                let analytic = layer.weights.grad[wi];
+                let orig = layer.weights.value[wi];
+                layer.weights.value[wi] = orig + eps;
+                let up = layer.forward(&input, true).sum();
+                layer.weights.value[wi] = orig - eps;
+                let down = layer.forward(&input, true).sum();
+                layer.weights.value[wi] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (analytic - numeric).abs() < 1e-2,
+                    "{backend:?} w{wi}: {analytic} vs {numeric}"
+                );
+            }
         }
     }
 }

@@ -12,6 +12,14 @@
 //! * the five [`GradientDescent`] algorithms compared in Figures 4–5, and
 //! * a sequential [`Network`] with mini-batch training.
 //!
+//! Two compute [`Backend`]s are available (see the [`gemm`] module):
+//! [`Backend::Fast`] — the default — runs the trainable layers as blocked,
+//! cache-tiled, parallel GEMMs over `im2col`-packed patches, which is what
+//! makes the paper's full-size 2×200-kernel classifier trainable in minutes
+//! on a CPU; [`Backend::Reference`] keeps the original scalar loops for
+//! differential testing.  The fast path is bit-deterministic across thread
+//! counts.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -34,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod activation;
+pub mod gemm;
 mod init;
 mod layers;
 mod loss;
@@ -43,6 +52,7 @@ mod optim;
 mod tensor;
 
 pub use activation::Activation;
+pub use gemm::Backend;
 pub use init::Param;
 pub use layers::{
     ActivationLayer, Conv2d, Dense, Dropout, Flatten, Layer, LocallyConnected2d, MaxPool2d,

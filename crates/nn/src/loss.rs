@@ -4,22 +4,44 @@
 //! loss (Section 3.2.2), i.e. class labels are integers rather than one-hot
 //! vectors; the network output goes through a softmax.
 
+use rayon::prelude::*;
+
 use crate::tensor::Tensor;
 
+/// Rows per parallel chunk in the batched loss kernels (fixed, so results are
+/// bit-identical under any thread count).
+const ROWS_PER_CHUNK: usize = 32;
+
 /// Numerically stable softmax over the last dimension of a `[batch, classes]` tensor.
+///
+/// Fused and allocation-free per row: the exponentials are written directly
+/// into the output tensor and normalised in place (no per-row scratch `Vec`);
+/// rows are processed in parallel in fixed-size blocks.
 pub fn softmax(logits: &Tensor) -> Tensor {
     assert_eq!(logits.shape().len(), 2, "softmax expects [batch, classes]");
-    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    let classes = logits.shape()[1];
     let mut out = Tensor::zeros(logits.shape());
-    for b in 0..batch {
-        let row = &logits.data()[b * classes..(b + 1) * classes];
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
-        let sum: f32 = exps.iter().sum();
-        for (c, &e) in exps.iter().enumerate() {
-            out.data_mut()[b * classes + c] = e / sum;
-        }
-    }
+    let src = logits.data();
+    out.data_mut()
+        .par_chunks_mut(ROWS_PER_CHUNK * classes)
+        .enumerate()
+        .for_each(|(blk, chunk)| {
+            let row0 = blk * ROWS_PER_CHUNK;
+            for (r, out_row) in chunk.chunks_mut(classes).enumerate() {
+                let row = &src[(row0 + r) * classes..(row0 + r + 1) * classes];
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                for (o, &x) in out_row.iter_mut().zip(row) {
+                    let e = (x - max).exp();
+                    *o = e;
+                    sum += e;
+                }
+                let inv = 1.0 / sum;
+                for o in out_row.iter_mut() {
+                    *o *= inv;
+                }
+            }
+        });
     out
 }
 
@@ -36,28 +58,49 @@ pub struct LossOutput {
 
 /// Computes the sparse softmax cross-entropy loss and its gradient.
 ///
+/// The gradient `(softmax − one-hot) / batch` is produced in a single fused,
+/// batch-parallel pass over the probabilities — no `clone()` of the
+/// probability tensor and no separate `scale()` sweep.  The loss reduction
+/// itself is a fixed-order sequential sum, so results are bit-identical under
+/// any thread count.
+///
 /// # Panics
 ///
 /// Panics if `labels.len()` differs from the batch size or a label is out of range.
 pub fn sparse_softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
     let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
     assert_eq!(labels.len(), batch, "one label per batch row required");
-    let probs = softmax(logits);
-    let mut loss = 0.0f32;
-    let mut grad = probs.clone();
-    for (b, &label) in labels.iter().enumerate() {
+    for &label in labels {
         assert!(
             label < classes,
             "label {label} out of range for {classes} classes"
         );
-        let p = probs.at2(b, label).max(1e-12);
-        loss -= p.ln();
-        grad.data_mut()[b * classes + label] -= 1.0;
     }
+    let probs = softmax(logits);
     let scale = 1.0 / batch as f32;
+    let mut grad = Tensor::zeros(logits.shape());
+    let p = probs.data();
+    grad.data_mut()
+        .par_chunks_mut(ROWS_PER_CHUNK * classes)
+        .enumerate()
+        .for_each(|(blk, chunk)| {
+            let row0 = blk * ROWS_PER_CHUNK;
+            for (r, grad_row) in chunk.chunks_mut(classes).enumerate() {
+                let b = row0 + r;
+                let p_row = &p[b * classes..(b + 1) * classes];
+                for (c, (g, &pv)) in grad_row.iter_mut().zip(p_row).enumerate() {
+                    let delta = if c == labels[b] { pv - 1.0 } else { pv };
+                    *g = delta * scale;
+                }
+            }
+        });
+    let mut loss = 0.0f32;
+    for (b, &label) in labels.iter().enumerate() {
+        loss -= p[b * classes + label].max(1e-12).ln();
+    }
     LossOutput {
         loss: loss * scale,
-        grad_logits: grad.scale(scale),
+        grad_logits: grad,
         probabilities: probs,
     }
 }

@@ -7,9 +7,14 @@
 
 use std::collections::HashMap;
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::init::Param;
+
+/// Elements per parallel chunk in the update kernels.  Fixed (never derived
+/// from the thread count) so updates are bit-identical under any pool size.
+const UPDATE_CHUNK: usize = 8192;
 
 /// The gradient-descent algorithms compared in Figures 4 and 5 of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -112,6 +117,9 @@ impl Optimizer {
     /// Applies one update to a parameter identified by `key` (stable across steps).
     ///
     /// The parameter's gradient is consumed (reset to zero afterwards).
+    /// Updates are element-wise and run chunk-parallel over the parameter
+    /// vector (fixed chunk boundaries, so any thread count produces identical
+    /// bits); the gradient reset is fused into the same pass.
     pub fn update(&mut self, key: usize, param: &mut Param) {
         let slot = self.slots.entry(key).or_insert_with(|| Slot {
             m: vec![0.0; param.len()],
@@ -119,49 +127,105 @@ impl Optimizer {
         });
         debug_assert_eq!(slot.m.len(), param.len(), "parameter size changed");
         let lr = self.learning_rate;
+        let value = param.value.as_mut_slice();
+        let grad = param.grad.as_mut_slice();
         match self.method {
             GradientDescent::Sgd => {
-                for i in 0..param.len() {
-                    param.value[i] -= lr * param.grad[i];
-                }
+                value
+                    .par_chunks_mut(UPDATE_CHUNK)
+                    .zip(grad.par_chunks_mut(UPDATE_CHUNK))
+                    .for_each(|(v, g)| {
+                        let n = v.len();
+                        let g = &mut g[..n];
+                        for i in 0..n {
+                            v[i] -= lr * g[i];
+                            g[i] = 0.0;
+                        }
+                    });
             }
             GradientDescent::Momentum { momentum } => {
-                for i in 0..param.len() {
-                    slot.m[i] = momentum * slot.m[i] + param.grad[i];
-                    param.value[i] -= lr * slot.m[i];
-                }
+                value
+                    .par_chunks_mut(UPDATE_CHUNK)
+                    .zip(grad.par_chunks_mut(UPDATE_CHUNK))
+                    .zip(slot.m.par_chunks_mut(UPDATE_CHUNK))
+                    .for_each(|((v, g), m)| {
+                        let n = v.len();
+                        let g = &mut g[..n];
+                        let m = &mut m[..n];
+                        for i in 0..n {
+                            let mi = momentum * m[i] + g[i];
+                            m[i] = mi;
+                            v[i] -= lr * mi;
+                            g[i] = 0.0;
+                        }
+                    });
             }
             GradientDescent::AdaGrad => {
-                for i in 0..param.len() {
-                    slot.v[i] += param.grad[i] * param.grad[i];
-                    param.value[i] -= lr * param.grad[i] / (slot.v[i].sqrt() + 1e-8);
-                }
+                value
+                    .par_chunks_mut(UPDATE_CHUNK)
+                    .zip(grad.par_chunks_mut(UPDATE_CHUNK))
+                    .zip(slot.v.par_chunks_mut(UPDATE_CHUNK))
+                    .for_each(|((v, g), vv)| {
+                        let n = v.len();
+                        let g = &mut g[..n];
+                        let vv = &mut vv[..n];
+                        for i in 0..n {
+                            let gi = g[i];
+                            let ai = vv[i] + gi * gi;
+                            vv[i] = ai;
+                            v[i] -= lr * gi / (ai.sqrt() + 1e-8);
+                            g[i] = 0.0;
+                        }
+                    });
             }
             GradientDescent::RmsProp { decay } => {
-                for i in 0..param.len() {
-                    slot.v[i] = decay * slot.v[i] + (1.0 - decay) * param.grad[i] * param.grad[i];
-                    param.value[i] -= lr * param.grad[i] / (slot.v[i].sqrt() + 1e-8);
-                }
+                value
+                    .par_chunks_mut(UPDATE_CHUNK)
+                    .zip(grad.par_chunks_mut(UPDATE_CHUNK))
+                    .zip(slot.v.par_chunks_mut(UPDATE_CHUNK))
+                    .for_each(|((v, g), vv)| {
+                        let n = v.len();
+                        let g = &mut g[..n];
+                        let vv = &mut vv[..n];
+                        for i in 0..n {
+                            let gi = g[i];
+                            let ai = decay * vv[i] + (1.0 - decay) * gi * gi;
+                            vv[i] = ai;
+                            v[i] -= lr * gi / (ai.sqrt() + 1e-8);
+                            g[i] = 0.0;
+                        }
+                    });
             }
             GradientDescent::Ftrl { l1, l2, beta } => {
                 // FTRL-Proximal with per-coordinate learning rates.
-                for i in 0..param.len() {
-                    let g = param.grad[i];
-                    let n_new = slot.v[i] + g * g;
-                    let sigma = (n_new.sqrt() - slot.v[i].sqrt()) / lr;
-                    slot.m[i] += g - sigma * param.value[i];
-                    slot.v[i] = n_new;
-                    let z = slot.m[i];
-                    if z.abs() <= l1 {
-                        param.value[i] = 0.0;
-                    } else {
-                        let sign = if z < 0.0 { -1.0 } else { 1.0 };
-                        param.value[i] = -(z - sign * l1) / ((beta + n_new.sqrt()) / lr + l2);
-                    }
-                }
+                value
+                    .par_chunks_mut(UPDATE_CHUNK)
+                    .zip(grad.par_chunks_mut(UPDATE_CHUNK))
+                    .zip(slot.m.par_chunks_mut(UPDATE_CHUNK))
+                    .zip(slot.v.par_chunks_mut(UPDATE_CHUNK))
+                    .for_each(|(((v, g), m), vv)| {
+                        let n = v.len();
+                        let g = &mut g[..n];
+                        let m = &mut m[..n];
+                        let vv = &mut vv[..n];
+                        for i in 0..n {
+                            let gi = g[i];
+                            let n_new = vv[i] + gi * gi;
+                            let sigma = (n_new.sqrt() - vv[i].sqrt()) / lr;
+                            m[i] += gi - sigma * v[i];
+                            vv[i] = n_new;
+                            let z = m[i];
+                            if z.abs() <= l1 {
+                                v[i] = 0.0;
+                            } else {
+                                let sign = if z < 0.0 { -1.0 } else { 1.0 };
+                                v[i] = -(z - sign * l1) / ((beta + n_new.sqrt()) / lr + l2);
+                            }
+                            g[i] = 0.0;
+                        }
+                    });
             }
         }
-        param.zero_grad();
     }
 }
 

@@ -1,0 +1,141 @@
+//! Differential tests for the two compute backends: the GEMM-backed
+//! `Backend::Fast` path must match the scalar `Backend::Reference` loops on
+//! the full Figure-3 layer stack — logits within tight relative tolerance,
+//! argmax predictions identical — and must itself be bit-identical across
+//! thread counts.
+
+use nn::{
+    Activation, ActivationLayer, Backend, Conv2d, Dense, Dropout, Flatten, GradientDescent,
+    LocallyConnected2d, MaxPool2d, Network, Optimizer, Tensor,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const CLASSES: usize = 7;
+
+/// A small version of the paper's Figure 3 stack (two conv+pool stages with an
+/// even-width rectangular kernel, a locally-connected layer, dense head).
+fn figure3_net(seed: u64, backend: Backend) -> Network {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let k = 8;
+    let (h, w) = (12, 12);
+    let mut net = Network::new();
+    net.push(Conv2d::new((3, 6), 1, k, &mut rng));
+    net.push(ActivationLayer::new(Activation::Selu));
+    net.push(MaxPool2d::new((2, 2)));
+    net.push(Conv2d::new((3, 6), k, k, &mut rng));
+    net.push(ActivationLayer::new(Activation::Selu));
+    net.push(MaxPool2d::new((2, 2)));
+    let (h2, w2) = (h / 4, w / 4);
+    net.push(LocallyConnected2d::new((h2, w2, k), (2, 2), 4, &mut rng));
+    net.push(ActivationLayer::new(Activation::Selu));
+    net.push(Flatten::new());
+    let flat = (h2 - 1) * (w2 - 1) * 4;
+    net.push(Dense::new(flat, 16, &mut rng));
+    net.push(ActivationLayer::new(Activation::Selu));
+    net.push(Dropout::new(0.4, seed ^ 0x5EED));
+    net.push(Dense::new(16, CLASSES, &mut rng));
+    net.set_backend(backend);
+    net
+}
+
+fn seeded_batch(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data = (0..n * 12 * 12).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let labels = (0..n).map(|_| rng.gen_range(0..CLASSES)).collect();
+    (Tensor::from_vec(&[n, 12, 12, 1], data), labels)
+}
+
+fn argmax_rows(t: &Tensor) -> Vec<usize> {
+    let classes = t.shape()[1];
+    (0..t.shape()[0])
+        .map(|b| {
+            let row = &t.data()[b * classes..(b + 1) * classes];
+            row.iter()
+                .enumerate()
+                .max_by(|a, c| a.1.partial_cmp(c.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn fast_logits_match_reference_within_tolerance() {
+    let mut reference = figure3_net(42, Backend::Reference);
+    let mut fast = figure3_net(42, Backend::Fast);
+    for seed in [1u64, 2, 3] {
+        let (x, _) = seeded_batch(5, seed);
+        let logits_ref = reference.forward(&x, false);
+        let logits_fast = fast.forward(&x, false);
+        assert_eq!(logits_ref.shape(), logits_fast.shape());
+        for (a, b) in logits_ref.data().iter().zip(logits_fast.data()) {
+            assert!(
+                (a - b).abs() <= 1e-4 * a.abs().max(1.0),
+                "seed {seed}: logits diverge: {a} vs {b}"
+            );
+        }
+        assert_eq!(
+            argmax_rows(&logits_ref),
+            argmax_rows(&logits_fast),
+            "seed {seed}: argmax predictions differ"
+        );
+    }
+}
+
+#[test]
+fn training_steps_agree_between_backends() {
+    let mut reference = figure3_net(7, Backend::Reference);
+    let mut fast = figure3_net(7, Backend::Fast);
+    let mut opt_ref = Optimizer::new(GradientDescent::RmsProp { decay: 0.9 }, 1e-3);
+    let mut opt_fast = Optimizer::new(GradientDescent::RmsProp { decay: 0.9 }, 1e-3);
+    for step in 0..5 {
+        let (x, y) = seeded_batch(5, 100 + step);
+        let loss_ref = reference.train_step(&x, &y, &mut opt_ref).loss;
+        let loss_fast = fast.train_step(&x, &y, &mut opt_fast).loss;
+        assert!(
+            (loss_ref - loss_fast).abs() <= 1e-3 * loss_ref.abs().max(1.0),
+            "step {step}: loss {loss_ref} vs {loss_fast}"
+        );
+    }
+    // After training both nets the same way, predictions must still agree.
+    let (x, _) = seeded_batch(16, 999);
+    let p_ref = reference.predict(&x);
+    let p_fast = fast.predict(&x);
+    assert_eq!(p_ref, p_fast, "post-training predictions diverged");
+}
+
+/// The fast backend is bit-deterministic across worker-thread counts: work is
+/// split into fixed blocks and every reduction runs in a fixed order.  All
+/// thread-count variations run inside one `#[test]` (mirroring the PR 1
+/// `runner_determinism` pattern) because the pool size is process-global.
+#[test]
+fn fast_training_is_bit_identical_across_thread_counts() {
+    let run = |threads: usize| -> (Vec<f32>, Vec<usize>) {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            let mut net = figure3_net(11, Backend::Fast);
+            let mut opt = Optimizer::new(GradientDescent::RmsProp { decay: 0.9 }, 1e-3);
+            let mut losses = Vec::new();
+            for step in 0..4 {
+                let (x, y) = seeded_batch(5, 200 + step);
+                losses.push(net.train_step(&x, &y, &mut opt).loss);
+            }
+            let (x, _) = seeded_batch(8, 555);
+            (losses, net.predict(&x))
+        })
+    };
+    let (losses_1, preds_1) = run(1);
+    for threads in [2usize, 4, 8] {
+        let (losses_n, preds_n) = run(threads);
+        assert_eq!(
+            losses_1.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            losses_n.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            "{threads} threads changed training losses bitwise"
+        );
+        assert_eq!(preds_1, preds_n, "{threads} threads changed predictions");
+    }
+}

@@ -1,19 +1,23 @@
 //! Offline stand-in for the `rayon` crate.
 //!
-//! Provides the data-parallel slice API the workspace uses — `par_iter()`
-//! followed by `map`/`for_each`/`collect` — implemented with scoped OS threads
-//! and an atomic work-stealing index, so batches really do run in parallel.
+//! Provides the data-parallel API the workspace uses — `par_iter()` followed
+//! by `map`/`for_each`/`collect`, [`join`], and `par_chunks_mut` over mutable
+//! slices — implemented with scoped OS threads and work-stealing indices, so
+//! batches really do run in parallel.
 //!
 //! The thread count honours the `RAYON_NUM_THREADS` environment variable
 //! (like upstream rayon) and defaults to the available parallelism.  Results
-//! are always returned in input order regardless of the thread count.
+//! are always returned in input order regardless of the thread count, and
+//! `par_chunks_mut` hands every worker disjoint chunks, so deterministic
+//! kernels stay deterministic under any thread count.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 pub mod prelude {
-    //! Traits that make `par_iter()` available on slices and vectors.
-    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+    //! Traits that make `par_iter()` / `par_chunks_mut()` available on slices.
+    pub use crate::{ChunkProducer, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut};
 }
 
 thread_local! {
@@ -239,6 +243,181 @@ where
     }
 }
 
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// Mirrors `rayon::join`: `oper_a` runs on the calling thread while `oper_b`
+/// may run on a second thread.  With a thread count of one (or when either
+/// side panics there is no cross-thread state to lose) the two closures run
+/// sequentially, `a` first.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle_b = scope.spawn(oper_b);
+        let ra = oper_a();
+        let rb = handle_b.join().expect("join: second operand panicked");
+        (ra, rb)
+    })
+}
+
+/// Conversion of `&mut [T]` into parallel chunk iterators (`par_chunks_mut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Returns a parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` elements (the last chunk may be shorter).
+    ///
+    /// Chunk boundaries depend only on `chunk_size`, never on the thread
+    /// count, so a deterministic per-chunk computation produces bit-identical
+    /// results under any `RAYON_NUM_THREADS`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// A source of independent work items for [`drive_parallel`]: anything that
+/// can be turned into a sequential iterator of `Send` items (disjoint chunks,
+/// zipped chunk tuples, …).
+pub trait ChunkProducer: Sized + Send {
+    /// The per-chunk item handed to worker closures.
+    type Item: Send;
+    /// The sequential iterator the parallel driver pulls from.
+    type Seq: Iterator<Item = Self::Item> + Send;
+
+    /// Number of items that will be produced.
+    fn chunk_count(&self) -> usize;
+
+    /// Converts into the sequential item iterator.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Zips with another producer: items become pairs, chunk-for-chunk.
+    ///
+    /// Both producers must yield the same number of chunks (use equal chunk
+    /// sizes over equal-length slices).
+    fn zip<B: ChunkProducer>(self, other: B) -> ParZip<Self, B> {
+        assert_eq!(
+            self.chunk_count(),
+            other.chunk_count(),
+            "zip: chunk counts differ"
+        );
+        ParZip { a: self, b: other }
+    }
+
+    /// Pairs every item with its index.
+    fn enumerate(self) -> ParEnumerate<Self> {
+        ParEnumerate { inner: self }
+    }
+
+    /// Calls `f` on every item, distributing items over worker threads.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive_parallel(self.chunk_count(), self.into_seq(), f);
+    }
+}
+
+/// Distributes the items of `seq` over worker threads.  Workers pull the next
+/// item from a shared iterator; the mutex guards only the hand-off, never the
+/// item computation, and item *identity* is thread-count independent.
+fn drive_parallel<I, F>(count: usize, seq: I, f: F)
+where
+    I: Iterator + Send,
+    I::Item: Send,
+    F: Fn(I::Item) + Sync,
+{
+    let threads = current_num_threads().min(count.max(1));
+    if threads <= 1 || count <= 1 {
+        for item in seq {
+            f(item);
+        }
+        return;
+    }
+    let queue = Mutex::new(seq);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("chunk queue poisoned").next();
+                match next {
+                    Some(item) => f(item),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Parallel iterator over disjoint mutable chunks of a slice.
+pub struct ParChunksMut<'data, T> {
+    slice: &'data mut [T],
+    chunk_size: usize,
+}
+
+impl<'data, T: Send> ChunkProducer for ParChunksMut<'data, T> {
+    type Item = &'data mut [T];
+    type Seq = std::slice::ChunksMut<'data, T>;
+
+    fn chunk_count(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.chunk_size)
+    }
+}
+
+/// The result of [`ChunkProducer::zip`]: yields chunk pairs.
+pub struct ParZip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ChunkProducer, B: ChunkProducer> ChunkProducer for ParZip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn chunk_count(&self) -> usize {
+        self.a.chunk_count().min(self.b.chunk_count())
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// The result of [`ChunkProducer::enumerate`]: yields `(index, item)`.
+pub struct ParEnumerate<A> {
+    inner: A,
+}
+
+impl<A: ChunkProducer> ChunkProducer for ParEnumerate<A> {
+    type Item = (usize, A::Item);
+    type Seq = std::iter::Enumerate<A::Seq>;
+
+    fn chunk_count(&self) -> usize {
+        self.inner.chunk_count()
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.inner.into_seq().enumerate()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -266,5 +445,72 @@ mod tests {
         let one = [41u32];
         let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
         assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+        // Nested joins must not deadlock.
+        let ((a, b), c) = crate::join(|| crate::join(|| 1, || 2), || 3);
+        assert_eq!((a, b, c), (1, 2, 3));
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut data = vec![0u64; 1003];
+        data.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 64 + j) as u64;
+            }
+        });
+        let expected: Vec<u64> = (0..1003).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn par_chunks_mut_is_thread_count_independent() {
+        let run = |threads: usize| {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let mut data = vec![1.0f64; 513];
+            pool.install(|| {
+                data.par_chunks_mut(100).enumerate().for_each(|(i, chunk)| {
+                    for v in chunk.iter_mut() {
+                        *v += (i as f64).sqrt();
+                    }
+                });
+            });
+            data
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_slice() {
+        let mut empty: Vec<u8> = Vec::new();
+        empty.par_chunks_mut(8).for_each(|_| panic!("no chunks"));
+    }
+
+    #[test]
+    fn zipped_chunks_stay_in_lockstep() {
+        let mut a = vec![0.0f32; 257];
+        let mut b: Vec<f32> = (0..257).map(|i| i as f32).collect();
+        a.par_chunks_mut(32)
+            .zip(b.par_chunks_mut(32))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                for (x, y) in ca.iter_mut().zip(cb.iter_mut()) {
+                    *x = *y + i as f32;
+                    *y = 0.0;
+                }
+            });
+        for (j, &x) in a.iter().enumerate() {
+            assert_eq!(x, j as f32 + (j / 32) as f32);
+        }
+        assert!(b.iter().all(|&y| y == 0.0));
     }
 }
