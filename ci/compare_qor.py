@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Assert that two `flowc run` reports agree on QoR.
+
+Used by the end-to-end CI smoke: one report comes from evaluating an
+**exported** AIGER fixture, the other from the same design **generated
+in-process** — their `qor` sections (and design fingerprints) must be
+identical, proving that the design survived the export/import boundary and
+that `flowc` reproduces the in-process `floweval` result exactly.
+
+Run-dependent sections (`eval` wall time and cache statistics, `design.source`)
+are deliberately not compared.
+
+Usage:  compare_qor.py <report_a.json> <report_b.json>
+"""
+
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    with open(sys.argv[1]) as handle:
+        a = json.load(handle)
+    with open(sys.argv[2]) as handle:
+        b = json.load(handle)
+
+    failures = []
+    if a["qor"] != b["qor"]:
+        failures.append(f"qor differs:\n  {sys.argv[1]}: {a['qor']}\n  {sys.argv[2]}: {b['qor']}")
+    for field in ("fingerprint", "inputs", "outputs", "ands", "depth"):
+        if a["design"][field] != b["design"][field]:
+            failures.append(
+                f"design.{field} differs: {a['design'][field]} != {b['design'][field]}"
+            )
+    if a["flow"]["script"] != b["flow"]["script"]:
+        failures.append(f"flow differs: {a['flow']['script']} != {b['flow']['script']}")
+
+    if failures:
+        for failure in failures:
+            print(f"QoR mismatch: {failure}")
+        return 1
+    print(f"QoR match: {a['qor']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

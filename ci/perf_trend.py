@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Perf-trend check: diff a perf report's speedup ratios against a baseline.
+
+Compares the per-item ``speedup`` fields of a freshly produced bench report
+(``BENCH_PR2.ci.json`` / ``BENCH_PR3.ci.json``) against the checked-in
+baseline and emits GitHub Actions ``::warning::`` annotations for items whose
+speedup regressed by more than the tolerance (default 30%).
+
+This check is intentionally **non-blocking**: shared CI runners have noisy
+timings, so regressions surface as annotations for a human to read, never as
+a red build.  The script always exits 0 unless its inputs are unreadable.
+
+Usage:
+    perf_trend.py --label PR2 --key design,flow \
+        --baseline ci/baselines/BENCH_PR2.baseline.json \
+        --current BENCH_PR2.ci.json [--tolerance 0.30]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def item_key(item, fields):
+    return tuple(str(item.get(field, "?")) for field in fields)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", required=True, help="report name used in annotations")
+    parser.add_argument("--key", required=True, help="comma-separated item-identity fields")
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args()
+
+    if not os.path.exists(args.current):
+        # The perf-smoke step did not produce a report (it, or an earlier
+        # step, failed first).  That failure is already red on its own; this
+        # step stays non-blocking instead of doubling the noise.
+        print(f"perf-trend {args.label}: {args.current} not produced, skipping trend check")
+        return 0
+    try:
+        baseline = load(args.baseline)
+        current = load(args.current)
+    except (OSError, json.JSONDecodeError) as error:
+        # A corrupt/unreadable report or baseline is a real CI wiring failure.
+        print(f"::error::perf-trend {args.label}: cannot read reports: {error}")
+        return 1
+
+    fields = args.key.split(",")
+    baseline_items = {item_key(i, fields): i for i in baseline.get("items", [])}
+    current_items = {item_key(i, fields): i for i in current.get("items", [])}
+
+    warnings = 0
+    for key, base in sorted(baseline_items.items()):
+        name = "/".join(key)
+        cur = current_items.get(key)
+        if cur is None:
+            print(f"::warning::perf-trend {args.label}: item {name} missing from current report")
+            warnings += 1
+            continue
+        base_speedup = base.get("speedup", 0.0)
+        cur_speedup = cur.get("speedup", 0.0)
+        floor = base_speedup * (1.0 - args.tolerance)
+        if cur_speedup < floor:
+            print(
+                f"::warning::perf-trend {args.label}: {name} speedup regressed "
+                f"{base_speedup:.2f}x -> {cur_speedup:.2f}x "
+                f"(more than {args.tolerance:.0%} below baseline)"
+            )
+            warnings += 1
+        else:
+            print(
+                f"perf-trend {args.label}: {name} speedup {cur_speedup:.2f}x "
+                f"(baseline {base_speedup:.2f}x) ok"
+            )
+    for key in sorted(set(current_items) - set(baseline_items)):
+        print(
+            f"perf-trend {args.label}: new item {'/'.join(key)} has no baseline "
+            "(update ci/baselines/ when intentional)"
+        )
+
+    # Overall ratio, when both reports carry one (the PR3 report does).
+    if "speedup" in baseline and "speedup" in current:
+        floor = baseline["speedup"] * (1.0 - args.tolerance)
+        if current["speedup"] < floor:
+            print(
+                f"::warning::perf-trend {args.label}: total speedup regressed "
+                f"{baseline['speedup']:.2f}x -> {current['speedup']:.2f}x"
+            )
+            warnings += 1
+
+    print(f"perf-trend {args.label}: {warnings} warning(s), non-blocking")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

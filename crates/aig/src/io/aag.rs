@@ -1,0 +1,246 @@
+//! ASCII AIGER (`.aag`) reading and writing.
+
+use crate::{Aig, Lit};
+
+use super::{
+    apply_symbol_line, parse_aiger_header, sanitize_line, IoError, IoResult, RawAiger, VarMap,
+};
+
+/// Renders a design as an ASCII AIGER (`.aag`) document.
+///
+/// Inputs become variables `1..=I` in PI order and AND gates follow in
+/// topological order, so the output satisfies the AIGER ordering constraints
+/// (`lhs > rhs0 >= rhs1`).  The full input/output symbol table is emitted,
+/// and the design name is stored as the first comment line.
+pub fn write_aag(aig: &Aig) -> String {
+    let map = VarMap::new(aig);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "aag {} {} 0 {} {}\n",
+        map.max_var(aig),
+        aig.num_inputs(),
+        aig.num_outputs(),
+        map.and_ids().len()
+    ));
+    for i in 0..aig.num_inputs() {
+        out.push_str(&format!("{}\n", (i + 1) << 1));
+    }
+    for &o in aig.outputs() {
+        out.push_str(&format!("{}\n", map.lit(o)));
+    }
+    for &id in map.and_ids() {
+        let (a, b) = aig.node(id).fanins().expect("and node");
+        let lhs = map.lit(Lit::from_node(id, false));
+        // AIGER convention: larger fanin literal first.
+        let (r0, r1) = order_fanins(map.lit(a), map.lit(b));
+        out.push_str(&format!("{lhs} {r0} {r1}\n"));
+    }
+    for i in 0..aig.num_inputs() {
+        out.push_str(&format!("i{i} {}\n", sanitize_line(aig.input_name(i))));
+    }
+    for i in 0..aig.num_outputs() {
+        out.push_str(&format!("o{i} {}\n", sanitize_line(aig.output_name(i))));
+    }
+    out.push_str("c\n");
+    out.push_str(&sanitize_line(aig.name()));
+    out.push('\n');
+    out
+}
+
+pub(crate) fn order_fanins(a: u32, b: u32) -> (u32, u32) {
+    if a >= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Parses an ASCII AIGER (`.aag`) document.
+///
+/// Combinational designs only — a non-zero latch count is rejected.  Symbol
+/// lines are honoured; unnamed inputs/outputs get `i{n}` / `o{n}` names.  The
+/// first comment line, when present, becomes the design name.
+pub fn parse_aag(text: &str) -> IoResult<Aig> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| IoError::parse(1, "empty file"))?;
+    let (max_var, num_inputs, _l, num_outputs, num_ands) = parse_aiger_header(header, "aag")?;
+
+    let mut raw = RawAiger {
+        max_var,
+        num_inputs,
+        ands: Vec::with_capacity(num_ands as usize),
+        outputs: Vec::with_capacity(num_outputs as usize),
+        input_names: vec![None; num_inputs as usize],
+        output_names: vec![None; num_outputs as usize],
+        name: None,
+    };
+
+    let mut next_body_line = |what: &str| -> IoResult<(usize, &str)> {
+        let (idx, line) = lines
+            .next()
+            .ok_or_else(|| IoError::parse(0, format!("file ends before {what}")))?;
+        Ok((idx + 1, line.trim()))
+    };
+
+    let mut seen_inputs = Vec::with_capacity(num_inputs as usize);
+    for i in 0..num_inputs {
+        let (line_no, line) = next_body_line("input definitions")?;
+        let lit: u32 = line
+            .parse()
+            .map_err(|_| IoError::parse(line_no, "input line is not a literal"))?;
+        if lit != (i + 1) << 1 {
+            return Err(IoError::parse(
+                line_no,
+                format!(
+                    "input literal {lit} out of order (expected {})",
+                    (i + 1) << 1
+                ),
+            ));
+        }
+        seen_inputs.push(lit);
+    }
+    for _ in 0..num_outputs {
+        let (line_no, line) = next_body_line("output definitions")?;
+        let lit: u32 = line
+            .parse()
+            .map_err(|_| IoError::parse(line_no, "output line is not a literal"))?;
+        if lit >> 1 > max_var {
+            return Err(IoError::parse(
+                line_no,
+                format!("output literal {lit} exceeds M"),
+            ));
+        }
+        raw.outputs.push(lit);
+    }
+    for _ in 0..num_ands {
+        let (line_no, line) = next_body_line("AND definitions")?;
+        let mut fields = line.split_ascii_whitespace().map(str::parse::<u32>);
+        let mut next = || -> IoResult<u32> {
+            fields
+                .next()
+                .transpose()
+                .ok()
+                .flatten()
+                .ok_or_else(|| IoError::parse(line_no, "AND line needs `lhs rhs0 rhs1`"))
+        };
+        let (lhs, rhs0, rhs1) = (next()?, next()?, next()?);
+        if lhs & 1 == 1 || lhs >> 1 <= num_inputs || lhs >> 1 > max_var {
+            return Err(IoError::parse(
+                line_no,
+                format!("AND lhs {lhs} is not a fresh gate variable"),
+            ));
+        }
+        raw.ands.push((lhs >> 1, rhs0, rhs1));
+    }
+
+    // Optional symbol table, then optional comment section.
+    let mut in_comments = false;
+    for (idx, line) in lines {
+        let line = line.trim_end();
+        if line.is_empty() && !in_comments {
+            continue;
+        }
+        if in_comments {
+            if raw.name.is_none() && !line.is_empty() {
+                raw.name = Some(line.to_string());
+            }
+            continue;
+        }
+        if !apply_symbol_line(line, idx + 1, &mut raw)? {
+            in_comments = true;
+        }
+    }
+
+    raw.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Aig {
+        let mut g = Aig::with_name("xor2");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let x = g.xor(a, b);
+        g.add_output("x", x);
+        g
+    }
+
+    #[test]
+    fn writes_canonical_header_and_symbols() {
+        let text = write_aag(&sample());
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("aag 5 2 0 1 3"));
+        assert_eq!(lines.next(), Some("2"));
+        assert_eq!(lines.next(), Some("4"));
+        assert!(text.contains("i0 a\n"));
+        assert!(text.contains("o0 x\n"));
+        assert!(text.ends_with("c\nxor2\n"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_names_and_function() {
+        let g = sample();
+        let back = parse_aag(&write_aag(&g)).unwrap();
+        assert_eq!(back.name(), "xor2");
+        assert_eq!(back.num_ands(), g.num_ands());
+        assert_eq!(back.input_name(1), "b");
+        assert_eq!(back.output_name(0), "x");
+        assert!(crate::random_equivalence_check(&g, &back, 4, 7));
+    }
+
+    #[test]
+    fn accepts_constant_outputs_and_unnamed_symbols() {
+        let aig = parse_aag("aag 1 1 0 2 0\n2\n0\n1\n").unwrap();
+        assert_eq!(aig.num_outputs(), 2);
+        assert_eq!(aig.outputs()[0], Lit::FALSE);
+        assert_eq!(aig.outputs()[1], Lit::TRUE);
+        assert_eq!(aig.input_name(0), "i0");
+        assert_eq!(aig.output_name(1), "o1");
+    }
+
+    #[test]
+    fn hostile_names_are_sanitized_and_reparse() {
+        let mut g = Aig::with_name("multi\nline");
+        let a = g.add_input("in\nput");
+        g.add_output("out\rput", a);
+        let back = parse_aag(&write_aag(&g)).unwrap();
+        assert_eq!(back.name(), "multi_line");
+        assert_eq!(back.input_name(0), "in_put");
+        assert_eq!(back.output_name(0), "out_put");
+        let back = super::super::parse_aiger_binary(&super::super::write_aiger_binary(&g)).unwrap();
+        assert_eq!(back.input_name(0), "in_put");
+    }
+
+    #[test]
+    fn strashes_duplicate_gates_from_external_files() {
+        // Two textually distinct gates computing the same AND merge on read.
+        let text = "aag 4 2 0 1 2\n2\n4\n8\n6 4 2\n8 4 2\n";
+        let aig = parse_aag(text).unwrap();
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_aag("").is_err());
+        assert!(
+            parse_aag("aag 1 1 0 0 0\n4\n").is_err(),
+            "input out of order"
+        );
+        assert!(
+            parse_aag("aag 2 1 0 1 1\n2\n6\n6 2\n").is_err(),
+            "short AND"
+        );
+        assert!(
+            parse_aag("aag 2 1 0 1 1\n2\n4\n4 2 9\n").is_err(),
+            "undefined rhs variable"
+        );
+        assert!(
+            parse_aag("aag 2 1 0 0 1\n2\n3 2 2\n").is_err(),
+            "odd lhs literal"
+        );
+    }
+}

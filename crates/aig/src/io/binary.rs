@@ -1,0 +1,259 @@
+//! Binary AIGER (`.aig`) reading and writing.
+//!
+//! The binary format stores AND gates as delta-coded varints: gate `i`
+//! (with lhs literal `lhs = 2 * (I + i + 1)`) is encoded as the pair
+//! `lhs - rhs0` and `rhs0 - rhs1`, each as an LEB128-style 7-bit varint.
+//! Inputs are implicit, so only the outputs, the gate deltas and the symbol
+//! table occupy the file.
+
+use crate::{Aig, Lit};
+
+use super::aag::order_fanins;
+use super::{
+    apply_symbol_line, parse_aiger_header, sanitize_line, IoError, IoResult, RawAiger, VarMap,
+};
+
+/// Renders a design as a binary AIGER (`.aig`) document.
+///
+/// The encoding mirrors [`super::write_aag`]: inputs are variables `1..=I` in
+/// PI order, AND gates follow topologically, and the symbol table plus a
+/// design-name comment are appended.
+pub fn write_aiger_binary(aig: &Aig) -> Vec<u8> {
+    let map = VarMap::new(aig);
+    let mut out = Vec::new();
+    out.extend_from_slice(
+        format!(
+            "aig {} {} 0 {} {}\n",
+            map.max_var(aig),
+            aig.num_inputs(),
+            aig.num_outputs(),
+            map.and_ids().len()
+        )
+        .as_bytes(),
+    );
+    for &o in aig.outputs() {
+        out.extend_from_slice(format!("{}\n", map.lit(o)).as_bytes());
+    }
+    for &id in map.and_ids() {
+        let (a, b) = aig.node(id).fanins().expect("and node");
+        let lhs = map.lit(Lit::from_node(id, false));
+        let (r0, r1) = order_fanins(map.lit(a), map.lit(b));
+        debug_assert!(lhs > r0 && r0 >= r1, "AIGER ordering violated");
+        push_varint(&mut out, lhs - r0);
+        push_varint(&mut out, r0 - r1);
+    }
+    for i in 0..aig.num_inputs() {
+        out.extend_from_slice(format!("i{i} {}\n", sanitize_line(aig.input_name(i))).as_bytes());
+    }
+    for i in 0..aig.num_outputs() {
+        out.extend_from_slice(format!("o{i} {}\n", sanitize_line(aig.output_name(i))).as_bytes());
+    }
+    out.extend_from_slice(b"c\n");
+    out.extend_from_slice(sanitize_line(aig.name()).as_bytes());
+    out.push(b'\n');
+    out
+}
+
+fn push_varint(out: &mut Vec<u8>, mut value: u32) {
+    while value >= 0x80 {
+        out.push((value & 0x7f) as u8 | 0x80);
+        value >>= 7;
+    }
+    out.push(value as u8);
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> IoResult<u32> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes
+            .get(*pos)
+            .ok_or_else(|| IoError::parse(0, "file ends inside a gate varint"))?;
+        *pos += 1;
+        if shift >= 32 || (shift == 28 && byte & 0x7f > 0x0f) {
+            return Err(IoError::parse(0, "gate varint overflows 32 bits"));
+        }
+        value |= ((byte & 0x7f) as u32) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Parses a binary AIGER (`.aig`) document.
+///
+/// Combinational designs only — a non-zero latch count is rejected.
+pub fn parse_aiger_binary(bytes: &[u8]) -> IoResult<Aig> {
+    let mut pos = 0usize;
+    let header = read_line(bytes, &mut pos, "header")?;
+    let (max_var, num_inputs, _l, num_outputs, num_ands) =
+        parse_aiger_header(&String::from_utf8_lossy(header), "aig")?;
+    if max_var != num_inputs + num_ands {
+        return Err(IoError::parse(
+            1,
+            format!("binary AIGER requires M = I + A, got M = {max_var}"),
+        ));
+    }
+
+    let mut raw = RawAiger {
+        max_var,
+        num_inputs,
+        ands: Vec::with_capacity(num_ands as usize),
+        outputs: Vec::with_capacity(num_outputs as usize),
+        input_names: vec![None; num_inputs as usize],
+        output_names: vec![None; num_outputs as usize],
+        name: None,
+    };
+
+    for i in 0..num_outputs {
+        let line = read_line(bytes, &mut pos, "output literals")?;
+        let lit: u32 = std::str::from_utf8(line)
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| IoError::parse(0, format!("output {i} is not a literal")))?;
+        if lit >> 1 > max_var {
+            return Err(IoError::parse(0, format!("output literal {lit} exceeds M")));
+        }
+        raw.outputs.push(lit);
+    }
+
+    for i in 0..num_ands {
+        let lhs = (num_inputs + i + 1) << 1;
+        let delta0 = read_varint(bytes, &mut pos)?;
+        let delta1 = read_varint(bytes, &mut pos)?;
+        let rhs0 = lhs
+            .checked_sub(delta0)
+            .ok_or_else(|| IoError::parse(0, format!("gate {i}: delta0 {delta0} exceeds lhs")))?;
+        let rhs1 = rhs0
+            .checked_sub(delta1)
+            .ok_or_else(|| IoError::parse(0, format!("gate {i}: delta1 {delta1} exceeds rhs0")))?;
+        if delta0 == 0 {
+            return Err(IoError::parse(
+                0,
+                format!("gate {i}: lhs equals rhs0 (cyclic definition)"),
+            ));
+        }
+        raw.ands.push((lhs >> 1, rhs0, rhs1));
+    }
+
+    // Optional symbol table and comment section (both are line-oriented text).
+    let mut in_comments = false;
+    let mut line_no = 0usize;
+    while pos < bytes.len() {
+        let line = read_line(bytes, &mut pos, "symbol table")?;
+        line_no += 1;
+        let line = String::from_utf8_lossy(line);
+        let line = line.trim_end();
+        if in_comments {
+            if raw.name.is_none() && !line.is_empty() {
+                raw.name = Some(line.to_string());
+            }
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if !apply_symbol_line(line, line_no, &mut raw)? {
+            in_comments = true;
+        }
+    }
+
+    raw.build()
+}
+
+fn read_line<'a>(bytes: &'a [u8], pos: &mut usize, what: &str) -> IoResult<&'a [u8]> {
+    let start = *pos;
+    if start >= bytes.len() {
+        return Err(IoError::parse(0, format!("file ends before {what}")));
+    }
+    while *pos < bytes.len() && bytes[*pos] != b'\n' {
+        *pos += 1;
+    }
+    let line = &bytes[start..*pos];
+    if *pos < bytes.len() {
+        *pos += 1; // consume the newline; EOF terminates the last line too
+    }
+    Ok(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Aig {
+        let mut g = Aig::with_name("mux3");
+        let s = g.add_input("s");
+        let t = g.add_input("t");
+        let e = g.add_input("e");
+        let m = g.mux(s, t, e);
+        g.add_output("m", m);
+        g
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for value in [0u32, 1, 0x7f, 0x80, 0x3fff, 0x4000, u32::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, value);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), value);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_overflow_is_rejected() {
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_names_and_function() {
+        let g = sample();
+        let back = parse_aiger_binary(&write_aiger_binary(&g)).unwrap();
+        assert_eq!(back.name(), "mux3");
+        assert_eq!(back.num_ands(), g.num_ands());
+        assert_eq!(back.num_inputs(), 3);
+        assert_eq!(back.input_name(0), "s");
+        assert_eq!(back.output_name(0), "m");
+        assert!(crate::random_equivalence_check(&g, &back, 4, 11));
+    }
+
+    #[test]
+    fn binary_is_smaller_than_ascii() {
+        let g = crate::io::tests_support::ripple_adder(16);
+        let binary = write_aiger_binary(&g);
+        let ascii = super::super::write_aag(&g);
+        assert!(binary.len() < ascii.len() / 2);
+    }
+
+    #[test]
+    fn rejects_truncated_files() {
+        let g = sample();
+        let bytes = write_aiger_binary(&g);
+        for cut in [3, bytes.len() / 2] {
+            assert!(parse_aiger_binary(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn accepts_missing_trailing_newline() {
+        // External tools may omit the final newline of the symbol/comment
+        // section; the last line still counts.
+        let aig = parse_aiger_binary(b"aig 1 1 0 1 0\n2\ni0 x").unwrap();
+        assert_eq!(aig.input_name(0), "x");
+        let aig = parse_aiger_binary(b"aig 1 1 0 1 0\n2").unwrap();
+        assert_eq!(aig.num_outputs(), 1);
+    }
+
+    #[test]
+    fn rejects_non_monotone_gates() {
+        // Header claims one gate; delta0 = 0 would make lhs = rhs0.
+        let mut bytes = b"aig 2 1 0 1 1\n4\n".to_vec();
+        bytes.push(0); // delta0 varint = 0
+        bytes.push(0); // delta1 varint = 0
+        assert!(parse_aiger_binary(&bytes).is_err());
+    }
+}

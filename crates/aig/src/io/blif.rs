@@ -1,0 +1,559 @@
+//! Structural BLIF reading and writing.
+//!
+//! The writer emits one `.names` per AND gate (fanin phases folded into the
+//! cover row) plus one buffer/inverter `.names` per primary output, so a
+//! written file reads back without creating any extra AND nodes.  The reader
+//! accepts general single-output covers — any mix of `0`/`1`/`-` rows, on-set
+//! or off-set — and lowers them through [`Aig::and`], which structurally
+//! hashes the imported logic.
+
+use std::collections::HashMap;
+
+use crate::{Aig, Lit};
+
+use super::{IoError, IoResult};
+
+/// Maximum number of inputs accepted on one `.names` cover.
+///
+/// Wide covers explode into `2^n`-ish AND trees; real structural BLIF uses
+/// 2-input covers, and mapped BLIF rarely exceeds 6.  The cap keeps a
+/// malicious file from allocating unbounded memory.
+pub const MAX_COVER_INPUTS: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Renders a design as a structural BLIF document.
+///
+/// Primary inputs and outputs keep their (sanitized, deduplicated) symbol
+/// names; internal AND gates are named `n<id>`.  Each AND becomes a two-input
+/// `.names` whose single cover row encodes the fanin phases, and each primary
+/// output becomes a buffer (`1 1`) or inverter (`0 1`) cover from its driver,
+/// so output phases survive the trip.
+pub fn write_blif(aig: &Aig) -> String {
+    let mut names = NameTable::new();
+    let input_names: Vec<String> = (0..aig.num_inputs())
+        .map(|i| names.claim(aig.input_name(i)))
+        .collect();
+    let output_names: Vec<String> = (0..aig.num_outputs())
+        .map(|i| names.claim(aig.output_name(i)))
+        .collect();
+    // Internal signal names, indexed by node id (inputs reuse their PI name).
+    let mut signal: Vec<String> = vec![String::new(); aig.len()];
+    for (i, &id) in aig.input_ids().iter().enumerate() {
+        signal[id] = input_names[i].clone();
+    }
+    for id in aig.and_ids() {
+        signal[id] = names.claim(&format!("n{id}"));
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", sanitize(aig.name())));
+    write_list(&mut out, ".inputs", &input_names);
+    write_list(&mut out, ".outputs", &output_names);
+    for id in aig.and_ids() {
+        let (a, b) = aig.node(id).fanins().expect("and node");
+        out.push_str(&format!(
+            ".names {} {} {}\n{}{} 1\n",
+            signal[a.node()],
+            signal[b.node()],
+            signal[id],
+            phase_char(a),
+            phase_char(b),
+        ));
+    }
+    for (i, &lit) in aig.outputs().iter().enumerate() {
+        let name = &output_names[i];
+        match lit.const_value() {
+            Some(false) => out.push_str(&format!(".names {name}\n")),
+            Some(true) => out.push_str(&format!(".names {name}\n1\n")),
+            None => out.push_str(&format!(
+                ".names {} {name}\n{} 1\n",
+                signal[lit.node()],
+                phase_char(lit),
+            )),
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+fn phase_char(l: Lit) -> char {
+    if l.is_complemented() {
+        '0'
+    } else {
+        '1'
+    }
+}
+
+fn write_list(out: &mut String, command: &str, names: &[String]) {
+    out.push_str(command);
+    // Wrap long interface lists with BLIF continuations for readability.
+    let mut width = command.len();
+    for name in names {
+        if width + name.len() + 1 > 78 {
+            out.push_str(" \\\n ");
+            width = 1;
+        }
+        out.push(' ');
+        out.push_str(name);
+        width += name.len() + 1;
+    }
+    out.push('\n');
+}
+
+/// Replaces BLIF-hostile characters (whitespace, `\`, `#`) in a signal name.
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_whitespace() || c == '\\' || c == '#' {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "_".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// Allocates unique sanitized signal names.
+struct NameTable {
+    used: HashMap<String, usize>,
+}
+
+impl NameTable {
+    fn new() -> Self {
+        NameTable {
+            used: HashMap::new(),
+        }
+    }
+
+    fn claim(&mut self, name: &str) -> String {
+        let base = sanitize(name);
+        match self.used.get_mut(&base) {
+            None => {
+                self.used.insert(base.clone(), 1);
+                base
+            }
+            Some(count) => {
+                *count += 1;
+                let fresh = format!("{base}_{count}");
+                // The suffixed name could itself collide; claim recursively.
+                self.claim(&fresh)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// One `.names` definition: input signals plus cover rows.
+struct Cover {
+    inputs: Vec<String>,
+    /// `(input pattern, output value)` rows, e.g. `("1-0", '1')`.
+    rows: Vec<(String, char)>,
+    line: usize,
+}
+
+/// Parses a structural BLIF document.
+///
+/// Supports `.model`, `.inputs`, `.outputs`, `.names` (single-output covers,
+/// on-set or off-set, up to [`MAX_COVER_INPUTS`] inputs), comments and line
+/// continuations.  `.latch`, `.subckt` and every other sequential or
+/// hierarchical construct is rejected as unsupported.  Covers are elaborated
+/// in file order (out-of-order definitions are resolved recursively), so a
+/// topologically ordered file — including everything [`write_blif`] produces —
+/// reads back with its node order intact.
+pub fn parse_blif(text: &str) -> IoResult<Aig> {
+    let mut model_name: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut covers: HashMap<String, Cover> = HashMap::new();
+    let mut cover_order: Vec<String> = Vec::new();
+    let mut current: Option<String> = None;
+    let mut ended = false;
+
+    for (line_no, line) in logical_lines(text) {
+        let mut tokens = line.split_ascii_whitespace();
+        let Some(head) = tokens.next() else { continue };
+        if ended {
+            return Err(IoError::parse(line_no, "content after .end"));
+        }
+        if let Some(command) = head.strip_prefix('.') {
+            current = None;
+            match command {
+                "model" => {
+                    if model_name.is_none() {
+                        model_name = tokens.next().map(str::to_string);
+                    } else {
+                        return Err(IoError::Unsupported(
+                            "multiple .model sections (hierarchical BLIF)".into(),
+                        ));
+                    }
+                }
+                "inputs" => inputs.extend(tokens.map(str::to_string)),
+                "outputs" => outputs.extend(tokens.map(str::to_string)),
+                "names" => {
+                    let signals: Vec<String> = tokens.map(str::to_string).collect();
+                    let Some((output, cover_inputs)) = signals.split_last() else {
+                        return Err(IoError::parse(line_no, ".names needs an output signal"));
+                    };
+                    if cover_inputs.len() > MAX_COVER_INPUTS {
+                        return Err(IoError::Unsupported(format!(
+                            ".names with {} inputs (max {MAX_COVER_INPUTS})",
+                            cover_inputs.len()
+                        )));
+                    }
+                    if covers.contains_key(output) || inputs.contains(output) {
+                        return Err(IoError::parse(
+                            line_no,
+                            format!("signal `{output}` driven twice"),
+                        ));
+                    }
+                    covers.insert(
+                        output.clone(),
+                        Cover {
+                            inputs: cover_inputs.to_vec(),
+                            rows: Vec::new(),
+                            line: line_no,
+                        },
+                    );
+                    cover_order.push(output.clone());
+                    current = Some(output.clone());
+                }
+                "end" => ended = true,
+                "latch" => {
+                    return Err(IoError::Unsupported(
+                        ".latch; this reproduction is combinational-only".into(),
+                    ))
+                }
+                other => {
+                    return Err(IoError::Unsupported(format!(".{other} construct")));
+                }
+            }
+            continue;
+        }
+        // A cover row of the open `.names`.
+        let Some(open) = &current else {
+            return Err(IoError::parse(
+                line_no,
+                format!("unexpected token `{head}` outside a .names cover"),
+            ));
+        };
+        let cover = covers.get_mut(open).expect("open cover exists");
+        let (pattern, value) = match tokens.next() {
+            // `<pattern> <value>` for covers with inputs.
+            Some(value_token) => (head.to_string(), value_token),
+            // A single token is the output value of a zero-input cover.
+            None => (String::new(), head),
+        };
+        if tokens.next().is_some() {
+            return Err(IoError::parse(line_no, "cover row has trailing tokens"));
+        }
+        let value = match value {
+            "1" => '1',
+            "0" => '0',
+            other => {
+                return Err(IoError::parse(
+                    line_no,
+                    format!("cover output must be 0 or 1, got `{other}`"),
+                ))
+            }
+        };
+        if pattern.len() != cover.inputs.len()
+            || !pattern.chars().all(|c| matches!(c, '0' | '1' | '-'))
+        {
+            return Err(IoError::parse(
+                line_no,
+                format!(
+                    "cover row `{pattern}` does not match {} input(s)",
+                    cover.inputs.len()
+                ),
+            ));
+        }
+        cover.rows.push((pattern, value));
+    }
+
+    if outputs.is_empty() {
+        return Err(IoError::parse(0, "BLIF declares no .outputs"));
+    }
+
+    build_blif(model_name, inputs, outputs, covers, cover_order)
+}
+
+/// Iterates over semantic lines: comments stripped, `\` continuations joined.
+fn logical_lines(text: &str) -> impl Iterator<Item = (usize, String)> + '_ {
+    let mut lines = text.lines().enumerate().peekable();
+    std::iter::from_fn(move || {
+        let (idx, first) = lines.next()?;
+        let mut logical = strip_comment(first).to_string();
+        while logical.trim_end().ends_with('\\') {
+            let keep = logical.trim_end().len() - 1;
+            logical.truncate(keep);
+            match lines.next() {
+                Some((_, next)) => logical.push_str(strip_comment(next)),
+                None => break,
+            }
+        }
+        Some((idx + 1, logical))
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Lowers parsed covers into an [`Aig`] in file order.
+fn build_blif(
+    model_name: Option<String>,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    covers: HashMap<String, Cover>,
+    cover_order: Vec<String>,
+) -> IoResult<Aig> {
+    let mut aig = Aig::with_name(model_name.as_deref().unwrap_or("blif"));
+    let mut lit_of: HashMap<&str, Lit> = HashMap::new();
+    for name in &inputs {
+        if lit_of.contains_key(name.as_str()) {
+            return Err(IoError::parse(0, format!("input `{name}` declared twice")));
+        }
+        let lit = aig.add_input(name.clone());
+        lit_of.insert(name, lit);
+    }
+
+    // Covers are lowered in file order; a cover whose fanins are defined
+    // further down the file pulls them in depth-first.  The stack is explicit
+    // (imported netlists can be tens of thousands of levels deep) with
+    // on-stack marking for combinational-loop detection.
+    #[derive(Clone, Copy)]
+    enum Task<'a> {
+        Enter(&'a str),
+        Lower(&'a str),
+    }
+    let mut on_stack: HashMap<&str, bool> = HashMap::new();
+    let mut stack: Vec<Task> = Vec::new();
+    for root in &cover_order {
+        stack.push(Task::Enter(root));
+        while let Some(task) = stack.pop() {
+            match task {
+                Task::Enter(name) => {
+                    if lit_of.contains_key(name) {
+                        continue;
+                    }
+                    let Some(cover) = covers.get(name) else {
+                        return Err(IoError::parse(
+                            0,
+                            format!("signal `{name}` is used but never driven"),
+                        ));
+                    };
+                    if on_stack.insert(name, true).is_some() {
+                        return Err(IoError::parse(
+                            cover.line,
+                            format!("combinational loop through `{name}`"),
+                        ));
+                    }
+                    stack.push(Task::Lower(name));
+                    for input in cover.inputs.iter().rev() {
+                        if !lit_of.contains_key(input.as_str()) {
+                            stack.push(Task::Enter(input));
+                        }
+                    }
+                }
+                Task::Lower(name) => {
+                    let cover = covers.get(name).expect("cover exists");
+                    let fanins: Vec<Lit> = cover
+                        .inputs
+                        .iter()
+                        .map(|input| *lit_of.get(input.as_str()).expect("fanin resolved"))
+                        .collect();
+                    let lit = lower_cover(&mut aig, cover, &fanins)?;
+                    on_stack.remove(name);
+                    lit_of.insert(name, lit);
+                }
+            }
+        }
+    }
+
+    for name in &outputs {
+        let Some(&lit) = lit_of.get(name.as_str()) else {
+            return Err(IoError::parse(
+                0,
+                format!("output `{name}` is never driven"),
+            ));
+        };
+        aig.add_output(name.clone(), lit);
+    }
+    Ok(aig)
+}
+
+/// Builds the sum-of-products function of one cover.
+fn lower_cover(aig: &mut Aig, cover: &Cover, fanins: &[Lit]) -> IoResult<Lit> {
+    // All rows must agree on the output value: a mixed on-set/off-set cover
+    // is ill-formed BLIF.
+    let value = match cover.rows.first() {
+        None => return Ok(Lit::FALSE), // `.names x` with no rows is constant 0
+        Some((_, v)) => *v,
+    };
+    if cover.rows.iter().any(|(_, v)| *v != value) {
+        return Err(IoError::parse(
+            cover.line,
+            "cover mixes on-set and off-set rows",
+        ));
+    }
+    let mut terms: Vec<Lit> = Vec::with_capacity(cover.rows.len());
+    for (pattern, _) in &cover.rows {
+        let literals: Vec<Lit> = pattern
+            .chars()
+            .zip(fanins)
+            .filter_map(|(c, &l)| match c {
+                '1' => Some(l),
+                '0' => Some(!l),
+                _ => None,
+            })
+            .collect();
+        terms.push(aig.and_many(&literals));
+    }
+    let sum = aig.or_many(&terms);
+    Ok(if value == '1' { sum } else { !sum })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Aig {
+        let mut g = Aig::with_name("demo");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let ab = g.and(a, b);
+        let f = g.or(ab, c);
+        g.add_output("f", f);
+        g.add_output("nf", !f);
+        g
+    }
+
+    #[test]
+    fn writes_structural_covers() {
+        let text = write_blif(&sample());
+        assert!(text.starts_with(".model demo\n"));
+        assert!(text.contains(".inputs a b c\n"));
+        assert!(text.contains(".outputs f nf\n"));
+        assert!(text.contains("\n00 1\n"), "or-gate folded phases: {text}");
+        assert!(text.ends_with(".end\n"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_function() {
+        let g = sample();
+        let back = parse_blif(&write_blif(&g)).unwrap();
+        assert_eq!(back.name(), "demo");
+        assert_eq!(back.num_ands(), g.num_ands());
+        assert_eq!(back.num_inputs(), g.num_inputs());
+        assert_eq!(back.output_name(1), "nf");
+        assert!(crate::random_equivalence_check(&g, &back, 4, 3));
+    }
+
+    #[test]
+    fn reads_general_covers() {
+        // A 3-input majority as an on-set cover plus an off-set inverter.
+        let text = "\
+.model maj
+.inputs a b c
+.outputs m nm
+.names a b c m
+11- 1
+1-1 1
+-11 1
+.names m nm
+1 0
+.end
+";
+        let aig = parse_blif(text).unwrap();
+        let mut reference = Aig::new();
+        let a = reference.add_input("a");
+        let b = reference.add_input("b");
+        let c = reference.add_input("c");
+        let m = reference.maj(a, b, c);
+        reference.add_output("m", m);
+        reference.add_output("nm", !m);
+        assert!(crate::random_equivalence_check(&reference, &aig, 4, 9));
+    }
+
+    #[test]
+    fn constant_covers_and_comments() {
+        let text = "\
+# a comment
+.model consts
+.inputs a
+.outputs zero one echo
+.names zero
+.names one
+1
+.names a echo # trailing comment
+1 1
+.end
+";
+        let aig = parse_blif(text).unwrap();
+        assert_eq!(aig.outputs()[0], Lit::FALSE);
+        assert_eq!(aig.outputs()[1], Lit::TRUE);
+        assert_eq!(aig.outputs()[2].node(), aig.input_ids()[0]);
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let text = ".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n";
+        let aig = parse_blif(text).unwrap();
+        assert_eq!(aig.num_inputs(), 2);
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn rejects_sequential_and_malformed_content() {
+        assert!(matches!(
+            parse_blif(".model m\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n"),
+            Err(IoError::Unsupported(_))
+        ));
+        assert!(parse_blif(".model m\n.outputs f\n.names g f\n1 1\n.end\n").is_err());
+        assert!(
+            parse_blif(".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n2 1\n.end\n").is_err()
+        );
+        assert!(
+            parse_blif(
+                ".model m\n.inputs a\n.outputs f\n.names f f2\n1 1\n.names f2 f\n1 1\n.end\n"
+            )
+            .is_err(),
+            "combinational loop"
+        );
+        assert!(
+            parse_blif(".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n0 1\n1 0\n.end\n")
+                .is_err(),
+            "mixed on/off rows"
+        );
+    }
+
+    #[test]
+    fn name_table_dedupes_collisions() {
+        let mut g = Aig::with_name("collide");
+        let a = g.add_input("sig nal");
+        let b = g.add_input("sig_nal");
+        let f = g.and(a, b);
+        g.add_output("sig_nal", f);
+        let text = write_blif(&g);
+        let back = parse_blif(&text).unwrap();
+        assert_eq!(back.num_inputs(), 2);
+        assert_eq!(back.num_outputs(), 1);
+        assert!(crate::random_equivalence_check(&g, &back, 4, 5));
+    }
+}

@@ -35,6 +35,7 @@
 mod cut;
 mod cut4;
 mod graph;
+pub mod io;
 mod lit;
 mod mffc;
 mod node;

@@ -1,0 +1,235 @@
+//! Property-style round-trip coverage for the design-interchange formats.
+//!
+//! For seeded random AIGs and the deterministic test structures, every format
+//! must satisfy `parse(write(g))`:
+//!
+//! * **isomorphic** to `g` — node-for-node identical structure (same node
+//!   order, same fanin literals, same outputs) and identical symbol tables;
+//! * **simulation-equivalent** to `g` — identical output signatures under
+//!   seeded random stimulus.
+//!
+//! Cross-format chains (`aag → blif → aig → aag`) must preserve both
+//! properties as well.
+
+use aig::io::{
+    parse_aag, parse_aiger_binary, parse_blif, parse_design, render_design, write_aag,
+    write_aiger_binary, write_blif, Format,
+};
+use aig::{Aig, Lit, NodeKind, Simulator};
+
+// ---------------------------------------------------------------------------
+// Deterministic pseudo-random AIG generation (xorshift64*, no external deps)
+// ---------------------------------------------------------------------------
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+/// Builds a random combinational AIG: `num_inputs` PIs, about `num_gates`
+/// random two-input gates over random complemented literals, and a handful of
+/// outputs, then cleans up so every node is reachable (a requirement for
+/// node-for-node round trips: BLIF drops logic no output depends on).
+fn random_aig(seed: u64, num_inputs: usize, num_gates: usize) -> Aig {
+    let mut rng = XorShift(seed | 1);
+    let mut g = Aig::with_name(format!("rand{seed}"));
+    let mut pool: Vec<Lit> = (0..num_inputs)
+        .map(|i| g.add_input(format!("in[{i}]")))
+        .collect();
+    for _ in 0..num_gates {
+        // Chain every gate through the most recent literal so the final
+        // literal's cone covers the whole spine; the second operand is
+        // random, pulling side cones in as well.
+        let a = *pool.last().unwrap() ^ (rng.next() & 1 == 1);
+        let b = pool[rng.below(pool.len())] ^ (rng.next() & 1 == 1);
+        let lit = match rng.next() % 4 {
+            0 => g.xor(a, b),
+            1 => g.or(a, b),
+            _ => g.and(a, b),
+        };
+        // A trivially collapsed gate (`x & !x`) would wedge the chained spine
+        // at a constant forever; keep the pool constant-free instead.
+        if !lit.is_const() {
+            pool.push(lit);
+        }
+    }
+    // The first output is the final literal (whose cone covers the chained
+    // spine); further outputs are random, so some runs still drop gates in
+    // cleanup — which is the point.
+    g.add_output("out[0]", *pool.last().unwrap() ^ (rng.next() & 1 == 1));
+    let num_outputs = rng.below(3);
+    for i in 0..num_outputs {
+        let lit = pool[rng.below(pool.len())] ^ (rng.next() & 1 == 1);
+        g.add_output(format!("out[{}]", i + 1), lit);
+    }
+    g.cleanup()
+}
+
+// ---------------------------------------------------------------------------
+// The two round-trip properties
+// ---------------------------------------------------------------------------
+
+/// Node-for-node structural identity, including names.
+fn assert_isomorphic(original: &Aig, restored: &Aig, what: &str) {
+    assert_eq!(original.len(), restored.len(), "{what}: node count");
+    assert_eq!(
+        original.num_inputs(),
+        restored.num_inputs(),
+        "{what}: input count"
+    );
+    assert_eq!(
+        original.num_outputs(),
+        restored.num_outputs(),
+        "{what}: output count"
+    );
+    for id in original.node_ids() {
+        let (a, b) = match original.node(id).kind() {
+            NodeKind::And(a, b) => (a, b),
+            kind => {
+                assert_eq!(kind, restored.node(id).kind(), "{what}: node {id} kind");
+                continue;
+            }
+        };
+        let NodeKind::And(ra, rb) = restored.node(id).kind() else {
+            panic!("{what}: node {id} is no longer an AND");
+        };
+        // Fanin order within a gate is not semantically meaningful, and the
+        // writers normalise it to AIGER order — compare as unordered pairs.
+        let mut original_pair = [a, b];
+        let mut restored_pair = [ra, rb];
+        original_pair.sort();
+        restored_pair.sort();
+        assert_eq!(original_pair, restored_pair, "{what}: node {id} fanins");
+    }
+    assert_eq!(original.outputs(), restored.outputs(), "{what}: outputs");
+    for i in 0..original.num_inputs() {
+        assert_eq!(
+            original.input_name(i),
+            restored.input_name(i),
+            "{what}: input {i} name"
+        );
+    }
+    for i in 0..original.num_outputs() {
+        assert_eq!(
+            original.output_name(i),
+            restored.output_name(i),
+            "{what}: output {i} name"
+        );
+    }
+}
+
+/// Identical output signatures under seeded random stimulus.
+fn assert_simulation_equivalent(original: &Aig, restored: &Aig, seed: u64, what: &str) {
+    let mut rng = XorShift(seed | 1);
+    let sim_a = Simulator::new(original);
+    let sim_b = Simulator::new(restored);
+    for round in 0..8 {
+        let patterns: Vec<u64> = (0..original.num_inputs()).map(|_| rng.next()).collect();
+        assert_eq!(
+            sim_a.run(&patterns),
+            sim_b.run(&patterns),
+            "{what}: signatures diverge in round {round}"
+        );
+    }
+}
+
+fn check_all_formats(g: &Aig, seed: u64) {
+    let cases: [(&str, Aig); 3] = [
+        ("aag", parse_aag(&write_aag(g)).expect("parse aag")),
+        (
+            "aig",
+            parse_aiger_binary(&write_aiger_binary(g)).expect("parse binary"),
+        ),
+        ("blif", parse_blif(&write_blif(g)).expect("parse blif")),
+    ];
+    for (what, restored) in &cases {
+        let what = format!("{} via {what}", g.name());
+        assert_isomorphic(g, restored, &what);
+        assert_simulation_equivalent(g, restored, seed ^ 0xABCD, &what);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn random_aigs_roundtrip_through_every_format() {
+    for seed in 1..=40u64 {
+        let num_inputs = 2 + (seed as usize * 7) % 14;
+        let num_gates = 5 + (seed as usize * 31) % 120;
+        let g = random_aig(seed * 0x9E37_79B9, num_inputs, num_gates);
+        check_all_formats(&g, seed);
+    }
+}
+
+#[test]
+fn larger_random_aigs_roundtrip() {
+    for seed in [0xFEED, 0xBEEF, 0xD1CE] {
+        let g = random_aig(seed, 24, 2_000);
+        assert!(
+            g.num_ands() > 500,
+            "generator should produce real graphs, got {} ANDs for seed {seed:#x}",
+            g.num_ands()
+        );
+        check_all_formats(&g, seed);
+    }
+}
+
+#[test]
+fn structured_designs_roundtrip() {
+    // Constant outputs, complemented outputs, fanout-heavy structures.
+    let mut g = Aig::with_name("edgecases");
+    let a = g.add_input("a");
+    let b = g.add_input("b");
+    let ab = g.and(a, b);
+    g.add_output("const0", Lit::FALSE);
+    g.add_output("const1", Lit::TRUE);
+    g.add_output("direct", a);
+    g.add_output("inverted_input", !b);
+    g.add_output("gate", ab);
+    g.add_output("inverted_gate", !ab);
+    check_all_formats(&g, 0x5EED);
+}
+
+#[test]
+fn cross_format_chain_preserves_everything() {
+    let g = random_aig(0xCAFE, 10, 300);
+    let via_blif = parse_blif(&write_blif(&g)).unwrap();
+    let via_binary = parse_aiger_binary(&write_aiger_binary(&via_blif)).unwrap();
+    let via_ascii = parse_aag(&write_aag(&via_binary)).unwrap();
+    assert_isomorphic(&g, &via_ascii, "aag∘aig∘blif chain");
+    assert_simulation_equivalent(&g, &via_ascii, 0xCAFE, "aag∘aig∘blif chain");
+}
+
+#[test]
+fn render_parse_design_agree_with_the_direct_functions() {
+    let g = random_aig(0x1234, 8, 150);
+    for format in Format::ALL {
+        let bytes = render_design(&g, format);
+        let restored = parse_design(&bytes, format).expect("parse rendered bytes");
+        assert_isomorphic(&g, &restored, &format!("render/parse {format}"));
+    }
+}
+
+#[test]
+fn write_is_deterministic() {
+    let g = random_aig(0x777, 12, 400);
+    for format in Format::ALL {
+        assert_eq!(
+            render_design(&g, format),
+            render_design(&g, format),
+            "{format} output must be byte-stable"
+        );
+    }
+}

@@ -5,16 +5,14 @@
 //! against the distribution of the evaluated sample flows — the textual
 //! analogue of the scatter plots in Figure 8.
 
-use bench::{design_at_scale, print_table, summarize, Scale};
-use circuits::Design;
+use bench::{print_table, study_designs, summarize, Scale};
 use flowgen::FrameworkConfig;
 use synth::QorMetric;
 
 fn main() {
     let scale = Scale::from_env();
     println!("Figure 8 reproduction (scale {scale:?})");
-    for design in Design::ALL {
-        let aig = design_at_scale(design, scale);
+    for (design, aig) in study_designs(scale) {
         let mut rows = Vec::new();
         for metric in QorMetric::ALL {
             let mut config = FrameworkConfig::laptop(metric);

@@ -176,6 +176,36 @@ pub fn design_at_scale(design: Design, scale: Scale) -> aig::Aig {
     design.generate(scale.design_scale())
 }
 
+/// The designs a study runs over: by default the three generated paper
+/// benchmarks at `scale`; when the `FLOWGEN_IMPORT` environment variable is
+/// set to a comma-separated list of `.aag`/`.aig`/`.blif` paths, the imported
+/// netlists instead (exported fixtures, external benchmark suites, …), so
+/// every experiment binary can reproduce its study on real designs.
+///
+/// # Panics
+///
+/// Panics with a descriptive message when an imported path cannot be read —
+/// a study silently falling back to generated designs would mislabel its
+/// output.
+pub fn study_designs(scale: Scale) -> Vec<(String, aig::Aig)> {
+    match std::env::var("FLOWGEN_IMPORT") {
+        Ok(list) if !list.trim().is_empty() => list
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(|path| {
+                let aig = aig::io::read_design(path)
+                    .unwrap_or_else(|e| panic!("FLOWGEN_IMPORT: cannot read `{path}`: {e}"));
+                (aig.name().to_string(), aig)
+            })
+            .collect(),
+        _ => Design::ALL
+            .into_iter()
+            .map(|d| (d.name().to_string(), design_at_scale(d, scale)))
+            .collect(),
+    }
+}
+
 /// Prints a plain-text table with aligned columns (the textual stand-in for the
 /// paper's plots).
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -277,6 +307,34 @@ mod tests {
         assert_eq!(Scale::Full.sample_flows(), 100_000);
         assert_eq!(Scale::Full.distribution_flows(), 50_000);
         assert_eq!(Scale::Full.output_flows(), 200);
+    }
+
+    #[test]
+    fn study_designs_honours_flowgen_import() {
+        // Without the variable: the three generated paper designs.
+        // (Set/removed in one test to avoid races with a parallel sibling.)
+        std::env::remove_var("FLOWGEN_IMPORT");
+        let generated = study_designs(Scale::Tiny);
+        assert_eq!(generated.len(), 3);
+        assert_eq!(generated[0].0, "montgomery64");
+
+        // With the variable: the imported netlists, in list order.
+        let dir = std::env::temp_dir().join(format!("bench-import-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("imported.aag");
+        let mut g = aig::Aig::with_name("imported");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let f = g.and(a, b);
+        g.add_output("f", f);
+        std::fs::write(&path, aig::io::write_aag(&g)).unwrap();
+        std::env::set_var("FLOWGEN_IMPORT", path.to_str().unwrap());
+        let imported = study_designs(Scale::Tiny);
+        std::env::remove_var("FLOWGEN_IMPORT");
+        assert_eq!(imported.len(), 1);
+        assert_eq!(imported[0].0, "imported");
+        assert_eq!(imported[0].1.num_ands(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

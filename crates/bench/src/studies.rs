@@ -57,8 +57,7 @@ pub fn run_optimizer_study(metric: QorMetric, scale: Scale) {
         "Optimizer study ({} -driven flows), scale {:?} — paper Figures 4/5",
         metric, scale
     );
-    for design in Design::ALL {
-        let aig = design_at_scale(design, scale);
+    for (design, aig) in crate::study_designs(scale) {
         let data = collect_labeled_flows(&aig, metric, scale.training_flows(), 0xF164);
         let mut rows = Vec::new();
         for method in GradientDescent::PAPER_SET {

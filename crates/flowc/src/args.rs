@@ -1,0 +1,102 @@
+//! A dependency-free command-line option parser.
+//!
+//! The container has no crates.io access, so instead of `clap` the CLI uses
+//! this small taker-style parser: each command pulls the options it knows
+//! (`take_value`, `take_flag`), then calls [`Args::finish_positional`] /
+//! [`Args::finish`] which reject anything left over, so typos fail loudly
+//! instead of being ignored.
+
+/// The argument list of one subcommand invocation.
+pub struct Args {
+    remaining: Vec<String>,
+}
+
+impl Args {
+    pub fn new(args: Vec<String>) -> Self {
+        Args { remaining: args }
+    }
+
+    /// Removes `--name <value>` (or `--name=value`) and returns the value.
+    pub fn take_value(&mut self, name: &str) -> Result<Option<String>, String> {
+        let flag = format!("--{name}");
+        let prefix = format!("--{name}=");
+        for i in 0..self.remaining.len() {
+            if let Some(value) = self.remaining[i].strip_prefix(&prefix) {
+                let value = value.to_string();
+                self.remaining.remove(i);
+                return Ok(Some(value));
+            }
+            if self.remaining[i] == flag {
+                if i + 1 >= self.remaining.len() || self.remaining[i + 1].starts_with("--") {
+                    return Err(format!("option {flag} needs a value"));
+                }
+                let value = self.remaining.remove(i + 1);
+                self.remaining.remove(i);
+                return Ok(Some(value));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Like [`Args::take_value`] but the option is mandatory.
+    pub fn require_value(&mut self, name: &str) -> Result<String, String> {
+        self.take_value(name)?
+            .ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    /// Removes `--name` and returns whether it was present.
+    pub fn take_flag(&mut self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        let before = self.remaining.len();
+        self.remaining.retain(|a| *a != flag);
+        self.remaining.len() != before
+    }
+
+    /// Takes the next positional (non `--`) argument.
+    pub fn take_positional(&mut self) -> Option<String> {
+        let pos = self.remaining.iter().position(|a| !a.starts_with("--"))?;
+        Some(self.remaining.remove(pos))
+    }
+
+    /// Fails if any argument was not consumed.
+    pub fn finish(self) -> Result<(), String> {
+        if self.remaining.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "unrecognized arguments: {}",
+                self.remaining.join(" ")
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::new(list.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn values_flags_and_positionals() {
+        let mut a = args(&["--design", "x.aig", "--verify", "convertme", "--out=y.blif"]);
+        assert_eq!(a.take_value("design").unwrap().as_deref(), Some("x.aig"));
+        assert_eq!(a.take_value("out").unwrap().as_deref(), Some("y.blif"));
+        assert!(a.take_flag("verify"));
+        assert!(!a.take_flag("verify"));
+        assert_eq!(a.take_positional().as_deref(), Some("convertme"));
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn leftovers_and_missing_values_error() {
+        let mut a = args(&["--design"]);
+        assert!(a.take_value("design").is_err());
+        let a = args(&["--typo"]);
+        assert!(a.finish().is_err());
+        let mut a = args(&["--flow", "--out"]);
+        assert!(a.take_value("flow").is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! The `flowc` subcommand implementations.
+
+use std::path::{Path, PathBuf};
+
+use aig::io::Format;
+use aig::Aig;
+use circuits::{Design, DesignScale};
+use floweval::{EngineConfig, EvalEngine};
+use flowgen::{Flow, FlowSpace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use synth::apply_sequence;
+
+use crate::args::Args;
+use crate::design::{parse_scale, resolve_design};
+use crate::report::{
+    CorpusEntry, CorpusManifest, DesignReport, ExportReport, FlowReport, RunReport,
+};
+
+/// `flowc run`: import or generate a design, evaluate one flow through the
+/// cache-aware engine, print the QoR report as JSON and optionally export the
+/// optimized netlist.
+pub fn run(mut args: Args) -> Result<(), String> {
+    let design_spec = args.require_value("design")?;
+    let flow_arg = args.take_value("flow")?;
+    let random_seed = args
+        .take_value("random")?
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| format!("--random needs a numeric seed, got `{s}`"))
+        })
+        .transpose()?;
+    let out = args.take_value("out")?;
+    let json_path = args.take_value("json")?;
+    let store = args.take_value("store")?;
+    let verify = args.take_flag("verify");
+    args.finish()?;
+
+    let (flow, preset) = match (flow_arg, random_seed) {
+        (Some(_), Some(_)) => return Err("--flow and --random are mutually exclusive".to_string()),
+        (Some(spec), None) => {
+            let preset = Flow::named(spec.trim()).map(|_| spec.trim().to_string());
+            let flow = Flow::parse(&spec)
+                .map_err(|cmd| format!("`{cmd}` is neither a preset nor a transform"))?;
+            (flow, preset)
+        }
+        (None, Some(seed)) => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            (FlowSpace::paper().random_flow(&mut rng), None)
+        }
+        (None, None) => {
+            return Err("one of --flow <preset|script> or --random <seed> is required".to_string())
+        }
+    };
+
+    let resolved = resolve_design(&design_spec)?;
+    let engine = EvalEngine::new(EngineConfig {
+        store_path: store.map(PathBuf::from),
+        verify,
+        ..EngineConfig::default()
+    });
+    let qors = engine.evaluate_batch(&resolved.aig, &[flow.transforms().to_vec()]);
+
+    let export = match out {
+        Some(path) => Some(export_netlist(&resolved.aig, flow.transforms(), &path)?),
+        None => None,
+    };
+
+    let report = RunReport {
+        design: DesignReport::of(&resolved.aig, &resolved.source),
+        flow: FlowReport {
+            script: flow.to_script(),
+            preset,
+            random_seed,
+            length: flow.len(),
+        },
+        qor: qors[0],
+        eval: engine.stats(),
+        export,
+    };
+    emit_json(&report, json_path.as_deref())
+}
+
+/// Applies the flow and writes the optimized netlist.
+///
+/// The passes run again here rather than reusing the engine's evaluation: the
+/// engine returns QoR only (its intermediate AIGs stay inside the prefix-trie
+/// cache).  Both paths are deterministic and bit-identical, and when the flow
+/// was answered from the persistent store the engine applied no passes at
+/// all, so the flow runs at most once plus this export.
+fn export_netlist(
+    design: &Aig,
+    flow: &[synth::Transform],
+    path: &str,
+) -> Result<ExportReport, String> {
+    let optimized = apply_sequence(design, flow);
+    let format = Format::from_path(Path::new(path)).map_err(|e| e.to_string())?;
+    aig::io::write_design(path, &optimized).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    Ok(ExportReport {
+        path: path.to_string(),
+        format: format.extension().to_string(),
+        ands: optimized.num_ands(),
+        depth: optimized.depth(),
+    })
+}
+
+/// `flowc convert`: read a design in one format, write it in another.
+pub fn convert(mut args: Args) -> Result<(), String> {
+    let input = args
+        .take_positional()
+        .ok_or("usage: flowc convert <input> <output>")?;
+    let output = args
+        .take_positional()
+        .ok_or("usage: flowc convert <input> <output>")?;
+    let clean = args.take_flag("cleanup");
+    args.finish()?;
+    let resolved = resolve_design(&input)?;
+    let aig = if clean {
+        resolved.aig.cleanup()
+    } else {
+        resolved.aig
+    };
+    aig::io::write_design(&output, &aig).map_err(|e| format!("cannot write `{output}`: {e}"))?;
+    eprintln!(
+        "{}: {} inputs, {} outputs, {} ANDs -> {output}",
+        aig.name(),
+        aig.num_inputs(),
+        aig.num_outputs(),
+        aig.num_ands()
+    );
+    Ok(())
+}
+
+/// `flowc stats`: print the design section as JSON.
+pub fn stats(mut args: Args) -> Result<(), String> {
+    let spec = args
+        .take_positional()
+        .ok_or("usage: flowc stats <design>")?;
+    let json_path = args.take_value("json")?;
+    args.finish()?;
+    let resolved = resolve_design(&spec)?;
+    let report = DesignReport::of(&resolved.aig, &resolved.source);
+    emit_json(&report, json_path.as_deref())
+}
+
+/// `flowc presets`: list the named flows.
+pub fn presets(args: Args) -> Result<(), String> {
+    args.finish()?;
+    for (name, transforms) in Flow::presets() {
+        println!("{name:12} {}", Flow::new(transforms.to_vec()).to_script());
+    }
+    Ok(())
+}
+
+/// `flowc export-corpus`: write the paper's generated designs as on-disk
+/// fixtures, deterministically (same bytes for the same version of the
+/// generators), together with a manifest.
+pub fn export_corpus(mut args: Args) -> Result<(), String> {
+    let dir = PathBuf::from(args.require_value("dir")?);
+    let scale_name = args.take_value("scale")?.unwrap_or_else(|| "tiny".into());
+    let scale = parse_scale(&scale_name)?;
+    let format = match args
+        .take_value("format")?
+        .unwrap_or_else(|| "aag".into())
+        .as_str()
+    {
+        "aag" => Format::AigerAscii,
+        "aig" => Format::AigerBinary,
+        "blif" => Format::Blif,
+        other => return Err(format!("unknown format `{other}` (aag, aig or blif)")),
+    };
+    args.finish()?;
+
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let mut entries = Vec::new();
+    for design in Design::ALL {
+        let aig = generate_named(design, scale, &scale_name);
+        let file = format!("{}.{}", design.name(), format.extension());
+        let path = dir.join(&file);
+        std::fs::write(&path, aig::io::render_design(&aig, format))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        entries.push(CorpusEntry {
+            file,
+            design: design.name().to_string(),
+            scale: scale_name.clone(),
+            format: format.extension().to_string(),
+            inputs: aig.num_inputs(),
+            outputs: aig.num_outputs(),
+            ands: aig.num_ands(),
+            depth: aig.depth(),
+            fingerprint: floweval::fingerprint_design(&aig).to_string(),
+        });
+    }
+    let manifest = CorpusManifest {
+        generator: "flowc export-corpus".to_string(),
+        scale: scale_name,
+        format: format.extension().to_string(),
+        entries,
+    };
+    let manifest_json =
+        serde_json::to_string(&manifest).map_err(|e| format!("manifest serialization: {e}"))?;
+    let manifest_path = dir.join("MANIFEST.json");
+    std::fs::write(&manifest_path, manifest_json + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", manifest_path.display()))?;
+    eprintln!(
+        "exported {} designs to {} ({} scale, .{})",
+        Design::ALL.len(),
+        dir.display(),
+        manifest.scale,
+        manifest.format
+    );
+    Ok(())
+}
+
+/// Generates a paper design with a scale-qualified name, so fixtures at
+/// different scales have distinct design names (`alu64_tiny`, …).
+fn generate_named(design: Design, scale: DesignScale, scale_name: &str) -> Aig {
+    let mut aig = design.generate(scale);
+    aig.set_name(format!("{}_{}", design.name(), scale_name));
+    aig
+}
+
+/// Prints a report to stdout and optionally writes it to a file.
+fn emit_json<T: serde::Serialize>(report: &T, path: Option<&str>) -> Result<(), String> {
+    let json = serde_json::to_string(report).map_err(|e| format!("serialization: {e}"))?;
+    println!("{json}");
+    if let Some(path) = path {
+        std::fs::write(path, json + "\n").map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! # flowc — the synthesis-flow CLI driver
+//!
+//! The user-facing tool of the reproduction: it imports a design (binary
+//! AIGER, ASCII AIGER or structural BLIF — or generates one of the paper's
+//! benchmark circuits), runs a named, scripted or random synthesis flow
+//! through the cache-aware [`floweval::EvalEngine`], prints QoR statistics as
+//! JSON and exports the optimized netlist in any supported format.
+//!
+//! ```text
+//! flowc run --design fixtures/tiny/alu64.aag --flow resyn2 --out alu64.opt.aig
+//! flowc run --design montgomery64:small --random 42 --store qor-store.jsonl
+//! flowc convert design.blif design.aig
+//! flowc stats aes128:tiny
+//! flowc export-corpus --dir fixtures/tiny --scale tiny --format aag
+//! flowc presets
+//! ```
+//!
+//! Exit codes: `0` success, `1` usage error, `2` runtime failure.
+
+mod args;
+mod commands;
+mod design;
+mod report;
+
+use args::Args;
+
+const USAGE: &str = "flowc — import, optimize and export logic designs
+
+USAGE:
+    flowc <COMMAND> [OPTIONS]
+
+COMMANDS:
+    run            Evaluate one synthesis flow on a design, print QoR JSON
+                     --design <path|name[:scale]>   design file (.aag/.aig/.blif)
+                                                    or generated benchmark
+                                                    (montgomery64, aes128, alu64;
+                                                    scale tiny|small|full)
+                     --flow <preset|script>         named preset or ABC-style
+                                                    script (see `flowc presets`)
+                     --random <seed>                random paper-space flow
+                     --out <path>                   export the optimized netlist
+                     --json <path>                  also write the report here
+                     --store <path>                 persistent QoR store (JSONL)
+                     --verify                       verify by random simulation
+    convert        Convert between formats: flowc convert <in> <out> [--cleanup]
+    stats          Print design statistics as JSON: flowc stats <design>
+    export-corpus  Write the generated benchmark corpus as fixture files
+                     --dir <dir> [--scale tiny|small|full] [--format aag|aig|blif]
+    presets        List the named flow presets
+    help           Show this message
+";
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprint!("{USAGE}");
+        std::process::exit(1);
+    }
+    let command = argv.remove(0);
+    let args = Args::new(argv);
+    let result = match command.as_str() {
+        "run" => commands::run(args),
+        "convert" => commands::convert(args),
+        "stats" => commands::stats(args),
+        "export-corpus" => commands::export_corpus(args),
+        "presets" => commands::presets(args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return;
+        }
+        other => {
+            eprintln!("flowc: unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(message) = result {
+        eprintln!("flowc {command}: {message}");
+        let code = if message.starts_with("usage:")
+            || message.contains("required")
+            || message.contains("unrecognized")
+        {
+            1
+        } else {
+            2
+        };
+        std::process::exit(code);
+    }
+}

@@ -1,0 +1,93 @@
+//! The JSON documents `flowc` prints.
+//!
+//! The `qor` section is byte-deterministic for a given design, flow and
+//! engine configuration — the CI end-to-end smoke compares it across an
+//! export/import boundary — while `eval` carries run-dependent statistics
+//! (wall time, cache hits) and is explicitly excluded from such comparisons.
+
+use aig::Aig;
+use floweval::EvalStats;
+use serde::Serialize;
+use synth::Qor;
+
+/// The `design` section: identity and structural statistics.
+#[derive(Debug, Serialize)]
+pub struct DesignReport {
+    pub name: String,
+    /// `file:<path>` or `generated:<name>:<scale>`.
+    pub source: String,
+    pub inputs: usize,
+    pub outputs: usize,
+    pub ands: usize,
+    pub depth: u32,
+    /// Structural fingerprint (name-independent), hex.
+    pub fingerprint: String,
+}
+
+impl DesignReport {
+    pub fn of(aig: &Aig, source: &str) -> Self {
+        DesignReport {
+            name: aig.name().to_string(),
+            source: source.to_string(),
+            inputs: aig.num_inputs(),
+            outputs: aig.num_outputs(),
+            ands: aig.num_ands(),
+            depth: aig.depth(),
+            fingerprint: floweval::fingerprint_design(aig).to_string(),
+        }
+    }
+}
+
+/// The `flow` section.
+#[derive(Debug, Serialize)]
+pub struct FlowReport {
+    /// ABC-style script (`balance; rewrite; …`).
+    pub script: String,
+    /// Preset name when the flow was given by name.
+    pub preset: Option<String>,
+    /// Seed when the flow was drawn at random.
+    pub random_seed: Option<u64>,
+    pub length: usize,
+}
+
+/// The `export` section: where the optimized netlist was written.
+#[derive(Debug, Serialize)]
+pub struct ExportReport {
+    pub path: String,
+    pub format: String,
+    pub ands: usize,
+    pub depth: u32,
+}
+
+/// The complete `flowc run` report.
+#[derive(Debug, Serialize)]
+pub struct RunReport {
+    pub design: DesignReport,
+    pub flow: FlowReport,
+    pub qor: Qor,
+    pub eval: EvalStats,
+    pub export: Option<ExportReport>,
+}
+
+/// One corpus entry of the `flowc export-corpus` manifest.
+#[derive(Debug, Serialize)]
+pub struct CorpusEntry {
+    pub file: String,
+    pub design: String,
+    pub scale: String,
+    pub format: String,
+    pub inputs: usize,
+    pub outputs: usize,
+    pub ands: usize,
+    pub depth: u32,
+    pub fingerprint: String,
+}
+
+/// The `flowc export-corpus` manifest (written as `MANIFEST.json`).
+#[derive(Debug, Serialize)]
+pub struct CorpusManifest {
+    pub generator: String,
+    pub scale: String,
+    pub format: String,
+    pub entries: Vec<CorpusEntry>,
+}

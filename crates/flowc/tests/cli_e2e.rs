@@ -1,0 +1,285 @@
+//! End-to-end tests of the `flowc` binary.
+//!
+//! These spawn the real executable (via `CARGO_BIN_EXE_flowc`) and pin the
+//! critical contract: the QoR JSON printed for an **exported-then-imported**
+//! design is identical to what `floweval::EvalEngine` computes in-process on
+//! the generated design.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use circuits::{Design, DesignScale};
+use floweval::{EngineConfig, EvalEngine};
+use flowgen::Flow;
+use serde::Value;
+
+fn flowc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_flowc"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flowc-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run_ok(command: &mut Command) -> String {
+    let output = command.output().expect("spawn flowc");
+    assert!(
+        output.status.success(),
+        "flowc failed: {}\nstderr: {}",
+        command
+            .get_args()
+            .map(|a| a.to_string_lossy())
+            .collect::<Vec<_>>()
+            .join(" "),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 stdout")
+}
+
+fn parse_report(stdout: &str) -> Value {
+    serde_json::parse_value(stdout.trim()).expect("report is valid JSON")
+}
+
+fn f64_field(value: &Value, section: &str, field: &str) -> f64 {
+    match value.get(section).and_then(|s| s.get(field)) {
+        Some(Value::F64(v)) => *v,
+        Some(Value::U64(v)) => *v as f64,
+        other => panic!("missing {section}.{field}: {other:?}"),
+    }
+}
+
+#[test]
+fn exported_fixture_matches_in_process_engine_bit_for_bit() {
+    let dir = temp_dir("qor-match");
+
+    // Export the generated corpus as binary AIGER fixtures.
+    run_ok(
+        flowc()
+            .args([
+                "export-corpus",
+                "--scale",
+                "tiny",
+                "--format",
+                "aig",
+                "--dir",
+            ])
+            .arg(&dir),
+    );
+
+    for design in [Design::Alu64, Design::Montgomery64] {
+        let fixture = dir.join(format!("{}.aig", design.name()));
+        assert!(fixture.exists(), "corpus wrote {}", fixture.display());
+
+        // CLI: evaluate the imported fixture.
+        let stdout = run_ok(
+            flowc()
+                .args(["run", "--flow", "resyn2", "--design"])
+                .arg(&fixture),
+        );
+        let report = parse_report(&stdout);
+
+        // In-process: evaluate the generated design with the default engine.
+        let aig = design.generate(DesignScale::Tiny);
+        let engine = EvalEngine::new(EngineConfig::default());
+        let flow = Flow::named("resyn2").unwrap();
+        let qor = engine.evaluate_batch(&aig, &[flow.transforms().to_vec()])[0];
+
+        // Bit-for-bit QoR equality across the export/import boundary.
+        assert_eq!(
+            f64_field(&report, "qor", "area_um2").to_bits(),
+            qor.area_um2.to_bits(),
+            "{design}: area differs"
+        );
+        assert_eq!(
+            f64_field(&report, "qor", "delay_ps").to_bits(),
+            qor.delay_ps.to_bits(),
+            "{design}: delay differs"
+        );
+        assert_eq!(f64_field(&report, "qor", "gates") as usize, qor.gates);
+        assert_eq!(
+            f64_field(&report, "qor", "and_nodes") as usize,
+            qor.and_nodes
+        );
+        assert_eq!(f64_field(&report, "qor", "depth") as u32, qor.depth);
+
+        // The fingerprint printed for the imported file matches the generated
+        // design: the netlist survived the round trip structurally.
+        let report_fp = match report.get("design").and_then(|d| d.get("fingerprint")) {
+            Some(Value::Str(s)) => s.clone(),
+            other => panic!("missing design.fingerprint: {other:?}"),
+        };
+        assert_eq!(report_fp, floweval::fingerprint_design(&aig).to_string());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn export_corpus_is_deterministic() {
+    let dir_a = temp_dir("corpus-a");
+    let dir_b = temp_dir("corpus-b");
+    for dir in [&dir_a, &dir_b] {
+        run_ok(
+            flowc()
+                .args([
+                    "export-corpus",
+                    "--scale",
+                    "tiny",
+                    "--format",
+                    "aag",
+                    "--dir",
+                ])
+                .arg(dir),
+        );
+    }
+    for design in Design::ALL {
+        let file = format!("{}.aag", design.name());
+        let a = std::fs::read(dir_a.join(&file)).expect("fixture a");
+        let b = std::fs::read(dir_b.join(&file)).expect("fixture b");
+        assert_eq!(a, b, "{file} must be byte-identical across exports");
+    }
+    assert_eq!(
+        std::fs::read(dir_a.join("MANIFEST.json")).unwrap(),
+        std::fs::read(dir_b.join("MANIFEST.json")).unwrap()
+    );
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn run_exports_an_equivalent_optimized_netlist() {
+    let dir = temp_dir("opt-export");
+    let optimized_path = dir.join("alu64.opt.blif");
+    let stdout = run_ok(
+        flowc()
+            .args([
+                "run",
+                "--design",
+                "alu64:tiny",
+                "--flow",
+                "compress",
+                "--verify",
+                "--out",
+            ])
+            .arg(&optimized_path),
+    );
+    let report = parse_report(&stdout);
+
+    // The exported netlist reads back and is simulation-equivalent to the
+    // original design (the flow preserved the function; export preserved it).
+    let optimized = aig::io::read_design(&optimized_path).expect("read exported netlist");
+    let original = Design::Alu64.generate(DesignScale::Tiny);
+    assert!(aig::random_equivalence_check(
+        &original, &optimized, 8, 0xE2E
+    ));
+    assert_eq!(
+        f64_field(&report, "export", "ands") as usize,
+        optimized.num_ands()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn convert_roundtrips_across_formats() {
+    let dir = temp_dir("convert");
+    let aag = dir.join("mont.aag");
+    let blif = dir.join("mont.blif");
+    let aig_path = dir.join("mont.aig");
+
+    run_ok(
+        flowc()
+            .args([
+                "export-corpus",
+                "--scale",
+                "tiny",
+                "--format",
+                "aag",
+                "--dir",
+            ])
+            .arg(&dir),
+    );
+    let source = dir.join("montgomery64.aag");
+    std::fs::rename(&source, &aag).unwrap();
+
+    run_ok(flowc().arg("convert").arg(&aag).arg(&blif));
+    run_ok(flowc().arg("convert").arg(&blif).arg(&aig_path));
+
+    let first = aig::io::read_design(&aag).unwrap();
+    let last = aig::io::read_design(&aig_path).unwrap();
+    assert_eq!(
+        first.num_ands(),
+        last.num_ands(),
+        "chain preserved structure"
+    );
+    assert!(aig::random_equivalence_check(&first, &last, 8, 0xC0C0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn persistent_store_is_shared_across_invocations() {
+    let dir = temp_dir("store");
+    let store: &Path = &dir.join("qor.jsonl");
+    let mut first = flowc();
+    first
+        .args([
+            "run",
+            "--design",
+            "alu64:tiny",
+            "--flow",
+            "compress",
+            "--store",
+        ])
+        .arg(store);
+    let first_report = parse_report(&run_ok(&mut first));
+    let mut second = flowc();
+    second
+        .args([
+            "run",
+            "--design",
+            "alu64:tiny",
+            "--flow",
+            "compress",
+            "--store",
+        ])
+        .arg(store);
+    let second_report = parse_report(&run_ok(&mut second));
+
+    // Second invocation answers from the persistent store: no passes applied.
+    assert_eq!(f64_field(&second_report, "eval", "store_hits"), 1.0);
+    assert_eq!(f64_field(&second_report, "eval", "passes_applied"), 0.0);
+    assert_eq!(
+        f64_field(&first_report, "qor", "area_um2").to_bits(),
+        f64_field(&second_report, "qor", "area_um2").to_bits()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_errors_exit_nonzero() {
+    let out = flowc().arg("run").output().expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "missing --design is a usage error"
+    );
+    let out = flowc().arg("nonsense").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let out = flowc()
+        .args([
+            "run",
+            "--design",
+            "alu64:tiny",
+            "--flow",
+            "resyn2",
+            "--typo",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "unconsumed arguments are rejected"
+    );
+}

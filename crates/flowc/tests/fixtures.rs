@@ -1,0 +1,67 @@
+//! Guards the checked-in fixture corpus against generator drift.
+//!
+//! `fixtures/tiny` is the paper corpus exported by `flowc export-corpus`; if
+//! a circuit generator changes, these tests fail until the corpus is
+//! re-exported (see `fixtures/README.md`).
+
+use std::path::PathBuf;
+
+use circuits::{Design, DesignScale};
+use serde::Value;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/tiny")
+}
+
+fn manifest() -> Value {
+    let text = std::fs::read_to_string(fixtures_dir().join("MANIFEST.json"))
+        .expect("fixtures/tiny/MANIFEST.json exists");
+    serde_json::parse_value(&text).expect("manifest is valid JSON")
+}
+
+fn str_field(entry: &Value, name: &str) -> String {
+    match entry.get(name) {
+        Some(Value::Str(s)) => s.clone(),
+        other => panic!("manifest entry field {name}: {other:?}"),
+    }
+}
+
+#[test]
+fn checked_in_corpus_matches_the_generators() {
+    let manifest = manifest();
+    let entries = manifest
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .expect("manifest has entries");
+    assert_eq!(entries.len(), Design::ALL.len(), "one fixture per design");
+
+    for entry in entries {
+        let file = str_field(entry, "file");
+        let design_name = str_field(entry, "design");
+        let manifest_fp = str_field(entry, "fingerprint");
+
+        let fixture = aig::io::read_design(fixtures_dir().join(&file))
+            .unwrap_or_else(|e| panic!("fixture {file} unreadable: {e}"));
+        let design = Design::ALL
+            .into_iter()
+            .find(|d| d.name() == design_name)
+            .unwrap_or_else(|| panic!("manifest names unknown design {design_name}"));
+        let generated = design.generate(DesignScale::Tiny);
+
+        let fixture_fp = floweval::fingerprint_design(&fixture).to_string();
+        let generated_fp = floweval::fingerprint_design(&generated).to_string();
+        assert_eq!(
+            fixture_fp, generated_fp,
+            "{file} drifted from the generator — re-export with \
+             `flowc export-corpus --dir fixtures/tiny --scale tiny --format aag`"
+        );
+        assert_eq!(
+            fixture_fp, manifest_fp,
+            "{file}: manifest fingerprint stale"
+        );
+        assert_eq!(fixture.name(), format!("{design_name}_tiny"));
+        assert!(aig::random_equivalence_check(
+            &generated, &fixture, 8, 0xF1F1
+        ));
+    }
+}

@@ -60,6 +60,62 @@ impl Flow {
             .join("; ")
     }
 
+    /// The named flow presets: the classic ABC optimization scripts expressed
+    /// over this reproduction's transformation set, in a stable order.
+    ///
+    /// These are the flows users reach for by name (`flowc run --flow resyn2`)
+    /// and the fixed workloads of the perf harness.
+    pub fn presets() -> &'static [(&'static str, &'static [Transform])] {
+        use Transform::*;
+        &[
+            ("compress", &[Balance, Rewrite, RewriteZ, Balance, Rewrite]),
+            (
+                "compress2",
+                &[
+                    Balance, Rewrite, Refactor, Balance, Rewrite, RewriteZ, Balance, RefactorZ,
+                    RewriteZ, Balance,
+                ],
+            ),
+            ("resyn", &[Balance, Rewrite, Rewrite, Balance, Rewrite]),
+            (
+                "resyn2",
+                &[Balance, Rewrite, Refactor, Balance, RewriteZ, RefactorZ],
+            ),
+            (
+                "resyn3",
+                &[
+                    Balance,
+                    Restructure,
+                    RewriteZ,
+                    Balance,
+                    RefactorZ,
+                    Restructure,
+                ],
+            ),
+        ]
+    }
+
+    /// Looks up a named preset (see [`Flow::presets`]).
+    pub fn named(name: &str) -> Option<Flow> {
+        Flow::presets()
+            .iter()
+            .find(|(preset, _)| *preset == name)
+            .map(|(_, transforms)| Flow::new(transforms.to_vec()))
+    }
+
+    /// Parses a flow given either as a preset name or as an ABC-style script.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending command string when the input is neither a known
+    /// preset nor a parsable script.
+    pub fn parse(input: &str) -> Result<Flow, String> {
+        match Flow::named(input.trim()) {
+            Some(flow) => Ok(flow),
+            None => Flow::parse_script(input),
+        }
+    }
+
     /// Parses an ABC-style script back into a flow.
     ///
     /// # Errors
@@ -143,5 +199,30 @@ mod tests {
     fn display_matches_script() {
         let flow = Flow::new(vec![Transform::Rewrite]);
         assert_eq!(flow.to_string(), "rewrite");
+    }
+
+    #[test]
+    fn presets_are_named_nonempty_and_script_roundtrippable() {
+        assert!(!Flow::presets().is_empty());
+        for (name, transforms) in Flow::presets() {
+            let flow = Flow::named(name).expect("preset resolves");
+            assert_eq!(flow.transforms(), *transforms);
+            assert!(!flow.is_empty(), "preset `{name}` is empty");
+            assert_eq!(Flow::parse_script(&flow.to_script()).unwrap(), flow);
+        }
+        assert!(Flow::named("dch").is_none());
+    }
+
+    #[test]
+    fn parse_accepts_presets_and_scripts() {
+        assert_eq!(
+            Flow::parse("resyn2").unwrap(),
+            Flow::named("resyn2").unwrap()
+        );
+        assert_eq!(
+            Flow::parse("balance; rewrite -z").unwrap(),
+            Flow::new(vec![Transform::Balance, Transform::RewriteZ])
+        );
+        assert_eq!(Flow::parse("unknown-thing").unwrap_err(), "unknown-thing");
     }
 }
