@@ -311,7 +311,16 @@ impl Cut4Enumerator {
 
     /// Enumerates cuts (with fused truths) for every node, indexed by node id.
     pub fn enumerate(&self, aig: &Aig) -> Vec<CutSet4> {
-        let mut sets: Vec<CutSet4> = vec![CutSet4::default(); aig.len()];
+        let mut sets = Vec::new();
+        self.enumerate_into(aig, &mut sets);
+        sets
+    }
+
+    /// [`Cut4Enumerator::enumerate`] into a recycled vector: `sets` is cleared
+    /// and refilled, reusing its allocation across passes of a flow.
+    pub fn enumerate_into(&self, aig: &Aig, sets: &mut Vec<CutSet4>) {
+        sets.clear();
+        sets.resize(aig.len(), CutSet4::default());
         sets[0].push(Cut4::trivial(0));
         for &pi in aig.input_ids() {
             sets[pi].push(Cut4::trivial(pi));
@@ -338,7 +347,6 @@ impl Cut4Enumerator {
             }
             sets[id] = set;
         }
-        sets
     }
 }
 

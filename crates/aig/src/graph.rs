@@ -41,6 +41,28 @@ pub struct Aig {
     output_names: Vec<String>,
     #[serde(skip)]
     strash: HashMap<(u32, u32), NodeId>,
+    /// Structural mutation counter: bumped whenever the graph changes shape
+    /// (node added, input added, output registered, buffer recycled).  The
+    /// epoch-stamped analysis flags below compare against it.
+    #[serde(skip)]
+    generation: u64,
+    /// Generation at which [`Aig::compute_fanouts`] last ran (0 = never).
+    #[serde(skip)]
+    fanouts_at: u64,
+    /// Generation at which the graph was last known dangling-free, i.e. a
+    /// [`Aig::cleanup`] would be the identity (0 = unknown).
+    #[serde(skip)]
+    clean_at: u64,
+}
+
+/// Reusable scratch buffers for [`Aig::cleanup_into_with`]: the remap table,
+/// reachability flags and traversal stack survive across rebuilds so a whole
+/// synthesis flow allocates them once.
+#[derive(Debug, Default)]
+pub struct AigScratch {
+    map: Vec<Option<Lit>>,
+    reachable: Vec<bool>,
+    stack: Vec<NodeId>,
 }
 
 // Deserialization must rebuild the structural-hash table: the hash is skipped
@@ -56,6 +78,9 @@ impl serde::Deserialize for Aig {
             outputs: Vec::from_value(serde::field(value, "outputs", "Aig")?)?,
             output_names: Vec::from_value(serde::field(value, "output_names", "Aig")?)?,
             strash: HashMap::new(),
+            generation: 1,
+            fanouts_at: 0,
+            clean_at: 0,
         };
         aig.rebuild_strash();
         Ok(aig)
@@ -79,6 +104,9 @@ impl Aig {
             outputs: Vec::new(),
             output_names: Vec::new(),
             strash: HashMap::new(),
+            generation: 1,
+            fanouts_at: 0,
+            clean_at: 0,
         }
     }
 
@@ -109,6 +137,7 @@ impl Aig {
         self.nodes.push(Node::input(self.inputs.len() as u32));
         self.inputs.push(id);
         self.input_names.push(name.into());
+        self.generation += 1;
         Lit::from_node(id, false)
     }
 
@@ -123,6 +152,7 @@ impl Aig {
     pub fn add_output(&mut self, name: impl Into<String>, lit: Lit) {
         self.outputs.push(lit);
         self.output_names.push(name.into());
+        self.generation += 1;
     }
 
     /// Registers a bus of primary outputs `prefix[i]` for each literal.
@@ -159,6 +189,7 @@ impl Aig {
         let id = self.nodes.len();
         self.nodes.push(Node::and(x, y, level));
         self.strash.insert((x.raw(), y.raw()), id);
+        self.generation += 1;
         Lit::from_node(id, false)
     }
 
@@ -348,6 +379,22 @@ impl Aig {
             let n = self.outputs[i].node();
             self.nodes[n].add_fanout();
         }
+        self.fanouts_at = self.generation;
+    }
+
+    /// Recomputes fanout counters only when the graph mutated since the last
+    /// [`Aig::compute_fanouts`] — the epoch-stamped fast path of the pass
+    /// pipeline.  Counts are identical to an unconditional recompute.
+    pub fn compute_fanouts_cached(&mut self) {
+        if !self.fanouts_fresh() {
+            self.compute_fanouts();
+        }
+    }
+
+    /// Returns `true` when the stored fanout counters reflect the current
+    /// graph (no structural mutation since [`Aig::compute_fanouts`]).
+    pub fn fanouts_fresh(&self) -> bool {
+        self.fanouts_at != 0 && self.fanouts_at == self.generation
     }
 
     /// Returns the fanout count recorded for a node (valid after [`Aig::compute_fanouts`]).
@@ -373,8 +420,29 @@ impl Aig {
     /// outputs (dangling nodes removed), with inputs and outputs preserved in
     /// order.  The node-count reduction of a synthesis pass materialises here.
     pub fn cleanup(&self) -> Aig {
-        let mut out = Aig::with_name(self.name.clone());
-        let mut map: Vec<Option<Lit>> = vec![None; self.nodes.len()];
+        let mut out = Aig::new();
+        let mut scratch = AigScratch::default();
+        self.cleanup_into_with(&mut out, &mut scratch);
+        out
+    }
+
+    /// [`Aig::cleanup`] into a recycled destination graph.
+    ///
+    /// `out` is reset with [`Aig::clear_for_reuse`] (its node vector, strash
+    /// table and output lists keep their capacity) and `scratch` provides the
+    /// remap/reachability buffers, so a rebuild inside a pass pipeline touches
+    /// the allocator only when the design outgrows every previous one.  The
+    /// result is bit-identical to what [`Aig::cleanup`] returns.
+    pub fn cleanup_into_with(&self, out: &mut Aig, scratch: &mut AigScratch) {
+        out.clear_for_reuse();
+        out.name.clone_from(&self.name);
+        // Pre-size from the source graph: the destination can only be smaller,
+        // so neither the node vector nor the strash table ever rehashes/grows
+        // during the rebuild.
+        out.reserve_for(self.nodes.len(), self.num_ands());
+        let map = &mut scratch.map;
+        map.clear();
+        map.resize(self.nodes.len(), None);
         map[0] = Some(Lit::FALSE);
         // Inputs are always preserved (a design keeps its interface even if an
         // input becomes unused).
@@ -383,8 +451,12 @@ impl Aig {
             map[id] = Some(l);
         }
         // Mark reachable AND nodes.
-        let mut reachable = vec![false; self.nodes.len()];
-        let mut stack: Vec<NodeId> = self.outputs.iter().map(|l| l.node()).collect();
+        let reachable = &mut scratch.reachable;
+        reachable.clear();
+        reachable.resize(self.nodes.len(), false);
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.extend(self.outputs.iter().map(|l| l.node()));
         while let Some(id) = stack.pop() {
             if reachable[id] {
                 continue;
@@ -410,7 +482,59 @@ impl Aig {
             let nl = map[l.node()].expect("output cone mapped") ^ l.is_complemented();
             out.add_output(self.output_names[i].clone(), nl);
         }
-        out
+        out.clean_at = out.generation;
+    }
+
+    /// Returns `true` when a [`Aig::cleanup`] is known to be the identity:
+    /// the graph came out of a cleanup and has not mutated since.
+    pub fn is_clean(&self) -> bool {
+        self.clean_at != 0 && self.clean_at == self.generation
+    }
+
+    /// The structural mutation counter backing the epoch-stamped analysis
+    /// caches ([`Aig::fanouts_fresh`], [`Aig::is_clean`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Resets the graph to the empty state (constant node only) while keeping
+    /// every allocation — node vector, strash table, input/output lists — so
+    /// the buffer can be rebuilt into without touching the allocator.
+    pub fn clear_for_reuse(&mut self) {
+        self.name.clear();
+        self.nodes.truncate(1);
+        self.nodes[0] = Node::constant();
+        self.inputs.clear();
+        self.input_names.clear();
+        self.outputs.clear();
+        self.output_names.clear();
+        self.strash.clear();
+        self.generation += 1;
+        self.fanouts_at = 0;
+        self.clean_at = 0;
+    }
+
+    /// Clones `other` into `self`, reusing `self`'s allocations (the analogue
+    /// of `Clone::clone_from` with capacity retention across node vectors,
+    /// name lists and the strash table).
+    pub fn copy_from(&mut self, other: &Aig) {
+        self.name.clone_from(&other.name);
+        self.nodes.clone_from(&other.nodes);
+        self.inputs.clone_from(&other.inputs);
+        self.input_names.clone_from(&other.input_names);
+        self.outputs.clone_from(&other.outputs);
+        self.output_names.clone_from(&other.output_names);
+        self.strash.clone_from(&other.strash);
+        self.generation = other.generation;
+        self.fanouts_at = other.fanouts_at;
+        self.clean_at = other.clean_at;
+    }
+
+    /// Reserves room for `nodes` total nodes of which `ands` are AND gates, so
+    /// subsequent construction does not reallocate or rehash.
+    pub fn reserve_for(&mut self, nodes: usize, ands: usize) {
+        self.nodes.reserve(nodes.saturating_sub(self.nodes.len()));
+        self.strash.reserve(ands.saturating_sub(self.strash.len()));
     }
 
     /// Returns the set of node ids in the transitive fanin cone of `roots`
@@ -602,6 +726,106 @@ mod tests {
         let merged_top = restored.and(ab, bc);
         assert_eq!(merged_top, f);
         assert_eq!(restored.num_ands(), g.num_ands(), "no duplicate nodes");
+    }
+
+    /// Node-for-node structural equality (ids, kinds, levels, interface).
+    fn identical(a: &Aig, b: &Aig) -> bool {
+        a.len() == b.len()
+            && (0..a.len()).all(|i| a.node(i).kind() == b.node(i).kind())
+            && (0..a.len()).all(|i| a.node(i).level() == b.node(i).level())
+            && a.outputs() == b.outputs()
+            && a.input_ids() == b.input_ids()
+            && (0..a.num_inputs()).all(|i| a.input_name(i) == b.input_name(i))
+            && (0..a.num_outputs()).all(|i| a.output_name(i) == b.output_name(i))
+            && a.name() == b.name()
+    }
+
+    #[test]
+    fn cleanup_into_matches_cleanup_and_marks_clean() {
+        let (mut g, a, b, c) = simple();
+        let _dangling = g.and(a, c);
+        let keep = g.and(a, b);
+        g.add_output("f", keep);
+        assert!(!g.is_clean());
+
+        let fresh = g.cleanup();
+        assert!(fresh.is_clean());
+
+        // Rebuild into a dirty recycled buffer: identical result.
+        let mut recycled = Aig::new();
+        let junk = recycled.add_input("junk");
+        recycled.add_output("j", junk);
+        let mut scratch = AigScratch::default();
+        g.cleanup_into_with(&mut recycled, &mut scratch);
+        assert!(identical(&fresh, &recycled));
+        assert!(recycled.is_clean());
+
+        // Cleanup of a clean graph is the identity.
+        let again = fresh.cleanup();
+        assert!(identical(&fresh, &again));
+    }
+
+    #[test]
+    fn mutation_invalidates_clean_and_fanout_epochs() {
+        let (mut g, a, b, _) = simple();
+        let ab = g.and(a, b);
+        g.add_output("f", ab);
+        let mut g = g.cleanup();
+        assert!(g.is_clean());
+        assert!(!g.fanouts_fresh(), "fanouts never computed");
+        g.compute_fanouts();
+        assert!(g.fanouts_fresh());
+
+        // A cached recompute is a no-op while fresh.
+        let gen = g.generation();
+        g.compute_fanouts_cached();
+        assert_eq!(g.generation(), gen);
+        assert!(g.fanouts_fresh());
+
+        // Creating a node invalidates both epochs.
+        let inputs = g.input_lits();
+        let extra = g.and(inputs[0], !inputs[1]);
+        assert!(!g.is_clean(), "new node may dangle");
+        assert!(!g.fanouts_fresh(), "fanins gained a fanout");
+        g.compute_fanouts_cached();
+        assert!(g.fanouts_fresh());
+        assert_eq!(g.fanout_count(inputs[0].node()), 2);
+
+        // Registering an output also invalidates the fanout epoch.
+        g.add_output("g", extra);
+        assert!(!g.fanouts_fresh());
+
+        // A strash hit changes nothing, so the epochs stay fresh.
+        g.compute_fanouts();
+        let hit = g.and(inputs[0], !inputs[1]);
+        assert_eq!(hit, extra);
+        assert!(g.fanouts_fresh());
+    }
+
+    #[test]
+    fn clear_for_reuse_resets_state_and_copy_from_round_trips() {
+        let (mut g, a, b, c) = simple();
+        let ab = g.and(a, b);
+        let f = g.and(ab, c);
+        g.add_output("f", f);
+        let g = g.cleanup();
+
+        let mut buf = g.clone();
+        buf.clear_for_reuse();
+        assert!(buf.is_empty());
+        assert_eq!(buf.num_inputs(), 0);
+        assert_eq!(buf.num_outputs(), 0);
+        assert!(!buf.is_clean());
+        // The strash is empty again: rebuilding the same AND creates a node.
+        let x = buf.add_input("x");
+        let y = buf.add_input("y");
+        let _ = buf.and(x, y);
+        assert_eq!(buf.num_ands(), 1);
+
+        buf.copy_from(&g);
+        assert!(identical(&buf, &g));
+        assert!(buf.is_clean(), "epoch flags travel with the copy");
+        assert_eq!(buf.find_and(a, b), Some(ab), "strash is live after copy");
     }
 
     #[test]

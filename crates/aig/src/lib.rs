@@ -51,7 +51,7 @@ pub use cut4::{
     truth4_pad, truth4_reduce, truth4_support, Cut4, Cut4Enumerator, CutSet4, CUT4_MAX_LEAVES,
     CUT4_SET_CAPACITY,
 };
-pub use graph::{Aig, NodeId};
+pub use graph::{Aig, AigScratch, NodeId};
 pub use lit::Lit;
 pub use mffc::Mffc;
 pub use node::{Node, NodeKind};

@@ -1,0 +1,227 @@
+//! Performance report of the pass pipeline (PR 5).
+//!
+//! Times the fixed flow-evaluation workload — every benchmark design crossed
+//! with representative synthesis flows, each followed by technology mapping —
+//! on both pass-pipeline paths:
+//!
+//! * **baseline**: the Reference free-function path (`apply_sequence` +
+//!   `map_qor`) — every pass allocates and rebuilds brand-new graphs, calls
+//!   `cleanup()` repeatedly and recomputes fanouts unconditionally;
+//! * **ctx**: the arena-recycling `PassContext` path — ping-pong graph
+//!   buffers, epoch-stamped clean/fanout caches, recycled cut-set and
+//!   cut-truth scratch, shared across all passes of a flow.
+//!
+//! Both paths run on the same (Fast) cut engine, so the measured delta is the
+//! pass-pipeline layer alone.  QoR is verified bit-identical on every item
+//! (the binary exits non-zero otherwise) and the context's per-pass timing
+//! breakdown is included in the report.  Results are written to
+//! `BENCH_PR5.json` (override with `PASS_PERF_OUT`).
+//!
+//! Scale is selected with `FLOWGEN_SCALE` (`tiny` for the CI smoke run,
+//! `small` — the default — for the recorded report, `full` for paper-scale).
+
+use std::time::Instant;
+
+use circuits::{Design, DesignScale};
+use serde::Serialize;
+use synth::{
+    apply_sequence, map_qor, map_with_ctx, CellLibrary, MapperParams, PassContext, Qor, Transform,
+};
+
+/// The fixed flows of the workload: the same mixes as `perf_report`, plus a
+/// long 12-pass mix ("deep-mix" — deliberately NOT named after a `flowgen`
+/// preset, since it is not one) where buffer recycling has the most to
+/// amortise.
+fn workload_flows() -> Vec<(&'static str, Vec<Transform>)> {
+    use Transform::*;
+    vec![
+        (
+            "compress",
+            vec![Balance, Rewrite, RewriteZ, Balance, Rewrite],
+        ),
+        (
+            "resyn2",
+            vec![Balance, Rewrite, Refactor, Balance, RewriteZ, RefactorZ],
+        ),
+        ("mixed-a", vec![Restructure, Rewrite, Balance, Refactor]),
+        (
+            "deep-mix",
+            vec![
+                Balance, Rewrite, RewriteZ, Balance, RefactorZ, Rewrite, Balance, RewriteZ,
+                Balance, RefactorZ, Rewrite, Balance,
+            ],
+        ),
+    ]
+}
+
+fn design_scale() -> (&'static str, DesignScale) {
+    match std::env::var("FLOWGEN_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
+        "tiny" => ("tiny", DesignScale::Tiny),
+        "full" => ("full", DesignScale::Full),
+        _ => ("small", DesignScale::Small),
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct ItemReport {
+    design: String,
+    flow: String,
+    subject_ands: usize,
+    baseline_ms: f64,
+    ctx_ms: f64,
+    speedup: f64,
+    qor_identical: bool,
+    area_um2: f64,
+    delay_ps: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct PassRow {
+    pass: String,
+    calls: u64,
+    seconds: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    pr: String,
+    workload: String,
+    scale: String,
+    items: Vec<ItemReport>,
+    /// Per-pass wall-clock breakdown of the ctx path across the workload.
+    ctx_pass_breakdown: Vec<PassRow>,
+    baseline_total_ms: f64,
+    ctx_total_ms: f64,
+    speedup: f64,
+    qor_identical: bool,
+}
+
+/// Reference path: free functions, fresh graphs per pass.
+fn evaluate_baseline(design: &aig::Aig, flow: &[Transform], lib: &CellLibrary) -> Qor {
+    let optimized = apply_sequence(design, flow);
+    map_qor(&optimized, lib, MapperParams::default())
+}
+
+/// Context path: one arena-recycling context per flow.
+fn evaluate_ctx(
+    design: &aig::Aig,
+    flow: &[Transform],
+    lib: &CellLibrary,
+    ctx: &mut PassContext,
+) -> Qor {
+    let mut optimized = ctx.run_flow(design, flow);
+    let qor = map_with_ctx(&mut optimized, lib, MapperParams::default(), ctx).qor();
+    ctx.recycle(optimized);
+    qor
+}
+
+fn qor_bits_equal(a: &Qor, b: &Qor) -> bool {
+    a.area_um2.to_bits() == b.area_um2.to_bits()
+        && a.delay_ps.to_bits() == b.delay_ps.to_bits()
+        && a.gates == b.gates
+        && a.and_nodes == b.and_nodes
+        && a.depth == b.depth
+}
+
+fn main() {
+    let (scale_name, scale) = design_scale();
+    let lib = CellLibrary::nangate14();
+    let flows = workload_flows();
+    let designs: Vec<(Design, aig::Aig, usize)> = Design::ALL
+        .iter()
+        .map(|&d| {
+            let g = d.generate(scale);
+            let ands = g.cleanup().num_ands();
+            (d, g, ands)
+        })
+        .collect();
+
+    // Warm-up both paths (NPN4 table, code paths) outside the measured region.
+    let warm = &designs[0].1;
+    let _ = evaluate_baseline(warm, &[Transform::Rewrite], &lib);
+    let mut warm_ctx = PassContext::default();
+    let _ = evaluate_ctx(warm, &[Transform::Rewrite], &lib, &mut warm_ctx);
+
+    // One context per design mirrors production use (floweval recycles one
+    // context across a whole subtree of flows).
+    let mut items = Vec::new();
+    let mut breakdown = synth::PassTimings::default();
+    let mut all_identical = true;
+    println!(
+        "pass_perf: {} designs x {} flows (scale {scale_name})",
+        designs.len(),
+        flows.len()
+    );
+    for (design, graph, subject_ands) in &designs {
+        let mut ctx = PassContext::default();
+        for (flow_name, flow) in &flows {
+            let t0 = Instant::now();
+            let baseline = evaluate_baseline(graph, flow, &lib);
+            let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let t1 = Instant::now();
+            let fast = evaluate_ctx(graph, flow, &lib, &mut ctx);
+            let ctx_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+            let identical = qor_bits_equal(&baseline, &fast);
+            all_identical &= identical;
+            let speedup = baseline_ms / ctx_ms.max(1e-9);
+            println!(
+                "  {design:<14} {flow_name:<10} baseline {baseline_ms:>9.1} ms   ctx {ctx_ms:>9.1} ms   x{speedup:.2}   qor {}",
+                if identical { "identical" } else { "MISMATCH" }
+            );
+            items.push(ItemReport {
+                design: design.to_string(),
+                flow: flow_name.to_string(),
+                subject_ands: *subject_ands,
+                baseline_ms,
+                ctx_ms,
+                speedup,
+                qor_identical: identical,
+                area_um2: fast.area_um2,
+                delay_ps: fast.delay_ps,
+            });
+        }
+        breakdown.merge(&ctx.take_timings());
+    }
+
+    let baseline_total_ms: f64 = items.iter().map(|i| i.baseline_ms).sum();
+    let ctx_total_ms: f64 = items.iter().map(|i| i.ctx_ms).sum();
+    let speedup = baseline_total_ms / ctx_total_ms.max(1e-9);
+    let report = Report {
+        pr: "PR5-pass-pipeline".to_string(),
+        workload: "designs x representative flows, passes + mapping".to_string(),
+        scale: scale_name.to_string(),
+        items,
+        ctx_pass_breakdown: breakdown
+            .entries()
+            .into_iter()
+            .map(|(pass, stat)| PassRow {
+                pass: pass.to_string(),
+                calls: stat.calls,
+                seconds: stat.seconds,
+            })
+            .collect(),
+        baseline_total_ms,
+        ctx_total_ms,
+        speedup,
+        qor_identical: all_identical,
+    };
+    println!(
+        "total: baseline {baseline_total_ms:.1} ms, ctx {ctx_total_ms:.1} ms, speedup x{speedup:.2}"
+    );
+
+    let out = std::env::var("PASS_PERF_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write perf report");
+    println!("wrote {out}");
+
+    if !all_identical {
+        eprintln!("FAIL: pass-pipeline path changed QoR");
+        std::process::exit(1);
+    }
+}

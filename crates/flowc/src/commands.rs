@@ -14,7 +14,7 @@ use synth::apply_sequence;
 use crate::args::Args;
 use crate::design::{parse_scale, resolve_design};
 use crate::report::{
-    CorpusEntry, CorpusManifest, DesignReport, ExportReport, FlowReport, RunReport,
+    CorpusEntry, CorpusManifest, DesignReport, ExportReport, FlowReport, RunReport, TimingReport,
 };
 
 /// `flowc run`: import or generate a design, evaluate one flow through the
@@ -34,6 +34,7 @@ pub fn run(mut args: Args) -> Result<(), String> {
     let json_path = args.take_value("json")?;
     let store = args.take_value("store")?;
     let verify = args.take_flag("verify");
+    let timing = args.take_flag("timing");
     args.finish()?;
 
     let (flow, preset) = match (flow_arg, random_seed) {
@@ -76,6 +77,7 @@ pub fn run(mut args: Args) -> Result<(), String> {
         },
         qor: qors[0],
         eval: engine.stats(),
+        timing: timing.then(|| TimingReport::of(&engine.pass_timings())),
         export,
     };
     emit_json(&report, json_path.as_deref())

@@ -42,6 +42,8 @@ COMMANDS:
                      --json <path>                  also write the report here
                      --store <path>                 persistent QoR store (JSONL)
                      --verify                       verify by random simulation
+                     --timing                       include the per-pass timing
+                                                    breakdown in the report
     convert        Convert between formats: flowc convert <in> <out> [--cleanup]
     stats          Print design statistics as JSON: flowc stats <design>
     export-corpus  Write the generated benchmark corpus as fixture files

@@ -59,6 +59,42 @@ pub struct ExportReport {
     pub depth: u32,
 }
 
+/// One row of the `timing` section: wall-clock cost of one pass kind.
+#[derive(Debug, Serialize)]
+pub struct TimingEntry {
+    /// ABC-style pass name (`balance`, `rewrite -z`, …; `map` for mapping).
+    pub pass: String,
+    pub calls: u64,
+    pub seconds: f64,
+}
+
+/// The `timing` section (`flowc run --timing`): the engine's per-pass
+/// breakdown.  Omitted by default — wall times are run-dependent, so the
+/// byte-deterministic report the CI smoke compares stays stable.
+#[derive(Debug, Serialize)]
+pub struct TimingReport {
+    pub passes: Vec<TimingEntry>,
+    /// Total seconds in transformation passes (mapping excluded).
+    pub pass_total_s: f64,
+}
+
+impl TimingReport {
+    pub fn of(timings: &synth::PassTimings) -> Self {
+        TimingReport {
+            passes: timings
+                .entries()
+                .into_iter()
+                .map(|(pass, stat)| TimingEntry {
+                    pass: pass.to_string(),
+                    calls: stat.calls,
+                    seconds: stat.seconds,
+                })
+                .collect(),
+            pass_total_s: timings.pass_seconds(),
+        }
+    }
+}
+
 /// The complete `flowc run` report.
 #[derive(Debug, Serialize)]
 pub struct RunReport {
@@ -66,6 +102,7 @@ pub struct RunReport {
     pub flow: FlowReport,
     pub qor: Qor,
     pub eval: EvalStats,
+    pub timing: Option<TimingReport>,
     pub export: Option<ExportReport>,
 }
 

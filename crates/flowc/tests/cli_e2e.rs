@@ -257,6 +257,50 @@ fn persistent_store_is_shared_across_invocations() {
 }
 
 #[test]
+fn timing_breakdown_is_opt_in() {
+    // Default report: no timing section (wall times are run-dependent, so the
+    // byte-deterministic report compared by the CI smoke stays stable).
+    let stdout = run_ok(flowc().args(["run", "--design", "alu64:tiny", "--flow", "compress"]));
+    let report = parse_report(&stdout);
+    assert!(
+        matches!(report.get("timing"), None | Some(Value::Null)),
+        "timing must be omitted without --timing"
+    );
+
+    // --timing: one row per transform kind plus mapping, with call counts
+    // matching the flow script (compress = 2x balance, 2x rewrite, 1x rw -z).
+    let stdout = run_ok(flowc().args([
+        "run",
+        "--design",
+        "alu64:tiny",
+        "--flow",
+        "compress",
+        "--timing",
+    ]));
+    let report = parse_report(&stdout);
+    let timing = report.get("timing").expect("--timing adds the section");
+    let Some(Value::Array(passes)) = timing.get("passes") else {
+        panic!("timing.passes must be an array: {timing:?}");
+    };
+    assert_eq!(passes.len(), 7, "six transforms + map");
+    let calls_of = |name: &str| -> u64 {
+        passes
+            .iter()
+            .find(|row| matches!(row.get("pass"), Some(Value::Str(s)) if s == name))
+            .and_then(|row| match row.get("calls") {
+                Some(Value::U64(v)) => Some(*v),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("missing row {name}"))
+    };
+    assert_eq!(calls_of("balance"), 2);
+    assert_eq!(calls_of("rewrite"), 2);
+    assert_eq!(calls_of("rewrite -z"), 1);
+    assert_eq!(calls_of("refactor"), 0);
+    assert_eq!(calls_of("map"), 1);
+}
+
+#[test]
 fn usage_errors_exit_nonzero() {
     let out = flowc().arg("run").output().expect("spawn");
     assert_eq!(

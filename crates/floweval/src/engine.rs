@@ -27,7 +27,9 @@ use std::sync::Mutex;
 use aig::{random_equivalence_check, Aig, NodeKind};
 use flow_core::{Fingerprint, Fnv64};
 use rayon::prelude::*;
-use synth::{map_qor, CellLibrary, FlowRunner, MapperParams, Qor, Transform};
+use synth::{
+    map_with_ctx, CellLibrary, FlowRunner, MapperParams, PassContext, PassTimings, Qor, Transform,
+};
 
 use crate::stats::EvalStats;
 use crate::store::{QorStore, StoreKey};
@@ -71,6 +73,7 @@ struct EngineState {
     store: QorStore,
     tries: HashMap<Fingerprint, FlowTrie>,
     stats: EvalStats,
+    timings: PassTimings,
 }
 
 /// The cache-aware flow-evaluation engine.
@@ -134,6 +137,7 @@ impl EvalEngine {
                 store,
                 tries: HashMap::new(),
                 stats: EvalStats::default(),
+                timings: PassTimings::default(),
             }),
         }
     }
@@ -165,7 +169,15 @@ impl EvalEngine {
 
     /// Resets the cumulative statistics (the caches are kept).
     pub fn reset_stats(&self) {
-        self.state.lock().expect("engine lock").stats = EvalStats::default();
+        let mut state = self.state.lock().expect("engine lock");
+        state.stats = EvalStats::default();
+        state.timings = PassTimings::default();
+    }
+
+    /// Cumulative per-pass timing breakdown of every transform and mapping
+    /// the engine executed (merged across the parallel workers' contexts).
+    pub fn pass_timings(&self) -> PassTimings {
+        self.state.lock().expect("engine lock").timings
     }
 
     /// Number of records in the persistent QoR store.
@@ -236,13 +248,16 @@ impl EvalEngine {
 
         // Phase 2 (unlocked): trie evaluation, parallel across subtrees.
         let mut evaluated: Vec<(usize, Qor)> = Vec::new();
+        let mut timings = PassTimings::default();
         if let Some(trie) = trie.as_mut() {
-            evaluated = self.evaluate_misses(trie, design, flows, &misses, &mut batch);
+            evaluated =
+                self.evaluate_misses(trie, design, flows, &misses, &mut batch, &mut timings);
         }
 
         // Phase 3 (locked): commit results, trie and statistics.
         {
             let mut state = self.state.lock().expect("engine lock");
+            state.timings.merge(&timings);
             for &(idx, qor) in &evaluated {
                 state.store.insert(keys[idx].clone(), qor);
                 results[idx] = Some(qor);
@@ -270,6 +285,7 @@ impl EvalEngine {
         flows: &[Vec<Transform>],
         misses: &[usize],
         batch: &mut EvalStats,
+        timings: &mut PassTimings,
     ) -> Vec<(usize, Qor)> {
         if trie.peek_aig(TRIE_ROOT).is_none() {
             trie.cache_aig(TRIE_ROOT, design.cleanup());
@@ -293,10 +309,12 @@ impl EvalEngine {
         }
 
         // Sequential descent to the split depth, spawning one task per
-        // independent subtree.
+        // independent subtree.  The shallow phase runs on its own recycling
+        // pass context; each parallel worker below creates one per subtree.
         let mut outputs: Vec<(usize, Qor)> = Vec::new();
         let mut tasks: Vec<(TrieNodeId, Aig)> = Vec::new();
         let mut shallow_failures: Vec<usize> = Vec::new();
+        let mut pctx = PassContext::default();
         let root_aig = trie
             .cached_aig(TRIE_ROOT)
             .expect("root cached above")
@@ -313,7 +331,9 @@ impl EvalEngine {
             &mut tasks,
             &mut shallow_failures,
             batch,
+            &mut pctx,
         );
+        timings.merge(&pctx.take_timings());
 
         // Parallel subtree evaluation over the shared, now-immutable trie.
         // `claimed` bounds the total AIG nodes workers may clone as cache
@@ -331,7 +351,9 @@ impl EvalEngine {
             .par_iter()
             .map(|(node, aig)| {
                 let mut result = WorkerResult::default();
-                self.eval_subtree(&ctx, *node, aig, &mut result);
+                let mut pctx = PassContext::default();
+                self.eval_subtree(&ctx, *node, aig, &mut result, &mut pctx);
+                result.timings = pctx.take_timings();
                 result
             })
             .collect();
@@ -344,6 +366,7 @@ impl EvalEngine {
             batch.passes_applied += result.passes_applied;
             batch.trie_hits += result.trie_hits;
             batch.mappings_run += result.mappings_run;
+            timings.merge(&result.timings);
             verify_failures.extend(result.verify_failures);
             for node in result.touched {
                 trie.cached_aig(node); // refresh LRU clocks for worker hits
@@ -367,6 +390,17 @@ impl EvalEngine {
         outputs
     }
 
+    /// Maps a terminal AIG through the recycling context: the subject graph
+    /// ping-pongs through a context buffer instead of a fresh allocation.
+    /// QoR bits match the reference `map_qor` exactly.
+    fn map_terminal(&self, pctx: &mut PassContext, aig: &Aig) -> Qor {
+        let mut subject = pctx.take_buf();
+        subject.copy_from(aig);
+        let qor = map_with_ctx(&mut subject, &self.library, self.mapper, pctx).qor();
+        pctx.recycle(subject);
+        qor
+    }
+
     /// Sequential evaluation of the shallow levels (depth < `split_depth`).
     #[allow(clippy::too_many_arguments)]
     fn descend(
@@ -382,6 +416,7 @@ impl EvalEngine {
         tasks: &mut Vec<(TrieNodeId, Aig)>,
         failures: &mut Vec<usize>,
         batch: &mut EvalStats,
+        pctx: &mut PassContext,
     ) {
         if depth >= self.config.split_depth {
             tasks.push((node, aig));
@@ -391,44 +426,45 @@ impl EvalEngine {
             if self.config.verify && !random_equivalence_check(design, &aig, 8, VERIFY_SEED) {
                 failures.extend_from_slice(indices);
             }
-            let qor = map_qor(&aig, &self.library, self.mapper);
+            let qor = self.map_terminal(pctx, &aig);
             batch.mappings_run += 1;
             outputs.extend(indices.iter().map(|&idx| (idx, qor)));
         }
-        let Some(edges) = active.get(&node) else {
-            return;
-        };
-        for &(t, child) in edges {
-            let cached: Option<Aig> = trie.peek_aig(child).cloned();
-            let child_aig = match cached {
-                Some(hit) => {
+        if let Some(edges) = active.get(&node) {
+            for &(t, child) in edges {
+                let child_aig = if trie.peek_aig(child).is_some() {
                     batch.trie_hits += 1;
-                    trie.cached_aig(child); // touch LRU
-                    hit
-                }
-                None => {
-                    let next = t.apply(&aig);
+                    let hit = trie.cached_aig(child).expect("peeked above"); // touch LRU
+                    let mut buf = pctx.take_buf();
+                    buf.copy_from(hit);
+                    buf
+                } else {
+                    let mut next = pctx.take_buf();
+                    next.copy_from(&aig);
+                    pctx.apply(t, &mut next);
                     batch.passes_applied += 1;
                     if trie.depth(child) <= self.config.cache_depth {
                         trie.cache_aig(child, next.clone());
                     }
                     next
-                }
-            };
-            self.descend(
-                trie,
-                design,
-                terminals,
-                active,
-                child,
-                child_aig,
-                depth + 1,
-                outputs,
-                tasks,
-                failures,
-                batch,
-            );
+                };
+                self.descend(
+                    trie,
+                    design,
+                    terminals,
+                    active,
+                    child,
+                    child_aig,
+                    depth + 1,
+                    outputs,
+                    tasks,
+                    failures,
+                    batch,
+                    pctx,
+                );
+            }
         }
+        pctx.recycle(aig);
     }
 
     /// Depth-first evaluation of one subtree (runs on a worker thread).
@@ -438,6 +474,7 @@ impl EvalEngine {
         node: TrieNodeId,
         aig: &Aig,
         result: &mut WorkerResult,
+        pctx: &mut PassContext,
     ) {
         if let Some(indices) = ctx.terminals.get(&node) {
             if let Some(reference) = ctx.verify_against {
@@ -445,7 +482,7 @@ impl EvalEngine {
                     result.verify_failures.extend_from_slice(indices);
                 }
             }
-            let qor = map_qor(aig, &self.library, self.mapper);
+            let qor = self.map_terminal(pctx, aig);
             result.mappings_run += 1;
             result.outputs.extend(indices.iter().map(|&idx| (idx, qor)));
         }
@@ -456,16 +493,19 @@ impl EvalEngine {
             if let Some(cached) = ctx.trie.peek_aig(child) {
                 result.trie_hits += 1;
                 result.touched.push(child);
-                self.eval_subtree(ctx, child, cached, result);
+                self.eval_subtree(ctx, child, cached, result, pctx);
             } else {
-                let next = t.apply(aig);
+                let mut next = pctx.take_buf();
+                next.copy_from(aig);
+                pctx.apply(t, &mut next);
                 result.passes_applied += 1;
                 if ctx.trie.depth(child) <= self.config.cache_depth
                     && ctx.try_claim(next.len(), self.config.cache_budget_aig_nodes)
                 {
                     result.cache_candidates.push((child, next.clone()));
                 }
-                self.eval_subtree(ctx, child, &next, result);
+                self.eval_subtree(ctx, child, &next, result, pctx);
+                pctx.recycle(next);
             }
         }
     }
@@ -509,6 +549,7 @@ struct WorkerResult {
     passes_applied: usize,
     trie_hits: usize,
     mappings_run: usize,
+    timings: PassTimings,
 }
 
 /// Renders a transform sequence as the canonical ABC-style script, identical

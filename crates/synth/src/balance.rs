@@ -7,6 +7,8 @@
 
 use aig::{Aig, Lit};
 
+use crate::pass::PassContext;
+
 /// Applies AND-tree balancing and returns the rebuilt network.
 ///
 /// The result computes the same functions as the input; its depth is usually
@@ -30,6 +32,34 @@ pub fn balance(aig: &Aig) -> Aig {
         out.add_output(src.output_name(i).to_string(), nl);
     }
     out.cleanup()
+}
+
+/// The context path of [`balance`]: transforms `g` in place through the
+/// context's recycled buffers, producing identical bits.
+pub(crate) fn balance_ctx(g: &mut Aig, ctx: &mut PassContext) {
+    ctx.ensure_clean(g);
+    g.compute_fanouts_cached();
+    let mut out = ctx.take_buf();
+    out.set_name(g.name().to_string());
+    out.reserve_for(g.len(), g.num_ands());
+    let map = &mut ctx.balance_map;
+    map.clear();
+    map.resize(g.len(), None);
+    map[0] = Some(Lit::FALSE);
+    for (i, &id) in g.input_ids().iter().enumerate() {
+        map[id] = Some(out.add_input(g.input_name(i).to_string()));
+    }
+    for id in g.node_ids() {
+        if g.node(id).is_and() {
+            build_balanced(g, &mut out, map, id);
+        }
+    }
+    for (i, &l) in g.outputs().iter().enumerate() {
+        let nl = map[l.node()].expect("output cone built") ^ l.is_complemented();
+        out.add_output(g.output_name(i).to_string(), nl);
+    }
+    out.cleanup_into_with(g, &mut ctx.scratch);
+    ctx.recycle(out);
 }
 
 /// Builds the balanced implementation of node `id` into `out`, memoising in `map`.

@@ -10,8 +10,9 @@ use aig::{random_equivalence_check, Aig, AigStats};
 use rayon::prelude::*;
 
 use crate::library::CellLibrary;
-use crate::mapper::{map_qor, MapperParams};
-use crate::passes::{apply_sequence, Transform};
+use crate::mapper::{map_with_ctx, MapperParams};
+use crate::pass::PassContext;
+use crate::passes::Transform;
 use crate::qor::Qor;
 
 /// Evaluates synthesis flows (sequences of [`Transform`]s) against one design.
@@ -79,21 +80,39 @@ impl FlowRunner {
     }
 
     /// Runs a single flow on `design` and returns its outcome.
+    ///
+    /// Evaluation goes through a fresh [`PassContext`] (the arena-recycling
+    /// pass pipeline); results are bit-identical to the Reference
+    /// free-function path (`apply_sequence` + `map_qor`).
     pub fn run(&self, design: &Aig, flow: &[Transform]) -> FlowOutcome {
+        let mut ctx = PassContext::default();
+        self.run_with_ctx(design, flow, &mut ctx)
+    }
+
+    /// Runs a single flow through a caller-owned [`PassContext`], so batch
+    /// callers recycle one context's buffers across many flows.
+    pub fn run_with_ctx(
+        &self,
+        design: &Aig,
+        flow: &[Transform],
+        ctx: &mut PassContext,
+    ) -> FlowOutcome {
         let start = std::time::Instant::now();
-        let optimized = apply_sequence(design, flow);
+        let mut optimized = ctx.run_flow(design, flow);
         let verified = if self.verify {
             random_equivalence_check(design, &optimized, 8, 0x5EED)
         } else {
             false
         };
-        let qor = map_qor(&optimized, &self.library, self.mapper_params);
-        FlowOutcome {
+        let qor = map_with_ctx(&mut optimized, &self.library, self.mapper_params, ctx).qor();
+        let outcome = FlowOutcome {
             qor,
             optimized: AigStats::of(&optimized),
             runtime_s: start.elapsed().as_secs_f64(),
             verified,
-        }
+        };
+        ctx.recycle(optimized);
+        outcome
     }
 
     /// Runs many flows in parallel and returns their QoR in input order.

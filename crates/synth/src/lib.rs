@@ -45,6 +45,7 @@ pub mod library;
 pub mod mapper;
 pub mod npn;
 pub mod npn4;
+pub mod pass;
 pub mod passes;
 pub mod qor;
 pub mod reconv;
@@ -58,7 +59,10 @@ pub use balance::balance;
 pub use engine::{apply_sequence_with_engine, CutEngine};
 pub use flow_runner::{FlowOutcome, FlowRunner};
 pub use library::{Cell, CellId, CellLibrary};
-pub use mapper::{map, map_qor, map_with_engine, MapMode, MappedGate, MappedNetlist, MapperParams};
+pub use mapper::{
+    map, map_qor, map_with_ctx, map_with_engine, MapMode, MappedGate, MappedNetlist, MapperParams,
+};
+pub use pass::{apply_sequence_ctx, Pass, PassContext, PassStat, PassTimings};
 pub use passes::{apply_sequence, Transform};
 pub use qor::{Qor, QorMetric};
 pub use refactor::refactor;

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 use crate::engine::CutEngine;
 use crate::library::{CellId, CellLibrary};
 use crate::npn4::npn4;
+use crate::pass::PassContext;
 use crate::qor::Qor;
 
 /// Objective used to choose among matched cells.
@@ -175,11 +176,7 @@ pub fn map_with_engine(
 ) -> MappedNetlist {
     let mut subject = aig.cleanup();
     subject.compute_fanouts();
-    let cut_params = CutParams {
-        max_cut_size: params.cut_size.min(4),
-        max_cuts_per_node: params.cuts_per_node,
-        include_trivial: false,
-    };
+    let cut_params = mapper_cut_params(params);
     let fast = engine == CutEngine::Fast && params.cuts_per_node <= aig::CUT4_SET_CAPACITY;
     let cut_sets = if fast {
         Vec::new()
@@ -191,7 +188,56 @@ pub fn map_with_engine(
     } else {
         Vec::new()
     };
+    map_core(&subject, library, params, fast, &cut_sets, &cut4_sets)
+}
 
+/// Maps `g` through an arena-recycling [`PassContext`].
+///
+/// The analysis front of the mapper runs on the context's epoch-stamped
+/// caches: the cleanup at the head is skipped when the graph is known clean
+/// (every pass output is), fanouts recompute only when stale, and the fast
+/// path's cut sets land in the context's recycled enumeration buffer.  The
+/// netlist is bit-identical to [`map_with_engine`] on the context's engine.
+pub fn map_with_ctx(
+    g: &mut Aig,
+    library: &CellLibrary,
+    params: MapperParams,
+    ctx: &mut PassContext,
+) -> MappedNetlist {
+    let start = std::time::Instant::now();
+    ctx.ensure_clean(g);
+    g.compute_fanouts_cached();
+    let cut_params = mapper_cut_params(params);
+    let fast = ctx.engine() == CutEngine::Fast && params.cuts_per_node <= aig::CUT4_SET_CAPACITY;
+    let netlist = if fast {
+        Cut4Enumerator::new(cut_params).enumerate_into(g, &mut ctx.cut4_sets);
+        map_core(g, library, params, true, &[], &ctx.cut4_sets)
+    } else {
+        let cut_sets = CutEnumerator::new(cut_params).enumerate(g);
+        map_core(g, library, params, false, &cut_sets, &[])
+    };
+    ctx.record_mapping(start.elapsed().as_secs_f64());
+    netlist
+}
+
+fn mapper_cut_params(params: MapperParams) -> CutParams {
+    CutParams {
+        max_cut_size: params.cut_size.min(4),
+        max_cuts_per_node: params.cuts_per_node,
+        include_trivial: false,
+    }
+}
+
+/// Matching + cover extraction over an already cleaned, fanout-annotated
+/// subject graph with pre-enumerated cuts (shared by both mapper entries).
+fn map_core(
+    subject: &Aig,
+    library: &CellLibrary,
+    params: MapperParams,
+    fast: bool,
+    cut_sets: &[aig::CutSet],
+    cut4_sets: &[aig::CutSet4],
+) -> MappedNetlist {
     let mut choices: HashMap<NodeId, Choice> = HashMap::new();
     let mut arrivals: Vec<f64> = vec![0.0; subject.len()];
     let mut area_flows: Vec<f64> = vec![0.0; subject.len()];
@@ -229,7 +275,7 @@ pub fn map_with_engine(
                 let canon = npn4().canonical(truth4_pad(reduced, rnv));
                 matcher.consider(
                     &mut best,
-                    &subject,
+                    subject,
                     id,
                     &leaf_buf,
                     library.matches_npn4(canon),
@@ -237,7 +283,7 @@ pub fn map_with_engine(
             }
         } else {
             for cut in cut_sets[id].cuts() {
-                let Ok(truth) = cut_truth(&subject, id, cut) else {
+                let Ok(truth) = cut_truth(subject, id, cut) else {
                     continue;
                 };
                 let support = truth.support();
@@ -245,7 +291,7 @@ pub fn map_with_engine(
                     continue;
                 }
                 let (reduced, leaves) = reduce_support(&truth, &support, cut.leaves());
-                matcher.consider(&mut best, &subject, id, &leaves, library.matches(&reduced));
+                matcher.consider(&mut best, subject, id, &leaves, library.matches(&reduced));
             }
         }
         let choice = best.unwrap_or_else(|| {

@@ -1,0 +1,424 @@
+//! The pass pipeline: a [`Pass`] trait over an arena-recycling [`PassContext`].
+//!
+//! The seed entry points (`Transform::apply`, `apply_sequence`, `map`) rebuild
+//! a brand-new [`Aig`] — node vector, strash table, name lists — for every
+//! intermediate graph of a flow, and recompute fanouts at the top of every
+//! pass.  A 10–25-pass flow therefore performs ~50 full-graph reallocations,
+//! and at data-collection scale (the paper labels 100,000 flows per design)
+//! this allocation churn dominates flow-evaluation cost.
+//!
+//! [`PassContext`] removes it without changing a single result bit:
+//!
+//! * **Ping-pong graph buffers** — a small pool of recycled [`Aig`]s; every
+//!   rebuild goes through [`Aig::cleanup_into_with`] /
+//!   [`rebuild_with_decisions_into`](crate::resyn::rebuild_with_decisions_into)
+//!   into a cleared buffer whose node vector, strash table and output lists
+//!   keep their capacity across the whole flow.
+//! * **Epoch-stamped analyses** — every pass output is a cleaned graph, and
+//!   [`Aig`] now stamps that fact ([`Aig::is_clean`]) along with fanout
+//!   freshness ([`Aig::fanouts_fresh`]); the redundant `cleanup()` +
+//!   `compute_fanouts()` at the head of every pass collapse into epoch checks
+//!   that invalidate on graph mutation instead of being recomputed.
+//! * **Shared scratch** — cut-set vectors, the cut-truth cone-walk scratch,
+//!   remap tables and the sweep's decision map are context-owned and reused
+//!   by all passes of a flow.
+//!
+//! The seed free functions remain callable as the **Reference** path
+//! (mirroring the [`CutEngine`] two-path pattern); the context path is pinned
+//! bit-identical to it by differential tests (`tests/pass_context.rs`).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use aig::{Aig, AigScratch, CutSet4, CutTruthScratch, Lit, NodeId};
+
+use crate::engine::CutEngine;
+use crate::passes::Transform;
+use crate::reconv::ReconvScratch;
+use crate::resyn::{Decision, Proposal};
+use crate::sop::{IsopCache, SopCostScratch};
+
+/// Maximum number of recycled graph buffers a context keeps around.
+const POOL_CAPACITY: usize = 8;
+
+/// A synthesis pass running through an arena-recycling [`PassContext`].
+///
+/// Implementations transform `g` **in place** (ping-ponging through the
+/// context's buffers) and must be deterministic: the built-in passes are
+/// bit-identical to their free-function Reference counterparts.
+pub trait Pass {
+    /// The ABC-style command name of the pass.
+    fn name(&self) -> &'static str;
+    /// Applies the pass to `g` using the context's recycled buffers.
+    fn run(&self, g: &mut Aig, ctx: &mut PassContext);
+}
+
+/// Wall-clock statistics of one pass kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PassStat {
+    /// Number of invocations recorded.
+    pub calls: u64,
+    /// Total wall-clock seconds across those invocations.
+    pub seconds: f64,
+}
+
+impl PassStat {
+    fn absorb(&mut self, other: &PassStat) {
+        self.calls += other.calls;
+        self.seconds += other.seconds;
+    }
+}
+
+/// Per-pass timing breakdown of everything a [`PassContext`] executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PassTimings {
+    /// One slot per element of [`Transform::ALL`], indexed by
+    /// [`Transform::index`].
+    pub passes: [PassStat; Transform::COUNT],
+    /// Technology mapping through [`map_with_ctx`](crate::mapper::map_with_ctx).
+    pub mapping: PassStat,
+}
+
+impl PassTimings {
+    /// Accumulates another breakdown into this one.
+    pub fn merge(&mut self, other: &PassTimings) {
+        for (mine, theirs) in self.passes.iter_mut().zip(&other.passes) {
+            mine.absorb(theirs);
+        }
+        self.mapping.absorb(&other.mapping);
+    }
+
+    /// Total seconds spent in transformation passes (mapping excluded).
+    pub fn pass_seconds(&self) -> f64 {
+        self.passes.iter().map(|s| s.seconds).sum()
+    }
+
+    /// Named `(pass, stat)` rows in [`Transform::ALL`] order, mapping last.
+    pub fn entries(&self) -> Vec<(&'static str, PassStat)> {
+        let mut rows: Vec<(&'static str, PassStat)> = Transform::ALL
+            .iter()
+            .map(|t| (t.command(), self.passes[t.index()]))
+            .collect();
+        rows.push(("map", self.mapping));
+        rows
+    }
+}
+
+/// Reusable buffers of the resynthesis sweep shared by `rewrite`, `refactor`
+/// and `restructure`.
+#[derive(Debug, Default)]
+pub(crate) struct SweepScratch {
+    pub(crate) ids: Vec<NodeId>,
+    pub(crate) decisions: HashMap<NodeId, Decision>,
+    pub(crate) proposals: Vec<Proposal>,
+    pub(crate) rebuild_map: Vec<Lit>,
+}
+
+/// Reusable buffers of the per-node proposal generators: the cut-truth cone
+/// walk, the reconvergence-cut visited stamps, the SOP cost dry-run and the
+/// memoizing ISOP cache all survive across every node of every pass of a flow.
+#[derive(Debug, Default)]
+pub(crate) struct ProposeScratch {
+    pub(crate) truth: CutTruthScratch,
+    pub(crate) reconv: ReconvScratch,
+    pub(crate) cost: SopCostScratch,
+    pub(crate) isop: IsopCache,
+}
+
+/// The arena-recycling execution context of a synthesis flow.
+///
+/// One context serves one flow at a time (it is not `Sync`); creating it per
+/// flow already amortises every buffer across the flow's 10–25 passes.
+///
+/// ```
+/// use circuits::{Design, DesignScale};
+/// use synth::{PassContext, Transform};
+///
+/// let design = Design::Alu64.generate(DesignScale::Tiny);
+/// let mut ctx = PassContext::default();
+/// let optimized = ctx.run_flow(&design, &[Transform::Balance, Transform::Rewrite]);
+/// // Bit-identical to the Reference free-function path:
+/// let reference = synth::apply_sequence(&design, &[Transform::Balance, Transform::Rewrite]);
+/// assert_eq!(optimized.num_ands(), reference.num_ands());
+/// assert_eq!(optimized.depth(), reference.depth());
+/// ```
+#[derive(Debug)]
+pub struct PassContext {
+    pub(crate) engine: CutEngine,
+    pub(crate) pool: Vec<Aig>,
+    pub(crate) scratch: AigScratch,
+    pub(crate) propose: ProposeScratch,
+    pub(crate) cut4_sets: Vec<CutSet4>,
+    pub(crate) balance_map: Vec<Option<Lit>>,
+    pub(crate) sweep: SweepScratch,
+    timings: PassTimings,
+}
+
+impl Default for PassContext {
+    fn default() -> Self {
+        Self::new(CutEngine::default())
+    }
+}
+
+impl PassContext {
+    /// Creates a context whose passes run on the given cut engine.
+    pub fn new(engine: CutEngine) -> Self {
+        PassContext {
+            engine,
+            pool: Vec::new(),
+            scratch: AigScratch::default(),
+            propose: ProposeScratch::default(),
+            cut4_sets: Vec::new(),
+            balance_map: Vec::new(),
+            sweep: SweepScratch::default(),
+            timings: PassTimings::default(),
+        }
+    }
+
+    /// The cut engine the context's passes run on.
+    pub fn engine(&self) -> CutEngine {
+        self.engine
+    }
+
+    /// The per-pass timing breakdown recorded so far.
+    pub fn timings(&self) -> &PassTimings {
+        &self.timings
+    }
+
+    /// Returns the recorded timings and resets the accumulator.
+    pub fn take_timings(&mut self) -> PassTimings {
+        std::mem::take(&mut self.timings)
+    }
+
+    pub(crate) fn record_mapping(&mut self, seconds: f64) {
+        self.timings.mapping.calls += 1;
+        self.timings.mapping.seconds += seconds;
+    }
+
+    /// Checks out a cleared graph buffer (recycled when available).
+    pub fn take_buf(&mut self) -> Aig {
+        pool_take(&mut self.pool)
+    }
+
+    /// Returns a graph buffer to the pool for later reuse.
+    pub fn recycle(&mut self, g: Aig) {
+        pool_give(&mut self.pool, g);
+    }
+
+    /// Makes `g` dangling-free in place: a no-op when the epoch stamp proves
+    /// it already is, otherwise one [`Aig::cleanup_into_with`] ping-pong.
+    pub fn ensure_clean(&mut self, g: &mut Aig) {
+        if g.is_clean() {
+            return;
+        }
+        let mut out = self.take_buf();
+        g.cleanup_into_with(&mut out, &mut self.scratch);
+        std::mem::swap(g, &mut out);
+        self.recycle(out);
+    }
+
+    /// Applies one transformation to `g` in place, recording its wall time.
+    pub fn apply(&mut self, t: Transform, g: &mut Aig) {
+        let start = Instant::now();
+        t.as_pass().run(g, self);
+        let stat = &mut self.timings.passes[t.index()];
+        stat.calls += 1;
+        stat.seconds += start.elapsed().as_secs_f64();
+    }
+
+    /// Runs a whole flow on `design` and returns the optimized network.
+    ///
+    /// Semantics (and bits) match [`apply_sequence`](crate::apply_sequence):
+    /// the design is cleaned first, then each transform applies in order.
+    pub fn run_flow(&mut self, design: &Aig, flow: &[Transform]) -> Aig {
+        let mut g = self.take_buf();
+        g.copy_from(design);
+        self.ensure_clean(&mut g);
+        for &t in flow {
+            self.apply(t, &mut g);
+        }
+        g
+    }
+}
+
+/// Pool primitives usable after destructuring a [`PassContext`] into disjoint
+/// field borrows (the passes split the context between closure and sweep).
+pub(crate) fn pool_take(pool: &mut Vec<Aig>) -> Aig {
+    match pool.pop() {
+        Some(mut g) => {
+            g.clear_for_reuse();
+            g
+        }
+        None => Aig::new(),
+    }
+}
+
+pub(crate) fn pool_give(pool: &mut Vec<Aig>, g: Aig) {
+    if pool.len() < POOL_CAPACITY {
+        pool.push(g);
+    }
+}
+
+/// `balance` through the context.
+pub struct BalancePass;
+
+impl Pass for BalancePass {
+    fn name(&self) -> &'static str {
+        "balance"
+    }
+
+    fn run(&self, g: &mut Aig, ctx: &mut PassContext) {
+        crate::balance::balance_ctx(g, ctx);
+    }
+}
+
+/// `restructure` through the context.
+pub struct RestructurePass;
+
+impl Pass for RestructurePass {
+    fn name(&self) -> &'static str {
+        "restructure"
+    }
+
+    fn run(&self, g: &mut Aig, ctx: &mut PassContext) {
+        crate::restructure::restructure_ctx(
+            g,
+            crate::restructure::RestructureParams::default(),
+            ctx,
+        );
+    }
+}
+
+/// `rewrite` / `rewrite -z` through the context.
+pub struct RewritePass {
+    /// Accept zero-gain replacements (the `-z` flavour).
+    pub zero_cost: bool,
+}
+
+impl Pass for RewritePass {
+    fn name(&self) -> &'static str {
+        if self.zero_cost {
+            "rewrite -z"
+        } else {
+            "rewrite"
+        }
+    }
+
+    fn run(&self, g: &mut Aig, ctx: &mut PassContext) {
+        crate::rewrite::rewrite_ctx(
+            g,
+            self.zero_cost,
+            crate::rewrite::RewriteParams::default(),
+            ctx,
+        );
+    }
+}
+
+/// `refactor` / `refactor -z` through the context.
+pub struct RefactorPass {
+    /// Accept zero-gain replacements (the `-z` flavour).
+    pub zero_cost: bool,
+}
+
+impl Pass for RefactorPass {
+    fn name(&self) -> &'static str {
+        if self.zero_cost {
+            "refactor -z"
+        } else {
+            "refactor"
+        }
+    }
+
+    fn run(&self, g: &mut Aig, ctx: &mut PassContext) {
+        crate::refactor::refactor_ctx(
+            g,
+            self.zero_cost,
+            crate::refactor::RefactorParams::default(),
+            ctx,
+        );
+    }
+}
+
+impl Transform {
+    /// The context-path [`Pass`] implementing this transformation.
+    pub fn as_pass(self) -> &'static dyn Pass {
+        match self {
+            Transform::Balance => &BalancePass,
+            Transform::Restructure => &RestructurePass,
+            Transform::Rewrite => &RewritePass { zero_cost: false },
+            Transform::Refactor => &RefactorPass { zero_cost: false },
+            Transform::RewriteZ => &RewritePass { zero_cost: true },
+            Transform::RefactorZ => &RefactorPass { zero_cost: true },
+        }
+    }
+}
+
+/// Applies a sequence of transformations through a caller-owned context.
+///
+/// Bit-identical to [`apply_sequence`](crate::apply_sequence); the context's
+/// buffers are recycled across all passes of the sequence.
+pub fn apply_sequence_ctx(design: &Aig, transforms: &[Transform], ctx: &mut PassContext) -> Aig {
+    ctx.run_flow(design, transforms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuits::{Design, DesignScale};
+
+    #[test]
+    fn pass_names_match_transform_commands() {
+        for t in Transform::ALL {
+            assert_eq!(t.as_pass().name(), t.command());
+        }
+    }
+
+    #[test]
+    fn every_pass_leaves_a_clean_graph_with_fresh_epochs() {
+        let design = Design::Alu64.generate(DesignScale::Tiny);
+        let mut ctx = PassContext::default();
+        let mut g = ctx.take_buf();
+        g.copy_from(&design);
+        ctx.ensure_clean(&mut g);
+        for t in Transform::ALL {
+            ctx.apply(t, &mut g);
+            assert!(g.is_clean(), "{t} must end in a cleaned graph");
+        }
+        // The epoch caches make the head of a follow-up pass free: a cached
+        // recompute after ensure_clean must not mutate the graph.
+        ctx.ensure_clean(&mut g);
+        g.compute_fanouts_cached();
+        let generation = g.generation();
+        ctx.ensure_clean(&mut g);
+        g.compute_fanouts_cached();
+        assert_eq!(g.generation(), generation);
+    }
+
+    #[test]
+    fn timings_record_every_applied_pass() {
+        let design = Design::Alu64.generate(DesignScale::Tiny);
+        let mut ctx = PassContext::default();
+        let flow = [Transform::Balance, Transform::Rewrite, Transform::Balance];
+        let _ = ctx.run_flow(&design, &flow);
+        let timings = ctx.timings();
+        assert_eq!(timings.passes[Transform::Balance.index()].calls, 2);
+        assert_eq!(timings.passes[Transform::Rewrite.index()].calls, 1);
+        assert_eq!(timings.passes[Transform::Refactor.index()].calls, 0);
+        assert!(timings.pass_seconds() >= 0.0);
+        let entries = ctx.take_timings().entries();
+        assert_eq!(entries.len(), Transform::COUNT + 1);
+        assert_eq!(entries.last().unwrap().0, "map");
+        assert_eq!(ctx.timings().passes[0].calls, 0, "take_timings resets");
+    }
+
+    #[test]
+    fn buffer_pool_recycles() {
+        let mut ctx = PassContext::default();
+        let design = Design::Montgomery64.generate(DesignScale::Tiny);
+        let a = ctx.run_flow(&design, &[Transform::Balance]);
+        ctx.recycle(a);
+        assert!(!ctx.pool.is_empty());
+        let b = ctx.take_buf();
+        assert!(b.is_empty(), "recycled buffers come back cleared");
+    }
+}

@@ -76,6 +76,94 @@ pub fn reconv_cut(aig: &Aig, root: NodeId, params: ReconvParams) -> Vec<NodeId> 
     leaves
 }
 
+/// Reusable state of [`reconv_cut_with`]: an epoch-stamped visited set that
+/// replaces the reference implementation's linear `visited.contains` scans.
+#[derive(Debug, Default)]
+pub struct ReconvScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl ReconvScratch {
+    fn begin(&mut self, len: usize) {
+        if self.stamp.len() < len {
+            self.stamp.resize(len, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn visit(&mut self, id: NodeId) {
+        self.stamp[id] = self.epoch;
+    }
+
+    #[inline]
+    fn visited(&self, id: NodeId) -> bool {
+        self.stamp[id] == self.epoch
+    }
+}
+
+/// [`reconv_cut`] through recycled scratch: identical growth decisions and
+/// leaf set, with visited-set membership answered by an epoch stamp instead
+/// of a growing vector scanned linearly per candidate.
+pub fn reconv_cut_with(
+    aig: &Aig,
+    root: NodeId,
+    params: ReconvParams,
+    scratch: &mut ReconvScratch,
+) -> Vec<NodeId> {
+    scratch.begin(aig.len());
+    let mut leaves: Vec<NodeId> = Vec::new();
+    scratch.visit(root);
+    match aig.node(root).fanins() {
+        Some((a, b)) => {
+            push_unique(&mut leaves, a.node());
+            push_unique(&mut leaves, b.node());
+        }
+        None => return vec![root],
+    }
+
+    loop {
+        let mut best: Option<(usize, i32)> = None;
+        for (i, &leaf) in leaves.iter().enumerate() {
+            if !aig.node(leaf).is_and() {
+                continue;
+            }
+            let (a, b) = aig.node(leaf).fanins().expect("AND node");
+            let mut cost = -1i32; // removing the leaf itself
+            for f in [a.node(), b.node()] {
+                if !leaves.contains(&f) && !scratch.visited(f) {
+                    cost += 1;
+                }
+            }
+            if leaves.len() as i32 + cost > params.max_leaves as i32 {
+                continue;
+            }
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((i, cost));
+            }
+            if cost <= 0 {
+                break; // cannot do better than free
+            }
+        }
+        let Some((idx, _)) = best else { break };
+        let leaf = leaves.swap_remove(idx);
+        scratch.visit(leaf);
+        let (a, b) = aig.node(leaf).fanins().expect("AND node");
+        for f in [a.node(), b.node()] {
+            if !scratch.visited(f) {
+                push_unique(&mut leaves, f);
+            }
+        }
+    }
+    leaves.sort_unstable();
+    leaves
+}
+
 fn push_unique(v: &mut Vec<NodeId>, x: NodeId) {
     if !v.contains(&x) {
         v.push(x);
@@ -126,6 +214,42 @@ mod tests {
         let mut want: Vec<NodeId> = xs.iter().map(|l| l.node()).collect();
         want.sort_unstable();
         assert_eq!(leaves, want);
+    }
+
+    #[test]
+    fn scratch_cut_is_identical_to_reference() {
+        // Random graphs: every node's cut must match the reference exactly,
+        // with one scratch reused across all nodes (and stale stamps).
+        let mut state = 0xD1F7u64;
+        let mut rng = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut scratch = ReconvScratch::default();
+        for _ in 0..5 {
+            let mut g = Aig::new();
+            let mut lits: Vec<aig::Lit> = g.add_inputs("x", 6);
+            for _ in 0..60 {
+                let a = lits[(rng() % lits.len() as u64) as usize];
+                let b = lits[(rng() % lits.len() as u64) as usize];
+                let a = if rng() & 1 == 1 { !a } else { a };
+                let b = if rng() & 1 == 1 { !b } else { b };
+                let l = g.and(a, b);
+                if !l.is_const() {
+                    lits.push(l);
+                }
+            }
+            for max_leaves in [4usize, 6, 8] {
+                for id in 0..g.len() {
+                    let params = ReconvParams { max_leaves };
+                    let reference = reconv_cut(&g, id, params);
+                    let fast = reconv_cut_with(&g, id, params, &mut scratch);
+                    assert_eq!(reference, fast, "node {id} max_leaves {max_leaves}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,9 +9,10 @@
 use aig::{cut_truth, cut_truth_with, Aig, Cut, CutTruthScratch, Lit, Mffc, NodeId, TruthTable};
 
 use crate::engine::CutEngine;
-use crate::reconv::{reconv_cut, ReconvParams};
-use crate::resyn::{resynthesis_sweep, Acceptance, Proposal, Structure};
-use crate::sop::{count_sop_nodes, isop, isop_fast};
+use crate::pass::{PassContext, ProposeScratch};
+use crate::reconv::{reconv_cut, reconv_cut_with, ReconvParams};
+use crate::resyn::{resynthesis_sweep, resynthesis_sweep_ctx, Acceptance, Proposal, Structure};
+use crate::sop::{count_sop_nodes, count_sop_nodes_with, isop, isop_fast};
 
 /// Parameters of the refactor pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,8 +60,81 @@ pub fn refactor_with_engine(
     };
     let mut scratch = CutTruthScratch::new();
     resynthesis_sweep(aig, acceptance, |graph, id| {
-        propose(graph, id, params, engine, &mut scratch)
+        let mut proposals = Vec::new();
+        propose(graph, id, params, engine, &mut scratch, &mut proposals);
+        proposals
     })
+}
+
+/// The context path of [`refactor`]: transforms `g` in place, reusing the
+/// context's cut-truth scratch and sweep buffers, producing identical bits.
+pub(crate) fn refactor_ctx(
+    g: &mut Aig,
+    zero_cost: bool,
+    params: RefactorParams,
+    ctx: &mut PassContext,
+) {
+    let acceptance = if zero_cost {
+        Acceptance::zero_cost()
+    } else {
+        Acceptance::strict()
+    };
+    ctx.ensure_clean(g);
+    let PassContext {
+        engine,
+        pool,
+        scratch,
+        propose: ps,
+        sweep,
+        ..
+    } = ctx;
+    let engine = *engine;
+    resynthesis_sweep_ctx(g, acceptance, sweep, pool, scratch, |graph, id, out| {
+        propose_ctx(graph, id, params, engine, ps, out)
+    });
+}
+
+/// The context-path proposal generator: identical proposals to [`propose`],
+/// computed through the context's recycled reconv/ISOP/cost scratch.
+fn propose_ctx(
+    graph: &mut Aig,
+    id: NodeId,
+    params: RefactorParams,
+    engine: CutEngine,
+    ps: &mut ProposeScratch,
+    proposals: &mut Vec<Proposal>,
+) {
+    let leaves = reconv_cut_with(
+        graph,
+        id,
+        ReconvParams {
+            max_leaves: params.max_leaves,
+        },
+        &mut ps.reconv,
+    );
+    if leaves.len() < 3 || leaves.len() > aig::MAX_TRUTH_VARS {
+        return;
+    }
+    let cut = Cut::from_leaves(leaves.clone());
+    let Ok(truth) = compute_truth(graph, id, &cut, engine, &mut ps.truth) else {
+        return;
+    };
+    let sop = match engine {
+        CutEngine::Reference => isop(&truth),
+        CutEngine::Fast => ps.isop.isop(&truth),
+    };
+    if sop.num_cubes() > params.max_cubes {
+        return;
+    }
+    let leaf_lits: Vec<Lit> = leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
+    let mffc = Mffc::compute(graph, id, &leaves);
+    let added = count_sop_nodes_with(graph, &sop, &leaf_lits, |n| mffc.contains(n), &mut ps.cost);
+    proposals.push(Proposal {
+        leaves,
+        structure: Structure::SumOfProducts(sop),
+        added,
+        mffc_size: mffc.size(),
+    });
 }
 
 fn propose(
@@ -69,7 +143,8 @@ fn propose(
     params: RefactorParams,
     engine: CutEngine,
     scratch: &mut CutTruthScratch,
-) -> Vec<Proposal> {
+    proposals: &mut Vec<Proposal>,
+) {
     let leaves = reconv_cut(
         graph,
         id,
@@ -78,28 +153,28 @@ fn propose(
         },
     );
     if leaves.len() < 3 || leaves.len() > aig::MAX_TRUTH_VARS {
-        return Vec::new();
+        return;
     }
     let cut = Cut::from_leaves(leaves.clone());
     let Ok(truth) = compute_truth(graph, id, &cut, engine, scratch) else {
-        return Vec::new();
+        return;
     };
     let sop = match engine {
         CutEngine::Reference => isop(&truth),
         CutEngine::Fast => isop_fast(&truth),
     };
     if sop.num_cubes() > params.max_cubes {
-        return Vec::new();
+        return;
     }
     let leaf_lits: Vec<Lit> = leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
     let mffc = Mffc::compute(graph, id, &leaves);
     let added = count_sop_nodes(graph, &sop, &leaf_lits, |n| mffc.contains(n));
-    vec![Proposal {
+    proposals.push(Proposal {
         leaves,
         structure: Structure::SumOfProducts(sop),
         added,
         mffc_size: mffc.size(),
-    }]
+    });
 }
 
 /// Engine dispatch for the cut-function computation of the large-cut passes.

@@ -13,9 +13,10 @@ use aig::{Aig, Cut, CutTruthScratch, Lit, Mffc, NodeId};
 
 use crate::decomp::{count_shannon_nodes, count_shannon_nodes_fast};
 use crate::engine::CutEngine;
-use crate::reconv::{reconv_cut, ReconvParams};
+use crate::pass::{PassContext, ProposeScratch};
+use crate::reconv::{reconv_cut, reconv_cut_with, ReconvParams};
 use crate::refactor::compute_truth;
-use crate::resyn::{resynthesis_sweep, Acceptance, Proposal, Structure};
+use crate::resyn::{resynthesis_sweep, resynthesis_sweep_ctx, Acceptance, Proposal, Structure};
 
 /// Parameters of the restructure pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,30 +48,60 @@ pub fn restructure_with_params(aig: &Aig, params: RestructureParams) -> Aig {
 pub fn restructure_with_engine(aig: &Aig, params: RestructureParams, engine: CutEngine) -> Aig {
     let mut scratch = CutTruthScratch::new();
     resynthesis_sweep(aig, Acceptance::strict(), |graph, id| {
-        propose(graph, id, params, engine, &mut scratch)
+        let mut proposals = Vec::new();
+        propose(graph, id, params, engine, &mut scratch, &mut proposals);
+        proposals
     })
 }
 
-fn propose(
+/// The context path of [`restructure`]: transforms `g` in place, reusing the
+/// context's cut-truth scratch and sweep buffers, producing identical bits.
+pub(crate) fn restructure_ctx(g: &mut Aig, params: RestructureParams, ctx: &mut PassContext) {
+    ctx.ensure_clean(g);
+    let PassContext {
+        engine,
+        pool,
+        scratch,
+        propose: ps,
+        sweep,
+        ..
+    } = ctx;
+    let engine = *engine;
+    resynthesis_sweep_ctx(
+        g,
+        Acceptance::strict(),
+        sweep,
+        pool,
+        scratch,
+        |graph, id, out| propose_ctx(graph, id, params, engine, ps, out),
+    );
+}
+
+/// The context-path proposal generator: identical proposals to [`propose`],
+/// computed through the context's recycled reconv/cut-truth scratch (the
+/// Shannon cost estimator is already allocation-free).
+fn propose_ctx(
     graph: &mut Aig,
     id: NodeId,
     params: RestructureParams,
     engine: CutEngine,
-    scratch: &mut CutTruthScratch,
-) -> Vec<Proposal> {
-    let leaves = reconv_cut(
+    ps: &mut ProposeScratch,
+    proposals: &mut Vec<Proposal>,
+) {
+    let leaves = reconv_cut_with(
         graph,
         id,
         ReconvParams {
             max_leaves: params.max_leaves,
         },
+        &mut ps.reconv,
     );
     if leaves.len() < 3 || leaves.len() > aig::MAX_TRUTH_VARS {
-        return Vec::new();
+        return;
     }
     let cut = Cut::from_leaves(leaves.clone());
-    let Ok(truth) = compute_truth(graph, id, &cut, engine, scratch) else {
-        return Vec::new();
+    let Ok(truth) = compute_truth(graph, id, &cut, engine, &mut ps.truth) else {
+        return;
     };
     let leaf_lits: Vec<Lit> = leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
     let mffc = Mffc::compute(graph, id, &leaves);
@@ -82,12 +113,52 @@ fn propose(
             count_shannon_nodes_fast(graph, &truth, &leaf_lits, |n| mffc.contains(n))
         }
     };
-    vec![Proposal {
+    proposals.push(Proposal {
         leaves,
         structure: Structure::Shannon(truth),
         added,
         mffc_size: mffc.size(),
-    }]
+    });
+}
+
+fn propose(
+    graph: &mut Aig,
+    id: NodeId,
+    params: RestructureParams,
+    engine: CutEngine,
+    scratch: &mut CutTruthScratch,
+    proposals: &mut Vec<Proposal>,
+) {
+    let leaves = reconv_cut(
+        graph,
+        id,
+        ReconvParams {
+            max_leaves: params.max_leaves,
+        },
+    );
+    if leaves.len() < 3 || leaves.len() > aig::MAX_TRUTH_VARS {
+        return;
+    }
+    let cut = Cut::from_leaves(leaves.clone());
+    let Ok(truth) = compute_truth(graph, id, &cut, engine, scratch) else {
+        return;
+    };
+    let leaf_lits: Vec<Lit> = leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
+    let mffc = Mffc::compute(graph, id, &leaves);
+    let added = match engine {
+        CutEngine::Reference => {
+            count_shannon_nodes(graph, &truth, &leaf_lits, |n| mffc.contains(n))
+        }
+        CutEngine::Fast => {
+            count_shannon_nodes_fast(graph, &truth, &leaf_lits, |n| mffc.contains(n))
+        }
+    };
+    proposals.push(Proposal {
+        leaves,
+        structure: Structure::Shannon(truth),
+        added,
+        mffc_size: mffc.size(),
+    });
 }
 
 #[cfg(test)]

@@ -14,9 +14,10 @@
 
 use std::collections::HashMap;
 
-use aig::{Aig, Lit, NodeId, TruthTable};
+use aig::{Aig, AigScratch, Lit, NodeId, TruthTable};
 
 use crate::decomp::build_shannon;
+use crate::pass::{pool_give, pool_take, SweepScratch};
 use crate::sop::{build_sop, Sop};
 
 /// How the new implementation of a node's cut function is expressed.
@@ -117,11 +118,88 @@ where
     rebuild_with_decisions(&work, &decisions).cleanup()
 }
 
+/// The context-path resynthesis sweep: same decisions, same rebuilt network as
+/// [`resynthesis_sweep`], but `g` is transformed **in place** through recycled
+/// buffers and the decision map / id list / proposal vector live in the
+/// caller's [`SweepScratch`].
+///
+/// `g` must already be dangling-free (the context ensures this); fanouts are
+/// refreshed only when the epoch stamp says they are stale.
+pub(crate) fn resynthesis_sweep_ctx<F>(
+    g: &mut Aig,
+    acceptance: Acceptance,
+    sweep: &mut SweepScratch,
+    pool: &mut Vec<Aig>,
+    scratch: &mut AigScratch,
+    mut propose: F,
+) where
+    F: FnMut(&mut Aig, NodeId, &mut Vec<Proposal>),
+{
+    debug_assert!(g.is_clean(), "caller must ensure_clean first");
+    g.compute_fanouts_cached();
+    let SweepScratch {
+        ids,
+        decisions,
+        proposals,
+        rebuild_map,
+    } = sweep;
+    ids.clear();
+    ids.extend(g.and_ids());
+    decisions.clear();
+
+    for &id in ids.iter() {
+        if g.fanout_count(id) == 0 {
+            continue;
+        }
+        proposals.clear();
+        propose(g, id, proposals);
+        let mut best: Option<Decision> = None;
+        for p in proposals.drain(..) {
+            let gain = p.mffc_size as i64 - p.added as i64;
+            if gain < acceptance.min_gain {
+                continue;
+            }
+            if best.as_ref().is_none_or(|b| gain > b.gain) {
+                best = Some(Decision {
+                    leaves: p.leaves,
+                    structure: p.structure,
+                    gain,
+                });
+            }
+        }
+        if let Some(d) = best {
+            decisions.insert(id, d);
+        }
+    }
+
+    let mut rebuilt = pool_take(pool);
+    rebuild_with_decisions_into(g, decisions, &mut rebuilt, rebuild_map);
+    rebuilt.cleanup_into_with(g, scratch);
+    pool_give(pool, rebuilt);
+}
+
 /// Rebuilds `src` into a fresh graph, replacing each decided node by its new
 /// structure over the mapped cut leaves and copying every other node verbatim.
 pub fn rebuild_with_decisions(src: &Aig, decisions: &HashMap<NodeId, Decision>) -> Aig {
-    let mut out = Aig::with_name(src.name().to_string());
-    let mut map: Vec<Lit> = vec![Lit::FALSE; src.len()];
+    let mut out = Aig::new();
+    let mut map = Vec::new();
+    rebuild_with_decisions_into(src, decisions, &mut out, &mut map);
+    out
+}
+
+/// [`rebuild_with_decisions`] into a recycled destination graph and remap
+/// table (both cleared and pre-sized here), producing identical bits.
+pub(crate) fn rebuild_with_decisions_into(
+    src: &Aig,
+    decisions: &HashMap<NodeId, Decision>,
+    out: &mut Aig,
+    map: &mut Vec<Lit>,
+) {
+    out.clear_for_reuse();
+    out.set_name(src.name().to_string());
+    out.reserve_for(src.len(), src.num_ands());
+    map.clear();
+    map.resize(src.len(), Lit::FALSE);
     for (i, &id) in src.input_ids().iter().enumerate() {
         map[id] = out.add_input(src.input_name(i).to_string());
     }
@@ -132,8 +210,8 @@ pub fn rebuild_with_decisions(src: &Aig, decisions: &HashMap<NodeId, Decision>) 
         if let Some(d) = decisions.get(&id) {
             let leaf_lits: Vec<Lit> = d.leaves.iter().map(|&l| map[l]).collect();
             map[id] = match &d.structure {
-                Structure::SumOfProducts(sop) => build_sop(&mut out, sop, &leaf_lits),
-                Structure::Shannon(truth) => build_shannon(&mut out, truth, &leaf_lits),
+                Structure::SumOfProducts(sop) => build_sop(out, sop, &leaf_lits),
+                Structure::Shannon(truth) => build_shannon(out, truth, &leaf_lits),
             };
         } else {
             let na = map[a.node()] ^ a.is_complemented();
@@ -147,7 +225,6 @@ pub fn rebuild_with_decisions(src: &Aig, decisions: &HashMap<NodeId, Decision>) 
             map[l.node()] ^ l.is_complemented(),
         );
     }
-    out
 }
 
 #[cfg(test)]

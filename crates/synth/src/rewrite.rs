@@ -10,8 +10,9 @@
 use aig::{cut_truth, Aig, Cut4Enumerator, CutEnumerator, CutParams, Lit, NodeId};
 
 use crate::engine::CutEngine;
-use crate::resyn::{resynthesis_sweep, Acceptance, Proposal, Structure};
-use crate::sop::{count_sop_nodes, isop, isop_fast};
+use crate::pass::{PassContext, ProposeScratch};
+use crate::resyn::{resynthesis_sweep, resynthesis_sweep_ctx, Acceptance, Proposal, Structure};
+use crate::sop::{count_sop_nodes, count_sop_nodes_with, isop, isop_fast};
 
 /// Parameters of the rewrite pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,18 +73,105 @@ pub fn rewrite_with_engine(
     if engine == CutEngine::Fast && fast_capable {
         let cut_sets = Cut4Enumerator::new(cut_params).enumerate(&work);
         resynthesis_sweep(&work, acceptance, |graph, id| {
-            propose_fast(graph, id, &cut_sets)
+            let mut proposals = Vec::new();
+            propose_fast(graph, id, &cut_sets, &mut proposals);
+            proposals
         })
     } else {
         let cut_sets = CutEnumerator::new(cut_params).enumerate(&work);
-        resynthesis_sweep(&work, acceptance, |graph, id| propose(graph, id, &cut_sets))
+        resynthesis_sweep(&work, acceptance, |graph, id| {
+            let mut proposals = Vec::new();
+            propose(graph, id, &cut_sets, &mut proposals);
+            proposals
+        })
     }
 }
 
-fn propose(graph: &mut Aig, id: NodeId, cut_sets: &[aig::CutSet]) -> Vec<Proposal> {
-    let mut proposals = Vec::new();
+/// The context path of [`rewrite`]: transforms `g` in place, recycling the
+/// context's cut-set vector and sweep buffers, producing identical bits.
+pub(crate) fn rewrite_ctx(
+    g: &mut Aig,
+    zero_cost: bool,
+    params: RewriteParams,
+    ctx: &mut PassContext,
+) {
+    let acceptance = if zero_cost {
+        Acceptance::zero_cost()
+    } else {
+        Acceptance::strict()
+    };
+    ctx.ensure_clean(g);
+    let cut_params = CutParams {
+        max_cut_size: params.cut_size,
+        max_cuts_per_node: params.cuts_per_node,
+        include_trivial: false,
+    };
+    let fast_capable =
+        params.cut_size <= aig::CUT4_MAX_LEAVES && params.cuts_per_node <= aig::CUT4_SET_CAPACITY;
+    // Split the context into disjoint borrows: the enumeration buffer feeds
+    // the propose closure while the sweep owns the remaining scratch.
+    let PassContext {
+        engine,
+        pool,
+        scratch,
+        propose: ps,
+        cut4_sets,
+        sweep,
+        ..
+    } = ctx;
+    if *engine == CutEngine::Fast && fast_capable {
+        Cut4Enumerator::new(cut_params).enumerate_into(g, cut4_sets);
+        resynthesis_sweep_ctx(g, acceptance, sweep, pool, scratch, |graph, id, out| {
+            propose_fast_ctx(graph, id, cut4_sets, ps, out)
+        });
+    } else {
+        let cut_sets = CutEnumerator::new(cut_params).enumerate(g);
+        resynthesis_sweep_ctx(g, acceptance, sweep, pool, scratch, |graph, id, out| {
+            propose(graph, id, &cut_sets, out)
+        });
+    }
+}
+
+/// The context-path proposal generator: identical proposals to
+/// [`propose_fast`], computed through the context's recycled ISOP arena and
+/// SOP cost scratch.
+fn propose_fast_ctx(
+    graph: &mut Aig,
+    id: NodeId,
+    cut_sets: &[aig::CutSet4],
+    ps: &mut ProposeScratch,
+    proposals: &mut Vec<Proposal>,
+) {
     if id >= cut_sets.len() {
-        return proposals;
+        return;
+    }
+    for cut in cut_sets[id].cuts() {
+        if cut.size() < 2 {
+            continue;
+        }
+        let truth = cut.truth_table();
+        let sop = ps.isop.isop(&truth);
+        // Very large covers cannot win at cut size 4; skip pathological cases.
+        if sop.num_cubes() > 16 {
+            continue;
+        }
+        let leaves = cut.leaf_ids();
+        let leaf_lits: Vec<Lit> = leaves.iter().map(|&n| Lit::from_node(n, false)).collect();
+        let mffc = aig::Mffc::compute(graph, id, &leaves);
+        let added =
+            count_sop_nodes_with(graph, &sop, &leaf_lits, |n| mffc.contains(n), &mut ps.cost);
+        proposals.push(Proposal {
+            leaves,
+            structure: Structure::SumOfProducts(sop),
+            added,
+            mffc_size: mffc.size(),
+        });
+    }
+}
+
+fn propose(graph: &mut Aig, id: NodeId, cut_sets: &[aig::CutSet], proposals: &mut Vec<Proposal>) {
+    if id >= cut_sets.len() {
+        return;
     }
     for cut in cut_sets[id].cuts() {
         if cut.size() < 2 {
@@ -92,22 +180,18 @@ fn propose(graph: &mut Aig, id: NodeId, cut_sets: &[aig::CutSet]) -> Vec<Proposa
         let Ok(truth) = cut_truth(graph, id, cut) else {
             continue;
         };
-        push_proposal(
-            graph,
-            id,
-            cut.leaves().to_vec(),
-            &truth,
-            false,
-            &mut proposals,
-        );
+        push_proposal(graph, id, cut.leaves().to_vec(), &truth, false, proposals);
     }
-    proposals
 }
 
-fn propose_fast(graph: &mut Aig, id: NodeId, cut_sets: &[aig::CutSet4]) -> Vec<Proposal> {
-    let mut proposals = Vec::new();
+fn propose_fast(
+    graph: &mut Aig,
+    id: NodeId,
+    cut_sets: &[aig::CutSet4],
+    proposals: &mut Vec<Proposal>,
+) {
     if id >= cut_sets.len() {
-        return proposals;
+        return;
     }
     for cut in cut_sets[id].cuts() {
         if cut.size() < 2 {
@@ -115,9 +199,8 @@ fn propose_fast(graph: &mut Aig, id: NodeId, cut_sets: &[aig::CutSet4]) -> Vec<P
         }
         // The fused truth makes the per-cut cone walk unnecessary.
         let truth = cut.truth_table();
-        push_proposal(graph, id, cut.leaf_ids(), &truth, true, &mut proposals);
+        push_proposal(graph, id, cut.leaf_ids(), &truth, true, proposals);
     }
-    proposals
 }
 
 fn push_proposal(

@@ -114,6 +114,117 @@ pub fn isop_fast(f: &TruthTable) -> Sop {
     cover
 }
 
+/// [`isop_fast`] through a caller-owned cube arena (the pass pipeline's
+/// recycled buffer).
+///
+/// The reference recursion builds one `Vec<Cube>` per interior call and
+/// copies child cubes into the parent at every level; here every interior
+/// cover is a contiguous range of `arena` (cleared on entry) and the
+/// variable-insertion step mutates the ranges in place, so one ISOP performs
+/// a single allocation — the returned cover — and zero cube copies.  The
+/// cover is bit-identical to [`isop`]/[`isop_fast`] (same recursion, same
+/// cube order: `!v`-cubes, then `v`-cubes, then the shared remainder).
+pub fn isop_fast_with(f: &TruthTable, arena: &mut Vec<Cube>) -> Sop {
+    let n = f.num_vars();
+    if n > SmallTruth::MAX_VARS {
+        return isop(f);
+    }
+    let sf = SmallTruth::from_table(f);
+    arena.clear();
+    let _ = isop_arena_rec(&sf, &sf, n, n, arena);
+    Sop {
+        cubes: arena.as_slice().to_vec(),
+    }
+}
+
+/// A memoizing ISOP front: covers are pure functions of the truth table, so
+/// the pass pipeline caches them across nodes, passes and whole flows.
+///
+/// Real designs repeat cut functions heavily (replicated S-boxes, datapath
+/// slices), and successive passes of a flow revisit mostly-unchanged cones;
+/// a hit replaces the whole Minato–Morreale recursion with one clone of the
+/// cached cover.  Determinism of `isop` makes hits bit-identical to misses.
+#[derive(Debug, Default)]
+pub struct IsopCache {
+    map: std::collections::HashMap<(usize, [u64; 4]), Sop>,
+    arena: Vec<Cube>,
+}
+
+/// Entry cap of [`IsopCache`] (≈ a few MB worst case); beyond it the cache
+/// serves hits but stops growing.
+const ISOP_CACHE_CAP: usize = 1 << 16;
+
+impl IsopCache {
+    /// [`isop_fast`] with memoization; the cover is bit-identical.
+    pub fn isop(&mut self, f: &TruthTable) -> Sop {
+        let n = f.num_vars();
+        if n > SmallTruth::MAX_VARS {
+            return isop(f);
+        }
+        let mut key = [0u64; 4];
+        for (slot, &word) in key.iter_mut().zip(f.words()) {
+            *slot = word;
+        }
+        if let Some(sop) = self.map.get(&(n, key)) {
+            return sop.clone();
+        }
+        let sop = isop_fast_with(f, &mut self.arena);
+        if self.map.len() < ISOP_CACHE_CAP {
+            self.map.insert((n, key), sop.clone());
+        }
+        sop
+    }
+}
+
+/// Arena recursion of [`isop_fast_with`]: appends the cover of the interval
+/// to `arena` and returns its characteristic function.
+fn isop_arena_rec<T: TruthOps>(
+    lower: &T,
+    upper: &T,
+    var: usize,
+    num_vars: usize,
+    arena: &mut Vec<Cube>,
+) -> T {
+    if lower.is_zero() {
+        return T::zeros_like(num_vars);
+    }
+    if upper.is_one() {
+        arena.push(Cube::TRUE);
+        return T::ones_like(num_vars);
+    }
+    // Find the topmost variable either bound depends on.
+    let mut v = var;
+    loop {
+        assert!(v > 0, "non-constant function must depend on some variable");
+        v -= 1;
+        if lower.depends_on(v) || upper.depends_on(v) {
+            break;
+        }
+    }
+    let l0 = lower.cofactor0(v);
+    let l1 = lower.cofactor1(v);
+    let u0 = upper.cofactor0(v);
+    let u1 = upper.cofactor1(v);
+    let start0 = arena.len();
+    // Cubes that must contain !v.
+    let f0 = isop_arena_rec(&l0.and(&u1.not()), &u0, v, num_vars, arena);
+    let start1 = arena.len();
+    // Cubes that must contain v.
+    let f1 = isop_arena_rec(&l1.and(&u0.not()), &u1, v, num_vars, arena);
+    let start_star = arena.len();
+    // Remaining onset not yet covered, independent of v.
+    let l_new = l0.and(&f0.not()).or(&l1.and(&f1.not()));
+    let fstar = isop_arena_rec(&l_new, &u0.and(&u1), v, num_vars, arena);
+    for c in &mut arena[start0..start1] {
+        c.neg |= 1 << v;
+    }
+    for c in &mut arena[start1..start_star] {
+        c.pos |= 1 << v;
+    }
+    let var_t = T::var_like(v, num_vars);
+    f0.and(&var_t.not()).or(&f1.and(&var_t)).or(&fstar)
+}
+
 /// Recursive ISOP over the interval `[lower, upper]`; returns the cover and its
 /// characteristic function.
 fn isop_rec<T: TruthOps>(lower: &T, upper: &T, var: usize, num_vars: usize) -> (Sop, T) {
@@ -205,7 +316,7 @@ impl GateSink for RealBuilder<'_> {
 
 /// A signal during cost estimation: either an existing literal or a virtual
 /// node that would have to be created.
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 enum CostSignal {
     Existing(Lit),
     Virtual { complemented: bool },
@@ -326,6 +437,82 @@ pub fn count_sop_nodes(
     counter.added
 }
 
+/// Reusable buffers of [`count_sop_nodes_with`].
+#[derive(Debug, Default)]
+pub struct SopCostScratch {
+    cube_signals: Vec<CostSignal>,
+    lits: Vec<CostSignal>,
+}
+
+/// [`count_sop_nodes`] through caller-owned scratch buffers: the dry-run
+/// allocates nothing (cube/literal signal vectors are recycled and the
+/// balanced reduction runs in place) and returns the identical count.
+pub fn count_sop_nodes_with(
+    aig: &Aig,
+    sop: &Sop,
+    leaves: &[Lit],
+    excluded: impl Fn(NodeId) -> bool,
+    scratch: &mut SopCostScratch,
+) -> usize {
+    let mut counter = CostCounter {
+        aig,
+        excluded,
+        added: 0,
+    };
+    if sop.num_cubes() == 0 {
+        return 0; // emit_sop returns the constant; nothing is added
+    }
+    let SopCostScratch { cube_signals, lits } = scratch;
+    cube_signals.clear();
+    for cube in sop.cubes() {
+        lits.clear();
+        for (v, &leaf) in leaves.iter().enumerate() {
+            if cube.pos >> v & 1 == 1 {
+                lits.push(counter.leaf(leaf));
+            } else if cube.neg >> v & 1 == 1 {
+                let l = counter.leaf(leaf);
+                lits.push(counter.not(l));
+            }
+        }
+        let product = reduce_balanced_in_place(&mut counter, lits, true);
+        cube_signals.push(product);
+    }
+    // OR of cubes: complement, AND, complement — same shape as emit_sop.
+    for s in cube_signals.iter_mut() {
+        *s = counter.not(*s);
+    }
+    let all_off = reduce_balanced_in_place(&mut counter, cube_signals, true);
+    let _ = counter.not(all_off);
+    counter.added
+}
+
+/// [`reduce_balanced`] over a recycled vector: identical pairing order, the
+/// level's results overwrite the vector's front instead of a fresh `Vec`.
+fn reduce_balanced_in_place<S: GateSink>(
+    sink: &mut S,
+    items: &mut Vec<S::Signal>,
+    and_identity: bool,
+) -> S::Signal {
+    if items.is_empty() {
+        return sink.constant(and_identity);
+    }
+    while items.len() > 1 {
+        let mut write = 0;
+        let mut read = 0;
+        while read < items.len() {
+            items[write] = if read + 1 < items.len() {
+                sink.and(items[read], items[read + 1])
+            } else {
+                items[read]
+            };
+            write += 1;
+            read += 2;
+        }
+        items.truncate(write);
+    }
+    items[0]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +555,56 @@ mod tests {
             isop_fast(&TruthTable::zeros(4))
         );
         assert_eq!(isop(&TruthTable::ones(4)), isop_fast(&TruthTable::ones(4)));
+    }
+
+    #[test]
+    fn isop_arena_and_cache_are_identical_to_reference() {
+        let mut arena = Vec::new();
+        let mut cache = IsopCache::default();
+        for num_vars in 1..=8 {
+            for seed in 1..=12u64 {
+                let f = random_truth(num_vars, seed * 13 + num_vars as u64);
+                let reference = isop(&f);
+                assert_eq!(
+                    reference,
+                    isop_fast_with(&f, &mut arena),
+                    "arena nv={num_vars} seed={seed}"
+                );
+                // Twice through the cache: miss then hit, both identical.
+                assert_eq!(reference, cache.isop(&f), "miss nv={num_vars} seed={seed}");
+                assert_eq!(reference, cache.isop(&f), "hit nv={num_vars} seed={seed}");
+            }
+        }
+        assert_eq!(
+            isop(&TruthTable::zeros(4)),
+            isop_fast_with(&TruthTable::zeros(4), &mut arena)
+        );
+        assert_eq!(isop(&TruthTable::ones(4)), cache.isop(&TruthTable::ones(4)));
+    }
+
+    #[test]
+    fn scratch_cost_counter_is_identical_to_reference() {
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 6);
+        // Pre-existing structure so the reuse path (find_and) is exercised.
+        let ab = g.and(inputs[0], inputs[1]);
+        let cd = g.and(inputs[2], !inputs[3]);
+        let top = g.and(ab, cd);
+        g.add_output("keep", top);
+        let mut scratch = SopCostScratch::default();
+        for num_vars in 1..=6usize {
+            for seed in 1..=15u64 {
+                let f = random_truth(num_vars, seed * 31 + num_vars as u64);
+                let sop = isop(&f);
+                let leaves = &inputs[..num_vars];
+                for excluded in [ab.node(), top.node(), usize::MAX] {
+                    let reference = count_sop_nodes(&g, &sop, leaves, |n| n == excluded);
+                    let fast =
+                        count_sop_nodes_with(&g, &sop, leaves, |n| n == excluded, &mut scratch);
+                    assert_eq!(reference, fast, "nv={num_vars} seed={seed}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Differential tests pinning the arena-recycling `PassContext` path
+//! **bit-identical** to the Reference free-function path: same final graph
+//! node for node, same QoR bits, across the checked-in fixture corpus and
+//! seeded random paper-space flows.
+
+use std::path::PathBuf;
+
+use aig::Aig;
+use circuits::{Design, DesignScale};
+use synth::{
+    apply_sequence_with_engine, map_with_ctx, map_with_engine, CellLibrary, CutEngine,
+    MapperParams, PassContext, Transform,
+};
+
+/// Node-for-node structural identity: ids, kinds, levels, interface, names.
+fn assert_identical(reference: &Aig, ctx_result: &Aig, what: &str) {
+    assert_eq!(reference.len(), ctx_result.len(), "{what}: node count");
+    for id in 0..reference.len() {
+        assert_eq!(
+            reference.node(id).kind(),
+            ctx_result.node(id).kind(),
+            "{what}: node {id} kind"
+        );
+        assert_eq!(
+            reference.node(id).level(),
+            ctx_result.node(id).level(),
+            "{what}: node {id} level"
+        );
+    }
+    assert_eq!(reference.outputs(), ctx_result.outputs(), "{what}: outputs");
+    assert_eq!(
+        reference.input_ids(),
+        ctx_result.input_ids(),
+        "{what}: inputs"
+    );
+    for i in 0..reference.num_inputs() {
+        assert_eq!(
+            reference.input_name(i),
+            ctx_result.input_name(i),
+            "{what}: input name {i}"
+        );
+    }
+    for i in 0..reference.num_outputs() {
+        assert_eq!(
+            reference.output_name(i),
+            ctx_result.output_name(i),
+            "{what}: output name {i}"
+        );
+    }
+    assert_eq!(reference.name(), ctx_result.name(), "{what}: design name");
+}
+
+fn fixture_corpus() -> Vec<(String, Aig)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/tiny");
+    let mut designs = Vec::new();
+    for file in ["alu64.aag", "montgomery64.aag", "aes128.aag"] {
+        let path = dir.join(file);
+        let aig = aig::io::read_design(&path)
+            .unwrap_or_else(|e| panic!("fixture {}: {e}", path.display()));
+        designs.push((file.to_string(), aig));
+    }
+    designs
+}
+
+fn representative_flows() -> Vec<(&'static str, Vec<Transform>)> {
+    use Transform::*;
+    vec![
+        (
+            "compress",
+            vec![Balance, Rewrite, RewriteZ, Balance, Rewrite],
+        ),
+        (
+            "resyn2",
+            vec![Balance, Rewrite, Refactor, Balance, RewriteZ, RefactorZ],
+        ),
+        ("mixed", vec![Restructure, RefactorZ, Balance, Rewrite]),
+        ("empty", vec![]),
+    ]
+}
+
+/// Deterministic xorshift for seeded random paper-space flows.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// A random flow from the paper's space: length 10..=25 over the 6 transforms.
+fn random_flow(seed: u64) -> Vec<Transform> {
+    let mut rng = Rng(seed | 1);
+    let len = 10 + (rng.next() % 16) as usize;
+    (0..len)
+        .map(|_| Transform::from_index((rng.next() % Transform::COUNT as u64) as usize))
+        .collect()
+}
+
+fn assert_flow_identical(design: &Aig, flow: &[Transform], engine: CutEngine, what: &str) {
+    let lib = CellLibrary::nangate14();
+    let params = MapperParams::default();
+
+    let reference = apply_sequence_with_engine(design, flow, engine);
+    let reference_qor = map_with_engine(&reference, &lib, params, engine).qor();
+
+    let mut ctx = PassContext::new(engine);
+    let mut optimized = ctx.run_flow(design, flow);
+    assert_identical(&reference, &optimized, what);
+
+    let ctx_qor = map_with_ctx(&mut optimized, &lib, params, &mut ctx).qor();
+    assert_eq!(
+        reference_qor.area_um2.to_bits(),
+        ctx_qor.area_um2.to_bits(),
+        "{what}: area bits"
+    );
+    assert_eq!(
+        reference_qor.delay_ps.to_bits(),
+        ctx_qor.delay_ps.to_bits(),
+        "{what}: delay bits"
+    );
+    assert_eq!(reference_qor.gates, ctx_qor.gates, "{what}: gates");
+    assert_eq!(reference_qor.and_nodes, ctx_qor.and_nodes, "{what}: ANDs");
+    assert_eq!(reference_qor.depth, ctx_qor.depth, "{what}: depth");
+}
+
+#[test]
+fn fixture_corpus_is_bit_identical_across_paths() {
+    for (name, design) in fixture_corpus() {
+        // aes128 is the largest fixture; one deep flow keeps runtime sane.
+        let flows = if name.starts_with("aes") {
+            vec![representative_flows().remove(1)]
+        } else {
+            representative_flows()
+        };
+        for (flow_name, flow) in flows {
+            assert_flow_identical(
+                &design,
+                &flow,
+                CutEngine::Fast,
+                &format!("{name}/{flow_name}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_random_paper_flows_are_bit_identical() {
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+    for seed in [0xA5A5u64, 0x1CEB00DA, 0x7E57] {
+        let flow = random_flow(seed);
+        assert_flow_identical(
+            &design,
+            &flow,
+            CutEngine::Fast,
+            &format!("alu64/random-{seed:#x}"),
+        );
+    }
+}
+
+#[test]
+fn reference_cut_engine_context_matches_reference_path() {
+    // The context recycles buffers on either cut engine; pin the Reference
+    // cut engine too (smaller design: the reference machinery is slow).
+    let design = Design::Montgomery64.generate(DesignScale::Tiny);
+    let flow = representative_flows().remove(0).1;
+    assert_flow_identical(
+        &design,
+        &flow,
+        CutEngine::Reference,
+        "mont/reference-engine",
+    );
+}
+
+#[test]
+fn one_context_reused_across_many_flows_stays_identical() {
+    // Buffer recycling must not leak state between flows: run all flows
+    // through ONE context and compare each against a fresh reference.
+    let design = Design::Montgomery64.generate(DesignScale::Tiny);
+    let mut ctx = PassContext::default();
+    for (flow_name, flow) in representative_flows() {
+        let reference = apply_sequence_with_engine(&design, &flow, CutEngine::Fast);
+        let optimized = ctx.run_flow(&design, &flow);
+        assert_identical(&reference, &optimized, &format!("shared-ctx/{flow_name}"));
+        ctx.recycle(optimized);
+    }
+    for seed in [1u64, 2, 3] {
+        let flow = random_flow(seed);
+        let reference = apply_sequence_with_engine(&design, &flow, CutEngine::Fast);
+        let optimized = ctx.run_flow(&design, &flow);
+        assert_identical(&reference, &optimized, &format!("shared-ctx/random-{seed}"));
+        ctx.recycle(optimized);
+    }
+}
