@@ -10,10 +10,13 @@ This check is intentionally **non-blocking**: shared CI runners have noisy
 timings, so regressions surface as annotations for a human to read, never as
 a red build.  The script always exits 0 unless its inputs are unreadable.
 
+The compared metric defaults to ``speedup`` (higher is better); service
+reports trend on throughput instead with ``--metric req_per_s``.
+
 Usage:
     perf_trend.py --label PR2 --key design,flow \
         --baseline ci/baselines/BENCH_PR2.baseline.json \
-        --current BENCH_PR2.ci.json [--tolerance 0.30]
+        --current BENCH_PR2.ci.json [--tolerance 0.30] [--metric speedup]
 """
 
 import argparse
@@ -38,6 +41,11 @@ def main():
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--current", required=True)
     parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument(
+        "--metric",
+        default="speedup",
+        help="item/report field to trend on; higher is better (default: speedup)",
+    )
     args = parser.parse_args()
 
     if not os.path.exists(args.current):
@@ -66,20 +74,20 @@ def main():
             print(f"::warning::perf-trend {args.label}: item {name} missing from current report")
             warnings += 1
             continue
-        base_speedup = base.get("speedup", 0.0)
-        cur_speedup = cur.get("speedup", 0.0)
-        floor = base_speedup * (1.0 - args.tolerance)
-        if cur_speedup < floor:
+        base_value = base.get(args.metric, 0.0)
+        cur_value = cur.get(args.metric, 0.0)
+        floor = base_value * (1.0 - args.tolerance)
+        if cur_value < floor:
             print(
-                f"::warning::perf-trend {args.label}: {name} speedup regressed "
-                f"{base_speedup:.2f}x -> {cur_speedup:.2f}x "
+                f"::warning::perf-trend {args.label}: {name} {args.metric} regressed "
+                f"{base_value:.2f} -> {cur_value:.2f} "
                 f"(more than {args.tolerance:.0%} below baseline)"
             )
             warnings += 1
         else:
             print(
-                f"perf-trend {args.label}: {name} speedup {cur_speedup:.2f}x "
-                f"(baseline {base_speedup:.2f}x) ok"
+                f"perf-trend {args.label}: {name} {args.metric} {cur_value:.2f} "
+                f"(baseline {base_value:.2f}) ok"
             )
     for key in sorted(set(current_items) - set(baseline_items)):
         print(
@@ -88,12 +96,12 @@ def main():
         )
 
     # Overall ratio, when both reports carry one (the PR3 report does).
-    if "speedup" in baseline and "speedup" in current:
-        floor = baseline["speedup"] * (1.0 - args.tolerance)
-        if current["speedup"] < floor:
+    if args.metric in baseline and args.metric in current:
+        floor = baseline[args.metric] * (1.0 - args.tolerance)
+        if current[args.metric] < floor:
             print(
-                f"::warning::perf-trend {args.label}: total speedup regressed "
-                f"{baseline['speedup']:.2f}x -> {current['speedup']:.2f}x"
+                f"::warning::perf-trend {args.label}: total {args.metric} regressed "
+                f"{baseline[args.metric]:.2f} -> {current[args.metric]:.2f}"
             )
             warnings += 1
 

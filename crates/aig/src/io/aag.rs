@@ -66,6 +66,13 @@ pub fn parse_aag(text: &str) -> IoResult<Aig> {
         .next()
         .ok_or_else(|| IoError::parse(1, "empty file"))?;
     let (max_var, num_inputs, _l, num_outputs, num_ands) = parse_aiger_header(header, "aag")?;
+    // Each input/output line is at least `2\n`, each AND line `6 0 0\n`; a
+    // header claiming more than the rest of the file could hold must not
+    // drive the pre-sized allocations below.
+    super::check_counts_plausible(
+        &[(num_inputs, 2), (num_outputs, 2), (num_ands, 6)],
+        text.len().saturating_sub(header.len()),
+    )?;
 
     let mut raw = RawAiger {
         max_var,

@@ -89,12 +89,18 @@ pub fn parse_aiger_binary(bytes: &[u8]) -> IoResult<Aig> {
     let header = read_line(bytes, &mut pos, "header")?;
     let (max_var, num_inputs, _l, num_outputs, num_ands) =
         parse_aiger_header(&String::from_utf8_lossy(header), "aig")?;
-    if max_var != num_inputs + num_ands {
+    if max_var as u64 != num_inputs as u64 + num_ands as u64 {
         return Err(IoError::parse(
             1,
             format!("binary AIGER requires M = I + A, got M = {max_var}"),
         ));
     }
+    // Each output line is at least `0\n` and each gate at least two varint
+    // bytes; a header claiming more must not drive the pre-sized allocations.
+    super::check_counts_plausible(
+        &[(num_outputs, 2), (num_ands, 2)],
+        bytes.len().saturating_sub(pos),
+    )?;
 
     let mut raw = RawAiger {
         max_var,

@@ -342,9 +342,50 @@ impl RawAiger {
     }
 }
 
+/// Maximum variable (and output) count accepted in an AIGER header.
+///
+/// Graph assembly allocates one table slot per declared variable, so the
+/// header must not be able to claim multi-billion counts: a hostile
+/// `aag 4000000000 1 0 1 0` arriving over a socket would otherwise abort the
+/// process on allocation before a single body byte is read.  `2^26` variables
+/// is orders of magnitude beyond the paper's benchmark family.
+pub const MAX_AIGER_VARS: u32 = 1 << 26;
+
+/// Maximum accepted gap between `M` and `I + A` in an AIGER header.
+///
+/// The AIGER spec permits unused variable indices, but the gap directly sizes
+/// the reader's variable table, so it must stay small relative to the
+/// (content-bounded) input and gate counts.
+const MAX_VAR_GAP: u64 = 4096;
+
+/// Rejects headers whose declared counts could not possibly fit in the
+/// remaining `body_len` bytes of the document.
+///
+/// Every definition costs at least a few bytes on disk (`counts` pairs each
+/// claimed count with its minimum encoded size), so pre-sizing allocations
+/// from a header that passes this check stays proportional to the real input
+/// instead of to an attacker-chosen number.
+pub(crate) fn check_counts_plausible(counts: &[(u32, u64)], body_len: usize) -> IoResult<()> {
+    let need: u64 = counts
+        .iter()
+        .map(|&(n, min_bytes)| n as u64 * min_bytes)
+        .sum();
+    if need > body_len as u64 + 8 {
+        return Err(IoError::parse(
+            1,
+            format!(
+                "header claims at least {need} bytes of definitions, \
+                 but only {body_len} bytes follow"
+            ),
+        ));
+    }
+    Ok(())
+}
+
 /// Parses the five-field AIGER header shared by both flavours.
 ///
-/// Returns `(M, I, L, O, A)`; rejects sequential designs (`L > 0`).
+/// Returns `(M, I, L, O, A)`; rejects sequential designs (`L > 0`) and
+/// headers whose counts exceed [`MAX_AIGER_VARS`].
 pub(crate) fn parse_aiger_header(line: &str, magic: &str) -> IoResult<(u32, u32, u32, u32, u32)> {
     let mut parts = line.split_ascii_whitespace();
     if parts.next() != Some(magic) {
@@ -374,10 +415,25 @@ pub(crate) fn parse_aiger_header(line: &str, magic: &str) -> IoResult<(u32, u32,
             "{l} latch(es); this reproduction is combinational-only"
         )));
     }
-    if m < i + a {
+    if m > MAX_AIGER_VARS || o > MAX_AIGER_VARS {
         return Err(IoError::parse(
             1,
-            format!("header claims M = {m} < I + A = {}", i + a),
+            format!("header claims {m} variables / {o} outputs (limit {MAX_AIGER_VARS})"),
+        ));
+    }
+    // u64 arithmetic: I and A are individually unchecked, so their u32 sum
+    // could wrap and sneak a hostile header past both bounds.
+    let defined = i as u64 + a as u64;
+    if (m as u64) < defined {
+        return Err(IoError::parse(
+            1,
+            format!("header claims M = {m} < I + A = {defined}"),
+        ));
+    }
+    if m as u64 > defined + MAX_VAR_GAP {
+        return Err(IoError::parse(
+            1,
+            format!("header claims M = {m}, far beyond I + A = {defined}"),
         ));
     }
     Ok((m, i, l, o, a))
@@ -393,14 +449,18 @@ pub(crate) fn apply_symbol_line(line: &str, line_no: usize, raw: &mut RawAiger) 
     let (tag, name) = line
         .split_once(' ')
         .ok_or_else(|| IoError::parse(line_no, "malformed symbol line"))?;
-    let (kind, index) = tag.split_at(1);
-    let index: usize = index
+    // `tag.split_at(1)` would panic on an empty tag or a multi-byte first
+    // character; iterate by char so arbitrary bytes only ever produce errors.
+    let mut tag_chars = tag.chars();
+    let kind = tag_chars.next().unwrap_or(' ');
+    let index: usize = tag_chars
+        .as_str()
         .parse()
         .map_err(|_| IoError::parse(line_no, format!("bad symbol index in `{tag}`")))?;
     let slot = match kind {
-        "i" => raw.input_names.get_mut(index),
-        "o" => raw.output_names.get_mut(index),
-        "l" => {
+        'i' => raw.input_names.get_mut(index),
+        'o' => raw.output_names.get_mut(index),
+        'l' => {
             return Err(IoError::Unsupported(
                 "latch symbol in combinational design".into(),
             ))

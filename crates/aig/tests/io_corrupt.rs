@@ -1,0 +1,195 @@
+//! Fuzz-ish corruption tests for the design readers.
+//!
+//! `flowd` feeds socket bytes straight into `aig::io::parse_design`, so every
+//! reader must return a typed [`IoError`] on arbitrary garbage — a panic (or
+//! an allocation abort from a hostile header) would kill a worker thread.
+//! These tests corrupt well-formed documents with seeded truncations, byte
+//! flips and splices, and throw a catalogue of hostile headers at the
+//! parsers; any panic fails the test with the offending seed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use aig::io::{parse_design, render_design, Format, IoError};
+use aig::{Aig, Lit};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic mid-size design exercising every writer feature.
+fn sample_design() -> Aig {
+    let mut g = Aig::with_name("corrupt-sample");
+    let a = g.add_inputs("a", 8);
+    let b = g.add_inputs("b", 8);
+    let mut carry = Lit::FALSE;
+    let mut sum = Vec::new();
+    for i in 0..8 {
+        let s = g.xor(a[i], b[i]);
+        sum.push(g.xor(s, carry));
+        carry = g.maj(a[i], b[i], carry);
+    }
+    sum.push(carry);
+    g.add_outputs("s", &sum);
+    let m = g.mux(a[0], b[7], carry);
+    g.add_output("m", m);
+    g.add_output("k", Lit::TRUE);
+    g
+}
+
+/// Parsing must finish with `Ok` or a typed `Err` — never a panic.
+fn assert_no_panic(bytes: &[u8], format: Format, what: &str) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _ = parse_design(bytes, format);
+    }));
+    assert!(
+        result.is_ok(),
+        "{what}: parser panicked on {} bytes ({format})",
+        bytes.len()
+    );
+    // Content sniffing must be equally robust against the same bytes.
+    let sniffed = catch_unwind(AssertUnwindSafe(|| {
+        if let Ok(format) = Format::from_content(bytes) {
+            let _ = parse_design(bytes, format);
+        }
+    }));
+    assert!(
+        result.is_ok() && sniffed.is_ok(),
+        "{what}: sniffing panicked"
+    );
+}
+
+#[test]
+fn truncations_never_panic() {
+    let design = sample_design();
+    for format in Format::ALL {
+        let bytes = render_design(&design, format);
+        // Every prefix, not a sample: truncation is the cheapest attack and
+        // the documents are small enough to sweep exhaustively.
+        for cut in 0..bytes.len() {
+            assert_no_panic(&bytes[..cut], format, &format!("truncate at {cut}"));
+        }
+    }
+}
+
+#[test]
+fn seeded_byte_flips_never_panic() {
+    let design = sample_design();
+    for format in Format::ALL {
+        let pristine = render_design(&design, format);
+        for seed in 0..200u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut bytes = pristine.clone();
+            for _ in 0..rng.gen_range(1..=8usize) {
+                let pos = rng.gen_range(0..bytes.len());
+                bytes[pos] ^= 1 << rng.gen_range(0..8u32);
+            }
+            assert_no_panic(&bytes, format, &format!("flip seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn seeded_splices_never_panic() {
+    let design = sample_design();
+    for format in Format::ALL {
+        let pristine = render_design(&design, format);
+        for seed in 0..200u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_0000 | seed);
+            let mut bytes = pristine.clone();
+            let lo = rng.gen_range(0..bytes.len());
+            let hi = rng.gen_range(lo..=bytes.len() - 1);
+            match seed % 3 {
+                // Delete a range.
+                0 => drop(bytes.drain(lo..hi)),
+                // Duplicate a range in place.
+                1 => {
+                    let chunk: Vec<u8> = bytes[lo..hi].to_vec();
+                    bytes.splice(lo..lo, chunk);
+                }
+                // Overwrite a range with random bytes.
+                _ => {
+                    for b in &mut bytes[lo..hi] {
+                        *b = rng.gen_range(0..=255u8);
+                    }
+                }
+            }
+            assert_no_panic(&bytes, format, &format!("splice seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn hostile_headers_are_rejected_without_allocating() {
+    // Each of these headers claims counts that would allocate gigabytes if
+    // the parser trusted them; all must come back as fast typed errors.
+    let hostile: &[&str] = &[
+        "aag 4000000000 1 0 1 0\n2\n2\n",
+        "aag 4294967295 4294967295 0 4294967295 4294967295\n",
+        "aag 100000 1 0 1 0\n2\n2\n",         // M far beyond I + A
+        "aag 1000000 500000 0 1 500000\n2\n", // plausible M, implausible body
+        "aag 3 2147483647 0 1 2147483647\n",  // I + A wraps u32
+        "aig 4000000000 4000000000 0 0 0\n",
+        "aig 1000000 500000 0 500000 500000\n0\n",
+        "aag 1 1 0 67000000 0\n2\n", // output count alone explodes
+    ];
+    for header in hostile {
+        let format = if header.starts_with("aag") {
+            Format::AigerAscii
+        } else {
+            Format::AigerBinary
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| parse_design(header.as_bytes(), format)));
+        let parsed = result.unwrap_or_else(|_| panic!("panicked on `{header}`"));
+        assert!(
+            matches!(
+                parsed.as_ref(),
+                Err(IoError::Parse { .. } | IoError::Unsupported(_))
+            ),
+            "`{}` must be a typed parse error, got {:?}",
+            header.trim_end(),
+            parsed.map(|aig| aig.num_ands())
+        );
+    }
+
+    // A BLIF cover wider than MAX_COVER_INPUTS is the format's analogous
+    // memory bomb (2^n product terms) and is refused up front.
+    let wide_inputs: Vec<String> = (0..20).map(|i| format!("x{i}")).collect();
+    let wide = format!(
+        ".model bomb\n.inputs {names}\n.outputs f\n.names {names} f\n{ones} 1\n.end\n",
+        names = wide_inputs.join(" "),
+        ones = "1".repeat(20),
+    );
+    assert!(matches!(
+        parse_design(wide.as_bytes(), Format::Blif),
+        Err(IoError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn malformed_symbol_tables_get_typed_errors() {
+    // Symbol tags with multi-byte first characters or missing tags used to be
+    // able to slice mid-codepoint; all must now be typed errors.
+    for tail in ["é0 name\n", " 0 name\n", "i name\n", "iX name\n", "q0 n\n"] {
+        let doc = format!("aag 1 1 0 1 0\n2\n2\n{tail}");
+        let parsed = parse_design(doc.as_bytes(), Format::AigerAscii);
+        assert!(
+            matches!(parsed, Err(IoError::Parse { .. } | IoError::Unsupported(_))),
+            "tail {tail:?} must fail cleanly"
+        );
+    }
+    // An out-of-range but well-formed symbol index is also a typed error.
+    let doc = "aag 1 1 0 1 0\n2\n2\ni7 late\n";
+    assert!(parse_design(doc.as_bytes(), Format::AigerAscii).is_err());
+}
+
+#[test]
+fn corrupted_documents_still_roundtrip_after_repair() {
+    // Sanity: the pristine documents all parse back bit-identically, so the
+    // corruption tests above are exercising real parsers, not dead paths.
+    let design = sample_design();
+    for format in Format::ALL {
+        let bytes = render_design(&design, format);
+        let back = parse_design(&bytes, format).expect("pristine document parses");
+        assert_eq!(back.num_ands(), design.num_ands(), "{format}");
+        assert!(aig::random_equivalence_check(&design, &back, 8, 0xC0FFEE));
+    }
+}

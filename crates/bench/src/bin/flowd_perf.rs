@@ -1,0 +1,406 @@
+//! Load generator for the `flowd` synthesis service (PR 6).
+//!
+//! Drives an embedded daemon over real loopback sockets with a mixed
+//! design × flow workload and reports, per corpus item and in aggregate:
+//!
+//! * **correctness** — every wire QoR is asserted bit-identical to an
+//!   in-process [`EvalEngine`] evaluation of the same (design, flow); the
+//!   binary exits non-zero on any mismatch;
+//! * **throughput** — concurrent keep-alive clients hammer `/run`, recording
+//!   req/s plus p50/p95/p99 latency;
+//! * **cache sharing** — the cross-client store-hit ratio read from `/stats`;
+//! * **backpressure** — an overload burst against a deliberately tiny server
+//!   must produce clean `503 Retry-After` rejections while the main daemon's
+//!   `/healthz` stays green, and both daemons must drain gracefully.
+//!
+//! Results land in `BENCH_PR6.json` (override with `FLOWD_PERF_OUT`); scale
+//! is selected with `FLOWGEN_SCALE` (`tiny` for CI, `small` default).
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use circuits::{Design, DesignScale};
+use flowc::report::RunReport;
+use flowd::{Server, ServerConfig};
+use floweval::{EngineConfig, EvalEngine};
+use flowgen::Flow;
+use httpwire::{percent_encode, read_response, write_request, Limits, Request, Response};
+use serde::Serialize;
+use synth::Qor;
+
+/// The fixture flows every item of the corpus is crossed with.
+const FLOWS: [&str; 3] = ["compress", "resyn2", "balance; rewrite -z; refactor"];
+
+fn design_scale() -> (&'static str, DesignScale) {
+    match std::env::var("FLOWGEN_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
+        "tiny" => ("tiny", DesignScale::Tiny),
+        "full" => ("full", DesignScale::Full),
+        _ => ("small", DesignScale::Small),
+    }
+}
+
+/// One (design, flow) fixture: rendered request body plus the reference QoR.
+struct CorpusItem {
+    design: String,
+    flow: String,
+    body: Vec<u8>,
+    query: String,
+    expected: Qor,
+}
+
+#[derive(Debug, Serialize)]
+struct ItemReport {
+    design: String,
+    flow: String,
+    qor_identical: bool,
+    requests: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    req_per_s: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ThroughputReport {
+    clients: usize,
+    requests: usize,
+    wall_s: f64,
+    req_per_s: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct OverloadReport {
+    burst: usize,
+    rejected_503: usize,
+    retry_after_present: bool,
+    healthz_ok_during_burst: bool,
+    drain_ok: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    pr: String,
+    workload: String,
+    scale: String,
+    workers: usize,
+    items: Vec<ItemReport>,
+    throughput: ThroughputReport,
+    store_hit_rate: f64,
+    cache_hit_requests: usize,
+    total_requests: usize,
+    req_per_s: f64,
+    overload: OverloadReport,
+    drain_ok: bool,
+    qor_identical: bool,
+}
+
+fn roundtrip(addr: SocketAddr, request: &Request) -> Response {
+    let stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write_request(&mut writer, request).expect("send request");
+    read_response(&mut reader, &Limits::default()).expect("read response")
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let (scale_name, scale) = design_scale();
+    let clients: usize = std::env::var("FLOWD_PERF_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let rounds: usize = std::env::var("FLOWD_PERF_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+
+    // --- Build the fixture corpus with in-process reference QoR. ---
+    println!("flowd_perf: building corpus (scale {scale_name})");
+    let reference = EvalEngine::new(EngineConfig::default());
+    let mut corpus = Vec::new();
+    for design_kind in Design::ALL {
+        let design = design_kind.generate(scale);
+        let body = aig::io::render_design(&design, aig::io::Format::AigerAscii);
+        for spec in FLOWS {
+            let flow = Flow::parse(spec).expect("fixture flow parses");
+            let expected = reference.evaluate_batch(&design, &[flow.transforms().to_vec()])[0];
+            corpus.push(CorpusItem {
+                design: design_kind.to_string(),
+                flow: spec.to_string(),
+                body: body.clone(),
+                query: format!("flow={}", percent_encode(spec)),
+                expected,
+            });
+        }
+    }
+
+    // --- Start the daemon under test. ---
+    let server = Server::start(ServerConfig {
+        workers: clients.max(2),
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    })
+    .expect("start flowd");
+    let addr = server.addr();
+    let workers = clients.max(2);
+    println!("flowd_perf: daemon on {addr} ({workers} workers, {clients} clients)");
+
+    // --- Phase 1: correctness pin, one request per corpus item. ---
+    let mut identical = vec![false; corpus.len()];
+    for (i, item) in corpus.iter().enumerate() {
+        let request =
+            Request::new("POST", &format!("/run?{}", item.query)).with_body(item.body.clone());
+        let response = roundtrip(addr, &request);
+        assert_eq!(
+            response.status,
+            200,
+            "corpus item {}/{} failed: {}",
+            item.design,
+            item.flow,
+            String::from_utf8_lossy(&response.body)
+        );
+        let report: RunReport =
+            serde_json::from_str(&String::from_utf8_lossy(&response.body)).expect("wire report");
+        identical[i] = report.qor == item.expected;
+        if !identical[i] {
+            eprintln!(
+                "QOR MISMATCH {}/{}: wire {:?} != engine {:?}",
+                item.design, item.flow, report.qor, item.expected
+            );
+        }
+    }
+
+    // --- Phase 2: concurrent throughput over keep-alive connections. ---
+    let t0 = Instant::now();
+    let mut per_item_ms: Vec<Vec<f64>> = vec![Vec::new(); corpus.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..clients {
+            let corpus = &corpus;
+            handles.push(scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("client connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut samples: Vec<(usize, f64)> = Vec::new();
+                for round in 0..rounds {
+                    for i in 0..corpus.len() {
+                        // Rotate the walk per client so the same prefix is hit
+                        // from different connections simultaneously.
+                        let idx = (i + client + round) % corpus.len();
+                        let item = &corpus[idx];
+                        let request = Request::new("POST", &format!("/run?{}", item.query))
+                            .with_body(item.body.clone());
+                        let t = Instant::now();
+                        write_request(&mut writer, &request).expect("client send");
+                        let response =
+                            read_response(&mut reader, &Limits::default()).expect("client read");
+                        let ms = t.elapsed().as_secs_f64() * 1e3;
+                        assert_eq!(response.status, 200, "throughput request failed");
+                        samples.push((idx, ms));
+                        // The server may cap keep-alive request counts; reconnect
+                        // transparently when it asks to close.
+                        if response.closes_connection() {
+                            let stream = TcpStream::connect(addr).expect("client reconnect");
+                            stream
+                                .set_read_timeout(Some(Duration::from_secs(120)))
+                                .unwrap();
+                            writer = stream.try_clone().unwrap();
+                            reader = BufReader::new(stream);
+                        }
+                    }
+                }
+                samples
+            }));
+        }
+        for handle in handles {
+            for (idx, ms) in handle.join().expect("client thread") {
+                per_item_ms[idx].push(ms);
+            }
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut all_ms: Vec<f64> = per_item_ms.iter().flatten().copied().collect();
+    all_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total_requests = all_ms.len();
+    let req_per_s = total_requests as f64 / wall_s.max(1e-9);
+    let throughput = ThroughputReport {
+        clients,
+        requests: total_requests,
+        wall_s,
+        req_per_s,
+        p50_ms: percentile(&all_ms, 50.0),
+        p95_ms: percentile(&all_ms, 95.0),
+        p99_ms: percentile(&all_ms, 99.0),
+    };
+    println!(
+        "throughput: {} req in {:.2}s = {:.1} req/s   p50 {:.2} ms   p95 {:.2} ms   p99 {:.2} ms",
+        throughput.requests,
+        throughput.wall_s,
+        throughput.req_per_s,
+        throughput.p50_ms,
+        throughput.p95_ms,
+        throughput.p99_ms
+    );
+
+    // Cross-client cache sharing, straight from the daemon's own stats.
+    let stats_body = roundtrip(addr, &Request::new("GET", "/stats")).body;
+    let stats = serde_json::parse_value(&String::from_utf8_lossy(&stats_body)).expect("stats JSON");
+    let store_hit_rate = match stats.get("store_hit_rate") {
+        Some(serde::Value::F64(v)) => *v,
+        _ => 0.0,
+    };
+    let cache_hit_requests = match stats.get("eval").and_then(|e| e.get("store_hits")) {
+        Some(serde::Value::U64(v)) => *v as usize,
+        _ => 0,
+    };
+    println!("cache: store hit rate {store_hit_rate:.3} ({cache_hit_requests} hits)");
+
+    let mut items = Vec::new();
+    for (i, item) in corpus.iter().enumerate() {
+        let mut ms = per_item_ms[i].clone();
+        ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        items.push(ItemReport {
+            design: item.design.clone(),
+            flow: item.flow.clone(),
+            qor_identical: identical[i],
+            requests: ms.len(),
+            p50_ms: percentile(&ms, 50.0),
+            p99_ms: percentile(&ms, 99.0),
+            req_per_s: ms.len() as f64 / wall_s.max(1e-9),
+        });
+    }
+
+    // --- Phase 3: overload burst against a deliberately tiny daemon. ---
+    let overload = run_overload_burst(addr);
+    println!(
+        "overload: {}/{} rejected with 503 (retry-after {}), main healthz {}",
+        overload.rejected_503,
+        overload.burst,
+        overload.retry_after_present,
+        if overload.healthz_ok_during_burst {
+            "ok"
+        } else {
+            "FAILED"
+        }
+    );
+
+    // --- Phase 4: graceful drain of the main daemon. ---
+    let bye = roundtrip(addr, &Request::new("POST", "/shutdown"));
+    let drain_ok = bye.status == 200 && server.join().is_ok();
+    println!("drain: {}", if drain_ok { "clean" } else { "FAILED" });
+
+    let all_identical = identical.iter().all(|&ok| ok);
+    let report = Report {
+        pr: "PR6-flowd-service".to_string(),
+        workload: "designs x fixture flows over loopback HTTP, keep-alive clients".to_string(),
+        scale: scale_name.to_string(),
+        workers,
+        items,
+        throughput,
+        store_hit_rate,
+        cache_hit_requests,
+        total_requests,
+        req_per_s,
+        overload,
+        drain_ok,
+        qor_identical: all_identical,
+    };
+    let out = std::env::var("FLOWD_PERF_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write perf report");
+    println!("wrote {out}");
+
+    if !all_identical {
+        eprintln!("FAIL: wire QoR diverged from the in-process engine");
+        std::process::exit(1);
+    }
+    if report.overload.rejected_503 == 0 || !report.overload.healthz_ok_during_burst {
+        eprintln!("FAIL: overload burst did not produce clean backpressure");
+        std::process::exit(1);
+    }
+    if !drain_ok || !report.overload.drain_ok {
+        eprintln!("FAIL: graceful drain failed");
+        std::process::exit(1);
+    }
+}
+
+/// Saturates a one-worker, one-slot daemon and counts clean 503 rejections;
+/// `main_addr` is probed mid-burst to show the primary daemon stays healthy.
+fn run_overload_burst(main_addr: SocketAddr) -> OverloadReport {
+    let burst_server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        keep_alive_idle_ms: 10_000,
+        ..ServerConfig::default()
+    })
+    .expect("start burst server");
+    let addr = burst_server.addr();
+
+    // Pin the single worker with an idle keep-alive connection.
+    let pin = TcpStream::connect(addr).expect("pin connect");
+    pin.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut pin_writer = pin.try_clone().unwrap();
+    let mut pin_reader = BufReader::new(pin.try_clone().unwrap());
+    write_request(&mut pin_writer, &Request::new("GET", "/healthz")).unwrap();
+    let first = read_response(&mut pin_reader, &Limits::default()).expect("pin response");
+    assert_eq!(first.status, 200);
+
+    // Fill the single queue slot, then burst.
+    let _queued = TcpStream::connect(addr).expect("queued connect");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let burst = 6;
+    let mut rejected = 0;
+    let mut retry_after = false;
+    for _ in 0..burst {
+        // Rejected connections get their 503 without ever sending a request.
+        let stream = TcpStream::connect(addr).expect("burst connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        if let Ok(response) = read_response(&mut reader, &Limits::default()) {
+            if response.status == 503 {
+                rejected += 1;
+                retry_after |= response.headers.contains_key("retry-after");
+            }
+        }
+    }
+
+    // The primary daemon is unaffected by a neighbour's overload.
+    let health = roundtrip(main_addr, &Request::new("GET", "/healthz"));
+    let healthz_ok = health.status == 200;
+
+    drop(pin);
+    burst_server.shutdown();
+    let drain_ok = burst_server.join().is_ok();
+
+    OverloadReport {
+        burst,
+        rejected_503: rejected,
+        retry_after_present: retry_after,
+        healthz_ok_during_burst: healthz_ok,
+        drain_ok,
+    }
+}

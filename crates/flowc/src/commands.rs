@@ -103,7 +103,153 @@ fn export_netlist(
         format: format.extension().to_string(),
         ands: optimized.num_ands(),
         depth: optimized.depth(),
+        netlist: None,
     })
+}
+
+/// `flowc submit`: run one flow on a remote `flowd` daemon.
+///
+/// The design is resolved locally (same `--design` specs as `run`), shipped
+/// as ASCII AIGER in the request body, and the daemon's [`RunReport`] JSON is
+/// printed exactly as a local `run` would print it — the `qor` section is
+/// bit-identical between the two paths.
+pub fn submit(mut args: Args) -> Result<(), String> {
+    let addr = args.require_value("addr")?;
+    let design_spec = args.require_value("design")?;
+    let flow_arg = args.take_value("flow")?;
+    let random_seed = args.take_value("random")?;
+    let out = args.take_value("out")?;
+    let json_path = args.take_value("json")?;
+    let verify = args.take_flag("verify");
+    let timing = args.take_flag("timing");
+    args.finish()?;
+
+    let mut query: Vec<String> = Vec::new();
+    match (&flow_arg, &random_seed) {
+        (Some(_), Some(_)) => return Err("--flow and --random are mutually exclusive".to_string()),
+        (Some(spec), None) => query.push(format!("flow={}", httpwire::percent_encode(spec))),
+        (None, Some(seed)) => {
+            seed.parse::<u64>()
+                .map_err(|_| format!("--random needs a numeric seed, got `{seed}`"))?;
+            query.push(format!("random={seed}"));
+        }
+        (None, None) => {
+            return Err("one of --flow <preset|script> or --random <seed> is required".to_string())
+        }
+    }
+    if verify {
+        query.push("verify=1".to_string());
+    }
+    if timing {
+        query.push("timing=1".to_string());
+    }
+    // Binary AIGER cannot ride a JSON string: ask for ASCII and re-encode
+    // locally when the output path wants `.aig`.
+    let out_format = match &out {
+        Some(path) => {
+            let f = Format::from_path(Path::new(path)).map_err(|e| e.to_string())?;
+            query.push(format!(
+                "export={}",
+                match f {
+                    Format::AigerBinary => "aag",
+                    other => other.extension(),
+                }
+            ));
+            Some(f)
+        }
+        None => None,
+    };
+
+    let resolved = resolve_design(&design_spec)?;
+    let body = aig::io::render_design(&resolved.aig, Format::AigerAscii);
+    let request = httpwire::Request::new("POST", &format!("/run?{}", query.join("&")))
+        .with_header("content-type", "text/x-aiger")
+        .with_body(body);
+
+    let stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| format!("cannot connect to flowd at {addr}: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("socket error: {e}"))?;
+    let mut reader = std::io::BufReader::new(stream);
+    httpwire::write_request(&mut writer, &request).map_err(|e| format!("send failed: {e}"))?;
+    let response = httpwire::read_response(&mut reader, &httpwire::Limits::default())
+        .map_err(|e| format!("flowd at {addr}: {e}"))?;
+    let text = String::from_utf8_lossy(&response.body).into_owned();
+    if response.status != 200 {
+        return Err(format!(
+            "flowd at {addr} answered {} {}: {}",
+            response.status,
+            response.reason,
+            text.trim()
+        ));
+    }
+
+    let report: RunReport =
+        serde_json::from_str(&text).map_err(|e| format!("malformed report JSON: {e}"))?;
+    if let Some(path) = &out {
+        let netlist = report
+            .export
+            .as_ref()
+            .and_then(|e| e.netlist.as_deref())
+            .ok_or("daemon response carries no netlist")?;
+        match out_format {
+            Some(Format::AigerBinary) => {
+                let aig = aig::io::parse_design(netlist.as_bytes(), Format::AigerAscii)
+                    .map_err(|e| format!("daemon netlist does not parse: {e}"))?;
+                aig::io::write_design(path, &aig)
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            }
+            _ => {
+                std::fs::write(path, netlist).map_err(|e| format!("cannot write `{path}`: {e}"))?
+            }
+        }
+    }
+    println!("{text}");
+    if let Some(path) = json_path {
+        std::fs::write(&path, text + "\n").map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    Ok(())
+}
+
+/// `flowc store`: maintenance of a persistent QoR store file.
+pub fn store(mut args: Args) -> Result<(), String> {
+    let action = args
+        .take_positional()
+        .ok_or("usage: flowc store <compact|stats> <path>")?;
+    let path = args
+        .take_positional()
+        .ok_or("usage: flowc store <compact|stats> <path>")?;
+    let json_path = args.take_value("json")?;
+    args.finish()?;
+    if !Path::new(&path).exists() {
+        return Err(format!("store file `{path}` does not exist"));
+    }
+    let mut store =
+        floweval::QorStore::open(&path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
+    match action.as_str() {
+        "compact" => {
+            let report = store.compact().map_err(|e| format!("compaction: {e}"))?;
+            emit_json(&report, json_path.as_deref())
+        }
+        "stats" => {
+            #[derive(serde::Serialize)]
+            struct StoreStats {
+                records: usize,
+                duplicate_records: usize,
+                malformed_lines: usize,
+                bytes: u64,
+            }
+            let stats = StoreStats {
+                records: store.len(),
+                duplicate_records: store.duplicate_records(),
+                malformed_lines: store.skipped_records(),
+                bytes: std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+            };
+            emit_json(&stats, json_path.as_deref())
+        }
+        other => Err(format!("unknown store action `{other}` (compact or stats)")),
+    }
 }
 
 /// `flowc convert`: read a design in one format, write it in another.

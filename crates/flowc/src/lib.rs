@@ -1,0 +1,17 @@
+//! # flowc — library surface of the synthesis-flow CLI
+//!
+//! The binary in `main.rs` is a thin dispatcher over [`commands`]; the
+//! library exists so other crates speak the same dialects:
+//!
+//! * [`report`] — the JSON documents `flowc run` prints.  These are also the
+//!   **wire format** of the `flowd` service: the daemon serializes a
+//!   [`report::RunReport`] per request and `flowc submit` deserializes it,
+//!   so a QoR produced over a socket is comparable byte-for-byte with one
+//!   produced in process.
+//! * [`design`] — `--design` spec resolution (`path` vs `name[:scale]`).
+//! * [`args`] — the dependency-free taker-style option parser.
+
+pub mod args;
+pub mod commands;
+pub mod design;
+pub mod report;

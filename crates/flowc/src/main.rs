@@ -17,12 +17,8 @@
 //!
 //! Exit codes: `0` success, `1` usage error, `2` runtime failure.
 
-mod args;
-mod commands;
-mod design;
-mod report;
-
-use args::Args;
+use flowc::args::Args;
+use flowc::commands;
 
 const USAGE: &str = "flowc — import, optimize and export logic designs
 
@@ -44,6 +40,14 @@ COMMANDS:
                      --verify                       verify by random simulation
                      --timing                       include the per-pass timing
                                                     breakdown in the report
+    submit         Run a flow on a remote flowd daemon instead of in process
+                     --addr <host:port>             daemon address
+                     plus the `run` options (--flow/--random/--timing/--verify/
+                     --out/--json); QoR is bit-identical to a local `run`
+    store          Maintain a persistent QoR store (JSONL)
+                     flowc store compact <path>     drop duplicate/torn records,
+                                                    rewrite the file in place
+                     flowc store stats <path>       print record counts as JSON
     convert        Convert between formats: flowc convert <in> <out> [--cleanup]
     stats          Print design statistics as JSON: flowc stats <design>
     export-corpus  Write the generated benchmark corpus as fixture files
@@ -62,6 +66,8 @@ fn main() {
     let args = Args::new(argv);
     let result = match command.as_str() {
         "run" => commands::run(args),
+        "submit" => commands::submit(args),
+        "store" => commands::store(args),
         "convert" => commands::convert(args),
         "stats" => commands::stats(args),
         "export-corpus" => commands::export_corpus(args),

@@ -7,11 +7,11 @@
 
 use aig::Aig;
 use floweval::EvalStats;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use synth::Qor;
 
 /// The `design` section: identity and structural statistics.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct DesignReport {
     pub name: String,
     /// `file:<path>` or `generated:<name>:<scale>`.
@@ -39,7 +39,7 @@ impl DesignReport {
 }
 
 /// The `flow` section.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct FlowReport {
     /// ABC-style script (`balance; rewrite; …`).
     pub script: String,
@@ -51,16 +51,21 @@ pub struct FlowReport {
 }
 
 /// The `export` section: where the optimized netlist was written.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct ExportReport {
     pub path: String,
     pub format: String,
     pub ands: usize,
     pub depth: u32,
+    /// The rendered netlist itself, carried inline when the report travels
+    /// over a socket (`flowd` has no shared filesystem with its clients).
+    /// Text formats only (`aag`/`blif`); `flowc run` writes to disk and
+    /// leaves this `None`.
+    pub netlist: Option<String>,
 }
 
 /// One row of the `timing` section: wall-clock cost of one pass kind.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct TimingEntry {
     /// ABC-style pass name (`balance`, `rewrite -z`, …; `map` for mapping).
     pub pass: String,
@@ -71,7 +76,7 @@ pub struct TimingEntry {
 /// The `timing` section (`flowc run --timing`): the engine's per-pass
 /// breakdown.  Omitted by default — wall times are run-dependent, so the
 /// byte-deterministic report the CI smoke compares stays stable.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct TimingReport {
     pub passes: Vec<TimingEntry>,
     /// Total seconds in transformation passes (mapping excluded).
@@ -96,7 +101,7 @@ impl TimingReport {
 }
 
 /// The complete `flowc run` report.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct RunReport {
     pub design: DesignReport,
     pub flow: FlowReport,

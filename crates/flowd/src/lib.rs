@@ -1,0 +1,40 @@
+//! # flowd — the persistent synthesis service
+//!
+//! The paper's framework (Yu, Xiao, De Micheli — DAC 2018) evaluates flows in
+//! offline batch loops; the ROADMAP's north star is a system serving heavy
+//! interactive traffic.  `flowd` is that step: it keeps one
+//! [`floweval::EvalEngine`] resident in a long-running process and serves
+//! flow-evaluation requests over a minimal HTTP/1.1 wire protocol, so the
+//! QoR store and the sharded prefix-trie cache warm up **across clients and
+//! connections** instead of per process.
+//!
+//! ## Protocol
+//!
+//! | Endpoint          | Meaning                                              |
+//! |-------------------|------------------------------------------------------|
+//! | `POST /run`       | body = design (AIGER/BLIF); query `flow`/`random`, `format`, `timing`, `verify`, `export` — answers `flowc run`'s JSON report |
+//! | `GET /healthz`    | liveness (`{"status":"ok"}`)                         |
+//! | `GET /stats`      | uptime, queue depth, worker utilization, [`floweval::EvalStats`], cache summary |
+//! | `POST /shutdown`  | graceful drain: stop accepting, finish queued work   |
+//!
+//! The `qor` section of a `/run` response is **bit-identical** to an
+//! in-process `flowc run` of the same design and flow (the integration tests
+//! and the `flowd_perf` load generator assert this).
+//!
+//! ## Backpressure
+//!
+//! Admission control happens at accept time: beyond `queue_capacity` waiting
+//! connections the daemon answers `503` + `Retry-After` immediately instead
+//! of stacking unbounded work.  Connections that waited longer than the
+//! request timeout are rejected the moment a worker picks them up (a request
+//! already being evaluated is never preempted).  On shutdown the daemon
+//! drains: accepted work finishes, new connections are turned away, the QoR
+//! store is flushed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod protocol;
+mod server;
+
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,288 @@
+//! Request routing and the `/run` handler: flowc's report schema over HTTP.
+
+use std::sync::atomic::Ordering;
+
+use aig::io::Format;
+use aig::{random_equivalence_check, Aig};
+use flowc::report::{DesignReport, ExportReport, FlowReport, RunReport, TimingReport};
+use flowgen::{Flow, FlowSpace};
+use httpwire::{Request, Response};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use synth::PassContext;
+
+use crate::server::Shared;
+
+/// Seed used for `verify=1` random-simulation checks; matches the engine's.
+const VERIFY_SEED: u64 = 0x5EED;
+
+/// The JSON error envelope every non-200 answer carries.
+#[derive(Debug, Serialize)]
+struct WireError {
+    error: WireErrorBody,
+}
+
+#[derive(Debug, Serialize)]
+struct WireErrorBody {
+    kind: String,
+    message: String,
+}
+
+/// Builds a JSON error response.
+pub(crate) fn error_response(status: u16, kind: &str, message: &str) -> Response {
+    let body = serde_json::to_string(&WireError {
+        error: WireErrorBody {
+            kind: kind.to_string(),
+            message: message.to_string(),
+        },
+    })
+    .unwrap_or_else(|_| "{\"error\":{\"kind\":\"internal\"}}".to_string());
+    Response::json(status, body)
+}
+
+/// The `503` backpressure answer: retry shortly, on a fresh connection.
+pub(crate) fn unavailable(reason: &str) -> Response {
+    error_response(503, "unavailable", reason)
+        .with_header("retry-after", "1")
+        .with_header("connection", "close")
+}
+
+/// `/stats` payload.
+#[derive(Debug, Serialize)]
+struct StatsReport {
+    uptime_s: f64,
+    workers: WorkerStats,
+    queue: QueueStats,
+    requests: RequestStats,
+    eval: floweval::EvalStats,
+    store_hit_rate: f64,
+    store_len: usize,
+    cache: floweval::CacheSummary,
+}
+
+#[derive(Debug, Serialize)]
+struct WorkerStats {
+    total: usize,
+    busy: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct QueueStats {
+    depth: usize,
+    capacity: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct RequestStats {
+    connections_accepted: u64,
+    received: u64,
+    served: u64,
+    rejected_queue_full: u64,
+    rejected_wait_timeout: u64,
+    client_errors: u64,
+    handler_panics: u64,
+}
+
+/// Routes one parsed request to its handler.
+pub(crate) fn handle(shared: &Shared, request: &Request, pctx: &mut PassContext) -> Response {
+    match (request.method.as_str(), request.path().as_str()) {
+        ("GET", "/healthz") => {
+            let draining = shared.draining.load(Ordering::SeqCst);
+            Response::json(
+                200,
+                format!("{{\"status\":\"ok\",\"draining\":{draining}}}"),
+            )
+        }
+        ("GET", "/stats") => stats_response(shared),
+        ("POST", "/shutdown") => {
+            shared.initiate_drain();
+            Response::json(200, "{\"status\":\"draining\"}").with_header("connection", "close")
+        }
+        ("POST", "/run") => run_response(shared, request, pctx),
+        ("GET" | "POST", _) => error_response(
+            404,
+            "not-found",
+            &format!("no such endpoint: {}", request.path()),
+        ),
+        (method, _) => error_response(405, "method", &format!("method {method} not supported")),
+    }
+}
+
+fn stats_response(shared: &Shared) -> Response {
+    let eval = shared.engine.stats();
+    let report = StatsReport {
+        uptime_s: shared.started.elapsed().as_secs_f64(),
+        workers: WorkerStats {
+            total: shared.config.workers.max(1),
+            busy: shared.busy_workers.load(Ordering::Relaxed),
+        },
+        queue: QueueStats {
+            depth: shared.queue_depth(),
+            capacity: shared.config.queue_capacity,
+        },
+        requests: RequestStats {
+            connections_accepted: shared.counters.connections_accepted.load(Ordering::Relaxed),
+            received: shared.counters.requests_received.load(Ordering::Relaxed),
+            served: shared.counters.requests_served.load(Ordering::Relaxed),
+            rejected_queue_full: shared.counters.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_wait_timeout: shared
+                .counters
+                .rejected_wait_timeout
+                .load(Ordering::Relaxed),
+            client_errors: shared.counters.client_errors.load(Ordering::Relaxed),
+            handler_panics: shared.counters.handler_panics.load(Ordering::Relaxed),
+        },
+        store_hit_rate: eval.store_hit_rate(),
+        eval,
+        store_len: shared.engine.store_len(),
+        cache: shared.engine.cache_summary(),
+    };
+    match serde_json::to_string(&report) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => error_response(500, "internal", &format!("stats serialization: {e}")),
+    }
+}
+
+/// Query flags accept `1`/`true`.
+fn flag(request: &Request, name: &str) -> bool {
+    matches!(
+        request.query_param(name).as_deref(),
+        Some("1") | Some("true")
+    )
+}
+
+fn run_response(shared: &Shared, request: &Request, pctx: &mut PassContext) -> Response {
+    // --- Parse the flow specification. ---
+    let flow_param = request.query_param("flow");
+    let random_param = request.query_param("random");
+    let (flow, preset, random_seed) = match (&flow_param, &random_param) {
+        (Some(_), Some(_)) => {
+            return error_response(400, "flow", "flow and random are mutually exclusive")
+        }
+        (Some(spec), None) => {
+            let preset = Flow::named(spec.trim()).map(|_| spec.trim().to_string());
+            match Flow::parse(spec) {
+                Ok(flow) => (flow, preset, None),
+                Err(cmd) => {
+                    return error_response(
+                        400,
+                        "flow",
+                        &format!("`{cmd}` is neither a preset nor a transform"),
+                    )
+                }
+            }
+        }
+        (None, Some(seed)) => match seed.parse::<u64>() {
+            Ok(seed) => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                (FlowSpace::paper().random_flow(&mut rng), None, Some(seed))
+            }
+            Err(_) => return error_response(400, "flow", "random needs a numeric seed"),
+        },
+        (None, None) => {
+            return error_response(
+                400,
+                "flow",
+                "one of flow=<spec> or random=<seed> is required",
+            )
+        }
+    };
+
+    // --- Parse the design from the body. ---
+    if request.body.is_empty() {
+        return error_response(400, "design", "request body must carry a design netlist");
+    }
+    let format = match request.query_param("format").as_deref() {
+        Some("aag") => Format::AigerAscii,
+        Some("aig") => Format::AigerBinary,
+        Some("blif") => Format::Blif,
+        Some(other) => return error_response(400, "design", &format!("unknown format `{other}`")),
+        None => match Format::from_content(&request.body) {
+            Ok(format) => format,
+            Err(e) => return error_response(400, "design", &e.to_string()),
+        },
+    };
+    let design = match aig::io::parse_design(&request.body, format) {
+        Ok(design) => design,
+        Err(e) => return error_response(400, "parse", &e.to_string()),
+    };
+
+    let export_format = match request.query_param("export").as_deref() {
+        None => None,
+        Some("aag") => Some(Format::AigerAscii),
+        Some("blif") => Some(Format::Blif),
+        Some("aig") => {
+            return error_response(
+                400,
+                "export",
+                "binary AIGER cannot ride a JSON string; request export=aag",
+            )
+        }
+        Some(other) => return error_response(400, "export", &format!("unknown format `{other}`")),
+    };
+    let want_timing = flag(request, "timing");
+    let want_verify = flag(request, "verify");
+
+    // --- Evaluate through the shared engine with this worker's context. ---
+    let stats_before = shared.engine.stats();
+    let _ = pctx.take_timings(); // request-local breakdown starts here
+    let qor = shared
+        .engine
+        .evaluate_flow_with_ctx(&design, flow.transforms(), pctx);
+
+    // Export (and explicit verification) need the optimized netlist itself,
+    // which the engine keeps inside its cache; rerun the flow through the
+    // recycling context.  Both paths are deterministic and bit-identical.
+    let mut export = None;
+    if export_format.is_some() || want_verify {
+        let optimized = pctx.run_flow(&design, flow.transforms());
+        if want_verify && !random_equivalence_check(&design, &optimized, 8, VERIFY_SEED) {
+            return error_response(
+                500,
+                "verify",
+                "optimized network is not equivalent to the input design",
+            );
+        }
+        if let Some(format) = export_format {
+            let rendered = aig::io::render_design(&optimized, format);
+            match String::from_utf8(rendered) {
+                Ok(netlist) => {
+                    export = Some(ExportReport {
+                        path: format!("wire:{}", format.extension()),
+                        format: format.extension().to_string(),
+                        ands: optimized.num_ands(),
+                        depth: optimized.depth(),
+                        netlist: Some(netlist),
+                    })
+                }
+                Err(_) => return error_response(500, "export", "rendered netlist is not UTF-8"),
+            }
+        }
+        pctx.recycle(optimized);
+    }
+    let timings = pctx.take_timings();
+    shared.engine.absorb_timings(&timings);
+
+    let report = RunReport {
+        design: design_report(&design, format),
+        flow: FlowReport {
+            script: flow.to_script(),
+            preset,
+            random_seed,
+            length: flow.len(),
+        },
+        qor,
+        eval: shared.engine.stats().since(&stats_before),
+        timing: want_timing.then(|| TimingReport::of(&timings)),
+        export,
+    };
+    match serde_json::to_string(&report) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => error_response(500, "internal", &format!("report serialization: {e}")),
+    }
+}
+
+fn design_report(design: &Aig, format: Format) -> DesignReport {
+    DesignReport::of(design, &format!("wire:{}", format.extension()))
+}

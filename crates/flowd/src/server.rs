@@ -1,0 +1,348 @@
+//! The daemon core: listener, bounded queue, worker pool, graceful drain.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use floweval::{EngineConfig, EvalEngine};
+use httpwire::{read_request, write_response, HttpError, Limits, Response};
+use synth::PassContext;
+
+use crate::protocol;
+
+/// Configuration of one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads; each owns one long-lived [`PassContext`].
+    pub workers: usize,
+    /// Connections allowed to wait for a worker before new ones get `503`.
+    pub queue_capacity: usize,
+    /// A connection that waited longer than this is rejected (`503` +
+    /// `Retry-After`) when a worker picks it up.
+    pub request_timeout_ms: u64,
+    /// Idle keep-alive connections are closed after this long.
+    pub keep_alive_idle_ms: u64,
+    /// Requests served per connection before the daemon forces a reconnect
+    /// (keeps long-lived clients from pinning a worker forever).
+    pub max_keepalive_requests: usize,
+    /// Largest accepted request body (the design netlist).
+    pub max_body_bytes: usize,
+    /// Engine configuration (store path, verification, cache budgets).
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            queue_capacity: 64,
+            request_timeout_ms: 5_000,
+            keep_alive_idle_ms: 2_000,
+            max_keepalive_requests: 256,
+            max_body_bytes: 8 * 1024 * 1024,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Monotonic service counters (lock-free; exposed through `/stats`).
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) requests_received: AtomicU64,
+    pub(crate) requests_served: AtomicU64,
+    pub(crate) rejected_queue_full: AtomicU64,
+    pub(crate) rejected_wait_timeout: AtomicU64,
+    pub(crate) client_errors: AtomicU64,
+    pub(crate) handler_panics: AtomicU64,
+}
+
+/// One accepted connection waiting for a worker.
+struct Job {
+    stream: TcpStream,
+    enqueued: Instant,
+}
+
+/// State shared by the acceptor, the workers and `/stats`.
+pub(crate) struct Shared {
+    pub(crate) engine: EvalEngine,
+    pub(crate) config: ServerConfig,
+    pub(crate) counters: Counters,
+    pub(crate) busy_workers: AtomicUsize,
+    pub(crate) started: Instant,
+    pub(crate) draining: AtomicBool,
+    pub(crate) addr: OnceLock<SocketAddr>,
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+}
+
+impl Shared {
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("queue lock").len()
+    }
+
+    /// Starts the graceful drain: no new connections, queued work finishes.
+    pub(crate) fn initiate_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return; // already draining
+        }
+        self.job_ready.notify_all();
+        // The acceptor blocks in `accept()`; poke it awake so it can exit.
+        if let Some(addr) = self.addr.get() {
+            let _ = TcpStream::connect_timeout(addr, Duration::from_millis(250));
+        }
+    }
+}
+
+/// A running daemon.  Dropping the handle does **not** stop the service;
+/// call [`Server::shutdown`] then [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the acceptor and worker threads.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let engine = EvalEngine::new(config.engine.clone());
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            counters: Counters::default(),
+            busy_workers: AtomicUsize::new(0),
+            started: Instant::now(),
+            draining: AtomicBool::new(false),
+            addr: OnceLock::new(),
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+        });
+        shared.addr.set(addr).expect("addr set once");
+
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("flowd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("flowd-acceptor".to_string())
+                .spawn(move || accept_loop(&shared, listener))
+                .expect("spawn acceptor")
+        };
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        *self.shared.addr.get().expect("addr set at start")
+    }
+
+    /// The engine behind the service (handy for in-process comparisons).
+    pub fn engine(&self) -> &EvalEngine {
+        &self.shared.engine
+    }
+
+    /// Initiates the graceful drain (same as `POST /shutdown`).
+    pub fn shutdown(&self) {
+        self.shared.initiate_drain();
+    }
+
+    /// Waits until acceptor and workers exit, then flushes the QoR store.
+    pub fn join(mut self) -> std::io::Result<()> {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.engine.flush_store()
+    }
+}
+
+/// Accepts connections and applies admission control.
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            // Whatever woke us (a real client or the drain self-connect)
+            // gets a polite close if it was a real request.
+            if let Ok(mut stream) = stream {
+                let _ = write_response(&mut stream, &protocol::unavailable("draining"));
+            }
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared
+            .counters
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        let mut queue = shared.queue.lock().expect("queue lock");
+        if queue.len() >= shared.config.queue_capacity {
+            drop(queue);
+            shared
+                .counters
+                .rejected_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = write_response(&mut stream, &protocol::unavailable("queue full"));
+            continue;
+        }
+        queue.push_back(Job {
+            stream,
+            enqueued: Instant::now(),
+        });
+        drop(queue);
+        shared.job_ready.notify_one();
+    }
+}
+
+/// One worker: owns a recycling [`PassContext`] across all its requests.
+fn worker_loop(shared: &Shared) {
+    let mut pctx = PassContext::default();
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.job_ready.wait(queue).expect("queue lock");
+            }
+        };
+        let Some(job) = job else { return };
+        shared.busy_workers.fetch_add(1, Ordering::Relaxed);
+        serve_connection(shared, job, &mut pctx);
+        shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Serves one connection until close, idle timeout or drain.
+fn serve_connection(shared: &Shared, job: Job, pctx: &mut PassContext) {
+    let mut writer = job.stream;
+    if job.enqueued.elapsed() >= Duration::from_millis(shared.config.request_timeout_ms) {
+        shared
+            .counters
+            .rejected_wait_timeout
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = write_response(&mut writer, &protocol::unavailable("request timeout"));
+        return;
+    }
+    let _ = writer.set_read_timeout(Some(Duration::from_millis(
+        shared.config.keep_alive_idle_ms.max(1),
+    )));
+    let _ = writer.set_nodelay(true);
+    let Ok(read_half) = writer.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let limits = Limits {
+        max_body_bytes: shared.config.max_body_bytes,
+        ..Limits::default()
+    };
+    let mut served = 0usize;
+    loop {
+        let request = match read_request(&mut reader, &limits) {
+            Ok(request) => request,
+            Err(HttpError::Closed { .. }) => return,
+            Err(HttpError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return; // idle keep-alive connection
+            }
+            Err(HttpError::Io(_)) => return,
+            Err(HttpError::BadRequest(message)) => {
+                shared
+                    .counters
+                    .client_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut writer,
+                    &protocol::error_response(400, "bad-request", &message)
+                        .with_header("connection", "close"),
+                );
+                return;
+            }
+            Err(HttpError::TooLarge(message)) => {
+                shared
+                    .counters
+                    .client_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut writer,
+                    &protocol::error_response(413, "too-large", &message)
+                        .with_header("connection", "close"),
+                );
+                return;
+            }
+        };
+        shared
+            .counters
+            .requests_received
+            .fetch_add(1, Ordering::Relaxed);
+        let mut response = dispatch(shared, &request, pctx);
+        served += 1;
+        let closing = shared.draining.load(Ordering::SeqCst)
+            || served >= shared.config.max_keepalive_requests
+            || request.wants_close()
+            || response.closes_connection();
+        if closing {
+            response = response.with_header("connection", "close");
+        }
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+        shared
+            .counters
+            .requests_served
+            .fetch_add(1, Ordering::Relaxed);
+        if closing {
+            return;
+        }
+    }
+}
+
+/// Routes one request, converting handler panics into `500`s so a poisoned
+/// request can never thin out the worker pool.
+fn dispatch(shared: &Shared, request: &httpwire::Request, pctx: &mut PassContext) -> Response {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        protocol::handle(shared, request, pctx)
+    }));
+    match outcome {
+        Ok(response) => response,
+        Err(_) => {
+            // The context may hold arbitrary intermediate state; discard it.
+            *pctx = PassContext::default();
+            shared
+                .counters
+                .handler_panics
+                .fetch_add(1, Ordering::Relaxed);
+            protocol::error_response(500, "internal", "request handler panicked")
+                .with_header("connection", "close")
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! End-to-end tests of the daemon over real loopback sockets.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use circuits::{Design, DesignScale};
+use flowc::report::RunReport;
+use flowd::{Server, ServerConfig};
+use floweval::{EngineConfig, EvalEngine};
+use httpwire::{read_response, write_request, Limits, Request, Response};
+use synth::Transform;
+
+fn tiny_server(workers: usize) -> Server {
+    Server::start(ServerConfig {
+        workers,
+        queue_capacity: 8,
+        engine: EngineConfig {
+            cache_budget_aig_nodes: 100_000,
+            ..EngineConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("start server")
+}
+
+fn roundtrip(addr: std::net::SocketAddr, request: &Request) -> Response {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write_request(&mut writer, request).expect("send");
+    read_response(&mut reader, &Limits::default()).expect("response")
+}
+
+fn run_request(design: &aig::Aig, query: &str) -> Request {
+    Request::new("POST", &format!("/run?{query}"))
+        .with_body(aig::io::render_design(design, aig::io::Format::AigerAscii))
+}
+
+fn body_text(response: &Response) -> String {
+    String::from_utf8_lossy(&response.body).into_owned()
+}
+
+#[test]
+fn healthz_stats_and_unknown_endpoints() {
+    let server = tiny_server(2);
+    let addr = server.addr();
+    let health = roundtrip(addr, &Request::new("GET", "/healthz"));
+    assert_eq!(health.status, 200);
+    assert!(body_text(&health).contains("\"status\":\"ok\""));
+
+    let stats = roundtrip(addr, &Request::new("GET", "/stats"));
+    assert_eq!(stats.status, 200);
+    let text = body_text(&stats);
+    for field in ["uptime_s", "workers", "queue", "requests", "eval", "cache"] {
+        assert!(text.contains(field), "stats missing `{field}`: {text}");
+    }
+
+    let missing = roundtrip(addr, &Request::new("GET", "/nope"));
+    assert_eq!(missing.status, 404);
+
+    server.shutdown();
+    server.join().expect("drain");
+}
+
+#[test]
+fn wire_qor_is_bit_identical_to_in_process_engine() {
+    let server = tiny_server(2);
+    let addr = server.addr();
+    let reference = EvalEngine::new(EngineConfig::default());
+    for design_kind in Design::ALL {
+        let design = design_kind.generate(DesignScale::Tiny);
+        for flow_spec in ["resyn2", "balance; rewrite -z; refactor"] {
+            let flow = flowgen::Flow::parse(flow_spec).expect("flow");
+            let expected = reference.evaluate_batch(&design, &[flow.transforms().to_vec()])[0];
+
+            let query = format!("flow={}", httpwire::percent_encode(flow_spec));
+            let response = roundtrip(addr, &run_request(&design, &query));
+            assert_eq!(response.status, 200, "body: {}", body_text(&response));
+            let report: RunReport = serde_json::from_str(&body_text(&response)).expect("report");
+            assert_eq!(report.qor, expected, "{design_kind:?} / {flow_spec}");
+            assert_eq!(report.flow.script, flow.to_script());
+            assert_eq!(
+                report.design.fingerprint,
+                floweval::fingerprint_design(&design).to_string(),
+                "wire roundtrip must preserve the structural fingerprint"
+            );
+        }
+    }
+    // The same flows again are pure store hits across connections.
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+    let response = roundtrip(addr, &run_request(&design, "flow=resyn2"));
+    let report: RunReport = serde_json::from_str(&body_text(&response)).expect("report");
+    assert_eq!(report.eval.store_hits, 1, "warm cache answers from store");
+    server.shutdown();
+    server.join().expect("drain");
+}
+
+#[test]
+fn random_flows_are_seed_deterministic() {
+    let server = tiny_server(2);
+    let addr = server.addr();
+    let design = Design::Montgomery64.generate(DesignScale::Tiny);
+    let first = roundtrip(addr, &run_request(&design, "random=42"));
+    let second = roundtrip(addr, &run_request(&design, "random=42"));
+    assert_eq!(first.status, 200);
+    let a: RunReport = serde_json::from_str(&body_text(&first)).expect("report");
+    let b: RunReport = serde_json::from_str(&body_text(&second)).expect("report");
+    assert_eq!(a.qor, b.qor);
+    assert_eq!(a.flow.script, b.flow.script);
+    assert_eq!(a.flow.random_seed, Some(42));
+    server.shutdown();
+    server.join().expect("drain");
+}
+
+#[test]
+fn timing_export_and_verify_sections() {
+    let server = tiny_server(1);
+    let addr = server.addr();
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+    let response = roundtrip(
+        addr,
+        &run_request(&design, "flow=compress&timing=1&export=aag&verify=1"),
+    );
+    assert_eq!(response.status, 200, "body: {}", body_text(&response));
+    let report: RunReport = serde_json::from_str(&body_text(&response)).expect("report");
+    let timing = report.timing.expect("timing section");
+    assert!(timing.passes.iter().any(|p| p.calls > 0));
+    let export = report.export.expect("export section");
+    assert_eq!(export.format, "aag");
+    let netlist = export.netlist.expect("inline netlist");
+    let optimized = aig::io::parse_design(netlist.as_bytes(), aig::io::Format::AigerAscii)
+        .expect("netlist parses");
+    assert_eq!(optimized.num_ands(), export.ands);
+    assert_eq!(optimized.num_ands(), report.qor.and_nodes);
+
+    // Binary export cannot ride JSON and is refused up front.
+    let response = roundtrip(addr, &run_request(&design, "flow=compress&export=aig"));
+    assert_eq!(response.status, 400);
+    server.shutdown();
+    server.join().expect("drain");
+}
+
+#[test]
+fn malformed_inputs_get_400_and_workers_survive() {
+    let server = tiny_server(1);
+    let addr = server.addr();
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+
+    // Garbage design bytes → typed 400, not a dead worker.
+    let garbage = Request::new("POST", "/run?flow=resyn2").with_body(b"aag 1 2 3".to_vec());
+    let response = roundtrip(addr, &garbage);
+    assert_eq!(response.status, 400, "body: {}", body_text(&response));
+    assert!(body_text(&response).contains("error"));
+
+    // Unknown flow command → 400.
+    let response = roundtrip(addr, &run_request(&design, "flow=frobnicate"));
+    assert_eq!(response.status, 400);
+
+    // Missing flow spec → 400.
+    let response = roundtrip(addr, &run_request(&design, "format=aag"));
+    assert_eq!(response.status, 400);
+
+    // The single worker still serves real requests afterwards.
+    let response = roundtrip(addr, &run_request(&design, "flow=resyn2"));
+    assert_eq!(response.status, 200);
+    server.shutdown();
+    server.join().expect("drain");
+}
+
+#[test]
+fn overload_gets_clean_503_with_retry_after() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        keep_alive_idle_ms: 10_000,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = server.addr();
+
+    // Pin the single worker with an open keep-alive connection.
+    let pin = TcpStream::connect(addr).expect("connect");
+    pin.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut pin_writer = pin.try_clone().unwrap();
+    let mut pin_reader = BufReader::new(pin.try_clone().unwrap());
+    write_request(&mut pin_writer, &Request::new("GET", "/healthz")).unwrap();
+    let first = read_response(&mut pin_reader, &Limits::default()).expect("pinned healthz");
+    assert_eq!(first.status, 200);
+
+    // Fill the single queue slot.
+    let _queued = TcpStream::connect(addr).expect("connect queued");
+    std::thread::sleep(Duration::from_millis(200)); // let the acceptor enqueue it
+
+    // The next connection must be rejected immediately with backpressure —
+    // the 503 arrives before any request is even sent.
+    let stream = TcpStream::connect(addr).expect("connect rejected");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let rejected = read_response(&mut reader, &Limits::default()).expect("503 response");
+    assert_eq!(rejected.status, 503, "body: {}", body_text(&rejected));
+    assert_eq!(
+        rejected.headers.get("retry-after").map(String::as_str),
+        Some("1")
+    );
+    assert!(rejected.closes_connection());
+
+    drop(pin); // release the worker so the drain below finishes quickly
+    server.shutdown();
+    server.join().expect("drain");
+}
+
+#[test]
+fn shutdown_drains_gracefully() {
+    let server = tiny_server(2);
+    let addr = server.addr();
+    let design = Design::Aes128.generate(DesignScale::Tiny);
+    let response = roundtrip(addr, &run_request(&design, "flow=resyn"));
+    assert_eq!(response.status, 200);
+
+    let bye = roundtrip(addr, &Request::new("POST", "/shutdown"));
+    assert_eq!(bye.status, 200);
+    assert!(bye.closes_connection());
+    server.join().expect("drain");
+
+    // The port is released: connections are refused or immediately closed.
+    match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+        Err(_) => {}
+        Ok(stream) => {
+            stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let outcome = write_request(&mut writer, &Request::new("GET", "/healthz"))
+                .map_err(|_| ())
+                .and_then(|_| read_response(&mut reader, &Limits::default()).map_err(|_| ()));
+            assert!(outcome.is_err(), "drained server must not answer");
+        }
+    }
+}
+
+#[test]
+fn evaluate_flow_with_ctx_matches_batch_engine() {
+    // The service path (`evaluate_flow_with_ctx`) against the batch path, on
+    // the embedded engine — no sockets, pure engine-level pin.
+    let engine = EvalEngine::new(EngineConfig::default());
+    let mut pctx = synth::PassContext::default();
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+    let flow = vec![
+        Transform::Balance,
+        Transform::Rewrite,
+        Transform::RefactorZ,
+        Transform::Balance,
+    ];
+    let service = engine.evaluate_flow_with_ctx(&design, &flow, &mut pctx);
+    let reference = EvalEngine::new(EngineConfig::default());
+    let batch = reference.evaluate_batch(&design, std::slice::from_ref(&flow))[0];
+    assert_eq!(service, batch);
+    // Second call is a store hit, not a re-evaluation.
+    let again = engine.evaluate_flow_with_ctx(&design, &flow, &mut pctx);
+    assert_eq!(again, service);
+    assert_eq!(engine.stats().store_hits, 1);
+}

@@ -27,6 +27,7 @@ use std::sync::Mutex;
 use aig::{random_equivalence_check, Aig, NodeKind};
 use flow_core::{Fingerprint, Fnv64};
 use rayon::prelude::*;
+use serde::Serialize;
 use synth::{
     map_with_ctx, CellLibrary, FlowRunner, MapperParams, PassContext, PassTimings, Qor, Transform,
 };
@@ -52,6 +53,14 @@ pub struct EngineConfig {
     /// the input design (the analogue of `FlowRunner::with_verification`).
     /// A verification failure panics: it means a synthesis pass is broken.
     pub verify: bool,
+    /// Number of independent locks the per-design trie cache is sharded
+    /// over.  Concurrent clients working on different designs contend only
+    /// when their design fingerprints land on the same shard.
+    pub trie_shards: usize,
+    /// Maximum number of design tries resident across all shards; beyond it,
+    /// least-recently-used designs are evicted whole (their persistent-store
+    /// records survive, only the memoized intermediate AIGs are dropped).
+    pub max_resident_designs: usize,
 }
 
 impl Default for EngineConfig {
@@ -62,18 +71,78 @@ impl Default for EngineConfig {
             split_depth: 2,
             store_path: None,
             verify: false,
+            trie_shards: 16,
+            max_resident_designs: 64,
         }
     }
 }
 
-/// Mutable engine state behind one lock: the store, the per-design tries and
-/// the cumulative statistics.
-#[derive(Debug)]
-struct EngineState {
-    store: QorStore,
-    tries: HashMap<Fingerprint, FlowTrie>,
+/// Cumulative statistics behind one (cheap, rarely contended) lock.
+#[derive(Debug, Default)]
+struct StatsState {
     stats: EvalStats,
     timings: PassTimings,
+}
+
+/// One shard of the per-design trie cache: a slice of the design space keyed
+/// by fingerprint, under its own lock.
+#[derive(Debug, Default)]
+struct TrieShard {
+    tries: HashMap<Fingerprint, TrieSlot>,
+    /// Shard-local LRU clock, bumped on every touch.
+    clock: u64,
+}
+
+/// A resident design trie.  `trie` is `None` while a batch has the trie
+/// checked out (the batch returns it on commit).
+#[derive(Debug)]
+struct TrieSlot {
+    trie: Option<FlowTrie>,
+    last_used: u64,
+}
+
+impl TrieShard {
+    /// Bumps the clock and returns the new value.
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Evicts least-recently-used resident tries until at most `cap` remain.
+    /// Checked-out slots are skipped: their batch will re-insert them, and
+    /// dropping the slot would only lose the LRU stamp.
+    fn evict_to(&mut self, cap: usize) {
+        while self.tries.len() > cap {
+            let victim = self
+                .tries
+                .iter()
+                .filter(|(_, slot)| slot.trie.is_some())
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(fp, _)| *fp);
+            match victim {
+                Some(fp) => {
+                    self.tries.remove(&fp);
+                }
+                None => break, // everything is checked out
+            }
+        }
+    }
+}
+
+/// A point-in-time summary of the shared trie cache, for monitoring
+/// endpoints (`flowd /stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CacheSummary {
+    /// Designs with a resident prefix trie.
+    pub resident_designs: usize,
+    /// Tries currently checked out by an in-flight batch.
+    pub checked_out: usize,
+    /// Trie nodes (distinct prefixes) across all resident tries.
+    pub prefixes: usize,
+    /// Prefixes holding a memoized intermediate AIG.
+    pub cached_prefixes: usize,
+    /// Total AIG nodes held by memoized intermediates.
+    pub cached_aig_nodes: usize,
 }
 
 /// The cache-aware flow-evaluation engine.
@@ -100,7 +169,13 @@ pub struct EvalEngine {
     mapper: MapperParams,
     config_fp: Fingerprint,
     config: EngineConfig,
-    state: Mutex<EngineState>,
+    /// The persistent QoR store.  Lookups and appends are short critical
+    /// sections; evaluation never runs under this lock.
+    store: Mutex<QorStore>,
+    /// The per-design prefix-trie cache, sharded by design fingerprint so
+    /// concurrent clients on different designs take different locks.
+    shards: Vec<Mutex<TrieShard>>,
+    stats: Mutex<StatsState>,
 }
 
 impl Default for EvalEngine {
@@ -128,17 +203,17 @@ impl EvalEngine {
             None => QorStore::in_memory(),
         };
         let config_fp = fingerprint_config(&library, mapper);
+        let shard_count = config.trie_shards.max(1);
         EvalEngine {
             library,
             mapper,
             config_fp,
             config,
-            state: Mutex::new(EngineState {
-                store,
-                tries: HashMap::new(),
-                stats: EvalStats::default(),
-                timings: PassTimings::default(),
-            }),
+            store: Mutex::new(store),
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(TrieShard::default()))
+                .collect(),
+            stats: Mutex::new(StatsState::default()),
         }
     }
 
@@ -164,12 +239,12 @@ impl EvalEngine {
 
     /// Cumulative statistics since engine creation.
     pub fn stats(&self) -> EvalStats {
-        self.state.lock().expect("engine lock").stats
+        self.stats.lock().expect("stats lock").stats
     }
 
     /// Resets the cumulative statistics (the caches are kept).
     pub fn reset_stats(&self) {
-        let mut state = self.state.lock().expect("engine lock");
+        let mut state = self.stats.lock().expect("stats lock");
         state.stats = EvalStats::default();
         state.timings = PassTimings::default();
     }
@@ -177,12 +252,75 @@ impl EvalEngine {
     /// Cumulative per-pass timing breakdown of every transform and mapping
     /// the engine executed (merged across the parallel workers' contexts).
     pub fn pass_timings(&self) -> PassTimings {
-        self.state.lock().expect("engine lock").timings
+        self.stats.lock().expect("stats lock").timings
+    }
+
+    /// Merges externally recorded pass timings (e.g. from a service worker's
+    /// own [`PassContext`] driving [`EvalEngine::evaluate_flow_with_ctx`])
+    /// into the engine's cumulative breakdown.
+    pub fn absorb_timings(&self, timings: &PassTimings) {
+        self.stats
+            .lock()
+            .expect("stats lock")
+            .timings
+            .merge(timings);
     }
 
     /// Number of records in the persistent QoR store.
     pub fn store_len(&self) -> usize {
-        self.state.lock().expect("engine lock").store.len()
+        self.store.lock().expect("store lock").len()
+    }
+
+    /// Forces buffered store appends down to the OS (used on service drain).
+    pub fn flush_store(&self) -> std::io::Result<()> {
+        self.store.lock().expect("store lock").flush()
+    }
+
+    /// Compacts the persistent QoR store in place (see [`QorStore::compact`]).
+    pub fn compact_store(&self) -> std::io::Result<crate::store::CompactionReport> {
+        self.store.lock().expect("store lock").compact()
+    }
+
+    /// A point-in-time summary of the sharded trie cache.
+    pub fn cache_summary(&self) -> CacheSummary {
+        let mut summary = CacheSummary::default();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock");
+            for slot in shard.tries.values() {
+                summary.resident_designs += 1;
+                match &slot.trie {
+                    Some(trie) => {
+                        summary.prefixes += trie.len();
+                        summary.cached_prefixes += trie.cached_prefixes();
+                        summary.cached_aig_nodes += trie.cached_aig_nodes();
+                    }
+                    None => summary.checked_out += 1,
+                }
+            }
+        }
+        summary
+    }
+
+    /// The shard holding `design_fp`'s trie.
+    fn shard(&self, design_fp: Fingerprint) -> &Mutex<TrieShard> {
+        &self.shards[(design_fp.0 as usize) % self.shards.len()]
+    }
+
+    /// Per-shard cap on resident designs implied by the process-wide limit.
+    fn per_shard_design_cap(&self) -> usize {
+        self.config
+            .max_resident_designs
+            .div_ceil(self.shards.len())
+            .max(1)
+    }
+
+    /// Commits one batch's counters (and optional worker timings).
+    fn commit_stats(&self, batch: &EvalStats, timings: Option<&PassTimings>) {
+        let mut state = self.stats.lock().expect("stats lock");
+        if let Some(t) = timings {
+            state.timings.merge(t);
+        }
+        state.stats.absorb(batch);
     }
 
     /// Evaluates a batch of flows on `design`, returning QoR in input order.
@@ -217,14 +355,13 @@ impl EvalEngine {
             })
             .collect();
 
-        // Phase 1 (locked): persistent-store lookups + trie check-out.
+        // Phase 1a (store-locked): persistent-store lookups.
         let mut results: Vec<Option<Qor>> = Vec::with_capacity(flows.len());
         let mut misses: Vec<usize> = Vec::new();
-        let mut trie: Option<FlowTrie> = None;
         {
-            let mut state = self.state.lock().expect("engine lock");
+            let store = self.store.lock().expect("store lock");
             for key in &keys {
-                match state.store.get(key) {
+                match store.get(key) {
                     Some(qor) => {
                         batch.store_hits += 1;
                         results.push(Some(qor));
@@ -235,16 +372,27 @@ impl EvalEngine {
                     }
                 }
             }
-            if !misses.is_empty() {
-                trie = Some(
-                    state
-                        .tries
-                        .remove(&design_fp)
-                        .unwrap_or_else(|| FlowTrie::new(self.config.cache_budget_aig_nodes)),
-                );
-            }
         }
         batch.flows_evaluated = misses.len();
+
+        // Phase 1b (shard-locked): trie check-out.  While checked out the
+        // slot stays resident with `trie = None`; a concurrent batch on the
+        // same design starts a fresh trie (duplicated work, correct results).
+        let mut trie: Option<FlowTrie> = None;
+        if !misses.is_empty() {
+            let mut shard = self.shard(design_fp).lock().expect("shard lock");
+            let clock = shard.tick();
+            let slot = shard.tries.entry(design_fp).or_insert(TrieSlot {
+                trie: None,
+                last_used: clock,
+            });
+            slot.last_used = clock;
+            trie = Some(
+                slot.trie
+                    .take()
+                    .unwrap_or_else(|| FlowTrie::new(self.config.cache_budget_aig_nodes)),
+            );
+        }
 
         // Phase 2 (unlocked): trie evaluation, parallel across subtrees.
         let mut evaluated: Vec<(usize, Qor)> = Vec::new();
@@ -254,27 +402,175 @@ impl EvalEngine {
                 self.evaluate_misses(trie, design, flows, &misses, &mut batch, &mut timings);
         }
 
-        // Phase 3 (locked): commit results, trie and statistics.
+        // Phase 3 (locked in store → shard → stats order): commit results,
+        // return the trie and absorb statistics.
         {
-            let mut state = self.state.lock().expect("engine lock");
-            state.timings.merge(&timings);
+            let mut store = self.store.lock().expect("store lock");
             for &(idx, qor) in &evaluated {
-                state.store.insert(keys[idx].clone(), qor);
+                store.insert(keys[idx].clone(), qor);
                 results[idx] = Some(qor);
             }
-            if let Some(trie) = trie {
-                // On a same-design race the last writer wins; the loser's
-                // cached prefixes are advisory and safe to drop.
-                state.tries.insert(design_fp, trie);
-            }
-            let _ = state.store.flush();
-            batch.wall_s = start.elapsed().as_secs_f64();
-            state.stats.absorb(&batch);
+            let _ = store.flush();
         }
+        if let Some(trie) = trie {
+            let cap = self.per_shard_design_cap();
+            let mut shard = self.shard(design_fp).lock().expect("shard lock");
+            let clock = shard.tick();
+            // On a same-design race the last writer wins; the loser's
+            // cached prefixes are advisory and safe to drop.
+            shard.tries.insert(
+                design_fp,
+                TrieSlot {
+                    trie: Some(trie),
+                    last_used: clock,
+                },
+            );
+            shard.evict_to(cap);
+        }
+        batch.wall_s = start.elapsed().as_secs_f64();
+        self.commit_stats(&batch, Some(&timings));
         results
             .into_iter()
             .map(|q| q.expect("every flow evaluated"))
             .collect()
+    }
+
+    /// Evaluates **one** flow with a caller-owned [`PassContext`], sharing
+    /// the persistent store and the sharded prefix-trie cache with every
+    /// other client of this engine.
+    ///
+    /// This is the request path of the `flowd` service: each worker thread
+    /// owns one long-lived context (per PR 5's one-context-per-flow design)
+    /// and drives it through here, so arena buffers and analysis caches are
+    /// recycled across requests while QoR results and memoized prefixes are
+    /// shared process-wide.  Results are bit-identical to
+    /// [`EvalEngine::evaluate_batch`] and `FlowRunner::run`.
+    ///
+    /// Locking: a store lookup, then one short shard critical section to
+    /// borrow the deepest memoized prefix, then evaluation entirely outside
+    /// any lock, then short commit sections.  Pass timings stay in `pctx`;
+    /// callers that want them aggregated call [`EvalEngine::absorb_timings`].
+    pub fn evaluate_flow_with_ctx(
+        &self,
+        design: &Aig,
+        flow: &[Transform],
+        pctx: &mut PassContext,
+    ) -> Qor {
+        let start = std::time::Instant::now();
+        let design_fp = fingerprint_design(design);
+        let key = StoreKey {
+            design: design_fp,
+            config: self.config_fp,
+            flow: flow_script(flow),
+        };
+        let mut batch = EvalStats {
+            flows_requested: 1,
+            passes_requested: flow.len(),
+            ..EvalStats::default()
+        };
+        if let Some(qor) = self.store.lock().expect("store lock").get(&key) {
+            batch.store_hits = 1;
+            batch.wall_s = start.elapsed().as_secs_f64();
+            self.commit_stats(&batch, None);
+            return qor;
+        }
+        batch.flows_evaluated = 1;
+
+        // Phase 1 (shard-locked): copy out the deepest memoized prefix of
+        // this flow.  `done` counts the transforms already reflected in `g`.
+        let mut g = pctx.take_buf();
+        let mut done = 0usize;
+        let mut seeded = false;
+        {
+            let mut shard = self.shard(design_fp).lock().expect("shard lock");
+            let clock = shard.tick();
+            let budget = self.config.cache_budget_aig_nodes;
+            let slot = shard.tries.entry(design_fp).or_insert(TrieSlot {
+                trie: Some(FlowTrie::new(budget)),
+                last_used: clock,
+            });
+            slot.last_used = clock;
+            if let Some(trie) = slot.trie.as_mut() {
+                if trie.peek_aig(TRIE_ROOT).is_none() {
+                    trie.cache_aig(TRIE_ROOT, design.cleanup());
+                }
+                trie.insert(flow);
+                let mut node = TRIE_ROOT;
+                let mut best = (TRIE_ROOT, 0usize);
+                for (i, &t) in flow.iter().enumerate() {
+                    node = trie.child(node, t).expect("path inserted above");
+                    if trie.peek_aig(node).is_some() {
+                        best = (node, i + 1);
+                    }
+                }
+                let (best_node, best_depth) = best;
+                let hit = trie.cached_aig(best_node).expect("root always cached");
+                g.copy_from(hit);
+                done = best_depth;
+                seeded = true;
+                if best_depth > 0 {
+                    batch.trie_hits += 1;
+                }
+            }
+        }
+        if !seeded {
+            // The trie is checked out by a concurrent batch: evaluate cold.
+            g.copy_from(design);
+            pctx.ensure_clean(&mut g);
+        }
+
+        // Phase 2 (unlocked): apply the remaining transforms, cloning the
+        // shallow intermediates as cache candidates.
+        let mut candidates: Vec<(usize, Aig)> = Vec::new();
+        for &t in &flow[done..] {
+            pctx.apply(t, &mut g);
+            batch.passes_applied += 1;
+            done += 1;
+            if seeded
+                && done <= self.config.cache_depth
+                && g.len() <= self.config.cache_budget_aig_nodes
+            {
+                candidates.push((done, g.clone()));
+            }
+        }
+        if self.config.verify && !random_equivalence_check(design, &g, 8, VERIFY_SEED) {
+            panic!(
+                "floweval verification failed: flow `{}` changed the function of `{}`",
+                key.flow,
+                design.name()
+            );
+        }
+        let qor = self.map_terminal(pctx, &g);
+        batch.mappings_run = 1;
+        pctx.recycle(g);
+
+        // Phase 3 (locked): publish cache candidates and the result.  The
+        // prefix path is re-resolved by transforms — node ids must not be
+        // held across the unlocked phase, the trie may have been evicted or
+        // rebuilt meanwhile.
+        if !candidates.is_empty() {
+            let mut shard = self.shard(design_fp).lock().expect("shard lock");
+            let clock = shard.tick();
+            if let Some(slot) = shard.tries.get_mut(&design_fp) {
+                slot.last_used = clock;
+                if let Some(trie) = slot.trie.as_mut() {
+                    for (depth, aig) in candidates {
+                        let node = trie.insert(&flow[..depth]);
+                        if trie.peek_aig(node).is_none() {
+                            trie.cache_aig(node, aig);
+                        }
+                    }
+                }
+            }
+        }
+        {
+            let mut store = self.store.lock().expect("store lock");
+            store.insert(key, qor);
+            let _ = store.flush();
+        }
+        batch.wall_s = start.elapsed().as_secs_f64();
+        self.commit_stats(&batch, None);
+        qor
     }
 
     /// Evaluates the store misses through the prefix trie.

@@ -52,7 +52,9 @@ mod stats;
 mod store;
 mod trie;
 
-pub use engine::{fingerprint_config, fingerprint_design, flow_script, EngineConfig, EvalEngine};
+pub use engine::{
+    fingerprint_config, fingerprint_design, flow_script, CacheSummary, EngineConfig, EvalEngine,
+};
 pub use stats::EvalStats;
-pub use store::{QorStore, StoreKey};
+pub use store::{CompactionReport, QorStore, StoreKey};
 pub use trie::{FlowTrie, TrieNodeId, TRIE_ROOT};

@@ -53,6 +53,22 @@ pub struct QorStore {
     path: Option<PathBuf>,
     loaded: usize,
     skipped: usize,
+    duplicates: usize,
+}
+
+/// What [`QorStore::compact`] did to the backing file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CompactionReport {
+    /// Distinct records surviving compaction.
+    pub records: usize,
+    /// Duplicate lines (same key appearing more than once) dropped.
+    pub duplicates_dropped: usize,
+    /// Malformed lines dropped.
+    pub malformed_dropped: usize,
+    /// File size before compaction, in bytes.
+    pub bytes_before: u64,
+    /// File size after compaction, in bytes.
+    pub bytes_after: u64,
 }
 
 impl QorStore {
@@ -65,12 +81,20 @@ impl QorStore {
             path: None,
             loaded: 0,
             skipped: 0,
+            duplicates: 0,
         }
     }
 
     /// Opens (or creates) a JSON-lines store at `path`, loading every valid
     /// record.  Malformed lines — e.g. a torn final line after a crash — are
     /// counted in [`QorStore::skipped_records`] and otherwise ignored.
+    ///
+    /// Duplicate keys (which arise when several processes append to one file,
+    /// or when two stores are concatenated) resolve **last-write-wins**: the
+    /// record appended last is the one served, matching append order.  The
+    /// number of superseded lines is reported by
+    /// [`QorStore::duplicate_records`]; [`QorStore::compact`] rewrites the
+    /// file without them.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
@@ -81,6 +105,7 @@ impl QorStore {
         let mut index = HashMap::new();
         let mut loaded = 0usize;
         let mut skipped = 0usize;
+        let mut duplicates = 0usize;
         let mut ends_mid_line = false;
         match File::open(&path) {
             Ok(mut file) => {
@@ -92,7 +117,11 @@ impl QorStore {
                     }
                     match parse_record(&line) {
                         Some((key, qor)) => {
-                            index.insert(key, qor);
+                            // Last-write-wins: a later line supersedes an
+                            // earlier one for the same key.
+                            if index.insert(key, qor).is_some() {
+                                duplicates += 1;
+                            }
                             loaded += 1;
                         }
                         None => skipped += 1,
@@ -114,6 +143,7 @@ impl QorStore {
             path: Some(path),
             loaded,
             skipped,
+            duplicates,
         })
     }
 
@@ -140,6 +170,79 @@ impl QorStore {
     /// Malformed lines skipped at open time.
     pub fn skipped_records(&self) -> usize {
         self.skipped
+    }
+
+    /// Superseded duplicate lines observed at open time (last write won).
+    pub fn duplicate_records(&self) -> usize {
+        self.duplicates
+    }
+
+    /// Rewrites the backing file to exactly one line per key, dropping
+    /// superseded duplicates and malformed lines, then reopens the append
+    /// writer.  Records are written in a stable order (sorted by design,
+    /// config, flow) so compacting the same store twice produces identical
+    /// bytes.
+    ///
+    /// The rewrite goes through a sibling temp file followed by an atomic
+    /// rename, so a crash mid-compaction leaves either the old or the new
+    /// file, never a torn one.  No-op (returning zero counts) for in-memory
+    /// stores.
+    pub fn compact(&mut self) -> std::io::Result<CompactionReport> {
+        let Some(path) = self.path.clone() else {
+            return Ok(CompactionReport {
+                records: self.index.len(),
+                duplicates_dropped: 0,
+                malformed_dropped: 0,
+                bytes_before: 0,
+                bytes_after: 0,
+            });
+        };
+        self.flush()?;
+        let bytes_before = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+        let mut entries: Vec<(&StoreKey, &Qor)> = self.index.iter().collect();
+        entries.sort_unstable_by(|(a, _), (b, _)| {
+            (a.design.0, a.config.0, &a.flow).cmp(&(b.design.0, b.config.0, &b.flow))
+        });
+        let mut body = String::new();
+        for (key, qor) in entries {
+            let record = QorRecord {
+                design: key.design.to_string(),
+                config: key.config.to_string(),
+                flow: key.flow.clone(),
+                qor: *qor,
+            };
+            match serde_json::to_string(&record) {
+                Ok(json) => {
+                    body.push_str(&json);
+                    body.push('\n');
+                }
+                Err(e) => {
+                    return Err(std::io::Error::other(format!(
+                        "cannot serialize store record: {e}"
+                    )))
+                }
+            }
+        }
+
+        let tmp = path.with_extension("compact.tmp");
+        // Drop the append handle before replacing the file it points at.
+        self.writer = None;
+        std::fs::write(&tmp, body.as_bytes())?;
+        std::fs::rename(&tmp, &path)?;
+        self.writer = Some(OpenOptions::new().create(true).append(true).open(&path)?);
+
+        let report = CompactionReport {
+            records: self.index.len(),
+            duplicates_dropped: self.duplicates,
+            malformed_dropped: self.skipped,
+            bytes_before,
+            bytes_after: body.len() as u64,
+        };
+        self.loaded = self.index.len();
+        self.duplicates = 0;
+        self.skipped = 0;
+        Ok(report)
     }
 
     /// Looks up a result.
@@ -317,6 +420,98 @@ mod tests {
         assert_eq!(store.skipped_records(), 1);
         assert_eq!(store.get(&key("rewrite")), Some(qor(2.0)));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Appends a raw record line for `key` with the given area, bypassing the
+    /// in-memory index — simulating another process appending to the file.
+    fn append_raw(path: &Path, key: &StoreKey, area: f64) {
+        use std::io::Write as _;
+        let record = QorRecord {
+            design: key.design.to_string(),
+            config: key.config.to_string(),
+            flow: key.flow.clone(),
+            qor: qor(area),
+        };
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("append");
+        writeln!(f, "{}", serde_json::to_string(&record).unwrap()).expect("write");
+    }
+
+    #[test]
+    fn duplicates_on_disk_resolve_last_write_wins() {
+        let dir = std::env::temp_dir().join(format!("floweval-dup-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("qor.jsonl");
+        let _ = std::fs::remove_file(&path);
+        append_raw(&path, &key("balance"), 1.0);
+        append_raw(&path, &key("rewrite"), 5.0);
+        append_raw(&path, &key("balance"), 2.0);
+        append_raw(&path, &key("balance"), 3.0);
+        let store = QorStore::open(&path).expect("open");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.loaded_records(), 4);
+        assert_eq!(store.duplicate_records(), 2);
+        assert_eq!(
+            store.get(&key("balance")),
+            Some(qor(3.0)),
+            "last write wins"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_drops_duplicates_and_is_idempotent() {
+        let dir = std::env::temp_dir().join(format!("floweval-compact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("qor.jsonl");
+        let _ = std::fs::remove_file(&path);
+        for area in [1.0, 2.0, 3.0] {
+            append_raw(&path, &key("balance"), area);
+        }
+        append_raw(&path, &key("rewrite"), 9.0);
+        {
+            // A torn line is dropped by compaction too.
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"design\":\"torn").unwrap();
+        }
+        let mut store = QorStore::open(&path).expect("open");
+        let report = store.compact().expect("compact");
+        assert_eq!(report.records, 2);
+        assert_eq!(report.duplicates_dropped, 2);
+        assert_eq!(report.malformed_dropped, 1);
+        assert!(report.bytes_after < report.bytes_before);
+
+        // Appends after compaction still land in the rewritten file.
+        store.insert(key("refactor"), qor(7.0));
+        drop(store);
+
+        let mut store = QorStore::open(&path).expect("reopen");
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.duplicate_records(), 0);
+        assert_eq!(store.skipped_records(), 0);
+        assert_eq!(store.get(&key("balance")), Some(qor(3.0)));
+        assert_eq!(store.get(&key("refactor")), Some(qor(7.0)));
+        // Stable order: compacting an already-compact store is byte-identical.
+        store.compact().expect("recompact");
+        let bytes_first = std::fs::read(&path).unwrap();
+        store.compact().expect("recompact again");
+        drop(store);
+        let bytes_second = std::fs::read(&path).unwrap();
+        assert_eq!(bytes_first, bytes_second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_compact_is_a_no_op() {
+        let mut store = QorStore::in_memory();
+        store.insert(key("balance"), qor(1.0));
+        let report = store.compact().expect("compact");
+        assert_eq!(report.records, 1);
+        assert_eq!(report.bytes_before, 0);
     }
 
     #[test]

@@ -1,0 +1,603 @@
+//! Offline minimal HTTP/1.1 message layer.
+//!
+//! The workspace cannot reach crates.io, so this crate supplies the few
+//! pieces of HTTP the `flowd` service and its clients need: parsing a
+//! request or response head from a `Read`, length-delimited bodies
+//! (`Content-Length`; chunked encoding is deliberately out of scope),
+//! writing well-formed messages back, and percent-encoding for query
+//! strings.  It is a *message* layer, not a framework: sockets, threading
+//! and routing stay with the caller.
+//!
+//! Both sides speak `HTTP/1.1` with explicit `Content-Length` and support
+//! keep-alive; a peer (or handler) can force `Connection: close`.  All
+//! limits are explicit [`Limits`] so a hostile peer cannot balloon memory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Read, Write};
+
+/// Hard bounds applied while reading a message from the wire.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request/status line plus headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes of body (`Content-Length` above this is rejected).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// Errors produced while reading or writing HTTP messages.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before a full message arrived.
+    /// `clean` is true when *zero* bytes had been read (idle keep-alive
+    /// close, not an error worth reporting).
+    Closed {
+        /// No bytes of the next message had arrived yet.
+        clean: bool,
+    },
+    /// The message violates HTTP/1.1 framing or syntax.
+    BadRequest(String),
+    /// The message exceeds the configured [`Limits`].
+    TooLarge(String),
+    /// An underlying socket error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed { clean: true } => write!(f, "connection closed (idle)"),
+            HttpError::Closed { clean: false } => write!(f, "connection closed mid-message"),
+            HttpError::BadRequest(msg) => write!(f, "malformed HTTP message: {msg}"),
+            HttpError::TooLarge(msg) => write!(f, "message too large: {msg}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// The raw request target, e.g. `/run?flow=resyn2`.
+    pub target: String,
+    /// Header map with lower-cased names; duplicate headers keep the last.
+    pub headers: BTreeMap<String, String>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Creates a request with no headers or body.
+    pub fn new(method: &str, target: &str) -> Self {
+        Request {
+            method: method.to_ascii_uppercase(),
+            target: target.to_string(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Attaches a body (its `Content-Length` is written automatically).
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Sets a header (name is lower-cased).
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers
+            .insert(name.to_ascii_lowercase(), value.to_string());
+        self
+    }
+
+    /// The target's path component, percent-decoded.
+    pub fn path(&self) -> String {
+        let raw = match self.target.split_once('?') {
+            Some((path, _)) => path,
+            None => self.target.as_str(),
+        };
+        percent_decode(raw)
+    }
+
+    /// Looks up a query parameter by name, percent-decoded.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        let (_, query) = self.target.split_once('?')?;
+        for pair in query.split('&') {
+            let (k, v) = match pair.split_once('=') {
+                Some((k, v)) => (k, v),
+                None => (pair, ""),
+            };
+            if percent_decode(k) == name {
+                return Some(percent_decode(v));
+            }
+        }
+        None
+    }
+
+    /// Whether the peer asked to close the connection after this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.headers
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A parsed (or to-be-written) HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code, e.g. `200`.
+    pub status: u16,
+    /// Reason phrase, e.g. `OK`.
+    pub reason: String,
+    /// Header map with lower-cased names.
+    pub headers: BTreeMap<String, String>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Creates a response with the standard reason phrase for `status`.
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            reason: reason_phrase(status).to_string(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `200 OK` response carrying a JSON body.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status)
+            .with_header("content-type", "application/json")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status)
+            .with_header("content-type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// Attaches a body (its `Content-Length` is written automatically).
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Sets a header (name is lower-cased).
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers
+            .insert(name.to_ascii_lowercase(), value.to_string());
+        self
+    }
+
+    /// Whether this response announces `Connection: close`.
+    pub fn closes_connection(&self) -> bool {
+        self.headers
+            .get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// The standard reason phrase of the status codes this crate emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one request from `reader` (server side).
+pub fn read_request<R: BufRead>(reader: &mut R, limits: &Limits) -> Result<Request, HttpError> {
+    let head = read_head(reader, limits)?;
+    let mut lines = head.lines();
+    let start = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty head".into()))?;
+    let mut parts = start.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::BadRequest("missing method".into()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+    let headers = parse_headers(lines)?;
+    let body = read_body(reader, &headers, limits)?;
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        target: target.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// Writes one response to `writer` (server side).
+pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\n",
+        response.status, response.reason
+    )?;
+    for (name, value) in &response.headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "content-length: {}\r\n\r\n", response.body.len())?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+/// Writes one request to `writer` (client side).
+pub fn write_request<W: Write>(writer: &mut W, request: &Request) -> std::io::Result<()> {
+    write!(writer, "{} {} HTTP/1.1\r\n", request.method, request.target)?;
+    for (name, value) in &request.headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "content-length: {}\r\n\r\n", request.body.len())?;
+    writer.write_all(&request.body)?;
+    writer.flush()
+}
+
+/// Reads one response from `reader` (client side).
+pub fn read_response<R: BufRead>(reader: &mut R, limits: &Limits) -> Result<Response, HttpError> {
+    let head = read_head(reader, limits)?;
+    let mut lines = head.lines();
+    let start = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty head".into()))?;
+    let mut parts = start.splitn(3, ' ');
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::BadRequest("missing status code".into()))?;
+    let reason = parts.next().unwrap_or("").to_string();
+    let headers = parse_headers(lines)?;
+    let body = read_body(reader, &headers, limits)?;
+    Ok(Response {
+        status,
+        reason,
+        headers,
+        body,
+    })
+}
+
+/// Reads the head (start line + headers) up to the blank line, excluded.
+fn read_head<R: BufRead>(reader: &mut R, limits: &Limits) -> Result<String, HttpError> {
+    let mut head: Vec<u8> = Vec::new();
+    loop {
+        let mut line: Vec<u8> = Vec::new();
+        let budget = limits
+            .max_head_bytes
+            .saturating_sub(head.len())
+            .saturating_add(2);
+        let read = reader
+            .by_ref()
+            .take(budget as u64)
+            .read_until(b'\n', &mut line)?;
+        if read == 0 {
+            return Err(HttpError::Closed {
+                clean: head.is_empty(),
+            });
+        }
+        if !line.ends_with(b"\n") {
+            return Err(if head.len() + line.len() > limits.max_head_bytes {
+                HttpError::TooLarge(format!("head exceeds {} bytes", limits.max_head_bytes))
+            } else {
+                HttpError::Closed { clean: false }
+            });
+        }
+        while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        if line.is_empty() {
+            if head.is_empty() {
+                // Tolerate a stray CRLF before the start line.
+                continue;
+            }
+            break;
+        }
+        head.extend_from_slice(&line);
+        head.push(b'\n');
+        if head.len() > limits.max_head_bytes {
+            return Err(HttpError::TooLarge(format!(
+                "head exceeds {} bytes",
+                limits.max_head_bytes
+            )));
+        }
+    }
+    String::from_utf8(head).map_err(|_| HttpError::BadRequest("head is not UTF-8".into()))
+}
+
+/// Parses `name: value` header lines into a lower-cased map.
+fn parse_headers<'a, I: Iterator<Item = &'a str>>(
+    lines: I,
+) -> Result<BTreeMap<String, String>, HttpError> {
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("header line `{line}` has no colon")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest(format!("bad header name `{name}`")));
+        }
+        headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+    }
+    Ok(headers)
+}
+
+/// Reads a `Content-Length`-delimited body.
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    headers: &BTreeMap<String, String>,
+    limits: &Limits,
+) -> Result<Vec<u8>, HttpError> {
+    if let Some(te) = headers.get("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("identity") {
+            return Err(HttpError::BadRequest(format!(
+                "transfer-encoding `{te}` is not supported; use content-length"
+            )));
+        }
+    }
+    let length: usize = match headers.get("content-length") {
+        None => return Ok(Vec::new()),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length `{raw}`")))?,
+    };
+    if length > limits.max_body_bytes {
+        return Err(HttpError::TooLarge(format!(
+            "body of {length} bytes exceeds limit of {}",
+            limits.max_body_bytes
+        )));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => HttpError::Closed { clean: false },
+        _ => HttpError::Io(e),
+    })?;
+    Ok(body)
+}
+
+/// Percent-encodes a string for use inside a query component.
+pub fn percent_encode(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for &byte in input.as_bytes() {
+        match byte {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(byte as char)
+            }
+            _ => {
+                out.push('%');
+                out.push(
+                    char::from_digit((byte >> 4) as u32, 16)
+                        .unwrap()
+                        .to_ascii_uppercase(),
+                );
+                out.push(
+                    char::from_digit((byte & 0xF) as u32, 16)
+                        .unwrap()
+                        .to_ascii_uppercase(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Percent-decodes a query/path component (`+` also decodes to space).
+pub fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hi = (bytes[i + 1] as char).to_digit(16);
+                let lo = (bytes[i + 2] as char).to_digit(16);
+                match (hi, lo) {
+                    (Some(hi), Some(lo)) => {
+                        out.push(((hi << 4) | lo) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        // Invalid escape: pass the `%` through literally.
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip_request(req: &Request, limits: &Limits) -> Request {
+        let mut wire = Vec::new();
+        write_request(&mut wire, req).unwrap();
+        read_request(&mut BufReader::new(wire.as_slice()), limits).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let req = Request::new("post", "/run?flow=balance%3B%20rewrite")
+            .with_header("X-Thing", "7")
+            .with_body(b"aag 0 0 0 0 0".to_vec());
+        let parsed = roundtrip_request(&req, &Limits::default());
+        assert_eq!(parsed.method, "POST");
+        assert_eq!(parsed.path(), "/run");
+        assert_eq!(
+            parsed.query_param("flow").as_deref(),
+            Some("balance; rewrite")
+        );
+        assert_eq!(parsed.headers.get("x-thing").map(String::as_str), Some("7"));
+        assert_eq!(parsed.body, b"aag 0 0 0 0 0");
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resp = Response::json(503, "{\"error\":\"full\"}")
+            .with_header("retry-after", "1")
+            .with_header("connection", "close");
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let parsed = read_response(&mut BufReader::new(wire.as_slice()), &Limits::default())
+            .expect("parse response");
+        assert_eq!(parsed.status, 503);
+        assert_eq!(parsed.reason, "Service Unavailable");
+        assert!(parsed.closes_connection());
+        assert_eq!(
+            parsed.headers.get("retry-after").map(String::as_str),
+            Some("1")
+        );
+        assert_eq!(parsed.body, b"{\"error\":\"full\"}");
+    }
+
+    #[test]
+    fn keep_alive_carries_multiple_requests() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &Request::new("GET", "/healthz")).unwrap();
+        write_request(
+            &mut wire,
+            &Request::new("POST", "/run").with_body(b"x".to_vec()),
+        )
+        .unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let limits = Limits::default();
+        let first = read_request(&mut reader, &limits).unwrap();
+        let second = read_request(&mut reader, &limits).unwrap();
+        assert_eq!(first.target, "/healthz");
+        assert_eq!(second.body, b"x");
+        match read_request(&mut reader, &limits) {
+            Err(HttpError::Closed { clean: true }) => {}
+            other => panic!("expected clean close, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_not_read() {
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            &Request::new("POST", "/run").with_body(vec![b'x'; 64]),
+        )
+        .unwrap();
+        let limits = Limits {
+            max_body_bytes: 16,
+            ..Limits::default()
+        };
+        match read_request(&mut BufReader::new(wire.as_slice()), &limits) {
+            Err(HttpError::TooLarge(_)) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut wire = Vec::new();
+        let req = Request::new("GET", "/x").with_header("big", &"v".repeat(64));
+        write_request(&mut wire, &req).unwrap();
+        let limits = Limits {
+            max_head_bytes: 32,
+            ..Limits::default()
+        };
+        match read_request(&mut BufReader::new(wire.as_slice()), &limits) {
+            Err(HttpError::TooLarge(_)) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_messages_report_unclean_close() {
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            &Request::new("POST", "/run").with_body(vec![b'x'; 64]),
+        )
+        .unwrap();
+        wire.truncate(wire.len() - 10);
+        match read_request(&mut BufReader::new(wire.as_slice()), &Limits::default()) {
+            Err(HttpError::Closed { clean: false }) => {}
+            other => panic!("expected unclean close, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_start_line_is_bad_request() {
+        let wire = b"NOT-HTTP\r\n\r\n".to_vec();
+        match read_request(&mut BufReader::new(wire.as_slice()), &Limits::default()) {
+            Err(HttpError::BadRequest(_)) => {}
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn percent_coding_roundtrips() {
+        let original = "balance; rewrite -z/100%";
+        let encoded = percent_encode(original);
+        assert!(!encoded.contains(' '));
+        assert!(!encoded.contains(';'));
+        assert_eq!(percent_decode(&encoded), original);
+    }
+}
