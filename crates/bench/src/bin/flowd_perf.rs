@@ -15,6 +15,14 @@
 //!
 //! Results land in `BENCH_PR6.json` (override with `FLOWD_PERF_OUT`); scale
 //! is selected with `FLOWGEN_SCALE` (`tiny` for CI, `small` default).
+//!
+//! A second report, `BENCH_PR7.json` (override with `FLOWD_PERF_OUT7`),
+//! covers the robustness layer: a **stall-burst** scenario wedges one worker
+//! with a stream of expensive store-missing flows while short cached traffic
+//! keeps flowing — its p99 must stay bounded — then a doomed
+//! `deadline_ms=1` request must come back `504` promptly, and the daemon's
+//! `deadline_exceeded` / `cancelled` / `watchdog_restarts` /
+//! `store_write_errors` counters are scraped from `/stats` into the report.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
@@ -82,6 +90,50 @@ struct OverloadReport {
     retry_after_present: bool,
     healthz_ok_during_burst: bool,
     drain_ok: bool,
+}
+
+/// One measured traffic phase of the stall-burst scenario, keyed by
+/// `scenario` so `ci/perf_trend.py --key scenario --metric req_per_s` can
+/// trend it against the checked-in baseline.
+#[derive(Debug, Serialize)]
+struct ScenarioItem {
+    scenario: String,
+    requests: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    req_per_s: f64,
+}
+
+/// The robustness counters introduced with the deadline/watchdog layer,
+/// scraped verbatim from the scenario daemon's `GET /stats`.
+#[derive(Debug, Serialize)]
+struct CounterReport {
+    deadline_exceeded: u64,
+    cancelled: u64,
+    watchdog_restarts: u64,
+    store_write_errors: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct StallBurstReport {
+    wedge_requests: usize,
+    doomed_504: bool,
+    doomed_rtt_ms: f64,
+    p99_bound_ms: f64,
+    p99_bounded: bool,
+    pool_recovered: bool,
+    drain_ok: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct RobustnessReport {
+    pr: String,
+    workload: String,
+    scale: String,
+    workers: usize,
+    items: Vec<ScenarioItem>,
+    stall_burst: StallBurstReport,
+    counters: CounterReport,
 }
 
 #[derive(Debug, Serialize)]
@@ -331,6 +383,13 @@ fn main() {
     std::fs::write(&out, json + "\n").expect("write perf report");
     println!("wrote {out}");
 
+    // --- Phase 5: robustness — stall burst, doomed deadline, counters. ---
+    let robustness = run_stall_burst(scale_name, scale);
+    let out7 = std::env::var("FLOWD_PERF_OUT7").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
+    let json7 = serde_json::to_string(&robustness).expect("robustness report serializes");
+    std::fs::write(&out7, json7 + "\n").expect("write robustness report");
+    println!("wrote {out7}");
+
     if !all_identical {
         eprintln!("FAIL: wire QoR diverged from the in-process engine");
         std::process::exit(1);
@@ -342,6 +401,224 @@ fn main() {
     if !drain_ok || !report.overload.drain_ok {
         eprintln!("FAIL: graceful drain failed");
         std::process::exit(1);
+    }
+    if !robustness.stall_burst.doomed_504 || !robustness.stall_burst.pool_recovered {
+        eprintln!("FAIL: doomed deadline request did not 504 / pool did not recover");
+        std::process::exit(1);
+    }
+    if robustness.counters.deadline_exceeded == 0 {
+        eprintln!("FAIL: /stats did not record the deadline_exceeded 504");
+        std::process::exit(1);
+    }
+    if !robustness.stall_burst.p99_bounded {
+        eprintln!("FAIL: quick-traffic p99 unbounded while a worker was wedged");
+        std::process::exit(1);
+    }
+    if !robustness.stall_burst.drain_ok {
+        eprintln!("FAIL: stall-burst daemon drain failed");
+        std::process::exit(1);
+    }
+}
+
+/// Measures `count` keep-alive requests over `quick` corpus items against
+/// `addr`, returning sorted per-request latencies in milliseconds.
+fn measure_quick(addr: SocketAddr, quick: &[(Vec<u8>, String)], count: usize) -> Vec<f64> {
+    let stream = TcpStream::connect(addr).expect("quick connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut samples = Vec::with_capacity(count);
+    for i in 0..count {
+        let (body, query) = &quick[i % quick.len()];
+        let request = Request::new("POST", &format!("/run?{query}")).with_body(body.clone());
+        let t = Instant::now();
+        write_request(&mut writer, &request).expect("quick send");
+        let response = read_response(&mut reader, &Limits::default()).expect("quick read");
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(response.status, 200, "quick request failed");
+        if response.closes_connection() {
+            let stream = TcpStream::connect(addr).expect("quick reconnect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(120)))
+                .unwrap();
+            writer = stream.try_clone().unwrap();
+            reader = BufReader::new(stream);
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples
+}
+
+fn scenario_item(scenario: &str, sorted_ms: &[f64], wall_s: f64) -> ScenarioItem {
+    ScenarioItem {
+        scenario: scenario.to_string(),
+        requests: sorted_ms.len(),
+        p50_ms: percentile(sorted_ms, 50.0),
+        p99_ms: percentile(sorted_ms, 99.0),
+        req_per_s: sorted_ms.len() as f64 / wall_s.max(1e-9),
+    }
+}
+
+/// Reads one robustness counter from the parsed `/stats` tree: the request
+/// counters live under `requests`, the store-append errors under `eval`.
+fn counter(stats: &serde::Value, section: &str, name: &str) -> u64 {
+    match stats.get(section).and_then(|s| s.get(name)) {
+        Some(serde::Value::U64(v)) => *v,
+        _ => 0,
+    }
+}
+
+/// The robustness scenario: wedge one worker of a three-worker daemon with a
+/// stream of expensive store-missing random flows while short cached traffic
+/// keeps flowing, then prove a `deadline_ms=1` request 504s promptly and the
+/// new `/stats` counters tell the story.
+fn run_stall_burst(scale_name: &str, scale: DesignScale) -> RobustnessReport {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    let workers = 3;
+    let server = Server::start(ServerConfig {
+        workers,
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    })
+    .expect("start stall-burst server");
+    let addr = server.addr();
+    println!("stall-burst: daemon on {addr} ({workers} workers)");
+
+    // Quick traffic: the fixture designs under one preset, warmed once so the
+    // measured phases ride the QoR cache and exercise only the service path.
+    let quick: Vec<(Vec<u8>, String)> = Design::ALL
+        .iter()
+        .map(|kind| {
+            let design = kind.generate(scale);
+            let body = aig::io::render_design(&design, aig::io::Format::AigerAscii);
+            (body, "flow=resyn2".to_string())
+        })
+        .collect();
+    for (body, query) in &quick {
+        let request = Request::new("POST", &format!("/run?{query}")).with_body(body.clone());
+        assert_eq!(roundtrip(addr, &request).status, 200, "warm-up failed");
+    }
+
+    let count: usize = std::env::var("FLOWD_PERF_STALL_REQS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+
+    // Phase A: steady-state reference, nobody wedged.
+    let t0 = Instant::now();
+    let steady_ms = measure_quick(addr, &quick, count);
+    let steady = scenario_item("steady", &steady_ms, t0.elapsed().as_secs_f64());
+
+    // Phase B: one worker wedged on a stream of store-missing random flows
+    // while the same quick traffic is measured on the remaining workers.
+    let stop = AtomicBool::new(false);
+    let wedge_requests = AtomicUsize::new(0);
+    let wedge_body =
+        aig::io::render_design(&Design::Aes128.generate(scale), aig::io::Format::AigerAscii);
+    let stall = std::thread::scope(|scope| {
+        let wedge = scope.spawn(|| {
+            let mut seed = 9_000u64;
+            while !stop.load(Ordering::Relaxed) {
+                let request = Request::new("POST", &format!("/run?random={seed}"))
+                    .with_body(wedge_body.clone());
+                let response = roundtrip(addr, &request);
+                assert_eq!(response.status, 200, "wedge request failed");
+                wedge_requests.fetch_add(1, Ordering::Relaxed);
+                seed += 1;
+            }
+        });
+        // Give the wedge thread a head start so a worker really is busy.
+        std::thread::sleep(Duration::from_millis(30));
+        let t0 = Instant::now();
+        let stall_ms = measure_quick(addr, &quick, count);
+        let stall = scenario_item("stall_burst", &stall_ms, t0.elapsed().as_secs_f64());
+        stop.store(true, Ordering::Relaxed);
+        wedge.join().expect("wedge thread");
+        stall
+    });
+    let wedge_requests = wedge_requests.into_inner();
+
+    // Phase C: a doomed request — a long fresh script under a 1 ms deadline
+    // must come back 504 without stalling the connection.
+    let doomed_script = [
+        "balance",
+        "rewrite",
+        "refactor",
+        "restructure",
+        "rewrite -z",
+    ]
+    .repeat(6)
+    .join("; ");
+    let doomed = Request::new(
+        "POST",
+        &format!("/run?flow={}&deadline_ms=1", percent_encode(&doomed_script)),
+    )
+    .with_body(wedge_body.clone());
+    let t = Instant::now();
+    let response = roundtrip(addr, &doomed);
+    let doomed_rtt_ms = t.elapsed().as_secs_f64() * 1e3;
+    let doomed_504 = response.status == 504;
+    println!(
+        "stall-burst: doomed deadline request -> {} in {:.1} ms",
+        response.status, doomed_rtt_ms
+    );
+
+    // The pool must keep serving after the cancellation unwound.
+    let (body, query) = &quick[0];
+    let request = Request::new("POST", &format!("/run?{query}")).with_body(body.clone());
+    let pool_recovered = roundtrip(addr, &request).status == 200;
+
+    // Phase D: the robustness counters, straight from the daemon.
+    let stats_body = roundtrip(addr, &Request::new("GET", "/stats")).body;
+    let stats = serde_json::parse_value(&String::from_utf8_lossy(&stats_body)).expect("stats JSON");
+    let counters = CounterReport {
+        deadline_exceeded: counter(&stats, "requests", "deadline_exceeded"),
+        cancelled: counter(&stats, "requests", "cancelled"),
+        watchdog_restarts: counter(&stats, "requests", "watchdog_restarts"),
+        store_write_errors: counter(&stats, "eval", "store_write_errors"),
+    };
+
+    let bye = roundtrip(addr, &Request::new("POST", "/shutdown"));
+    let drain_ok = bye.status == 200 && server.join().is_ok();
+
+    // Bounded: wedging one of three workers may slow the quick path but must
+    // not let it degrade toward the evaluation deadline.  The bound is
+    // generous because shared CI runners are noisy.
+    let p99_bound_ms = (steady.p99_ms * 20.0).max(500.0);
+    let p99_bounded = stall.p99_ms <= p99_bound_ms;
+    println!(
+        "stall-burst: steady p99 {:.2} ms, wedged p99 {:.2} ms (bound {:.0} ms), \
+         {} wedge flows, counters {{deadline_exceeded: {}, cancelled: {}, \
+         watchdog_restarts: {}, store_write_errors: {}}}",
+        steady.p99_ms,
+        stall.p99_ms,
+        p99_bound_ms,
+        wedge_requests,
+        counters.deadline_exceeded,
+        counters.cancelled,
+        counters.watchdog_restarts,
+        counters.store_write_errors
+    );
+
+    RobustnessReport {
+        pr: "PR7-flowd-robustness".to_string(),
+        workload: "cached quick traffic vs one worker wedged on store-missing flows".to_string(),
+        scale: scale_name.to_string(),
+        workers,
+        items: vec![steady, stall],
+        stall_burst: StallBurstReport {
+            wedge_requests,
+            doomed_504,
+            doomed_rtt_ms,
+            p99_bound_ms,
+            p99_bounded,
+            pool_recovered,
+            drain_ok,
+        },
+        counters,
     }
 }
 

@@ -1,0 +1,198 @@
+//! Cooperative cancellation and deadline propagation.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle shared between the party
+//! imposing a budget (a service request handler, a watchdog) and the code
+//! doing the work (synthesis passes, the mapper).  Workers poll
+//! [`CancelToken::check`] at natural checkpoints — pass boundaries and
+//! per-node sweep loops — and unwind when the token reports [`Cancelled`].
+//!
+//! The unwind itself is panic-based: deep pass internals return `()` and
+//! thread no `Result` type, so the cancelling caller wraps the work in
+//! `std::panic::catch_unwind` and downcasts the payload to [`Cancelled`].
+//! Real panics (bugs) are re-raised; cancellation is converted into a typed
+//! error.  [`silence_cancel_unwinds`] installs a panic-hook filter so these
+//! intentional unwinds do not spam stderr with backtraces.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Why a unit of work was asked to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called explicitly (drain, watchdog, client
+    /// disconnect).
+    Cancelled,
+    /// The token's wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+/// The typed payload carried by a cancellation unwind.
+///
+/// Also serves as the error type returned by cancellable entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled {
+    /// Why the work was stopped.
+    pub reason: CancelReason,
+}
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            CancelReason::Cancelled => write!(f, "evaluation cancelled"),
+            CancelReason::DeadlineExceeded => write!(f, "evaluation deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation handle, optionally carrying a wall-clock deadline.
+///
+/// Cloning is cheap (one `Arc` bump); all clones observe the same state.
+/// A token with neither a deadline nor an explicit [`cancel`](Self::cancel)
+/// call never fires, so "no budget" is just [`CancelToken::never`] — callers
+/// need no `Option` plumbing.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that never cancels on its own (can still be cancelled
+    /// explicitly).
+    pub fn never() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that expires `budget` from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+            }),
+        }
+    }
+
+    /// The absolute deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Time left until the deadline (`None` when no deadline was set; zero
+    /// once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Requests cancellation.  Idempotent; wins over a later deadline expiry
+    /// when reporting the reason.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// The current state: `Some(reason)` once the token has fired.
+    pub fn state(&self) -> Option<CancelReason> {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return Some(CancelReason::Cancelled);
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => Some(CancelReason::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// `Err(Cancelled)` once the token has fired; cheap enough for inner
+    /// loops when strided (the explicit-cancel flag is one atomic load, the
+    /// deadline one `Instant::now()`).
+    pub fn check(&self) -> Result<(), Cancelled> {
+        match self.state() {
+            Some(reason) => Err(Cancelled { reason }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::never()
+    }
+}
+
+/// Installs (once per process) a panic-hook filter that swallows unwinds
+/// whose payload is [`Cancelled`], keeping intentional cancellation quiet
+/// while leaving real panics on the previous hook.
+pub fn silence_cancel_unwinds() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<Cancelled>() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_stays_quiet() {
+        let token = CancelToken::never();
+        assert_eq!(token.state(), None);
+        assert!(token.check().is_ok());
+        assert_eq!(token.deadline(), None);
+        assert_eq!(token.remaining(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_fires_and_wins() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(token.check().is_ok());
+        let clone = token.clone();
+        clone.cancel();
+        assert_eq!(token.state(), Some(CancelReason::Cancelled));
+        assert_eq!(
+            token.check().unwrap_err().reason,
+            CancelReason::Cancelled,
+            "explicit cancel reported even with a live deadline"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(token.state(), Some(CancelReason::DeadlineExceeded));
+        assert_eq!(token.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn cancelled_payload_roundtrips_through_catch_unwind() {
+        silence_cancel_unwinds();
+        let outcome = std::panic::catch_unwind(|| {
+            std::panic::panic_any(Cancelled {
+                reason: CancelReason::DeadlineExceeded,
+            });
+        });
+        let payload = outcome.unwrap_err();
+        let cancelled = payload.downcast::<Cancelled>().expect("typed payload");
+        assert_eq!(cancelled.reason, CancelReason::DeadlineExceeded);
+    }
+}

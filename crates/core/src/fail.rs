@@ -1,0 +1,305 @@
+//! Deterministic, seeded fault injection ("failpoints").
+//!
+//! Compiled in only with the `failpoints` cargo feature; release builds
+//! without the feature carry zero code and zero runtime cost (the
+//! [`fail_point!`](crate::fail_point) macro expands to nothing in crates
+//! that do not enable their own forwarding feature).
+//!
+//! Unlike probabilistic fault injectors, triggering is **deterministic**:
+//! whether hit `n` of point `p` fires is a pure function of the global seed,
+//! the point name and `n`, so a chaos run can be replayed exactly by
+//! configuring the same seed and schedule.
+//!
+//! Spec grammar (a subset of the `fail` crate's):
+//!
+//! ```text
+//! off                      disable the point, keep its counters
+//! [<pct>%][<cnt>*]<task>[(arg)]
+//! ```
+//!
+//! where `<task>` is `return`, `panic` or `delay` (milliseconds arg), `<pct>`
+//! limits the deterministic trigger probability and `<cnt>` caps the total
+//! number of triggers.  Examples: `return`, `25%panic`, `1*delay(3000)`,
+//! `5%delay(30)`, `2*return(io)`.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::Fnv64;
+
+/// What a triggered point does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Task {
+    /// Short-circuit the caller (handler form of the macro) with an optional
+    /// argument string.
+    Return(Option<String>),
+    /// Panic with a recognisable message (exercises panic isolation).
+    Panic(Option<String>),
+    /// Stall the calling thread (exercises deadlines and the watchdog).
+    Delay(u64),
+}
+
+#[derive(Debug)]
+struct Point {
+    /// Deterministic trigger probability in percent (100 = always).
+    pct: u8,
+    /// Remaining trigger budget (`None` = unlimited).
+    remaining: Option<u64>,
+    task: Option<Task>,
+    hits: u64,
+    triggers: u64,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    seed: u64,
+    points: HashMap<String, Point>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Sets the global seed that makes percentage triggers deterministic.
+pub fn set_seed(seed: u64) {
+    registry().lock().expect("failpoint registry").seed = seed;
+}
+
+/// Configures (or reconfigures) a failpoint.  Counters reset.
+pub fn cfg(name: &str, spec: &str) -> Result<(), String> {
+    let (pct, remaining, task) = parse_spec(spec)?;
+    let mut reg = registry().lock().expect("failpoint registry");
+    reg.points.insert(
+        name.to_string(),
+        Point {
+            pct,
+            remaining,
+            task,
+            hits: 0,
+            triggers: 0,
+        },
+    );
+    Ok(())
+}
+
+/// Removes one failpoint (its counters disappear with it).
+pub fn remove(name: &str) {
+    registry()
+        .lock()
+        .expect("failpoint registry")
+        .points
+        .remove(name);
+}
+
+/// Removes every configured failpoint.
+pub fn teardown() {
+    registry()
+        .lock()
+        .expect("failpoint registry")
+        .points
+        .clear();
+}
+
+/// How often the named point was reached (configured points only).
+pub fn hits(name: &str) -> u64 {
+    registry()
+        .lock()
+        .expect("failpoint registry")
+        .points
+        .get(name)
+        .map_or(0, |p| p.hits)
+}
+
+/// How often the named point actually fired.
+pub fn triggers(name: &str) -> u64 {
+    registry()
+        .lock()
+        .expect("failpoint registry")
+        .points
+        .get(name)
+        .map_or(0, |p| p.triggers)
+}
+
+/// Evaluates a failpoint at a call site.  Delay and panic tasks act right
+/// here; a `return` task hands its argument to the macro's handler via
+/// `Some(arg)`.
+pub fn eval(name: &str) -> Option<Option<String>> {
+    let fired = {
+        let mut reg = registry().lock().expect("failpoint registry");
+        let seed = reg.seed;
+        let point = reg.points.get_mut(name)?;
+        let hit = point.hits;
+        point.hits += 1;
+        let task = point.task.clone()?;
+        if !decide(seed, name, hit, point.pct) {
+            return None;
+        }
+        match point.remaining {
+            Some(0) => return None,
+            Some(ref mut n) => *n -= 1,
+            None => {}
+        }
+        point.triggers += 1;
+        task
+        // Lock released here: delays and panics must not hold the registry.
+    };
+    match fired {
+        Task::Return(arg) => Some(arg),
+        Task::Panic(message) => {
+            let detail = message.as_deref().unwrap_or("injected panic");
+            panic!("failpoint {name}: {detail}");
+        }
+        Task::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+    }
+}
+
+/// Deterministic per-hit trigger decision: FNV over (seed, name, hit).
+fn decide(seed: u64, name: &str, hit: u64, pct: u8) -> bool {
+    if pct >= 100 {
+        return true;
+    }
+    if pct == 0 {
+        return false;
+    }
+    let mut h = Fnv64::new();
+    h.write_u64(seed);
+    h.write_str(name);
+    h.write_u64(hit);
+    (h.finish() % 100) < u64::from(pct)
+}
+
+fn parse_spec(spec: &str) -> Result<(u8, Option<u64>, Option<Task>), String> {
+    let spec = spec.trim();
+    if spec == "off" {
+        return Ok((100, None, None));
+    }
+    let mut rest = spec;
+    let mut pct: u8 = 100;
+    if let Some(idx) = rest.find('%') {
+        pct = rest[..idx]
+            .parse::<u8>()
+            .map_err(|_| format!("bad percentage in `{spec}`"))?
+            .min(100);
+        rest = &rest[idx + 1..];
+    }
+    let mut remaining = None;
+    if let Some(idx) = rest.find('*') {
+        remaining = Some(
+            rest[..idx]
+                .parse::<u64>()
+                .map_err(|_| format!("bad trigger count in `{spec}`"))?,
+        );
+        rest = &rest[idx + 1..];
+    }
+    let (task_name, arg) = match rest.find('(') {
+        Some(open) => {
+            let close = rest
+                .rfind(')')
+                .ok_or_else(|| format!("unclosed argument in `{spec}`"))?;
+            (&rest[..open], Some(rest[open + 1..close].to_string()))
+        }
+        None => (rest, None),
+    };
+    let task = match task_name {
+        "return" => Task::Return(arg),
+        "panic" => Task::Panic(arg),
+        "delay" | "sleep" => {
+            let ms = arg
+                .as_deref()
+                .unwrap_or("0")
+                .parse::<u64>()
+                .map_err(|_| format!("bad delay millis in `{spec}`"))?;
+            Task::Delay(ms)
+        }
+        other => return Err(format!("unknown failpoint task `{other}` in `{spec}`")),
+    };
+    Ok((pct, remaining, Some(task)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; keep the tests on one point namespace
+    // each so parallel test threads cannot interfere.
+
+    #[test]
+    fn unconfigured_points_are_silent() {
+        assert_eq!(eval("tests.never-configured"), None);
+        assert_eq!(hits("tests.never-configured"), 0);
+    }
+
+    #[test]
+    fn return_task_hands_arg_to_handler() {
+        cfg("tests.ret", "return(io)").unwrap();
+        assert_eq!(eval("tests.ret"), Some(Some("io".to_string())));
+        assert_eq!(hits("tests.ret"), 1);
+        assert_eq!(triggers("tests.ret"), 1);
+        remove("tests.ret");
+        assert_eq!(eval("tests.ret"), None);
+    }
+
+    #[test]
+    fn trigger_budget_is_respected() {
+        cfg("tests.budget", "2*return").unwrap();
+        assert!(eval("tests.budget").is_some());
+        assert!(eval("tests.budget").is_some());
+        assert!(eval("tests.budget").is_none());
+        assert_eq!(hits("tests.budget"), 3);
+        assert_eq!(triggers("tests.budget"), 2);
+        remove("tests.budget");
+    }
+
+    #[test]
+    fn percentage_is_seed_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            set_seed(seed);
+            cfg("tests.pct", "30%return").unwrap();
+            let fired = (0..64).map(|_| eval("tests.pct").is_some()).collect();
+            remove("tests.pct");
+            fired
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f));
+        let c = run(8);
+        assert_ne!(a, c, "different seed, different schedule");
+        set_seed(0);
+    }
+
+    #[test]
+    fn off_keeps_counters_but_never_fires() {
+        cfg("tests.off", "off").unwrap();
+        assert_eq!(eval("tests.off"), None);
+        assert_eq!(hits("tests.off"), 1);
+        assert_eq!(triggers("tests.off"), 0);
+        remove("tests.off");
+    }
+
+    #[test]
+    fn delay_task_stalls_then_continues() {
+        cfg("tests.delay", "1*delay(20)").unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(eval("tests.delay"), None);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        // Budget of one: the second hit is instant.
+        let start = std::time::Instant::now();
+        assert_eq!(eval("tests.delay"), None);
+        assert!(start.elapsed() < Duration::from_millis(20));
+        remove("tests.delay");
+    }
+
+    #[test]
+    fn spec_errors_are_reported() {
+        assert!(parse_spec("frobnicate").is_err());
+        assert!(parse_spec("x%return").is_err());
+        assert!(parse_spec("delay(abc)").is_err());
+        assert!(parse_spec("return(unclosed").is_err());
+    }
+}

@@ -14,6 +14,43 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
+#[cfg(feature = "failpoints")]
+pub mod fail;
+
+pub use cancel::{silence_cancel_unwinds, CancelReason, CancelToken, Cancelled};
+
+/// Evaluates a named failpoint (see the [`fail`] module).
+///
+/// Expands to nothing unless the **consuming** crate enables its own
+/// `failpoints` feature (which must forward to `flow-core/failpoints`), so
+/// instrumented hot paths cost zero in normal builds.
+///
+/// Two forms:
+///
+/// * `fail_point!("name")` — delay and panic tasks act in place; `return`
+///   tasks are ignored.
+/// * `fail_point!("name", |arg| expr)` — a triggered `return` task makes the
+///   **enclosing function** return `expr`, with `arg: Option<String>` from
+///   the spec.  Delay/panic tasks still act in place.
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {{
+        #[cfg(feature = "failpoints")]
+        {
+            let _ = $crate::fail::eval($name);
+        }
+    }};
+    ($name:expr, $handler:expr) => {{
+        #[cfg(feature = "failpoints")]
+        {
+            if let Some(__fp_arg) = $crate::fail::eval($name) {
+                return ($handler)(__fp_arg);
+            }
+        }
+    }};
+}
+
 /// A 64-bit FNV-1a hasher with a stable, documented output.
 ///
 /// ```

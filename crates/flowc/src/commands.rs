@@ -112,7 +112,11 @@ fn export_netlist(
 /// The design is resolved locally (same `--design` specs as `run`), shipped
 /// as ASCII AIGER in the request body, and the daemon's [`RunReport`] JSON is
 /// printed exactly as a local `run` would print it — the `qor` section is
-/// bit-identical between the two paths.
+/// bit-identical between the two paths.  `503` backpressure and connect
+/// failures are retried with capped exponential backoff (`--retries`);
+/// `--deadline-ms` forwards a per-request evaluation deadline (the daemon
+/// answers `504` past it, which is **not** retried — the request itself was
+/// too slow).
 pub fn submit(mut args: Args) -> Result<(), String> {
     let addr = args.require_value("addr")?;
     let design_spec = args.require_value("design")?;
@@ -120,6 +124,19 @@ pub fn submit(mut args: Args) -> Result<(), String> {
     let random_seed = args.take_value("random")?;
     let out = args.take_value("out")?;
     let json_path = args.take_value("json")?;
+    let retries = match args.take_value("retries")? {
+        Some(v) => v
+            .parse::<u32>()
+            .map_err(|_| format!("--retries needs a number, got `{v}`"))?,
+        None => 3,
+    };
+    let deadline_ms = args
+        .take_value("deadline-ms")?
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("--deadline-ms needs a number, got `{v}`"))
+        })
+        .transpose()?;
     let verify = args.take_flag("verify");
     let timing = args.take_flag("timing");
     args.finish()?;
@@ -142,6 +159,9 @@ pub fn submit(mut args: Args) -> Result<(), String> {
     }
     if timing {
         query.push("timing=1".to_string());
+    }
+    if let Some(ms) = deadline_ms {
+        query.push(format!("deadline_ms={ms}"));
     }
     // Binary AIGER cannot ride a JSON string: ask for ASCII and re-encode
     // locally when the output path wants `.aig`.
@@ -166,15 +186,7 @@ pub fn submit(mut args: Args) -> Result<(), String> {
         .with_header("content-type", "text/x-aiger")
         .with_body(body);
 
-    let stream = std::net::TcpStream::connect(&addr)
-        .map_err(|e| format!("cannot connect to flowd at {addr}: {e}"))?;
-    let mut writer = stream
-        .try_clone()
-        .map_err(|e| format!("socket error: {e}"))?;
-    let mut reader = std::io::BufReader::new(stream);
-    httpwire::write_request(&mut writer, &request).map_err(|e| format!("send failed: {e}"))?;
-    let response = httpwire::read_response(&mut reader, &httpwire::Limits::default())
-        .map_err(|e| format!("flowd at {addr}: {e}"))?;
+    let (response, attempts) = send_with_retry(&addr, &request, retries)?;
     let text = String::from_utf8_lossy(&response.body).into_owned();
     if response.status != 200 {
         return Err(format!(
@@ -187,6 +199,7 @@ pub fn submit(mut args: Args) -> Result<(), String> {
 
     let report: RunReport =
         serde_json::from_str(&text).map_err(|e| format!("malformed report JSON: {e}"))?;
+    let text = annotate_eval(&text, attempts, retries, deadline_ms)?;
     if let Some(path) = &out {
         let netlist = report
             .export
@@ -210,6 +223,116 @@ pub fn submit(mut args: Args) -> Result<(), String> {
         std::fs::write(&path, text + "\n").map_err(|e| format!("cannot write `{path}`: {e}"))?;
     }
     Ok(())
+}
+
+/// A single-attempt failure, split by whether a retry can help.
+#[derive(Debug)]
+enum SendError {
+    /// The daemon was unreachable; nothing was dispatched.
+    Connect(std::io::Error),
+    /// The wire broke mid-exchange; the request may have been dispatched.
+    Wire(String),
+}
+
+/// One connect + request/response exchange against the daemon.
+fn send_once(addr: &str, request: &httpwire::Request) -> Result<httpwire::Response, SendError> {
+    let stream = std::net::TcpStream::connect(addr).map_err(SendError::Connect)?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| SendError::Wire(format!("socket error: {e}")))?;
+    let mut reader = std::io::BufReader::new(stream);
+    httpwire::write_request(&mut writer, request)
+        .map_err(|e| SendError::Wire(format!("send failed: {e}")))?;
+    httpwire::read_response(&mut reader, &httpwire::Limits::default())
+        .map_err(|e| SendError::Wire(e.to_string()))
+}
+
+/// Sends the request, retrying `503` backpressure and connect failures up to
+/// `retries` extra attempts with capped exponential backoff.  Returns the
+/// final response (possibly still a `503`) and the attempt count.
+fn send_with_retry(
+    addr: &str,
+    request: &httpwire::Request,
+    retries: u32,
+) -> Result<(httpwire::Response, u32), String> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let outcome = send_once(addr, request);
+        let (retry_after_s, reason) = match &outcome {
+            Ok(response) if response.status == 503 => {
+                let after = response
+                    .headers
+                    .get("retry-after")
+                    .and_then(|v| v.parse::<u64>().ok());
+                (after, format!("flowd at {addr} answered 503 (overloaded)"))
+            }
+            Ok(_) => return Ok((outcome.expect("checked Ok"), attempt)),
+            Err(SendError::Connect(e)) => (None, format!("cannot connect to flowd at {addr}: {e}")),
+            Err(SendError::Wire(e)) => return Err(format!("flowd at {addr}: {e}")),
+        };
+        if attempt > retries {
+            return match outcome {
+                Ok(response) => Ok((response, attempt)), // surface the final 503
+                Err(SendError::Connect(e)) => {
+                    Err(format!("cannot connect to flowd at {addr}: {e}"))
+                }
+                Err(SendError::Wire(e)) => Err(format!("flowd at {addr}: {e}")),
+            };
+        }
+        let delay = backoff_delay(addr, attempt, retry_after_s);
+        eprintln!(
+            "flowc: {reason}; retrying in {} ms ({attempt}/{retries})",
+            delay.as_millis()
+        );
+        std::thread::sleep(delay);
+    }
+}
+
+/// Exponential backoff: base 100 ms doubled per attempt, capped at 2 s, with
+/// deterministic ±50% jitter derived from `(addr, attempt)` — reruns sleep
+/// identically while concurrent clients hitting different daemons spread.
+/// A server `Retry-After` (seconds) raises the floor.
+fn backoff_delay(addr: &str, attempt: u32, retry_after_s: Option<u64>) -> std::time::Duration {
+    let exp = 100u64
+        .saturating_mul(1u64 << (attempt - 1).min(10))
+        .min(2_000);
+    let mut h = flow_core::Fnv64::new();
+    h.write_str(addr);
+    h.write_u64(u64::from(attempt));
+    let jittered = exp * (50 + h.finish() % 101) / 100;
+    std::time::Duration::from_millis(jittered.max(retry_after_s.unwrap_or(0) * 1_000))
+}
+
+/// Adds the client-side submission story (`submit_attempts`, `submit_retries`
+/// and, when set, `submit_deadline_ms`) to the report's `eval` object.  The
+/// extra keys are ignored by every [`RunReport`] consumer.
+fn annotate_eval(
+    text: &str,
+    attempts: u32,
+    retries: u32,
+    deadline_ms: Option<u64>,
+) -> Result<String, String> {
+    let mut value =
+        serde_json::parse_value(text).map_err(|e| format!("malformed report JSON: {e}"))?;
+    let serde::Value::Object(fields) = &mut value else {
+        return Err("report JSON is not an object".to_string());
+    };
+    let Some((_, serde::Value::Object(eval))) = fields.iter_mut().find(|(k, _)| k == "eval") else {
+        return Err("report JSON carries no eval object".to_string());
+    };
+    eval.push((
+        "submit_attempts".to_string(),
+        serde::Value::U64(u64::from(attempts)),
+    ));
+    eval.push((
+        "submit_retries".to_string(),
+        serde::Value::U64(u64::from(retries)),
+    ));
+    if let Some(ms) = deadline_ms {
+        eval.push(("submit_deadline_ms".to_string(), serde::Value::U64(ms)));
+    }
+    serde_json::to_string(&value).map_err(|e| format!("report serialization: {e}"))
 }
 
 /// `flowc store`: maintenance of a persistent QoR store file.

@@ -42,6 +42,11 @@ COMMANDS:
                                                     breakdown in the report
     submit         Run a flow on a remote flowd daemon instead of in process
                      --addr <host:port>             daemon address
+                     --retries <n>                  extra attempts on 503 or
+                                                    connect failure [default: 3]
+                     --deadline-ms <n>              per-request evaluation
+                                                    deadline (daemon answers 504
+                                                    past it; not retried)
                      plus the `run` options (--flow/--random/--timing/--verify/
                      --out/--json); QoR is bit-identical to a local `run`
     store          Maintain a persistent QoR store (JSONL)

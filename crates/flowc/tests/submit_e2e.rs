@@ -143,7 +143,35 @@ fn submit_reports_daemon_errors_cleanly() {
         .output()
         .expect("spawn");
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot connect"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot connect"), "stderr: {stderr}");
+    // Connect failures are retried with backoff before giving up.
+    assert!(stderr.contains("retrying in"), "stderr: {stderr}");
+}
+
+#[test]
+fn submit_surfaces_retry_and_deadline_in_eval() {
+    let server = Server::start(ServerConfig::default()).expect("start daemon");
+    let addr = server.addr().to_string();
+    let report = parse_report(&run_ok(flowc().args([
+        "submit",
+        "--addr",
+        &addr,
+        "--design",
+        "alu64:tiny",
+        "--flow",
+        "resyn2",
+        "--retries",
+        "2",
+        "--deadline-ms",
+        "30000",
+    ])));
+    let eval = report.get("eval").expect("eval section");
+    assert_eq!(eval.get("submit_attempts"), Some(&Value::U64(1)));
+    assert_eq!(eval.get("submit_retries"), Some(&Value::U64(2)));
+    assert_eq!(eval.get("submit_deadline_ms"), Some(&Value::U64(30_000)));
+    server.shutdown();
+    server.join().expect("drain");
 }
 
 #[test]

@@ -22,6 +22,9 @@ OPTIONS:
     --workers <n>         worker threads      [default: min(cores, 8)]
     --queue <n>           waiting-connection cap before 503 [default: 64]
     --timeout-ms <n>      max queue wait per connection     [default: 5000]
+    --deadline-ms <n>     per-request evaluation deadline (504 past it;
+                          requests may lower it via ?deadline_ms=)
+                                                            [default: 10000]
     --idle-ms <n>         keep-alive idle timeout           [default: 2000]
     --store <path>        persistent QoR store (JSONL)
     --verify              verify every evaluated flow by random simulation
@@ -87,6 +90,9 @@ fn parse_config(args: &mut Args) -> Result<ServerConfig, String> {
     }
     if let Some(n) = args.take_value("timeout-ms")? {
         config.request_timeout_ms = parse_number(&n, "timeout-ms")? as u64;
+    }
+    if let Some(n) = args.take_value("deadline-ms")? {
+        config.deadline_ms = (parse_number(&n, "deadline-ms")? as u64).max(1);
     }
     if let Some(n) = args.take_value("idle-ms")? {
         config.keep_alive_idle_ms = parse_number(&n, "idle-ms")? as u64;

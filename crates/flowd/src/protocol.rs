@@ -4,6 +4,7 @@ use std::sync::atomic::Ordering;
 
 use aig::io::Format;
 use aig::{random_equivalence_check, Aig};
+use flow_core::{CancelReason, CancelToken, Cancelled};
 use flowc::report::{DesignReport, ExportReport, FlowReport, RunReport, TimingReport};
 use flowgen::{Flow, FlowSpace};
 use httpwire::{Request, Response};
@@ -82,10 +83,18 @@ struct RequestStats {
     rejected_wait_timeout: u64,
     client_errors: u64,
     handler_panics: u64,
+    deadline_exceeded: u64,
+    cancelled: u64,
+    watchdog_restarts: u64,
 }
 
 /// Routes one parsed request to its handler.
-pub(crate) fn handle(shared: &Shared, request: &Request, pctx: &mut PassContext) -> Response {
+pub(crate) fn handle(
+    shared: &Shared,
+    request: &Request,
+    pctx: &mut PassContext,
+    cancel: &CancelToken,
+) -> Response {
     match (request.method.as_str(), request.path().as_str()) {
         ("GET", "/healthz") => {
             let draining = shared.draining.load(Ordering::SeqCst);
@@ -99,7 +108,7 @@ pub(crate) fn handle(shared: &Shared, request: &Request, pctx: &mut PassContext)
             shared.initiate_drain();
             Response::json(200, "{\"status\":\"draining\"}").with_header("connection", "close")
         }
-        ("POST", "/run") => run_response(shared, request, pctx),
+        ("POST", "/run") => run_response(shared, request, pctx, cancel),
         ("GET" | "POST", _) => error_response(
             404,
             "not-found",
@@ -132,6 +141,9 @@ fn stats_response(shared: &Shared) -> Response {
                 .load(Ordering::Relaxed),
             client_errors: shared.counters.client_errors.load(Ordering::Relaxed),
             handler_panics: shared.counters.handler_panics.load(Ordering::Relaxed),
+            deadline_exceeded: shared.counters.deadline_exceeded.load(Ordering::Relaxed),
+            cancelled: shared.counters.cancelled.load(Ordering::Relaxed),
+            watchdog_restarts: shared.counters.watchdog_restarts.load(Ordering::Relaxed),
         },
         store_hit_rate: eval.store_hit_rate(),
         eval,
@@ -152,7 +164,23 @@ fn flag(request: &Request, name: &str) -> bool {
     )
 }
 
-fn run_response(shared: &Shared, request: &Request, pctx: &mut PassContext) -> Response {
+/// The `504` answer for an evaluation that unwound on its cancel token.
+/// The connection closes: the response raced the evaluation, so any
+/// pipelined follow-up belongs on a fresh connection.
+fn cancelled_response(shared: &Shared, cancelled: &Cancelled) -> Response {
+    if cancelled.reason == CancelReason::Cancelled {
+        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+    error_response(504, "deadline", &format!("evaluation aborted: {cancelled}"))
+        .with_header("connection", "close")
+}
+
+fn run_response(
+    shared: &Shared,
+    request: &Request,
+    pctx: &mut PassContext,
+    cancel: &CancelToken,
+) -> Response {
     // --- Parse the flow specification. ---
     let flow_param = request.query_param("flow");
     let random_param = request.query_param("random");
@@ -227,16 +255,24 @@ fn run_response(shared: &Shared, request: &Request, pctx: &mut PassContext) -> R
     // --- Evaluate through the shared engine with this worker's context. ---
     let stats_before = shared.engine.stats();
     let _ = pctx.take_timings(); // request-local breakdown starts here
-    let qor = shared
-        .engine
-        .evaluate_flow_with_ctx(&design, flow.transforms(), pctx);
+    let qor =
+        match shared
+            .engine
+            .try_evaluate_flow_with_ctx(&design, flow.transforms(), pctx, cancel)
+        {
+            Ok(qor) => qor,
+            Err(cancelled) => return cancelled_response(shared, &cancelled),
+        };
 
     // Export (and explicit verification) need the optimized netlist itself,
     // which the engine keeps inside its cache; rerun the flow through the
     // recycling context.  Both paths are deterministic and bit-identical.
     let mut export = None;
     if export_format.is_some() || want_verify {
-        let optimized = pctx.run_flow(&design, flow.transforms());
+        let optimized = match pctx.run_flow_cancellable(&design, flow.transforms(), cancel) {
+            Ok(optimized) => optimized,
+            Err(cancelled) => return cancelled_response(shared, &cancelled),
+        };
         if want_verify && !random_equivalence_check(&design, &optimized, 8, VERIFY_SEED) {
             return error_response(
                 500,

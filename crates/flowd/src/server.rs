@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use flow_core::CancelToken;
 use floweval::{EngineConfig, EvalEngine};
 use httpwire::{read_request, write_response, HttpError, Limits, Response};
 use synth::PassContext;
@@ -32,6 +33,16 @@ pub struct ServerConfig {
     pub max_keepalive_requests: usize,
     /// Largest accepted request body (the design netlist).
     pub max_body_bytes: usize,
+    /// Per-request evaluation deadline.  A request may lower it with the
+    /// `deadline_ms` query parameter but never raise it.  An evaluation past
+    /// its deadline unwinds cooperatively and answers `504`.
+    pub deadline_ms: u64,
+    /// Extra time past the deadline before the watchdog declares a worker
+    /// wedged (cancellation ignored), answers `504` on its behalf, and
+    /// replaces it with a fresh thread + context.
+    pub watchdog_grace_ms: u64,
+    /// Watchdog polling period.
+    pub watchdog_poll_ms: u64,
     /// Engine configuration (store path, verification, cache budgets).
     pub engine: EngineConfig,
 }
@@ -48,6 +59,9 @@ impl Default for ServerConfig {
             keep_alive_idle_ms: 2_000,
             max_keepalive_requests: 256,
             max_body_bytes: 8 * 1024 * 1024,
+            deadline_ms: 10_000,
+            watchdog_grace_ms: 100,
+            watchdog_poll_ms: 20,
             engine: EngineConfig::default(),
         }
     }
@@ -63,6 +77,12 @@ pub(crate) struct Counters {
     pub(crate) rejected_wait_timeout: AtomicU64,
     pub(crate) client_errors: AtomicU64,
     pub(crate) handler_panics: AtomicU64,
+    /// `504` responses written, cooperative or by the watchdog.
+    pub(crate) deadline_exceeded: AtomicU64,
+    /// Evaluations unwound by an explicit `CancelToken::cancel()`.
+    pub(crate) cancelled: AtomicU64,
+    /// Wedged workers retired and replaced by the watchdog.
+    pub(crate) watchdog_restarts: AtomicU64,
 }
 
 /// One accepted connection waiting for a worker.
@@ -71,7 +91,39 @@ struct Job {
     enqueued: Instant,
 }
 
-/// State shared by the acceptor, the workers and `/stats`.
+/// The request a worker is currently evaluating, as seen by the watchdog.
+///
+/// Exactly one party answers the client: whoever `take()`s the slot under
+/// its lock owns the response.  The worker takes it on (timely) completion;
+/// the watchdog takes it once `hard_kill` passes without an answer.
+struct ActiveRequest {
+    /// Write-half clone; the watchdog answers `504` on it and shuts it down.
+    stream: TcpStream,
+    /// Deadline + grace: past this instant the worker counts as wedged.
+    hard_kill: Instant,
+    /// The request's token, re-cancelled at hijack so the stuck evaluation
+    /// unwinds whenever its stall finally ends.
+    token: CancelToken,
+}
+
+/// Per-worker supervision state.  Slots are fixed at startup; a replacement
+/// worker inherits the slot of the thread it retires.
+pub(crate) struct WorkerSlot {
+    active: Mutex<Option<ActiveRequest>>,
+    /// Bumped on every replacement; a thread whose spawn generation is stale
+    /// has been superseded and exits instead of looping.
+    generation: AtomicU64,
+}
+
+/// A worker thread handle plus the slot generation it was spawned for, so
+/// `join` can tell live threads from retired (possibly wedged) ones.
+struct WorkerHandle {
+    slot: usize,
+    generation: u64,
+    handle: std::thread::JoinHandle<()>,
+}
+
+/// State shared by the acceptor, the workers, the watchdog and `/stats`.
 pub(crate) struct Shared {
     pub(crate) engine: EvalEngine,
     pub(crate) config: ServerConfig,
@@ -80,6 +132,9 @@ pub(crate) struct Shared {
     pub(crate) started: Instant,
     pub(crate) draining: AtomicBool,
     pub(crate) addr: OnceLock<SocketAddr>,
+    slots: Vec<WorkerSlot>,
+    worker_handles: Mutex<Vec<WorkerHandle>>,
+    watchdog_stop: AtomicBool,
     queue: Mutex<VecDeque<Job>>,
     job_ready: Condvar,
 }
@@ -107,15 +162,16 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds the listener and spawns the acceptor and worker threads.
+    /// Binds the listener and spawns acceptor, workers and watchdog.
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let engine = EvalEngine::new(config.engine.clone());
+        let worker_count = config.workers.max(1);
         let shared = Arc::new(Shared {
             engine,
             config,
@@ -124,20 +180,22 @@ impl Server {
             started: Instant::now(),
             draining: AtomicBool::new(false),
             addr: OnceLock::new(),
+            slots: (0..worker_count)
+                .map(|_| WorkerSlot {
+                    active: Mutex::new(None),
+                    generation: AtomicU64::new(0),
+                })
+                .collect(),
+            worker_handles: Mutex::new(Vec::new()),
+            watchdog_stop: AtomicBool::new(false),
             queue: Mutex::new(VecDeque::new()),
             job_ready: Condvar::new(),
         });
         shared.addr.set(addr).expect("addr set once");
 
-        let workers = (0..shared.config.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("flowd-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
+        for slot in 0..worker_count {
+            spawn_worker(&shared, slot, 0);
+        }
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -145,10 +203,17 @@ impl Server {
                 .spawn(move || accept_loop(&shared, listener))
                 .expect("spawn acceptor")
         };
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("flowd-watchdog".to_string())
+                .spawn(move || watchdog_loop(&shared))
+                .expect("spawn watchdog")
+        };
         Ok(Server {
             shared,
             acceptor: Some(acceptor),
-            workers,
+            watchdog: Some(watchdog),
         })
     }
 
@@ -168,14 +233,62 @@ impl Server {
     }
 
     /// Waits until acceptor and workers exit, then flushes the QoR store.
+    ///
+    /// Workers retired by the watchdog may be wedged in an evaluation that
+    /// ignores cancellation; those are given a short window and then
+    /// detached (safe Rust cannot kill a thread), so drain never hangs on a
+    /// poisoned worker.
     pub fn join(mut self) -> std::io::Result<()> {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // The watchdog may still retire workers and push replacement handles
+        // while we drain, so join in batches until the registry is empty.
+        loop {
+            let batch: Vec<WorkerHandle> = {
+                let mut handles = self.shared.worker_handles.lock().expect("handles lock");
+                handles.drain(..).collect()
+            };
+            if batch.is_empty() {
+                break;
+            }
+            for worker in batch {
+                self.join_worker(worker);
+            }
+        }
+        self.shared.watchdog_stop.store(true, Ordering::SeqCst);
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
+        // Replacements spawned in the stop window exit on their own (drain).
+        let stragglers: Vec<WorkerHandle> = {
+            let mut handles = self.shared.worker_handles.lock().expect("handles lock");
+            handles.drain(..).collect()
+        };
+        for worker in stragglers {
+            self.join_worker(worker);
         }
         self.shared.engine.flush_store()
+    }
+
+    /// Joins a live worker; bounds the wait for a superseded one.
+    fn join_worker(&self, worker: WorkerHandle) {
+        let current = self.shared.slots[worker.slot]
+            .generation
+            .load(Ordering::SeqCst);
+        if worker.generation == current {
+            let _ = worker.handle.join();
+            return;
+        }
+        for _ in 0..50 {
+            if worker.handle.is_finished() {
+                let _ = worker.handle.join();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Still wedged: detach.  The thread holds only its own context.
+        drop(worker.handle);
     }
 }
 
@@ -215,10 +328,34 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
     }
 }
 
+/// Spawns a worker thread bound to `slot` and registers its handle.
+fn spawn_worker(shared: &Arc<Shared>, slot: usize, generation: u64) {
+    let thread_shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("flowd-worker-{slot}-g{generation}"))
+        .spawn(move || worker_loop(&thread_shared, slot, generation))
+        .expect("spawn worker");
+    shared
+        .worker_handles
+        .lock()
+        .expect("handles lock")
+        .push(WorkerHandle {
+            slot,
+            generation,
+            handle,
+        });
+}
+
 /// One worker: owns a recycling [`PassContext`] across all its requests.
-fn worker_loop(shared: &Shared) {
+///
+/// A worker whose spawn `generation` no longer matches its slot has been
+/// retired by the watchdog; it exits as soon as it regains control.
+fn worker_loop(shared: &Shared, slot: usize, generation: u64) {
     let mut pctx = PassContext::default();
     loop {
+        if shared.slots[slot].generation.load(Ordering::SeqCst) != generation {
+            return; // superseded while stalled
+        }
         let job = {
             let mut queue = shared.queue.lock().expect("queue lock");
             loop {
@@ -233,13 +370,63 @@ fn worker_loop(shared: &Shared) {
         };
         let Some(job) = job else { return };
         shared.busy_workers.fetch_add(1, Ordering::Relaxed);
-        serve_connection(shared, job, &mut pctx);
+        let hijacked = serve_connection(shared, job, &mut pctx, slot);
         shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
+        if hijacked {
+            return; // the watchdog answered for us and spawned a successor
+        }
     }
 }
 
-/// Serves one connection until close, idle timeout or drain.
-fn serve_connection(shared: &Shared, job: Job, pctx: &mut PassContext) {
+/// Supervises the workers: a request past `deadline + grace` whose worker
+/// has not answered is hijacked — the client gets `504` on the watchdog's
+/// thread, the wedged worker is retired, and a fresh worker (with a fresh
+/// [`PassContext`]) takes over its slot.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let poll = Duration::from_millis(shared.config.watchdog_poll_ms.max(1));
+    while !shared.watchdog_stop.load(Ordering::SeqCst) {
+        std::thread::sleep(poll);
+        for (slot_idx, slot) in shared.slots.iter().enumerate() {
+            let hijacked = {
+                let mut active = slot.active.lock().expect("slot lock");
+                match active.as_ref() {
+                    Some(request) if Instant::now() >= request.hard_kill => active.take(),
+                    _ => None,
+                }
+            };
+            let Some(request) = hijacked else { continue };
+            // Re-cancel so the stuck evaluation unwinds when its stall ends;
+            // the zombie thread then notices the generation bump and exits.
+            request.token.cancel();
+            let mut stream = request.stream;
+            let _ = write_response(
+                &mut stream,
+                &protocol::error_response(
+                    504,
+                    "deadline",
+                    "evaluation exceeded the request deadline",
+                )
+                .with_header("connection", "close"),
+            );
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            shared
+                .counters
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .counters
+                .watchdog_restarts
+                .fetch_add(1, Ordering::Relaxed);
+            let generation = slot.generation.fetch_add(1, Ordering::SeqCst) + 1;
+            spawn_worker(shared, slot_idx, generation);
+        }
+    }
+}
+
+/// Serves one connection until close, idle timeout or drain.  Returns `true`
+/// when the watchdog hijacked a request on this connection (the calling
+/// worker has been retired and must exit).
+fn serve_connection(shared: &Shared, job: Job, pctx: &mut PassContext, slot: usize) -> bool {
     let mut writer = job.stream;
     if job.enqueued.elapsed() >= Duration::from_millis(shared.config.request_timeout_ms) {
         shared
@@ -247,14 +434,14 @@ fn serve_connection(shared: &Shared, job: Job, pctx: &mut PassContext) {
             .rejected_wait_timeout
             .fetch_add(1, Ordering::Relaxed);
         let _ = write_response(&mut writer, &protocol::unavailable("request timeout"));
-        return;
+        return false;
     }
     let _ = writer.set_read_timeout(Some(Duration::from_millis(
         shared.config.keep_alive_idle_ms.max(1),
     )));
     let _ = writer.set_nodelay(true);
     let Ok(read_half) = writer.try_clone() else {
-        return;
+        return false;
     };
     let mut reader = BufReader::new(read_half);
     let limits = Limits {
@@ -265,16 +452,16 @@ fn serve_connection(shared: &Shared, job: Job, pctx: &mut PassContext) {
     loop {
         let request = match read_request(&mut reader, &limits) {
             Ok(request) => request,
-            Err(HttpError::Closed { .. }) => return,
+            Err(HttpError::Closed { .. }) => return false,
             Err(HttpError::Io(e))
                 if matches!(
                     e.kind(),
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                return; // idle keep-alive connection
+                return false; // idle keep-alive connection
             }
-            Err(HttpError::Io(_)) => return,
+            Err(HttpError::Io(_)) => return false,
             Err(HttpError::BadRequest(message)) => {
                 shared
                     .counters
@@ -285,7 +472,7 @@ fn serve_connection(shared: &Shared, job: Job, pctx: &mut PassContext) {
                     &protocol::error_response(400, "bad-request", &message)
                         .with_header("connection", "close"),
                 );
-                return;
+                return false;
             }
             Err(HttpError::TooLarge(message)) => {
                 shared
@@ -297,14 +484,69 @@ fn serve_connection(shared: &Shared, job: Job, pctx: &mut PassContext) {
                     &protocol::error_response(413, "too-large", &message)
                         .with_header("connection", "close"),
                 );
-                return;
+                return false;
             }
         };
         shared
             .counters
             .requests_received
             .fetch_add(1, Ordering::Relaxed);
-        let mut response = dispatch(shared, &request, pctx);
+        // Effective deadline: a request may lower the server default with
+        // `deadline_ms` but never raise it.
+        let deadline_ms = match request.query_param("deadline_ms").as_deref() {
+            None => shared.config.deadline_ms,
+            Some(value) => match value.parse::<u64>() {
+                Ok(n) if n >= 1 => n.min(shared.config.deadline_ms),
+                _ => {
+                    shared
+                        .counters
+                        .client_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = write_response(
+                        &mut writer,
+                        &protocol::error_response(
+                            400,
+                            "deadline",
+                            "deadline_ms needs a positive integer",
+                        )
+                        .with_header("connection", "close"),
+                    );
+                    return false;
+                }
+            },
+        };
+        let token = CancelToken::with_deadline(Duration::from_millis(deadline_ms));
+        let hard_kill = Instant::now()
+            + Duration::from_millis(deadline_ms.saturating_add(shared.config.watchdog_grace_ms));
+        let armed = match writer.try_clone() {
+            Ok(stream) => {
+                *shared.slots[slot].active.lock().expect("slot lock") = Some(ActiveRequest {
+                    stream,
+                    hard_kill,
+                    token: token.clone(),
+                });
+                true
+            }
+            Err(_) => false, // no watchdog cover; cooperative cancel still works
+        };
+        let mut response = dispatch(shared, &request, pctx, &token);
+        if armed
+            && shared.slots[slot]
+                .active
+                .lock()
+                .expect("slot lock")
+                .take()
+                .is_none()
+        {
+            // The watchdog answered the client and retired this worker.
+            return true;
+        }
+        if response.status == 504 {
+            shared
+                .counters
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+        }
         served += 1;
         let closing = shared.draining.load(Ordering::SeqCst)
             || served >= shared.config.max_keepalive_requests
@@ -314,23 +556,28 @@ fn serve_connection(shared: &Shared, job: Job, pctx: &mut PassContext) {
             response = response.with_header("connection", "close");
         }
         if write_response(&mut writer, &response).is_err() {
-            return;
+            return false;
         }
         shared
             .counters
             .requests_served
             .fetch_add(1, Ordering::Relaxed);
         if closing {
-            return;
+            return false;
         }
     }
 }
 
 /// Routes one request, converting handler panics into `500`s so a poisoned
 /// request can never thin out the worker pool.
-fn dispatch(shared: &Shared, request: &httpwire::Request, pctx: &mut PassContext) -> Response {
+fn dispatch(
+    shared: &Shared,
+    request: &httpwire::Request,
+    pctx: &mut PassContext,
+    cancel: &CancelToken,
+) -> Response {
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        protocol::handle(shared, request, pctx)
+        protocol::handle(shared, request, pctx, cancel)
     }));
     match outcome {
         Ok(response) => response,

@@ -1,0 +1,262 @@
+//! Chaos suite: the daemon under seeded fault schedules.
+//!
+//! Compiled only with `--features failpoints`.  Every scenario drives a real
+//! loopback daemon while the failpoint registry injects stalls, panics,
+//! store-append errors, cache refusals and truncated wire reads, and asserts
+//! the degradation contract: no hangs, well-formed responses, and QoR of
+//! successful answers bit-identical to a fault-free run.
+#![cfg(feature = "failpoints")]
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use circuits::{Design, DesignScale};
+use flow_core::fail;
+use flowc::report::RunReport;
+use flowd::{Server, ServerConfig};
+use floweval::EngineConfig;
+use httpwire::{read_response, write_request, HttpError, Limits, Request, Response};
+
+/// The failpoint registry is process-global and the test harness runs test
+/// functions on parallel threads: every scenario holds this lock for its
+/// whole duration and clears the registry on entry and exit.
+static REGISTRY: Mutex<()> = Mutex::new(());
+
+struct FaultSession {
+    _guard: std::sync::MutexGuard<'static, ()>,
+}
+
+impl FaultSession {
+    fn begin(seed: u64) -> FaultSession {
+        let guard = REGISTRY.lock().unwrap_or_else(|poison| poison.into_inner());
+        fail::teardown();
+        fail::set_seed(seed);
+        FaultSession { _guard: guard }
+    }
+}
+
+impl Drop for FaultSession {
+    fn drop(&mut self) {
+        fail::teardown();
+    }
+}
+
+fn chaos_server(workers: usize, store: Option<PathBuf>) -> Server {
+    Server::start(ServerConfig {
+        workers,
+        queue_capacity: 16,
+        engine: EngineConfig {
+            cache_budget_aig_nodes: 100_000,
+            store_path: store,
+            ..EngineConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("start server")
+}
+
+fn try_roundtrip(addr: std::net::SocketAddr, request: &Request) -> Result<Response, HttpError> {
+    let stream = TcpStream::connect(addr).map_err(HttpError::Io)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write_request(&mut writer, request)?;
+    read_response(&mut reader, &Limits::default())
+}
+
+fn roundtrip(addr: std::net::SocketAddr, request: &Request) -> Response {
+    try_roundtrip(addr, request).expect("response")
+}
+
+fn run_request(design: &aig::Aig, query: &str) -> Request {
+    Request::new("POST", &format!("/run?{query}"))
+        .with_body(aig::io::render_design(design, aig::io::Format::AigerAscii))
+}
+
+fn body_text(response: &Response) -> String {
+    String::from_utf8_lossy(&response.body).into_owned()
+}
+
+fn stats_text(addr: std::net::SocketAddr) -> String {
+    body_text(&roundtrip(addr, &Request::new("GET", "/stats")))
+}
+
+fn temp_store(label: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("flowd-chaos-{}-{label}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// The acceptance corpus: 200 requests (tunable down via
+/// `FLOWD_CHAOS_REQUESTS` for constrained CI runners) mixing designs,
+/// presets and seed-deterministic random flows, with store-hit repeats.
+fn corpus() -> (Vec<aig::Aig>, Vec<(usize, String)>) {
+    let designs = vec![
+        Design::Alu64.generate(DesignScale::Tiny),
+        Design::Aes128.generate(DesignScale::Tiny),
+        Design::Montgomery64.generate(DesignScale::Tiny),
+    ];
+    let count = std::env::var("FLOWD_CHAOS_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(200);
+    let script = httpwire::percent_encode("balance; rewrite -z; refactor");
+    let requests = (0..count)
+        .map(|i| {
+            let design = i % designs.len();
+            let query = match i % 4 {
+                0 => "flow=resyn2".to_string(),
+                1 => format!("random={}", i % 5),
+                2 => format!("flow={script}"),
+                _ => format!("random={}", 40 + (i % 7)),
+            };
+            (design, query)
+        })
+        .collect();
+    (designs, requests)
+}
+
+#[test]
+fn mixed_corpus_under_faults_matches_fault_free_qor() {
+    let _session = FaultSession::begin(0xC0FFEE);
+    let (designs, requests) = corpus();
+
+    let run_corpus = |label: &str| -> (Vec<synth::Qor>, String) {
+        let store = temp_store(label);
+        let server = chaos_server(2, Some(store.clone()));
+        let addr = server.addr();
+        let mut qors = Vec::with_capacity(requests.len());
+        for (design, query) in &requests {
+            let response = roundtrip(addr, &run_request(&designs[*design], query));
+            assert_eq!(
+                response.status,
+                200,
+                "{label} `{query}`: {}",
+                body_text(&response)
+            );
+            let report: RunReport = serde_json::from_str(&body_text(&response))
+                .unwrap_or_else(|e| panic!("{label} `{query}`: malformed report: {e}"));
+            qors.push(report.qor);
+        }
+        let stats = stats_text(addr);
+        server.shutdown();
+        server.join().expect("drain");
+        let _ = std::fs::remove_file(&store);
+        (qors, stats)
+    };
+
+    let (baseline, baseline_stats) = run_corpus("baseline");
+    assert!(
+        baseline_stats.contains("\"store_write_errors\":0"),
+        "stats: {baseline_stats}"
+    );
+
+    // The same corpus under a seeded schedule: stalled passes, failed store
+    // appends, refused trie-cache inserts.
+    fail::cfg("pass.apply", "3%delay(25)").unwrap();
+    fail::cfg("store.write", "50%return").unwrap();
+    fail::cfg("trie.cache_insert", "50%return").unwrap();
+    let (faulted, faulted_stats) = run_corpus("faulted");
+
+    assert_eq!(baseline, faulted, "faults must degrade speed, never QoR");
+    assert!(
+        fail::triggers("store.write") > 0,
+        "the schedule must exercise store appends"
+    );
+    assert!(fail::triggers("trie.cache_insert") > 0);
+    assert!(fail::triggers("pass.apply") > 0);
+    // Failed appends degrade to cache-only persistence and are surfaced.
+    assert!(
+        !faulted_stats.contains("\"store_write_errors\":0"),
+        "stats must surface the injected append failures: {faulted_stats}"
+    );
+    assert!(faulted_stats.contains("\"store_write_errors\":"));
+}
+
+#[test]
+fn injected_pass_panic_is_isolated_to_500() {
+    let _session = FaultSession::begin(1);
+    let server = chaos_server(1, None);
+    let addr = server.addr();
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+
+    fail::cfg("pass.apply", "1*panic(chaos)").unwrap();
+    let response = roundtrip(addr, &run_request(&design, "flow=resyn2"));
+    assert_eq!(response.status, 500, "body: {}", body_text(&response));
+    assert!(response.closes_connection());
+
+    // The single worker survived with a rebuilt context; no watchdog event.
+    let response = roundtrip(addr, &run_request(&design, "flow=resyn2"));
+    assert_eq!(response.status, 200, "body: {}", body_text(&response));
+    let stats = stats_text(addr);
+    assert!(stats.contains("\"handler_panics\":1"), "stats: {stats}");
+    assert!(stats.contains("\"watchdog_restarts\":0"), "stats: {stats}");
+
+    server.shutdown();
+    server.join().expect("drain");
+}
+
+#[test]
+fn wedged_worker_is_hijacked_and_pool_recovers() {
+    let _session = FaultSession::begin(2);
+    let server = chaos_server(2, None);
+    let addr = server.addr();
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+
+    // A 10x stall: the next pass sleeps 3 s straight through its cancel
+    // token, so only the watchdog can answer the client.
+    fail::cfg("pass.apply", "1*delay(3000)").unwrap();
+    let started = Instant::now();
+    let response = roundtrip(addr, &run_request(&design, "flow=resyn2&deadline_ms=300"));
+    let elapsed = started.elapsed();
+    assert_eq!(response.status, 504, "body: {}", body_text(&response));
+    assert!(body_text(&response).contains("deadline"));
+    assert!(
+        elapsed <= Duration::from_millis(300 + 250),
+        "504 must arrive within deadline + 250 ms, took {elapsed:?}"
+    );
+
+    // The wedged worker was retired and replaced; the pool still serves.
+    let response = roundtrip(addr, &run_request(&design, "flow=resyn2"));
+    assert_eq!(response.status, 200, "body: {}", body_text(&response));
+    let stats = stats_text(addr);
+    assert!(stats.contains("\"watchdog_restarts\":1"), "stats: {stats}");
+    assert!(stats.contains("\"deadline_exceeded\":1"), "stats: {stats}");
+
+    server.shutdown();
+    server.join().expect("drain");
+}
+
+#[test]
+fn truncated_wire_reads_close_cleanly() {
+    let _session = FaultSession::begin(3);
+    let server = chaos_server(1, None);
+    let addr = server.addr();
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+
+    // The next head read collapses: the server sees a truncated request and
+    // drops the connection without answering — no hang, no garbage.
+    fail::cfg("httpwire.read_head", "1*return").unwrap();
+    let outcome = try_roundtrip(addr, &run_request(&design, "flow=resyn2"));
+    assert!(outcome.is_err(), "truncated read cannot yield a response");
+
+    // The worker survived; the next request is served normally.
+    let response = roundtrip(addr, &run_request(&design, "flow=resyn2"));
+    assert_eq!(response.status, 200, "body: {}", body_text(&response));
+
+    // Truncated bodies surface as clean client-side errors the same way.
+    fail::cfg("httpwire.read_body", "1*return").unwrap();
+    let outcome = try_roundtrip(addr, &Request::new("GET", "/healthz"));
+    assert!(outcome.is_err(), "truncated body cannot yield a response");
+    let response = roundtrip(addr, &Request::new("GET", "/healthz"));
+    assert_eq!(response.status, 200);
+
+    server.shutdown();
+    server.join().expect("drain");
+}

@@ -246,6 +246,53 @@ fn shutdown_drains_gracefully() {
 }
 
 #[test]
+fn cooperative_deadline_answers_504_and_worker_survives() {
+    let server = tiny_server(1);
+    let addr = server.addr();
+    let design = Design::Aes128.generate(DesignScale::Tiny);
+    // 30 passes: long enough that a 1 ms deadline always expires at one of
+    // the pass-boundary checkpoints, whatever the machine speed.
+    let spec = [
+        "balance",
+        "rewrite",
+        "refactor",
+        "restructure",
+        "rewrite -z",
+        "balance",
+    ]
+    .repeat(5)
+    .join("; ");
+    let query = format!("flow={}&deadline_ms=1", httpwire::percent_encode(&spec));
+    let response = roundtrip(addr, &run_request(&design, &query));
+    assert_eq!(response.status, 504, "body: {}", body_text(&response));
+    assert!(response.closes_connection());
+    assert!(body_text(&response).contains("deadline"));
+
+    // Cooperative unwind: the worker answered itself, no watchdog involved.
+    let stats = body_text(&roundtrip(addr, &Request::new("GET", "/stats")));
+    assert!(stats.contains("\"deadline_exceeded\":1"), "stats: {stats}");
+    assert!(stats.contains("\"watchdog_restarts\":0"), "stats: {stats}");
+
+    // The same worker (and its recycled context) still evaluates correctly.
+    let response = roundtrip(addr, &run_request(&design, "flow=resyn2"));
+    assert_eq!(response.status, 200, "body: {}", body_text(&response));
+    let report: RunReport = serde_json::from_str(&body_text(&response)).expect("report");
+    let reference = EvalEngine::new(EngineConfig::default());
+    let flow = flowgen::Flow::parse("resyn2").expect("flow");
+    let expected = reference.evaluate_batch(&design, &[flow.transforms().to_vec()])[0];
+    assert_eq!(
+        report.qor, expected,
+        "post-cancel evaluation is bit-identical"
+    );
+
+    // A malformed deadline is a typed client error, not a hang.
+    let response = roundtrip(addr, &run_request(&design, "flow=resyn2&deadline_ms=soon"));
+    assert_eq!(response.status, 400);
+    server.shutdown();
+    server.join().expect("drain");
+}
+
+#[test]
 fn evaluate_flow_with_ctx_matches_batch_engine() {
     // The service path (`evaluate_flow_with_ctx`) against the batch path, on
     // the embedded engine — no sockets, pure engine-level pin.

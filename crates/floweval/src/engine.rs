@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use aig::{random_equivalence_check, Aig, NodeKind};
-use flow_core::{Fingerprint, Fnv64};
+use flow_core::{CancelToken, Cancelled, Fingerprint, Fnv64};
 use rayon::prelude::*;
 use serde::Serialize;
 use synth::{
@@ -407,10 +407,13 @@ impl EvalEngine {
         {
             let mut store = self.store.lock().expect("store lock");
             for &(idx, qor) in &evaluated {
-                store.insert(keys[idx].clone(), qor);
+                if store.insert(keys[idx].clone(), qor).is_err() {
+                    batch.store_write_errors += 1;
+                }
                 results[idx] = Some(qor);
             }
-            let _ = store.flush();
+            // Durability (fsync) happens at drain/compact time via
+            // `flush_store`, not per batch.
         }
         if let Some(trie) = trie {
             let cap = self.per_shard_design_cap();
@@ -456,6 +459,27 @@ impl EvalEngine {
         flow: &[Transform],
         pctx: &mut PassContext,
     ) -> Qor {
+        self.try_evaluate_flow_with_ctx(design, flow, pctx, &CancelToken::never())
+            .expect("a never-firing token cannot cancel")
+    }
+
+    /// [`evaluate_flow_with_ctx`](Self::evaluate_flow_with_ctx) under a
+    /// cancellation budget.
+    ///
+    /// The evaluation phase (which runs outside every engine lock) arms
+    /// `pctx` with `cancel`; passes, verification and mapping poll it and
+    /// unwind once it fires.  On cancellation everything partial is
+    /// discarded — no trie prefix is published, no store record written, the
+    /// engine's locks were never held by the unwinding code — and the
+    /// context stays recyclable for the next request.  Store hits still
+    /// answer (even past the deadline, a lookup is cheaper than an error).
+    pub fn try_evaluate_flow_with_ctx(
+        &self,
+        design: &Aig,
+        flow: &[Transform],
+        pctx: &mut PassContext,
+        cancel: &CancelToken,
+    ) -> Result<Qor, Cancelled> {
         let start = std::time::Instant::now();
         let design_fp = fingerprint_design(design);
         let key = StoreKey {
@@ -472,7 +496,7 @@ impl EvalEngine {
             batch.store_hits = 1;
             batch.wall_s = start.elapsed().as_secs_f64();
             self.commit_stats(&batch, None);
-            return qor;
+            return Ok(qor);
         }
         batch.flows_evaluated = 1;
 
@@ -519,28 +543,53 @@ impl EvalEngine {
             pctx.ensure_clean(&mut g);
         }
 
-        // Phase 2 (unlocked): apply the remaining transforms, cloning the
-        // shallow intermediates as cache candidates.
+        // Phase 2 (unlocked, cancellable): apply the remaining transforms,
+        // cloning the shallow intermediates as cache candidates.  No engine
+        // lock is held anywhere in this region, so a cancellation unwind can
+        // never poison the store or a shard.
         let mut candidates: Vec<(usize, Aig)> = Vec::new();
-        for &t in &flow[done..] {
-            pctx.apply(t, &mut g);
-            batch.passes_applied += 1;
-            done += 1;
-            if seeded
-                && done <= self.config.cache_depth
-                && g.len() <= self.config.cache_budget_aig_nodes
-            {
-                candidates.push((done, g.clone()));
+        pctx.arm_cancel(cancel.clone());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for &t in &flow[done..] {
+                pctx.apply(t, &mut g);
+                batch.passes_applied += 1;
+                done += 1;
+                if seeded
+                    && done <= self.config.cache_depth
+                    && g.len() <= self.config.cache_budget_aig_nodes
+                {
+                    candidates.push((done, g.clone()));
+                }
             }
-        }
-        if self.config.verify && !random_equivalence_check(design, &g, 8, VERIFY_SEED) {
-            panic!(
-                "floweval verification failed: flow `{}` changed the function of `{}`",
-                key.flow,
-                design.name()
-            );
-        }
-        let qor = self.map_terminal(pctx, &g);
+            if self.config.verify && !random_equivalence_check(design, &g, 8, VERIFY_SEED) {
+                panic!(
+                    "floweval verification failed: flow `{}` changed the function of `{}`",
+                    key.flow,
+                    design.name()
+                );
+            }
+            self.map_terminal(pctx, &g)
+        }));
+        pctx.disarm_cancel();
+        let qor = match outcome {
+            Ok(qor) => qor,
+            Err(payload) => {
+                // The working buffer is structurally valid at every
+                // checkpoint (passes replace it only after their full
+                // sweep), so it goes back to the pool either way.
+                pctx.recycle(g);
+                match payload.downcast::<Cancelled>() {
+                    Ok(cancelled) => {
+                        // Discard all partial state: `candidates` drop here,
+                        // nothing was published to the trie or the store.
+                        batch.wall_s = start.elapsed().as_secs_f64();
+                        self.commit_stats(&batch, None);
+                        return Err(*cancelled);
+                    }
+                    Err(other) => std::panic::resume_unwind(other),
+                }
+            }
+        };
         batch.mappings_run = 1;
         pctx.recycle(g);
 
@@ -565,12 +614,15 @@ impl EvalEngine {
         }
         {
             let mut store = self.store.lock().expect("store lock");
-            store.insert(key, qor);
-            let _ = store.flush();
+            if store.insert(key, qor).is_err() {
+                batch.store_write_errors += 1;
+            }
+            // Durability (fsync) happens at drain/compact time via
+            // `flush_store`, not per request.
         }
         batch.wall_s = start.elapsed().as_secs_f64();
         self.commit_stats(&batch, None);
-        qor
+        Ok(qor)
     }
 
     /// Evaluates the store misses through the prefix trie.

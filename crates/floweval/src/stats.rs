@@ -24,6 +24,9 @@ pub struct EvalStats {
     pub trie_hits: usize,
     /// Technology-mapping runs performed.
     pub mappings_run: usize,
+    /// QoR-store append/flush failures (the result is still served and kept
+    /// in memory; only its on-disk record is lost).
+    pub store_write_errors: usize,
     /// Wall-clock seconds spent inside the engine.
     pub wall_s: f64,
 }
@@ -65,6 +68,9 @@ impl EvalStats {
             passes_applied: self.passes_applied.saturating_sub(earlier.passes_applied),
             trie_hits: self.trie_hits.saturating_sub(earlier.trie_hits),
             mappings_run: self.mappings_run.saturating_sub(earlier.mappings_run),
+            store_write_errors: self
+                .store_write_errors
+                .saturating_sub(earlier.store_write_errors),
             wall_s: (self.wall_s - earlier.wall_s).max(0.0),
         }
     }
@@ -78,6 +84,7 @@ impl EvalStats {
         self.passes_applied += other.passes_applied;
         self.trie_hits += other.trie_hits;
         self.mappings_run += other.mappings_run;
+        self.store_write_errors += other.store_write_errors;
         self.wall_s += other.wall_s;
     }
 }
@@ -97,7 +104,11 @@ impl std::fmt::Display for EvalStats {
             self.trie_hits,
             self.mappings_run,
             self.wall_s,
-        )
+        )?;
+        if self.store_write_errors > 0 {
+            write!(f, "  store write errors {}", self.store_write_errors)?;
+        }
+        Ok(())
     }
 }
 
@@ -115,6 +126,7 @@ mod tests {
             passes_applied: 25,
             trie_hits: 5,
             mappings_run: 6,
+            store_write_errors: 2,
             wall_s: 1.0,
         };
         assert_eq!(a.passes_avoided(), 75);
@@ -124,6 +136,9 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.flows_requested, 20);
         assert_eq!(a.passes_applied, 50);
+        assert_eq!(a.store_write_errors, 4);
+        assert_eq!(a.since(&b).store_write_errors, 2);
+        assert!(a.to_string().contains("store write errors 4"));
         assert_eq!(EvalStats::default().store_hit_rate(), 0.0);
         assert_eq!(EvalStats::default().pass_savings_rate(), 0.0);
     }

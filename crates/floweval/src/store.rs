@@ -228,7 +228,7 @@ impl QorStore {
         let tmp = path.with_extension("compact.tmp");
         // Drop the append handle before replacing the file it points at.
         self.writer = None;
-        std::fs::write(&tmp, body.as_bytes())?;
+        self.write_compacted(&tmp, body.as_bytes())?;
         std::fs::rename(&tmp, &path)?;
         self.writer = Some(OpenOptions::new().create(true).append(true).open(&path)?);
 
@@ -245,6 +245,15 @@ impl QorStore {
         Ok(report)
     }
 
+    /// Writes and `sync_all`s the compaction temp file, so the atomic rename
+    /// never publishes a file whose contents could still be lost to a crash.
+    fn write_compacted(&mut self, tmp: &std::path::Path, body: &[u8]) -> std::io::Result<()> {
+        flow_core::fail_point!("store.compact", |_| Err(injected_io_error("compact")));
+        let mut file = File::create(tmp)?;
+        file.write_all(body)?;
+        file.sync_all()
+    }
+
     /// Looks up a result.
     pub fn get(&self, key: &StoreKey) -> Option<Qor> {
         self.index.get(key).copied()
@@ -258,10 +267,17 @@ impl QorStore {
     /// local filesystems (records are far below the pipe/page sizes where
     /// short writes occur; a torn line would be skipped on the next load,
     /// never mis-parsed).
-    pub fn insert(&mut self, key: StoreKey, qor: Qor) {
+    ///
+    /// An `Err` means only the on-disk append failed: the record is kept in
+    /// the in-memory index regardless, so the store degrades to cache-only
+    /// operation under disk faults instead of re-evaluating or failing
+    /// requests.  Callers surface the error count (`EvalStats`), they do not
+    /// abort on it.
+    pub fn insert(&mut self, key: StoreKey, qor: Qor) -> std::io::Result<()> {
         if self.index.contains_key(&key) {
-            return;
+            return Ok(());
         }
+        let mut appended = Ok(());
         if let Some(writer) = &mut self.writer {
             let record = QorRecord {
                 design: key.design.to_string(),
@@ -269,24 +285,45 @@ impl QorStore {
                 flow: key.flow.clone(),
                 qor,
             };
-            if let Ok(mut json) = serde_json::to_string(&record) {
-                json.push('\n');
-                // A failed write degrades the store to in-memory for this
-                // record; the evaluation result itself is still served.
-                let _ = writer.write_all(json.as_bytes());
-            }
+            appended = match serde_json::to_string(&record) {
+                Ok(mut json) => {
+                    json.push('\n');
+                    append_record(writer, json.as_bytes())
+                }
+                Err(e) => Err(std::io::Error::other(format!(
+                    "cannot serialize store record: {e}"
+                ))),
+            };
         }
         self.index.insert(key, qor);
+        appended
     }
 
-    /// Flushes appends to disk (records are written unbuffered, so this only
-    /// forwards to the OS handle).
+    /// Makes every appended record durable: records are written unbuffered,
+    /// so this is the `fsync` point (`sync_all`).  Called at drain/compact
+    /// time, not per insert — per-record fsync would serialize the service's
+    /// hot path on the disk.
     pub fn flush(&mut self) -> std::io::Result<()> {
+        flow_core::fail_point!("store.flush", |_| Err(injected_io_error("flush")));
         match &mut self.writer {
-            Some(writer) => writer.flush(),
+            Some(writer) => {
+                writer.flush()?;
+                writer.sync_all()
+            }
             None => Ok(()),
         }
     }
+}
+
+/// One unbuffered append (failpoint-instrumented).
+fn append_record(writer: &mut File, bytes: &[u8]) -> std::io::Result<()> {
+    flow_core::fail_point!("store.write", |_| Err(injected_io_error("write")));
+    writer.write_all(bytes)
+}
+
+#[cfg(feature = "failpoints")]
+fn injected_io_error(op: &str) -> std::io::Error {
+    std::io::Error::other(format!("failpoint: injected store {op} error"))
 }
 
 /// Returns `true` for an empty file or one whose last byte is `\n`.
@@ -345,7 +382,7 @@ mod tests {
     fn in_memory_store_roundtrip() {
         let mut store = QorStore::in_memory();
         assert!(store.is_empty());
-        store.insert(key("balance"), qor(1.5));
+        store.insert(key("balance"), qor(1.5)).unwrap();
         assert_eq!(store.len(), 1);
         assert_eq!(store.get(&key("balance")), Some(qor(1.5)));
         assert_eq!(store.get(&key("rewrite")), None);
@@ -358,8 +395,8 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let mut store = QorStore::open(&path).expect("open");
-            store.insert(key("balance; rewrite"), qor(2.25));
-            store.insert(key("refactor"), qor(3.5));
+            store.insert(key("balance; rewrite"), qor(2.25)).unwrap();
+            store.insert(key("refactor"), qor(3.5)).unwrap();
             store.flush().expect("flush");
         }
         {
@@ -379,7 +416,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let mut store = QorStore::open(&path).expect("open");
-            store.insert(key("balance"), qor(1.0));
+            store.insert(key("balance"), qor(1.0)).unwrap();
             store.flush().expect("flush");
         }
         {
@@ -401,7 +438,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let mut store = QorStore::open(&path).expect("open");
-            store.insert(key("balance"), qor(1.0));
+            store.insert(key("balance"), qor(1.0)).unwrap();
         }
         {
             // Crash mid-append: torn fragment with NO trailing newline.
@@ -412,7 +449,7 @@ mod tests {
         {
             let mut store = QorStore::open(&path).expect("reopen");
             assert_eq!(store.skipped_records(), 1);
-            store.insert(key("rewrite"), qor(2.0));
+            store.insert(key("rewrite"), qor(2.0)).unwrap();
         }
         // The record appended after the torn fragment must load cleanly.
         let store = QorStore::open(&path).expect("re-reopen");
@@ -486,7 +523,7 @@ mod tests {
         assert!(report.bytes_after < report.bytes_before);
 
         // Appends after compaction still land in the rewritten file.
-        store.insert(key("refactor"), qor(7.0));
+        store.insert(key("refactor"), qor(7.0)).unwrap();
         drop(store);
 
         let mut store = QorStore::open(&path).expect("reopen");
@@ -508,7 +545,7 @@ mod tests {
     #[test]
     fn in_memory_compact_is_a_no_op() {
         let mut store = QorStore::in_memory();
-        store.insert(key("balance"), qor(1.0));
+        store.insert(key("balance"), qor(1.0)).unwrap();
         let report = store.compact().expect("compact");
         assert_eq!(report.records, 1);
         assert_eq!(report.bytes_before, 0);
@@ -517,8 +554,8 @@ mod tests {
     #[test]
     fn duplicate_inserts_are_idempotent() {
         let mut store = QorStore::in_memory();
-        store.insert(key("balance"), qor(1.0));
-        store.insert(key("balance"), qor(9.0));
+        store.insert(key("balance"), qor(1.0)).unwrap();
+        store.insert(key("balance"), qor(9.0)).unwrap();
         assert_eq!(
             store.get(&key("balance")),
             Some(qor(1.0)),

@@ -134,6 +134,12 @@ impl FlowTrie {
     /// Caches `aig` at `node`, evicting least-recently-used entries if the
     /// budget is exceeded.  The root is pinned and never evicted.
     pub fn cache_aig(&mut self, node: TrieNodeId, aig: Aig) {
+        if node != TRIE_ROOT {
+            // Injected skip: the trie degrades to evaluating from shallower
+            // prefixes, never to wrong results.  The root (the cleaned
+            // design) is load-bearing and pinned, so it is never skipped.
+            flow_core::fail_point!("trie.cache_insert", |_| ());
+        }
         let size = aig.len();
         if node != TRIE_ROOT && size > self.budget_aig_nodes {
             return; // one oversized entry would evict everything else

@@ -7,7 +7,7 @@
 
 use aig::{Aig, Lit};
 
-use crate::pass::PassContext;
+use crate::pass::{pool_give, PassContext};
 
 /// Applies AND-tree balancing and returns the rebuilt network.
 ///
@@ -42,7 +42,16 @@ pub(crate) fn balance_ctx(g: &mut Aig, ctx: &mut PassContext) {
     let mut out = ctx.take_buf();
     out.set_name(g.name().to_string());
     out.reserve_for(g.len(), g.num_ands());
-    let map = &mut ctx.balance_map;
+    // Disjoint borrows: the remap table feeds the build loop while the
+    // cancel cell polls between trees.  `g` is only overwritten by the final
+    // `cleanup_into_with`, so a cancellation unwind leaves it untouched.
+    let PassContext {
+        pool,
+        scratch,
+        balance_map: map,
+        cancel,
+        ..
+    } = ctx;
     map.clear();
     map.resize(g.len(), None);
     map[0] = Some(Lit::FALSE);
@@ -51,6 +60,7 @@ pub(crate) fn balance_ctx(g: &mut Aig, ctx: &mut PassContext) {
     }
     for id in g.node_ids() {
         if g.node(id).is_and() {
+            cancel.checkpoint();
             build_balanced(g, &mut out, map, id);
         }
     }
@@ -58,8 +68,8 @@ pub(crate) fn balance_ctx(g: &mut Aig, ctx: &mut PassContext) {
         let nl = map[l.node()].expect("output cone built") ^ l.is_complemented();
         out.add_output(g.output_name(i).to_string(), nl);
     }
-    out.cleanup_into_with(g, &mut ctx.scratch);
-    ctx.recycle(out);
+    out.cleanup_into_with(g, scratch);
+    pool_give(pool, out);
 }
 
 /// Builds the balanced implementation of node `id` into `out`, memoising in `map`.

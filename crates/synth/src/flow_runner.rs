@@ -7,6 +7,7 @@
 //! same reason: dataset collection dominates total runtime).
 
 use aig::{random_equivalence_check, Aig, AigStats};
+use flow_core::{CancelToken, Cancelled};
 use rayon::prelude::*;
 
 use crate::library::CellLibrary;
@@ -97,6 +98,35 @@ impl FlowRunner {
         flow: &[Transform],
         ctx: &mut PassContext,
     ) -> FlowOutcome {
+        self.try_run_with_ctx(design, flow, ctx, &CancelToken::never())
+            .expect("a never-firing token cannot cancel")
+    }
+
+    /// [`run_with_ctx`](Self::run_with_ctx) under a cancellation budget:
+    /// passes, verification and mapping poll `cancel` and unwind into `Err`
+    /// once it fires.  The context stays reusable after cancellation.
+    pub fn try_run_with_ctx(
+        &self,
+        design: &Aig,
+        flow: &[Transform],
+        ctx: &mut PassContext,
+        cancel: &CancelToken,
+    ) -> Result<FlowOutcome, Cancelled> {
+        ctx.arm_cancel(cancel.clone());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_armed(design, flow, ctx)
+        }));
+        ctx.disarm_cancel();
+        match outcome {
+            Ok(result) => Ok(result),
+            Err(payload) => match payload.downcast::<Cancelled>() {
+                Ok(cancelled) => Err(*cancelled),
+                Err(other) => std::panic::resume_unwind(other),
+            },
+        }
+    }
+
+    fn run_armed(&self, design: &Aig, flow: &[Transform], ctx: &mut PassContext) -> FlowOutcome {
         let start = std::time::Instant::now();
         let mut optimized = ctx.run_flow(design, flow);
         let verified = if self.verify {

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use crate::engine::CutEngine;
 use crate::library::{CellId, CellLibrary};
 use crate::npn4::npn4;
-use crate::pass::PassContext;
+use crate::pass::{CancelCell, PassContext};
 use crate::qor::Qor;
 
 /// Objective used to choose among matched cells.
@@ -188,7 +188,15 @@ pub fn map_with_engine(
     } else {
         Vec::new()
     };
-    map_core(&subject, library, params, fast, &cut_sets, &cut4_sets)
+    map_core(
+        &subject,
+        library,
+        params,
+        fast,
+        &cut_sets,
+        &cut4_sets,
+        &mut CancelCell::default(),
+    )
 }
 
 /// Maps `g` through an arena-recycling [`PassContext`].
@@ -211,10 +219,13 @@ pub fn map_with_ctx(
     let fast = ctx.engine() == CutEngine::Fast && params.cuts_per_node <= aig::CUT4_SET_CAPACITY;
     let netlist = if fast {
         Cut4Enumerator::new(cut_params).enumerate_into(g, &mut ctx.cut4_sets);
-        map_core(g, library, params, true, &[], &ctx.cut4_sets)
+        let PassContext {
+            cut4_sets, cancel, ..
+        } = ctx;
+        map_core(g, library, params, true, &[], cut4_sets, cancel)
     } else {
         let cut_sets = CutEnumerator::new(cut_params).enumerate(g);
-        map_core(g, library, params, false, &cut_sets, &[])
+        map_core(g, library, params, false, &cut_sets, &[], &mut ctx.cancel)
     };
     ctx.record_mapping(start.elapsed().as_secs_f64());
     netlist
@@ -237,6 +248,7 @@ fn map_core(
     fast: bool,
     cut_sets: &[aig::CutSet],
     cut4_sets: &[aig::CutSet4],
+    cancel: &mut CancelCell,
 ) -> MappedNetlist {
     let mut choices: HashMap<NodeId, Choice> = HashMap::new();
     let mut arrivals: Vec<f64> = vec![0.0; subject.len()];
@@ -248,6 +260,7 @@ fn map_core(
         if !subject.node(id).is_and() {
             continue;
         }
+        cancel.checkpoint();
         let matcher = Matcher {
             library,
             mode: params.mode,

@@ -31,6 +31,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use aig::{Aig, AigScratch, CutSet4, CutTruthScratch, Lit, NodeId};
+use flow_core::{fail_point, CancelToken, Cancelled};
 
 use crate::engine::CutEngine;
 use crate::passes::Transform;
@@ -104,6 +105,73 @@ impl PassTimings {
     }
 }
 
+/// The context's cooperative-cancellation checkpoint.
+///
+/// Holds the request's [`CancelToken`] (when one is armed) plus a countdown
+/// that strides the actual clock/flag poll: inner per-node loops call
+/// [`checkpoint`](Self::checkpoint) on every iteration, but only every
+/// `STRIDE`-th call reads the token, so an unarmed or quiet token costs one
+/// branch per node.  A fired token unwinds the current evaluation with a
+/// typed [`Cancelled`] payload; the cancelling caller catches it with
+/// `std::panic::catch_unwind`.
+///
+/// The unwind is safe for the context by construction: every pass mutates its
+/// subject graph only at the very end (the `cleanup_into_with` /
+/// rebuild step after the full sweep), and all sweep scratch is cleared at
+/// the start of each use — so a cancelled context is immediately reusable and
+/// its next run is bit-identical to a fresh context's (pinned by
+/// `tests/cancellation.rs`).
+#[derive(Debug, Default)]
+pub(crate) struct CancelCell {
+    token: Option<CancelToken>,
+    countdown: u32,
+}
+
+impl CancelCell {
+    const STRIDE: u32 = 64;
+
+    fn arm(&mut self, token: CancelToken) {
+        flow_core::silence_cancel_unwinds();
+        self.token = Some(token);
+        self.countdown = 0;
+    }
+
+    fn disarm(&mut self) {
+        self.token = None;
+    }
+
+    /// Strided poll for inner per-node loops.
+    #[inline]
+    pub(crate) fn checkpoint(&mut self) {
+        if self.token.is_none() {
+            return;
+        }
+        if let Some(next) = self.countdown.checked_sub(1) {
+            self.countdown = next;
+            return;
+        }
+        self.countdown = Self::STRIDE - 1;
+        self.poll();
+    }
+
+    /// Unstrided poll for pass boundaries.
+    fn force_checkpoint(&mut self) {
+        if self.token.is_some() {
+            self.countdown = Self::STRIDE - 1;
+            self.poll();
+        }
+    }
+
+    #[cold]
+    fn poll(&self) {
+        if let Some(token) = &self.token {
+            if let Err(cancelled) = token.check() {
+                std::panic::panic_any(cancelled);
+            }
+        }
+    }
+}
+
 /// Reusable buffers of the resynthesis sweep shared by `rewrite`, `refactor`
 /// and `restructure`.
 #[derive(Debug, Default)]
@@ -151,6 +219,7 @@ pub struct PassContext {
     pub(crate) cut4_sets: Vec<CutSet4>,
     pub(crate) balance_map: Vec<Option<Lit>>,
     pub(crate) sweep: SweepScratch,
+    pub(crate) cancel: CancelCell,
     timings: PassTimings,
 }
 
@@ -171,8 +240,23 @@ impl PassContext {
             cut4_sets: Vec::new(),
             balance_map: Vec::new(),
             sweep: SweepScratch::default(),
+            cancel: CancelCell::default(),
             timings: PassTimings::default(),
         }
+    }
+
+    /// Arms cooperative cancellation: until [`disarm_cancel`](Self::disarm_cancel),
+    /// passes and the mapper poll `token` at pass boundaries and inside their
+    /// per-node loops, unwinding with a [`Cancelled`] panic payload once it
+    /// fires.  Callers pair this with `std::panic::catch_unwind` (or use
+    /// [`run_flow_cancellable`](Self::run_flow_cancellable)).
+    pub fn arm_cancel(&mut self, token: CancelToken) {
+        self.cancel.arm(token);
+    }
+
+    /// Disarms cooperative cancellation (idempotent).
+    pub fn disarm_cancel(&mut self) {
+        self.cancel.disarm();
     }
 
     /// The cut engine the context's passes run on.
@@ -219,6 +303,8 @@ impl PassContext {
 
     /// Applies one transformation to `g` in place, recording its wall time.
     pub fn apply(&mut self, t: Transform, g: &mut Aig) {
+        self.cancel.force_checkpoint();
+        fail_point!("pass.apply");
         let start = Instant::now();
         t.as_pass().run(g, self);
         let stat = &mut self.timings.passes[t.index()];
@@ -238,6 +324,32 @@ impl PassContext {
             self.apply(t, &mut g);
         }
         g
+    }
+
+    /// [`run_flow`](Self::run_flow) under a cancellation budget.
+    ///
+    /// Polls `cancel` at every pass boundary and inside the per-node loops;
+    /// once it fires, the evaluation unwinds and `Err` is returned.  The
+    /// context survives cancellation fully reusable: the next
+    /// [`run_flow`](Self::run_flow) on it is bit-identical to one on a fresh
+    /// context.  Non-cancellation panics are re-raised.
+    pub fn run_flow_cancellable(
+        &mut self,
+        design: &Aig,
+        flow: &[Transform],
+        cancel: &CancelToken,
+    ) -> Result<Aig, Cancelled> {
+        self.arm_cancel(cancel.clone());
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_flow(design, flow)));
+        self.disarm_cancel();
+        match outcome {
+            Ok(g) => Ok(g),
+            Err(payload) => match payload.downcast::<Cancelled>() {
+                Ok(cancelled) => Err(*cancelled),
+                Err(other) => std::panic::resume_unwind(other),
+            },
+        }
     }
 }
 

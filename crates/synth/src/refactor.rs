@@ -86,12 +86,19 @@ pub(crate) fn refactor_ctx(
         scratch,
         propose: ps,
         sweep,
+        cancel,
         ..
     } = ctx;
     let engine = *engine;
-    resynthesis_sweep_ctx(g, acceptance, sweep, pool, scratch, |graph, id, out| {
-        propose_ctx(graph, id, params, engine, ps, out)
-    });
+    resynthesis_sweep_ctx(
+        g,
+        acceptance,
+        sweep,
+        pool,
+        scratch,
+        cancel,
+        |graph, id, out| propose_ctx(graph, id, params, engine, ps, out),
+    );
 }
 
 /// The context-path proposal generator: identical proposals to [`propose`],

@@ -64,6 +64,7 @@ pub(crate) fn restructure_ctx(g: &mut Aig, params: RestructureParams, ctx: &mut 
         scratch,
         propose: ps,
         sweep,
+        cancel,
         ..
     } = ctx;
     let engine = *engine;
@@ -73,6 +74,7 @@ pub(crate) fn restructure_ctx(g: &mut Aig, params: RestructureParams, ctx: &mut 
         sweep,
         pool,
         scratch,
+        cancel,
         |graph, id, out| propose_ctx(graph, id, params, engine, ps, out),
     );
 }

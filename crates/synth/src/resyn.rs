@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use aig::{Aig, AigScratch, Lit, NodeId, TruthTable};
 
 use crate::decomp::build_shannon;
-use crate::pass::{pool_give, pool_take, SweepScratch};
+use crate::pass::{pool_give, pool_take, CancelCell, SweepScratch};
 use crate::sop::{build_sop, Sop};
 
 /// How the new implementation of a node's cut function is expressed.
@@ -125,12 +125,17 @@ where
 ///
 /// `g` must already be dangling-free (the context ensures this); fanouts are
 /// refreshed only when the epoch stamp says they are stale.
+///
+/// The per-node loop polls `cancel` and may unwind; `g` is only mutated by
+/// the rebuild *after* the full sweep, so a cancelled sweep leaves it exactly
+/// as it was on entry.
 pub(crate) fn resynthesis_sweep_ctx<F>(
     g: &mut Aig,
     acceptance: Acceptance,
     sweep: &mut SweepScratch,
     pool: &mut Vec<Aig>,
     scratch: &mut AigScratch,
+    cancel: &mut CancelCell,
     mut propose: F,
 ) where
     F: FnMut(&mut Aig, NodeId, &mut Vec<Proposal>),
@@ -151,6 +156,7 @@ pub(crate) fn resynthesis_sweep_ctx<F>(
         if g.fanout_count(id) == 0 {
             continue;
         }
+        cancel.checkpoint();
         proposals.clear();
         propose(g, id, proposals);
         let mut best: Option<Decision> = None;

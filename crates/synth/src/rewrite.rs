@@ -117,18 +117,31 @@ pub(crate) fn rewrite_ctx(
         propose: ps,
         cut4_sets,
         sweep,
+        cancel,
         ..
     } = ctx;
     if *engine == CutEngine::Fast && fast_capable {
         Cut4Enumerator::new(cut_params).enumerate_into(g, cut4_sets);
-        resynthesis_sweep_ctx(g, acceptance, sweep, pool, scratch, |graph, id, out| {
-            propose_fast_ctx(graph, id, cut4_sets, ps, out)
-        });
+        resynthesis_sweep_ctx(
+            g,
+            acceptance,
+            sweep,
+            pool,
+            scratch,
+            cancel,
+            |graph, id, out| propose_fast_ctx(graph, id, cut4_sets, ps, out),
+        );
     } else {
         let cut_sets = CutEnumerator::new(cut_params).enumerate(g);
-        resynthesis_sweep_ctx(g, acceptance, sweep, pool, scratch, |graph, id, out| {
-            propose(graph, id, &cut_sets, out)
-        });
+        resynthesis_sweep_ctx(
+            g,
+            acceptance,
+            sweep,
+            pool,
+            scratch,
+            cancel,
+            |graph, id, out| propose(graph, id, &cut_sets, out),
+        );
     }
 }
 

@@ -1,0 +1,118 @@
+//! Cancellation unwinding leaves the arena-recycling context reusable.
+//!
+//! The contract pinned here backs the daemon's deadline path: a request past
+//! its budget unwinds out of the pass pipeline, and the worker's long-lived
+//! [`PassContext`] serves the next request with bit-identical results — no
+//! context rebuild, no residue from the cancelled evaluation.
+
+use std::time::Duration;
+
+use aig::io::{render_design, Format};
+use circuits::{Design, DesignScale};
+use flow_core::{CancelReason, CancelToken};
+use synth::{FlowRunner, PassContext, Transform};
+
+const FLOW: [Transform; 6] = [
+    Transform::Balance,
+    Transform::Rewrite,
+    Transform::RefactorZ,
+    Transform::Restructure,
+    Transform::RewriteZ,
+    Transform::Balance,
+];
+
+fn bits(g: &aig::Aig) -> Vec<u8> {
+    render_design(g, Format::AigerAscii)
+}
+
+#[test]
+fn expired_deadline_cancels_at_the_first_pass_boundary() {
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+    let mut ctx = PassContext::default();
+    let token = CancelToken::with_deadline(Duration::ZERO);
+    let err = ctx
+        .run_flow_cancellable(&design, &FLOW, &token)
+        .expect_err("zero budget must cancel");
+    assert_eq!(err.reason, CancelReason::DeadlineExceeded);
+}
+
+#[test]
+fn explicitly_cancelled_token_reports_cancelled() {
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+    let mut ctx = PassContext::default();
+    let token = CancelToken::never();
+    token.cancel();
+    let err = ctx
+        .run_flow_cancellable(&design, &FLOW, &token)
+        .expect_err("cancelled token must cancel");
+    assert_eq!(err.reason, CancelReason::Cancelled);
+}
+
+#[test]
+fn cancelled_context_reruns_bit_identical_to_a_fresh_one() {
+    let design = Design::Aes128.generate(DesignScale::Tiny);
+    let mut ctx = PassContext::default();
+
+    // Warm the context (pool, caches, scratch) with a real evaluation first,
+    // then cancel one mid-stream: interrupt budgets from instant to a few
+    // milliseconds land the unwind in different passes and loops.
+    let warm = ctx.run_flow(&design, &FLOW);
+    ctx.recycle(warm);
+    for budget_us in [0, 200, 500, 1_000, 2_000, 5_000] {
+        let token = CancelToken::with_deadline(Duration::from_micros(budget_us));
+        let _ = ctx.run_flow_cancellable(&design, &FLOW, &token);
+    }
+
+    // The survivor context must now behave exactly like a fresh one.
+    let reused = ctx.run_flow(&design, &FLOW);
+    let fresh = PassContext::default().run_flow(&design, &FLOW);
+    assert_eq!(
+        bits(&reused),
+        bits(&fresh),
+        "a cancelled context must not leak state into later runs"
+    );
+
+    // The resident design is untouched: passes mutate their working copy
+    // only after the full sweep, never the input graph.
+    let original = Design::Aes128.generate(DesignScale::Tiny);
+    assert_eq!(bits(&design), bits(&original));
+}
+
+#[test]
+fn flow_runner_cancellation_keeps_qor_reproducible() {
+    let design = Design::Montgomery64.generate(DesignScale::Tiny);
+    let runner = FlowRunner::new().with_verification(true);
+    let mut ctx = PassContext::default();
+
+    let token = CancelToken::with_deadline(Duration::ZERO);
+    let err = runner
+        .try_run_with_ctx(&design, &FLOW, &mut ctx, &token)
+        .expect_err("zero budget must cancel");
+    assert_eq!(err.reason, CancelReason::DeadlineExceeded);
+
+    let reused = runner.run_with_ctx(&design, &FLOW, &mut ctx);
+    let fresh = runner.run(&design, &FLOW);
+    assert_eq!(
+        reused.qor, fresh.qor,
+        "bit-identical QoR after cancellation"
+    );
+    assert!(
+        reused.verified,
+        "verification still passes on the reused ctx"
+    );
+}
+
+#[test]
+fn never_token_changes_nothing() {
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+    let mut ctx = PassContext::default();
+    let armed = ctx
+        .run_flow_cancellable(&design, &FLOW, &CancelToken::never())
+        .expect("never cancels");
+    let plain = PassContext::default().run_flow(&design, &FLOW);
+    assert_eq!(
+        bits(&armed),
+        bits(&plain),
+        "an armed-but-quiet token must not perturb results"
+    );
+}

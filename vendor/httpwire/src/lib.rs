@@ -216,8 +216,24 @@ pub fn reason_phrase(status: u16) -> &'static str {
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
+}
+
+/// Failpoint shim for the read paths: with the `failpoints` feature a
+/// configured `return` task injects a truncated read (`Closed`) and a
+/// `delay` task stalls the read; without the feature this is an inlined
+/// no-op (the optional `flow-core` dependency is not even linked).
+#[cfg(feature = "failpoints")]
+fn read_failpoint(name: &str) -> Option<HttpError> {
+    flow_core::fail::eval(name).map(|_| HttpError::Closed { clean: false })
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+fn read_failpoint(_name: &str) -> Option<HttpError> {
+    None
 }
 
 /// Reads one request from `reader` (server side).
@@ -312,6 +328,9 @@ pub fn read_response<R: BufRead>(reader: &mut R, limits: &Limits) -> Result<Resp
 
 /// Reads the head (start line + headers) up to the blank line, excluded.
 fn read_head<R: BufRead>(reader: &mut R, limits: &Limits) -> Result<String, HttpError> {
+    if let Some(e) = read_failpoint("httpwire.read_head") {
+        return Err(e);
+    }
     let mut head: Vec<u8> = Vec::new();
     loop {
         let mut line: Vec<u8> = Vec::new();
@@ -380,6 +399,9 @@ fn read_body<R: BufRead>(
     headers: &BTreeMap<String, String>,
     limits: &Limits,
 ) -> Result<Vec<u8>, HttpError> {
+    if let Some(e) = read_failpoint("httpwire.read_body") {
+        return Err(e);
+    }
     if let Some(te) = headers.get("transfer-encoding") {
         if !te.eq_ignore_ascii_case("identity") {
             return Err(HttpError::BadRequest(format!(

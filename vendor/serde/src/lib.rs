@@ -101,6 +101,20 @@ pub fn field<'v>(value: &'v Value, name: &str, ty: &str) -> Result<&'v Value, Er
         .ok_or_else(|| Error::custom(format!("missing field `{name}` for {ty}")))
 }
 
+// A `Value` serializes to itself, so code that edits a parsed tree (adding
+// report annotations, say) can hand it back to `serde_json::to_string`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
