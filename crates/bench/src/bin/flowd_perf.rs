@@ -23,6 +23,16 @@
 //! `deadline_ms=1` request must come back `504` promptly, and the daemon's
 //! `deadline_exceeded` / `cancelled` / `watchdog_restarts` /
 //! `store_write_errors` counters are scraped from `/stats` into the report.
+//!
+//! A third report, `BENCH_PR8.json` (override with `FLOWD_PERF_OUT8`),
+//! covers the durable-store layer: append+fsync throughput while building a
+//! multi-segment store, the cold **replay** rate of scrubbing it back in
+//! (checksums verified), and daemon **restart time-to-healthy** on that
+//! store — once clean and once with a deliberately torn tail the open must
+//! quarantine and heal.  All three phases are trended as `records_per_s`
+//! (record count over wall time; for the restarts, time from `Server::start`
+//! to the first healthy `/healthz`).  Record volume is tunable with
+//! `FLOWD_PERF_RECOVERY_RECORDS`.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
@@ -390,6 +400,13 @@ fn main() {
     std::fs::write(&out7, json7 + "\n").expect("write robustness report");
     println!("wrote {out7}");
 
+    // --- Phase 6: durability — store replay and restart time-to-healthy. ---
+    let recovery = run_recovery(scale_name);
+    let out8 = std::env::var("FLOWD_PERF_OUT8").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
+    let json8 = serde_json::to_string(&recovery).expect("recovery report serializes");
+    std::fs::write(&out8, json8 + "\n").expect("write recovery report");
+    println!("wrote {out8}");
+
     if !all_identical {
         eprintln!("FAIL: wire QoR diverged from the in-process engine");
         std::process::exit(1);
@@ -417,6 +434,212 @@ fn main() {
     if !robustness.stall_burst.drain_ok {
         eprintln!("FAIL: stall-burst daemon drain failed");
         std::process::exit(1);
+    }
+    if !recovery.replay_complete {
+        eprintln!("FAIL: cold replay lost records");
+        std::process::exit(1);
+    }
+    if !recovery.torn_tail_healed {
+        eprintln!("FAIL: restart did not detect/heal the torn tail");
+        std::process::exit(1);
+    }
+    if !recovery.restarts_served_all_records || !recovery.drain_ok {
+        eprintln!("FAIL: restarted daemon lost records or failed to drain");
+        std::process::exit(1);
+    }
+}
+
+/// One measured phase of the durability scenario: a record count over the
+/// wall time it took, trended as `records_per_s`.
+#[derive(Debug, Serialize)]
+struct RecoveryItem {
+    scenario: String,
+    records: usize,
+    wall_ms: f64,
+    records_per_s: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct RecoveryReport {
+    pr: String,
+    workload: String,
+    scale: String,
+    records: usize,
+    segments: usize,
+    items: Vec<RecoveryItem>,
+    replay_complete: bool,
+    torn_tail_healed: bool,
+    restarts_served_all_records: bool,
+    drain_ok: bool,
+}
+
+fn recovery_item(scenario: &str, records: usize, wall: Duration) -> RecoveryItem {
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    RecoveryItem {
+        scenario: scenario.to_string(),
+        records,
+        wall_ms,
+        records_per_s: records as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Polls `/healthz` until the daemon answers `200` with a healthy store.
+fn await_healthy(addr: SocketAddr) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let response = roundtrip(addr, &Request::new("GET", "/healthz"));
+        let body = String::from_utf8_lossy(&response.body).into_owned();
+        if response.status == 200 && body.contains("\"store_mode\":\"ok\"") {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon did not become healthy: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The durability scenario behind `BENCH_PR8.json`: build a multi-segment
+/// store record by record, replay it cold, then measure daemon restart
+/// time-to-healthy on it — clean, and again after tearing the tail.
+fn run_recovery(scale_name: &str) -> RecoveryReport {
+    use floweval::{QorStore, StoreKey, StoreOptions};
+
+    let records: usize = std::env::var("FLOWD_PERF_RECOVERY_RECORDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000);
+    let dir = std::env::temp_dir().join(format!("flowd-perf-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("recovery scratch dir");
+    let store_path = dir.join("qor.jsonl");
+    // Small segments so the replay walks a real multi-segment manifest.
+    let options = StoreOptions {
+        segment_max_bytes: 128 * 1024,
+        ..StoreOptions::default()
+    };
+    let record = |i: usize| -> (StoreKey, Qor) {
+        let key = StoreKey {
+            design: flow_core::Fingerprint(0xBE9C_0000 + i as u64),
+            config: flow_core::Fingerprint(0xC0DE),
+            flow: format!("balance; rewrite; refactor; restructure; bench-{i}"),
+        };
+        let qor = Qor {
+            area_um2: 1.0 + i as f64 * 0.5,
+            delay_ps: 30.0 + (i % 97) as f64,
+            gates: 10 + i % 1_000,
+            and_nodes: 400 + i,
+            depth: 20 + (i % 40) as u32,
+        };
+        (key, qor)
+    };
+
+    // Phase A: append + final fsync, the daemon's write path.
+    let t = Instant::now();
+    let segments = {
+        let mut store = QorStore::open_with(&store_path, options).expect("create store");
+        for i in 0..records {
+            let (key, qor) = record(i);
+            store.insert(key, qor).expect("append record");
+        }
+        store.flush().expect("fsync store");
+        store.segment_count()
+    };
+    let append = recovery_item("append_fsync", records, t.elapsed());
+
+    // Phase B: cold replay — scrub every segment, verify every checksum.
+    let t = Instant::now();
+    let replayed = QorStore::open(&store_path).expect("cold replay");
+    let replay = recovery_item("cold_replay", replayed.loaded_records(), t.elapsed());
+    let replay_complete = replayed.len() == records
+        && replayed.torn_tail_records() == 0
+        && replayed.corrupt_records() == 0;
+    drop(replayed);
+
+    let restart_config = || ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        engine: EngineConfig {
+            store_path: Some(store_path.clone()),
+            store_options: options,
+            ..EngineConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let serves_all = |addr: SocketAddr| -> bool {
+        let stats = roundtrip(addr, &Request::new("GET", "/stats")).body;
+        String::from_utf8_lossy(&stats).contains(&format!("\"store_len\":{records}"))
+    };
+
+    // Phase C: restart time-to-healthy on the clean store.
+    let t = Instant::now();
+    let server = Server::start(restart_config()).expect("clean restart");
+    await_healthy(server.addr());
+    let restart_clean = recovery_item("restart_clean", records, t.elapsed());
+    let mut served_all = serves_all(server.addr());
+    assert_eq!(
+        roundtrip(server.addr(), &Request::new("POST", "/shutdown")).status,
+        200
+    );
+    let mut drain_ok = server.join().is_ok();
+
+    // Phase D: tear the live segment's tail (a crashed half-append), then
+    // measure the restart that has to quarantine and heal it.
+    let live = {
+        let mut segs: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+            .expect("scan store dir")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+            .collect();
+        segs.sort();
+        segs.pop().expect("at least one segment")
+    };
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&live)
+            .expect("open live segment");
+        write!(f, "v2 00000000 {{\"design\":\"torn").expect("torn append");
+    }
+    let t = Instant::now();
+    let server = Server::start(restart_config()).expect("healing restart");
+    await_healthy(server.addr());
+    let restart_torn = recovery_item("restart_torn_tail", records, t.elapsed());
+    let stats = roundtrip(server.addr(), &Request::new("GET", "/stats")).body;
+    let stats = String::from_utf8_lossy(&stats).into_owned();
+    let torn_tail_healed = stats.contains("\"torn_tail\":1") && stats.contains("\"quarantined\":1");
+    served_all &= serves_all(server.addr());
+    assert_eq!(
+        roundtrip(server.addr(), &Request::new("POST", "/shutdown")).status,
+        200
+    );
+    drain_ok &= server.join().is_ok();
+
+    println!(
+        "recovery: {records} records / {segments} segments — append {:.0}/s, \
+         replay {:.0}/s, restart clean {:.1} ms, restart torn {:.1} ms (healed: {})",
+        append.records_per_s,
+        replay.records_per_s,
+        restart_clean.wall_ms,
+        restart_torn.wall_ms,
+        torn_tail_healed
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    RecoveryReport {
+        pr: "PR8-durable-store".to_string(),
+        workload: "segmented store build, cold checksum replay, daemon restart time-to-healthy"
+            .to_string(),
+        scale: scale_name.to_string(),
+        records,
+        segments,
+        items: vec![append, replay, restart_clean, restart_torn],
+        replay_complete,
+        torn_tail_healed,
+        restarts_served_all_records: served_all,
+        drain_ok,
     }
 }
 

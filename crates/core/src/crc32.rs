@@ -1,0 +1,119 @@
+//! CRC32 (IEEE 802.3) — the checksum guarding QoR store records.
+//!
+//! Vendored per workspace policy (no crates.io).  The reflected polynomial
+//! `0xEDB88320` with init/xorout `0xFFFF_FFFF` matches zlib's `crc32()`, so
+//! store files can be cross-checked with standard tooling.
+//!
+//! ```
+//! use flow_core::crc32;
+//! // The canonical CRC32 check value.
+//! assert_eq!(crc32::of(b"123456789"), 0xCBF4_3926);
+//! ```
+
+/// The byte-at-a-time lookup table for the reflected IEEE polynomial,
+/// built in a `const` context so the table costs nothing at runtime.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// A streaming CRC32 hasher.
+///
+/// ```
+/// use flow_core::crc32::Crc32;
+/// let mut h = Crc32::new();
+/// h.update(b"1234");
+/// h.update(b"56789");
+/// assert_eq!(h.finish(), 0xCBF4_3926);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ u32::from(b)) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ TABLE[idx];
+        }
+    }
+
+    /// The final checksum.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot checksum of a byte string.
+pub fn of(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ieee_test_vectors() {
+        // zlib-compatible vectors.
+        let cases: [(&[u8], u32); 4] = [
+            (b"", 0x0000_0000),
+            (b"a", 0xE8B7_BE43),
+            (b"123456789", 0xCBF4_3926),
+            (b"The quick brown fox jumps over the lazy dog", 0x414F_A339),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(of(input), expected, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"hello checksummed world";
+        for split in 0..data.len() {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), of(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let good = of(b"v2 record payload");
+        let flipped = of(b"v2 record paylosd");
+        assert_ne!(good, flipped);
+    }
+}

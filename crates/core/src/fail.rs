@@ -17,10 +17,12 @@
 //! [<pct>%][<cnt>*]<task>[(arg)]
 //! ```
 //!
-//! where `<task>` is `return`, `panic` or `delay` (milliseconds arg), `<pct>`
-//! limits the deterministic trigger probability and `<cnt>` caps the total
-//! number of triggers.  Examples: `return`, `25%panic`, `1*delay(3000)`,
-//! `5%delay(30)`, `2*return(io)`.
+//! where `<task>` is `return`, `panic`, `delay` (milliseconds arg) or
+//! `abort` (kill the whole process without unwinding or flushing — the
+//! crash-consistency harness schedules these mid-write), `<pct>` limits the
+//! deterministic trigger probability and `<cnt>` caps the total number of
+//! triggers.  Examples: `return`, `25%panic`, `1*delay(3000)`, `5%delay(30)`,
+//! `2*return(io)`, `1*abort`.
 
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
@@ -38,6 +40,9 @@ enum Task {
     Panic(Option<String>),
     /// Stall the calling thread (exercises deadlines and the watchdog).
     Delay(u64),
+    /// Kill the process on the spot — no unwinding, no buffered flushes —
+    /// simulating a power cut at an instrumented point.
+    Abort,
 }
 
 #[derive(Debug)]
@@ -155,6 +160,7 @@ pub fn eval(name: &str) -> Option<Option<String>> {
             std::thread::sleep(Duration::from_millis(ms));
             None
         }
+        Task::Abort => std::process::abort(),
     }
 }
 
@@ -216,6 +222,7 @@ fn parse_spec(spec: &str) -> Result<(u8, Option<u64>, Option<Task>), String> {
                 .map_err(|_| format!("bad delay millis in `{spec}`"))?;
             Task::Delay(ms)
         }
+        "abort" => Task::Abort,
         other => return Err(format!("unknown failpoint task `{other}` in `{spec}`")),
     };
     Ok((pct, remaining, Some(task)))
@@ -301,5 +308,8 @@ mod tests {
         assert!(parse_spec("x%return").is_err());
         assert!(parse_spec("delay(abc)").is_err());
         assert!(parse_spec("return(unclosed").is_err());
+        // `abort` parses; triggering it would kill the test process, so only
+        // the subprocess-based crash harness ever fires one.
+        assert!(parse_spec("1*abort").is_ok());
     }
 }

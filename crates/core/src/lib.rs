@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod crc32;
 #[cfg(feature = "failpoints")]
 pub mod fail;
 

@@ -186,7 +186,7 @@ pub fn submit(mut args: Args) -> Result<(), String> {
         .with_header("content-type", "text/x-aiger")
         .with_body(body);
 
-    let (response, attempts) = send_with_retry(&addr, &request, retries)?;
+    let (response, attempts, saw_degraded) = send_with_retry(&addr, &request, retries)?;
     let text = String::from_utf8_lossy(&response.body).into_owned();
     if response.status != 200 {
         return Err(format!(
@@ -199,7 +199,7 @@ pub fn submit(mut args: Args) -> Result<(), String> {
 
     let report: RunReport =
         serde_json::from_str(&text).map_err(|e| format!("malformed report JSON: {e}"))?;
-    let text = annotate_eval(&text, attempts, retries, deadline_ms)?;
+    let text = annotate_eval(&text, attempts, retries, deadline_ms, saw_degraded)?;
     if let Some(path) = &out {
         let netlist = report
             .export
@@ -249,13 +249,16 @@ fn send_once(addr: &str, request: &httpwire::Request) -> Result<httpwire::Respon
 
 /// Sends the request, retrying `503` backpressure and connect failures up to
 /// `retries` extra attempts with capped exponential backoff.  Returns the
-/// final response (possibly still a `503`) and the attempt count.
+/// final response (possibly still a `503`), the attempt count, and whether
+/// any `503` along the way carried `X-Flowd-Store: degraded` — the daemon's
+/// signal that backpressure came from a degraded store rather than load.
 fn send_with_retry(
     addr: &str,
     request: &httpwire::Request,
     retries: u32,
-) -> Result<(httpwire::Response, u32), String> {
+) -> Result<(httpwire::Response, u32, bool), String> {
     let mut attempt = 0u32;
+    let mut saw_degraded = false;
     loop {
         attempt += 1;
         let outcome = send_once(addr, request);
@@ -265,15 +268,25 @@ fn send_with_retry(
                     .headers
                     .get("retry-after")
                     .and_then(|v| v.parse::<u64>().ok());
-                (after, format!("flowd at {addr} answered 503 (overloaded)"))
+                let degraded = response
+                    .headers
+                    .get("x-flowd-store")
+                    .is_some_and(|v| v == "degraded");
+                saw_degraded |= degraded;
+                let cause = if degraded {
+                    "store degraded"
+                } else {
+                    "overloaded"
+                };
+                (after, format!("flowd at {addr} answered 503 ({cause})"))
             }
-            Ok(_) => return Ok((outcome.expect("checked Ok"), attempt)),
+            Ok(_) => return Ok((outcome.expect("checked Ok"), attempt, saw_degraded)),
             Err(SendError::Connect(e)) => (None, format!("cannot connect to flowd at {addr}: {e}")),
             Err(SendError::Wire(e)) => return Err(format!("flowd at {addr}: {e}")),
         };
         if attempt > retries {
             return match outcome {
-                Ok(response) => Ok((response, attempt)), // surface the final 503
+                Ok(response) => Ok((response, attempt, saw_degraded)), // surface the final 503
                 Err(SendError::Connect(e)) => {
                     Err(format!("cannot connect to flowd at {addr}: {e}"))
                 }
@@ -304,14 +317,17 @@ fn backoff_delay(addr: &str, attempt: u32, retry_after_s: Option<u64>) -> std::t
     std::time::Duration::from_millis(jittered.max(retry_after_s.unwrap_or(0) * 1_000))
 }
 
-/// Adds the client-side submission story (`submit_attempts`, `submit_retries`
-/// and, when set, `submit_deadline_ms`) to the report's `eval` object.  The
-/// extra keys are ignored by every [`RunReport`] consumer.
+/// Adds the client-side submission story (`submit_attempts`, `submit_retries`,
+/// and, when set, `submit_deadline_ms` and `submit_store_mode`) to the
+/// report's `eval` object.  `submit_store_mode: "degraded"` records that at
+/// least one backpressure answer named the daemon's degraded store as the
+/// cause.  The extra keys are ignored by every [`RunReport`] consumer.
 fn annotate_eval(
     text: &str,
     attempts: u32,
     retries: u32,
     deadline_ms: Option<u64>,
+    saw_degraded: bool,
 ) -> Result<String, String> {
     let mut value =
         serde_json::parse_value(text).map_err(|e| format!("malformed report JSON: {e}"))?;
@@ -332,21 +348,31 @@ fn annotate_eval(
     if let Some(ms) = deadline_ms {
         eval.push(("submit_deadline_ms".to_string(), serde::Value::U64(ms)));
     }
+    if saw_degraded {
+        eval.push((
+            "submit_store_mode".to_string(),
+            serde::Value::Str("degraded".to_string()),
+        ));
+    }
     serde_json::to_string(&value).map_err(|e| format!("report serialization: {e}"))
 }
 
-/// `flowc store`: maintenance of a persistent QoR store file.
+/// `flowc store`: maintenance of a persistent QoR store.
+///
+/// A store is addressed by its base path: either a legacy plain-JSONL file
+/// or the base of a v2 segmented store (`<base>.manifest` + segments).
 pub fn store(mut args: Args) -> Result<(), String> {
-    let action = args
-        .take_positional()
-        .ok_or("usage: flowc store <compact|stats> <path>")?;
-    let path = args
-        .take_positional()
-        .ok_or("usage: flowc store <compact|stats> <path>")?;
+    const USAGE: &str = "usage: flowc store <compact|stats|fsck> <path>";
+    let action = args.take_positional().ok_or(USAGE)?;
+    let path = args.take_positional().ok_or(USAGE)?;
     let json_path = args.take_value("json")?;
+    let repair = args.take_flag("repair");
     args.finish()?;
-    if !Path::new(&path).exists() {
-        return Err(format!("store file `{path}` does not exist"));
+    if repair && action != "fsck" {
+        return Err("--repair only applies to `flowc store fsck`".to_string());
+    }
+    if !store_exists(&path) {
+        return Err(format!("no store at `{path}` (no file and no manifest)"));
     }
     let mut store =
         floweval::QorStore::open(&path).map_err(|e| format!("cannot open `{path}`: {e}"))?;
@@ -360,19 +386,81 @@ pub fn store(mut args: Args) -> Result<(), String> {
             struct StoreStats {
                 records: usize,
                 duplicate_records: usize,
+                torn_tail: usize,
+                corrupt_records: usize,
                 malformed_lines: usize,
+                segmented: bool,
+                segments: usize,
                 bytes: u64,
             }
             let stats = StoreStats {
                 records: store.len(),
                 duplicate_records: store.duplicate_records(),
+                torn_tail: store.torn_tail_records(),
+                corrupt_records: store.corrupt_records(),
                 malformed_lines: store.skipped_records(),
-                bytes: std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+                segmented: store.is_segmented(),
+                segments: store.segment_count(),
+                bytes: store.disk_bytes(),
             };
             emit_json(&stats, json_path.as_deref())
         }
-        other => Err(format!("unknown store action `{other}` (compact or stats)")),
+        "fsck" => {
+            // Opening IS the scrub: checksums verified, torn tails and
+            // corrupt lines quarantined and healed.  `--repair` additionally
+            // compacts, which drops superseded duplicates and upgrades a
+            // legacy store to the checksummed segmented format.
+            let repaired = if repair {
+                Some(store.compact().map_err(|e| format!("repair: {e}"))?)
+            } else {
+                None
+            };
+            #[derive(serde::Serialize)]
+            struct FsckReport {
+                clean: bool,
+                records: usize,
+                torn_tail: usize,
+                corrupt_records: usize,
+                quarantined: usize,
+                duplicate_records: usize,
+                segmented: bool,
+                segments: usize,
+                bytes: u64,
+                repaired: Option<floweval::CompactionReport>,
+            }
+            let report = FsckReport {
+                clean: store.skipped_records() == 0,
+                records: store.len(),
+                torn_tail: store.torn_tail_records(),
+                corrupt_records: store.corrupt_records(),
+                quarantined: store.quarantined_records(),
+                duplicate_records: store.duplicate_records(),
+                segmented: store.is_segmented(),
+                segments: store.segment_count(),
+                bytes: store.disk_bytes(),
+                repaired,
+            };
+            let clean = report.clean;
+            emit_json(&report, json_path.as_deref())?;
+            if clean {
+                Ok(())
+            } else {
+                Err(format!(
+                    "store `{path}` had damage: {} torn tail, {} corrupt \
+                     (quarantined to `{path}.quarantine` and healed)",
+                    report.torn_tail, report.corrupt_records
+                ))
+            }
+        }
+        other => Err(format!(
+            "unknown store action `{other}` (compact, stats or fsck)"
+        )),
     }
+}
+
+/// A store exists when its base file or its segmented-layout manifest does.
+fn store_exists(path: &str) -> bool {
+    Path::new(path).exists() || Path::new(&format!("{path}.manifest")).exists()
 }
 
 /// `flowc convert`: read a design in one format, write it in another.

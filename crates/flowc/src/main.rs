@@ -49,10 +49,19 @@ COMMANDS:
                                                     past it; not retried)
                      plus the `run` options (--flow/--random/--timing/--verify/
                      --out/--json); QoR is bit-identical to a local `run`
-    store          Maintain a persistent QoR store (JSONL)
-                     flowc store compact <path>     drop duplicate/torn records,
-                                                    rewrite the file in place
+    store          Maintain a persistent QoR store (checksummed segmented log;
+                   legacy plain-JSONL stores are read transparently)
+                     flowc store compact <path>     drop duplicate/quarantined
+                                                    records atomically; upgrades
+                                                    a legacy store to the
+                                                    segmented format
                      flowc store stats <path>       print record counts as JSON
+                                                    (torn_tail/corrupt split)
+                     flowc store fsck <path>        verify checksums, quarantine
+                                                    damage, print a JSON report;
+                                                    exits nonzero if damage was
+                                                    found.  --repair also
+                                                    compacts afterwards
     convert        Convert between formats: flowc convert <in> <out> [--cleanup]
     stats          Print design statistics as JSON: flowc stats <design>
     export-corpus  Write the generated benchmark corpus as fixture files

@@ -174,13 +174,29 @@ fn submit_surfaces_retry_and_deadline_in_eval() {
     server.join().expect("drain");
 }
 
+/// Returns the store's segment files (`<base>.NNNNNN.seg`), sorted.
+fn segment_files(store: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let prefix = format!("{}.", store.file_name().unwrap().to_str().unwrap());
+    let mut segs: Vec<_> = std::fs::read_dir(store.parent().unwrap())
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".seg"))
+        })
+        .collect();
+    segs.sort();
+    segs
+}
+
 #[test]
 fn store_compact_subcommand_rewrites_duplicates() {
     let dir = temp_dir("store");
     let store = dir.join("qor.jsonl");
-    // Two runs into the same store file from separate processes: the second
-    // is a pure store hit, so the file holds exactly one record per flow.
-    // Append a duplicate by concatenating the file onto itself.
+    // A fresh store is born segmented: a manifest plus one active segment.
+    // Forge a duplicate by concatenating the segment onto itself (every line
+    // is self-delimiting and checksum-framed, so the doubled file is valid).
     run_ok(
         flowc()
             .args([
@@ -193,10 +209,12 @@ fn store_compact_subcommand_rewrites_duplicates() {
             ])
             .arg(&store),
     );
-    let original = std::fs::read(&store).expect("store exists");
+    let segs = segment_files(&store);
+    assert_eq!(segs.len(), 1, "fresh store writes one segment");
+    let original = std::fs::read(&segs[0]).expect("segment exists");
     let mut doubled = original.clone();
     doubled.extend_from_slice(&original);
-    std::fs::write(&store, &doubled).unwrap();
+    std::fs::write(&segs[0], &doubled).unwrap();
 
     let stats = parse_report(&run_ok(flowc().args([
         "store",
@@ -213,7 +231,9 @@ fn store_compact_subcommand_rewrites_duplicates() {
     ])));
     assert_eq!(report.get("records"), Some(&Value::U64(1)));
     assert_eq!(report.get("duplicates_dropped"), Some(&Value::U64(1)));
-    let compacted = std::fs::read(&store).unwrap();
+    let segs = segment_files(&store);
+    assert_eq!(segs.len(), 1, "compaction leaves one segment");
+    let compacted = std::fs::read(&segs[0]).unwrap();
     assert_eq!(compacted, original, "compaction restores the single record");
 
     // The compacted store still answers the flow without re-evaluating.

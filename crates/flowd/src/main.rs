@@ -26,15 +26,20 @@ OPTIONS:
                           requests may lower it via ?deadline_ms=)
                                                             [default: 10000]
     --idle-ms <n>         keep-alive idle timeout           [default: 2000]
-    --store <path>        persistent QoR store (JSONL)
+    --store <path>        persistent QoR store (checksummed segmented log;
+                          legacy plain JSONL stores are read and upgraded on
+                          their first compaction)
+    --segment-bytes <n>   rotate the live store segment at this size
+                                                            [default: 8388608]
+    --probe-ms <n>        degraded-store recovery probe period [default: 500]
     --verify              verify every evaluated flow by random simulation
     --cache-nodes <n>     per-design AIG-node cache budget
 
 ENDPOINTS:
     POST /run       evaluate a flow on the design in the request body
-    GET  /healthz   liveness
-    GET  /stats     counters, queue depth, cache summary
-    POST /shutdown  graceful drain
+    GET  /healthz   liveness + store_mode (ok | degraded)
+    GET  /stats     counters, queue depth, store + cache summaries
+    POST /shutdown  graceful drain (fsyncs the store before exit)
 ";
 
 fn main() {
@@ -99,6 +104,13 @@ fn parse_config(args: &mut Args) -> Result<ServerConfig, String> {
     }
     if let Some(path) = args.take_value("store")? {
         config.engine.store_path = Some(PathBuf::from(path));
+    }
+    if let Some(n) = args.take_value("segment-bytes")? {
+        config.engine.store_options.segment_max_bytes =
+            (parse_number(&n, "segment-bytes")? as u64).max(1);
+    }
+    if let Some(n) = args.take_value("probe-ms")? {
+        config.store_probe_ms = (parse_number(&n, "probe-ms")? as u64).max(1);
     }
     if let Some(n) = args.take_value("cache-nodes")? {
         config.engine.cache_budget_aig_nodes = parse_number(&n, "cache-nodes")?;

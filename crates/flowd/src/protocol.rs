@@ -43,10 +43,17 @@ pub(crate) fn error_response(status: u16, kind: &str, message: &str) -> Response
 }
 
 /// The `503` backpressure answer: retry shortly, on a fresh connection.
-pub(crate) fn unavailable(reason: &str) -> Response {
-    error_response(503, "unavailable", reason)
+/// While the store is degraded the response also carries
+/// `X-Flowd-Store: degraded`, so backing-off clients (`flowc submit`) can
+/// report the cause in their annotations.
+pub(crate) fn unavailable(shared: &Shared, reason: &str) -> Response {
+    let response = error_response(503, "unavailable", reason)
         .with_header("retry-after", "1")
-        .with_header("connection", "close")
+        .with_header("connection", "close");
+    match shared.engine.store_mode() {
+        floweval::StoreMode::Degraded => response.with_header("x-flowd-store", "degraded"),
+        floweval::StoreMode::Ok => response,
+    }
 }
 
 /// `/stats` payload.
@@ -59,6 +66,8 @@ struct StatsReport {
     eval: floweval::EvalStats,
     store_hit_rate: f64,
     store_len: usize,
+    store_mode: String,
+    store: floweval::StoreSummary,
     cache: floweval::CacheSummary,
 }
 
@@ -98,9 +107,12 @@ pub(crate) fn handle(
     match (request.method.as_str(), request.path().as_str()) {
         ("GET", "/healthz") => {
             let draining = shared.draining.load(Ordering::SeqCst);
+            let store_mode = shared.engine.store_mode().as_str();
             Response::json(
                 200,
-                format!("{{\"status\":\"ok\",\"draining\":{draining}}}"),
+                format!(
+                    "{{\"status\":\"ok\",\"draining\":{draining},\"store_mode\":\"{store_mode}\"}}"
+                ),
             )
         }
         ("GET", "/stats") => stats_response(shared),
@@ -148,6 +160,8 @@ fn stats_response(shared: &Shared) -> Response {
         store_hit_rate: eval.store_hit_rate(),
         eval,
         store_len: shared.engine.store_len(),
+        store_mode: shared.engine.store_mode().as_str().to_string(),
+        store: shared.engine.store_summary(),
         cache: shared.engine.cache_summary(),
     };
     match serde_json::to_string(&report) {

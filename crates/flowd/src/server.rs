@@ -43,6 +43,10 @@ pub struct ServerConfig {
     pub watchdog_grace_ms: u64,
     /// Watchdog polling period.
     pub watchdog_poll_ms: u64,
+    /// Period of the store probe the watchdog thread drives: a degraded
+    /// store (persistent append failure) retries a real write this often and
+    /// auto-recovers once the disk is back.
+    pub store_probe_ms: u64,
     /// Engine configuration (store path, verification, cache budgets).
     pub engine: EngineConfig,
 }
@@ -62,6 +66,7 @@ impl Default for ServerConfig {
             deadline_ms: 10_000,
             watchdog_grace_ms: 100,
             watchdog_poll_ms: 20,
+            store_probe_ms: 500,
             engine: EngineConfig::default(),
         }
     }
@@ -268,7 +273,9 @@ impl Server {
         for worker in stragglers {
             self.join_worker(worker);
         }
-        self.shared.engine.flush_store()
+        // Drain-time durability barrier: every acknowledged record is
+        // fsynced and the manifest rewritten before the process exits.
+        self.shared.engine.checkpoint_store()
     }
 
     /// Joins a live worker; bounds the wait for a superseded one.
@@ -299,7 +306,7 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
             // Whatever woke us (a real client or the drain self-connect)
             // gets a polite close if it was a real request.
             if let Ok(mut stream) = stream {
-                let _ = write_response(&mut stream, &protocol::unavailable("draining"));
+                let _ = write_response(&mut stream, &protocol::unavailable(shared, "draining"));
             }
             break;
         }
@@ -316,7 +323,7 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
                 .rejected_queue_full
                 .fetch_add(1, Ordering::Relaxed);
             let mut stream = stream;
-            let _ = write_response(&mut stream, &protocol::unavailable("queue full"));
+            let _ = write_response(&mut stream, &protocol::unavailable(shared, "queue full"));
             continue;
         }
         queue.push_back(Job {
@@ -384,8 +391,16 @@ fn worker_loop(shared: &Shared, slot: usize, generation: u64) {
 /// [`PassContext`]) takes over its slot.
 fn watchdog_loop(shared: &Arc<Shared>) {
     let poll = Duration::from_millis(shared.config.watchdog_poll_ms.max(1));
+    let probe_every = Duration::from_millis(shared.config.store_probe_ms.max(1));
+    let mut last_probe = Instant::now();
     while !shared.watchdog_stop.load(Ordering::SeqCst) {
         std::thread::sleep(poll);
+        // The same supervision thread doubles as the store's recovery
+        // driver: a no-op while healthy, a real probe write while degraded.
+        if last_probe.elapsed() >= probe_every {
+            last_probe = Instant::now();
+            let _ = shared.engine.probe_store();
+        }
         for (slot_idx, slot) in shared.slots.iter().enumerate() {
             let hijacked = {
                 let mut active = slot.active.lock().expect("slot lock");
@@ -433,7 +448,10 @@ fn serve_connection(shared: &Shared, job: Job, pctx: &mut PassContext, slot: usi
             .counters
             .rejected_wait_timeout
             .fetch_add(1, Ordering::Relaxed);
-        let _ = write_response(&mut writer, &protocol::unavailable("request timeout"));
+        let _ = write_response(
+            &mut writer,
+            &protocol::unavailable(shared, "request timeout"),
+        );
         return false;
     }
     let _ = writer.set_read_timeout(Some(Duration::from_millis(

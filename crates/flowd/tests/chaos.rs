@@ -260,3 +260,158 @@ fn truncated_wire_reads_close_cleanly() {
     server.shutdown();
     server.join().expect("drain");
 }
+
+/// The ISSUE's ENOSPC scenario: every store append fails (disk full), the
+/// store flips to degraded after three consecutive failures, and the daemon
+/// keeps answering 2xx with bit-identical QoR from its in-memory index.
+/// Backpressure answers name the degraded store in `X-Flowd-Store`.  When
+/// the "disk" recovers, the periodic probe flips the store back to `ok` and
+/// drains every parked record — nothing evaluated during the outage is lost.
+#[test]
+fn enospc_degraded_store_serves_cached_answers_and_recovers() {
+    let _session = FaultSession::begin(0xD15C);
+    let store = temp_store("degraded");
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        store_probe_ms: 50,
+        engine: EngineConfig {
+            cache_budget_aig_nodes: 100_000,
+            store_path: Some(store.clone()),
+            ..EngineConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let addr = server.addr();
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+    let evaluate = |seed: u64| -> (String, synth::Qor) {
+        let response = roundtrip(addr, &run_request(&design, &format!("random={seed}")));
+        assert_eq!(response.status, 200, "body: {}", body_text(&response));
+        let report: RunReport = serde_json::from_str(&body_text(&response)).expect("report");
+        (report.flow.script, report.qor)
+    };
+
+    // Warm phase: three flows land durably in the store.
+    let warm: Vec<(u64, String, synth::Qor)> = (1..=3)
+        .map(|seed| {
+            let (script, qor) = evaluate(seed);
+            (seed, script, qor)
+        })
+        .collect();
+
+    // The disk fills up: every append fails from here on.
+    fail::cfg("store.write", "return").unwrap();
+
+    // Fresh flows keep answering 2xx; the failures flip the store to
+    // degraded and park the records instead of dropping them.
+    let outage: Vec<(u64, String, synth::Qor)> = (10..=14)
+        .map(|seed| {
+            let (script, qor) = evaluate(seed);
+            (seed, script, qor)
+        })
+        .collect();
+    let health = body_text(&roundtrip(addr, &Request::new("GET", "/healthz")));
+    assert!(
+        health.contains("\"store_mode\":\"degraded\""),
+        "healthz: {health}"
+    );
+    let stats = stats_text(addr);
+    assert!(
+        stats.contains("\"store_mode\":\"degraded\"") && stats.contains("\"mode\":\"degraded\""),
+        "stats: {stats}"
+    );
+    assert!(
+        !stats.contains("\"store_write_errors\":0"),
+        "stats must surface the append failures: {stats}"
+    );
+
+    // Every answer so far repeats bit-identically from the degraded store.
+    for (seed, script, qor) in warm.iter().chain(&outage) {
+        let (again_script, again_qor) = evaluate(*seed);
+        assert_eq!(&again_script, script, "seed {seed} changed flow");
+        assert_eq!(&again_qor, qor, "seed {seed}: degraded store changed QoR");
+    }
+
+    // Backpressure while degraded names the cause: pin the single worker
+    // with an open keep-alive connection, fill both queue slots, and the
+    // next connection is shed with a 503 that names the degraded store.
+    let pin = TcpStream::connect(addr).expect("connect pin");
+    pin.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut pin_writer = pin.try_clone().unwrap();
+    let mut pin_reader = BufReader::new(pin.try_clone().unwrap());
+    write_request(&mut pin_writer, &Request::new("GET", "/healthz")).unwrap();
+    assert_eq!(
+        read_response(&mut pin_reader, &Limits::default())
+            .expect("pinned healthz")
+            .status,
+        200
+    );
+    let queued: Vec<TcpStream> = (0..2)
+        .map(|_| TcpStream::connect(addr).expect("connect queued"))
+        .collect();
+    std::thread::sleep(Duration::from_millis(200)); // let the acceptor enqueue
+    let overflow = TcpStream::connect(addr).expect("connect overflow");
+    overflow
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut overflow_reader = BufReader::new(overflow);
+    let rejected = read_response(&mut overflow_reader, &Limits::default()).expect("503 response");
+    assert_eq!(rejected.status, 503, "body: {}", body_text(&rejected));
+    assert_eq!(
+        rejected.headers.get("x-flowd-store").map(String::as_str),
+        Some("degraded"),
+        "degraded 503 must carry X-Flowd-Store"
+    );
+    assert_eq!(
+        rejected.headers.get("retry-after").map(String::as_str),
+        Some("1")
+    );
+    drop(pin);
+    drop(queued);
+
+    // The disk recovers: the watchdog probe flips the store back to ok.
+    // The poll tolerates transient 503s while the worker drains the pinned
+    // and queued connections released above.
+    fail::cfg("store.write", "off").unwrap();
+    let healthy_by = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Ok(health) = try_roundtrip(addr, &Request::new("GET", "/healthz")) {
+            if health.status == 200 && body_text(&health).contains("\"store_mode\":\"ok\"") {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < healthy_by,
+            "store did not auto-recover within 5 s"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    server.shutdown();
+    server.join().expect("drain");
+
+    // The drained store holds every record, including the parked ones the
+    // probe drained after recovery — the outage lost nothing.
+    let reopened = floweval::QorStore::open(&store).expect("reopen after recovery");
+    assert_eq!(reopened.torn_tail_records(), 0);
+    assert_eq!(reopened.corrupt_records(), 0);
+    let config = floweval::fingerprint_config(
+        &synth::CellLibrary::nangate14(),
+        synth::MapperParams::default(),
+    );
+    let design_fp = floweval::fingerprint_design(&design);
+    for (seed, script, qor) in warm.iter().chain(&outage) {
+        let key = floweval::StoreKey {
+            design: design_fp,
+            config,
+            flow: script.clone(),
+        };
+        assert_eq!(
+            reopened.get(&key),
+            Some(*qor),
+            "seed {seed} (`{script}`) missing after recovery"
+        );
+    }
+    let _ = std::fs::remove_file(&store);
+}

@@ -314,3 +314,78 @@ fn evaluate_flow_with_ctx_matches_batch_engine() {
     assert_eq!(again, service);
     assert_eq!(engine.stats().store_hits, 1);
 }
+
+/// Drain + restart on the same store: every record acked before the drain
+/// (the drain checkpoint fsyncs the store) must come back, and the restarted
+/// daemon must answer the same flows bit-identically from the store without
+/// re-evaluating.
+#[test]
+fn restart_on_same_store_loses_no_acked_records() {
+    let dir = std::env::temp_dir().join(format!("flowd-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_path = dir.join("qor.jsonl");
+    let store_server = || {
+        Server::start(ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            engine: EngineConfig {
+                store_path: Some(store_path.clone()),
+                cache_budget_aig_nodes: 100_000,
+                ..EngineConfig::default()
+            },
+            ..ServerConfig::default()
+        })
+        .expect("start store-backed server")
+    };
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+    let seeds: Vec<u64> = (1..=6).collect();
+
+    // First life: evaluate six distinct random flows, remember every answer.
+    let server = store_server();
+    let addr = server.addr();
+    let mut first: Vec<(String, synth::Qor)> = Vec::new();
+    for seed in &seeds {
+        let response = roundtrip(addr, &run_request(&design, &format!("random={seed}")));
+        assert_eq!(response.status, 200, "body: {}", body_text(&response));
+        let report: RunReport = serde_json::from_str(&body_text(&response)).expect("report");
+        first.push((report.flow.script, report.qor));
+    }
+    let bye = roundtrip(addr, &Request::new("POST", "/shutdown"));
+    assert_eq!(bye.status, 200);
+    server.join().expect("drain + store checkpoint");
+
+    // Second life: every acked record is already there before any request.
+    let server = store_server();
+    let addr = server.addr();
+    let stats = roundtrip(addr, &Request::new("GET", "/stats"));
+    let text = body_text(&stats);
+    assert!(
+        text.contains(&format!("\"store_len\":{}", seeds.len())),
+        "restarted store must hold all {} acked records: {text}",
+        seeds.len()
+    );
+    assert!(
+        text.contains("\"store_mode\":\"ok\""),
+        "restart on a cleanly drained store is healthy: {text}"
+    );
+    assert!(
+        text.contains("\"torn_tail\":0") && text.contains("\"corrupt_records\":0"),
+        "a drained store reopens without damage: {text}"
+    );
+    for (seed, (script, qor)) in seeds.iter().zip(&first) {
+        let response = roundtrip(addr, &run_request(&design, &format!("random={seed}")));
+        assert_eq!(response.status, 200);
+        let report: RunReport = serde_json::from_str(&body_text(&response)).expect("report");
+        assert_eq!(&report.flow.script, script, "seed {seed} changed flow");
+        assert_eq!(report.qor, *qor, "seed {seed} changed QoR across restart");
+        assert_eq!(
+            report.eval.store_hits, 1,
+            "seed {seed} must be served from the store, not re-evaluated"
+        );
+        assert_eq!(report.eval.flows_evaluated, 0, "seed {seed} re-evaluated");
+    }
+    server.shutdown();
+    server.join().expect("second drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}

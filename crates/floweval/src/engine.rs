@@ -47,8 +47,12 @@ pub struct EngineConfig {
     pub cache_depth: usize,
     /// Depth at which the active sub-trie is split into parallel subtrees.
     pub split_depth: usize,
-    /// Optional JSON-lines file backing the persistent QoR store.
+    /// Optional base path backing the persistent QoR store (a legacy
+    /// JSON-lines file, or the base of a v2 segmented store).
     pub store_path: Option<PathBuf>,
+    /// Durability tunables for the persistent store (segment rotation size,
+    /// degraded-mode threshold, parked-queue bound).
+    pub store_options: crate::store::StoreOptions,
     /// Functionally verify every evaluated flow by random simulation against
     /// the input design (the analogue of `FlowRunner::with_verification`).
     /// A verification failure panics: it means a synthesis pass is broken.
@@ -70,6 +74,7 @@ impl Default for EngineConfig {
             cache_depth: 6,
             split_depth: 2,
             store_path: None,
+            store_options: crate::store::StoreOptions::default(),
             verify: false,
             trie_shards: 16,
             max_resident_designs: 64,
@@ -193,7 +198,7 @@ impl EvalEngine {
     /// Creates an engine with an explicit library and mapper configuration.
     pub fn with_library(library: CellLibrary, mapper: MapperParams, config: EngineConfig) -> Self {
         let store = match &config.store_path {
-            Some(path) => QorStore::open(path).unwrap_or_else(|e| {
+            Some(path) => QorStore::open_with(path, config.store_options).unwrap_or_else(|e| {
                 eprintln!(
                     "floweval: cannot open QoR store at {}: {e}; continuing in memory",
                     path.display()
@@ -202,6 +207,11 @@ impl EvalEngine {
             }),
             None => QorStore::in_memory(),
         };
+        // The open is a scrub; seed the cumulative stats with its findings
+        // so `/stats` surfaces damage found at startup.
+        let mut stats = StatsState::default();
+        stats.stats.store_torn_tail = store.torn_tail_records();
+        stats.stats.store_corrupt = store.corrupt_records();
         let config_fp = fingerprint_config(&library, mapper);
         let shard_count = config.trie_shards.max(1);
         EvalEngine {
@@ -213,7 +223,7 @@ impl EvalEngine {
             shards: (0..shard_count)
                 .map(|_| Mutex::new(TrieShard::default()))
                 .collect(),
-            stats: Mutex::new(StatsState::default()),
+            stats: Mutex::new(stats),
         }
     }
 
@@ -279,6 +289,29 @@ impl EvalEngine {
     /// Compacts the persistent QoR store in place (see [`QorStore::compact`]).
     pub fn compact_store(&self) -> std::io::Result<crate::store::CompactionReport> {
         self.store.lock().expect("store lock").compact()
+    }
+
+    /// Current health of the persistent store.
+    pub fn store_mode(&self) -> crate::store::StoreMode {
+        self.store.lock().expect("store lock").mode()
+    }
+
+    /// A point-in-time summary of the persistent store.
+    pub fn store_summary(&self) -> crate::store::StoreSummary {
+        self.store.lock().expect("store lock").summary()
+    }
+
+    /// Drives one store probe (see [`QorStore::probe`]): drains parked
+    /// records and recovers a degraded store when the disk is back.
+    /// `flowd`'s watchdog thread calls this periodically.
+    pub fn probe_store(&self) -> crate::store::StoreMode {
+        self.store.lock().expect("store lock").probe()
+    }
+
+    /// The drain-time durability barrier: fsync the store and rewrite its
+    /// manifest (see [`QorStore::checkpoint`]).
+    pub fn checkpoint_store(&self) -> std::io::Result<()> {
+        self.store.lock().expect("store lock").checkpoint()
     }
 
     /// A point-in-time summary of the sharded trie cache.

@@ -56,5 +56,5 @@ pub use engine::{
     fingerprint_config, fingerprint_design, flow_script, CacheSummary, EngineConfig, EvalEngine,
 };
 pub use stats::EvalStats;
-pub use store::{CompactionReport, QorStore, StoreKey};
+pub use store::{CompactionReport, QorStore, StoreKey, StoreMode, StoreOptions, StoreSummary};
 pub use trie::{FlowTrie, TrieNodeId, TRIE_ROOT};

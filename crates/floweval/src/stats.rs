@@ -27,6 +27,12 @@ pub struct EvalStats {
     /// QoR-store append/flush failures (the result is still served and kept
     /// in memory; only its on-disk record is lost).
     pub store_write_errors: usize,
+    /// Torn final lines healed when the store was opened (benign crash
+    /// truncation: at most the in-flight record).
+    pub store_torn_tail: usize,
+    /// Mid-file corrupt lines (checksum/shape failures) quarantined when the
+    /// store was opened.
+    pub store_corrupt: usize,
     /// Wall-clock seconds spent inside the engine.
     pub wall_s: f64,
 }
@@ -71,6 +77,8 @@ impl EvalStats {
             store_write_errors: self
                 .store_write_errors
                 .saturating_sub(earlier.store_write_errors),
+            store_torn_tail: self.store_torn_tail.saturating_sub(earlier.store_torn_tail),
+            store_corrupt: self.store_corrupt.saturating_sub(earlier.store_corrupt),
             wall_s: (self.wall_s - earlier.wall_s).max(0.0),
         }
     }
@@ -85,6 +93,8 @@ impl EvalStats {
         self.trie_hits += other.trie_hits;
         self.mappings_run += other.mappings_run;
         self.store_write_errors += other.store_write_errors;
+        self.store_torn_tail += other.store_torn_tail;
+        self.store_corrupt += other.store_corrupt;
         self.wall_s += other.wall_s;
     }
 }
@@ -108,6 +118,12 @@ impl std::fmt::Display for EvalStats {
         if self.store_write_errors > 0 {
             write!(f, "  store write errors {}", self.store_write_errors)?;
         }
+        if self.store_torn_tail > 0 {
+            write!(f, "  store torn tail {}", self.store_torn_tail)?;
+        }
+        if self.store_corrupt > 0 {
+            write!(f, "  store corrupt {}", self.store_corrupt)?;
+        }
         Ok(())
     }
 }
@@ -127,6 +143,8 @@ mod tests {
             trie_hits: 5,
             mappings_run: 6,
             store_write_errors: 2,
+            store_torn_tail: 1,
+            store_corrupt: 1,
             wall_s: 1.0,
         };
         assert_eq!(a.passes_avoided(), 75);
@@ -138,7 +156,12 @@ mod tests {
         assert_eq!(a.passes_applied, 50);
         assert_eq!(a.store_write_errors, 4);
         assert_eq!(a.since(&b).store_write_errors, 2);
+        assert_eq!(a.store_torn_tail, 2);
+        assert_eq!(a.store_corrupt, 2);
+        assert_eq!(a.since(&b).store_corrupt, 1);
         assert!(a.to_string().contains("store write errors 4"));
+        assert!(a.to_string().contains("store torn tail 2"));
+        assert!(a.to_string().contains("store corrupt 2"));
         assert_eq!(EvalStats::default().store_hit_rate(), 0.0);
         assert_eq!(EvalStats::default().pass_savings_rate(), 0.0);
     }

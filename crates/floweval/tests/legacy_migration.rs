@@ -1,0 +1,148 @@
+//! Legacy-store migration: the checked-in pre-checksum plain-JSONL fixture
+//! (`fixtures/store/legacy_qor.jsonl`, real engine results) must keep
+//! working forever.  The current store has to read it transparently, serve
+//! its QoR values bit-identically to a fresh evaluation, and upgrade it to
+//! the checksummed segmented format on its first compaction — without
+//! changing a single value.
+
+use std::path::{Path, PathBuf};
+
+use circuits::{Design, DesignScale};
+use floweval::{EngineConfig, EvalEngine, QorStore};
+use synth::{Qor, Transform};
+
+/// The (design, flow) pairs the fixture holds, in file order.
+const FIXTURE_ENTRIES: [(Design, &str); 5] = [
+    (
+        Design::Alu64,
+        "balance; rewrite; refactor; balance; rewrite -z; refactor -z",
+    ),
+    (
+        Design::Alu64,
+        "balance; rewrite; refactor; balance; rewrite; rewrite -z; balance; refactor -z; \
+         rewrite -z; balance",
+    ),
+    (Design::Alu64, "balance; rewrite; refactor"),
+    (
+        Design::Montgomery64,
+        "balance; rewrite; refactor; balance; rewrite -z; refactor -z",
+    ),
+    (
+        Design::Alu64,
+        "refactor; refactor; refactor; rewrite; balance; rewrite -z; balance; restructure; \
+         refactor -z; rewrite -z; rewrite; restructure; balance; rewrite; refactor -z; \
+         balance; restructure; restructure; rewrite -z; refactor; refactor -z; rewrite; \
+         refactor -z; rewrite -z",
+    ),
+];
+
+fn fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/store/legacy_qor.jsonl")
+}
+
+/// Copies the fixture into a scratch dir (tests mutate the store on disk).
+fn fixture_copy(label: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("floweval-legacy-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("qor.jsonl");
+    std::fs::copy(fixture(), &path).expect("copy legacy fixture");
+    (dir, path)
+}
+
+/// Parses an ABC-style flow script back into the transform sequence.
+fn parse_flow(script: &str) -> Vec<Transform> {
+    script
+        .split(';')
+        .map(str::trim)
+        .map(|cmd| {
+            Transform::ALL
+                .into_iter()
+                .find(|t| t.command() == cmd)
+                .unwrap_or_else(|| panic!("unknown transform `{cmd}` in fixture flow"))
+        })
+        .collect()
+}
+
+/// Evaluates every fixture flow through `engine`, returning the QoR values
+/// in fixture order.
+fn evaluate_fixture_flows(engine: &EvalEngine) -> Vec<Qor> {
+    FIXTURE_ENTRIES
+        .iter()
+        .map(|(design, script)| {
+            let aig = design.generate(DesignScale::Tiny);
+            engine.evaluate_batch(&aig, &[parse_flow(script)])[0]
+        })
+        .collect()
+}
+
+fn store_engine(path: &Path) -> EvalEngine {
+    EvalEngine::new(EngineConfig {
+        store_path: Some(path.to_path_buf()),
+        ..EngineConfig::default()
+    })
+}
+
+#[test]
+fn legacy_fixture_loads_cleanly() {
+    let (dir, path) = fixture_copy("load");
+    let store = QorStore::open(&path).expect("open legacy fixture");
+    assert_eq!(store.len(), FIXTURE_ENTRIES.len());
+    assert!(!store.is_segmented(), "a bare JSONL file is a legacy store");
+    assert_eq!(store.segment_count(), 0);
+    assert_eq!(store.torn_tail_records(), 0);
+    assert_eq!(store.corrupt_records(), 0);
+    assert_eq!(store.quarantined_records(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_fixture_serves_bit_identical_qor() {
+    let (dir, path) = fixture_copy("serve");
+    // Every flow must come out of the store (fingerprints are stable across
+    // the format change) and match a from-scratch evaluation bit for bit.
+    let engine = store_engine(&path);
+    let served = evaluate_fixture_flows(&engine);
+    assert_eq!(
+        engine.stats().store_hits,
+        FIXTURE_ENTRIES.len(),
+        "every fixture flow must be answered from the legacy store"
+    );
+    let fresh = evaluate_fixture_flows(&EvalEngine::default());
+    assert_eq!(
+        served, fresh,
+        "legacy store answers diverged from a fresh evaluation"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn first_compaction_upgrades_legacy_without_changing_answers() {
+    let (dir, path) = fixture_copy("upgrade");
+    let mut store = QorStore::open(&path).expect("open legacy fixture");
+    let report = store.compact().expect("compact legacy store");
+    assert_eq!(report.records, FIXTURE_ENTRIES.len());
+    assert!(store.is_segmented(), "compaction upgrades the layout");
+    drop(store);
+
+    // The plain file is gone, replaced by manifest + checksummed segment.
+    assert!(!path.exists(), "legacy base file is retired by the upgrade");
+    assert!(
+        dir.join("qor.jsonl.manifest").exists(),
+        "upgrade writes a manifest"
+    );
+    let segment = dir.join("qor.jsonl.000001.seg");
+    assert!(segment.exists(), "upgrade produces segment 1");
+    let body = std::fs::read_to_string(&segment).unwrap();
+    assert!(
+        body.lines().all(|l| l.starts_with("v2 ")),
+        "upgraded records are checksum-framed"
+    );
+
+    // Same answers, now from the upgraded store.
+    let engine = store_engine(&path);
+    let served = evaluate_fixture_flows(&engine);
+    assert_eq!(engine.stats().store_hits, FIXTURE_ENTRIES.len());
+    assert_eq!(served, evaluate_fixture_flows(&EvalEngine::default()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
