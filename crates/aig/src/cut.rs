@@ -41,6 +41,11 @@ impl Cut {
         &self.leaves
     }
 
+    /// Consumes the cut and returns the leaf vector (for buffer recycling).
+    pub fn into_leaves(self) -> Vec<NodeId> {
+        self.leaves
+    }
+
     /// Number of leaves.
     pub fn size(&self) -> usize {
         self.leaves.len()

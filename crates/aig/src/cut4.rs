@@ -318,9 +318,23 @@ impl Cut4Enumerator {
 
     /// [`Cut4Enumerator::enumerate`] into a recycled vector: `sets` is cleared
     /// and refilled, reusing its allocation across passes of a flow.
+    ///
+    /// Each [`CutSet4`] is half a kilobyte of inline cuts, so the refill
+    /// avoids bulk traffic on it: recycled entries are reset by length only
+    /// (stale cuts past the length are never observable through
+    /// [`CutSet4::cuts`]) and every node's set is built directly in its slot —
+    /// fanins precede their node, so splitting the vector at `id` borrows the
+    /// already-enumerated prefix alongside the slot being filled.
     pub fn enumerate_into(&self, aig: &Aig, sets: &mut Vec<CutSet4>) {
-        sets.clear();
-        sets.resize(aig.len(), CutSet4::default());
+        let n = aig.len();
+        if sets.len() < n {
+            sets.resize(n, CutSet4::default());
+        } else {
+            sets.truncate(n);
+        }
+        for s in sets.iter_mut() {
+            s.len = 0;
+        }
         sets[0].push(Cut4::trivial(0));
         for &pi in aig.input_ids() {
             sets[pi].push(Cut4::trivial(pi));
@@ -331,8 +345,9 @@ impl Cut4Enumerator {
             let Some((a, b)) = aig.node(id).fanins() else {
                 continue;
             };
-            let mut set = CutSet4::default();
-            let (sa, sb) = (&sets[a.node()], &sets[b.node()]);
+            let (done, rest) = sets.split_at_mut(id);
+            let set = &mut rest[0];
+            let (sa, sb) = (&done[a.node()], &done[b.node()]);
             for ca in sa.cuts() {
                 for cb in sb.cuts() {
                     if let Some(m) =
@@ -345,7 +360,6 @@ impl Cut4Enumerator {
             if self.params.include_trivial || set.is_empty() {
                 set.push_filtered(Cut4::trivial(id), limit.max(1));
             }
-            sets[id] = set;
         }
     }
 }

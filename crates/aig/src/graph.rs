@@ -34,25 +34,25 @@ pub type NodeId = usize;
 #[derive(Debug, Clone, Serialize)]
 pub struct Aig {
     name: String,
-    nodes: Vec<Node>,
-    inputs: Vec<NodeId>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) inputs: Vec<NodeId>,
     input_names: Vec<String>,
-    outputs: Vec<Lit>,
+    pub(crate) outputs: Vec<Lit>,
     output_names: Vec<String>,
     #[serde(skip)]
-    strash: HashMap<(u32, u32), NodeId>,
+    pub(crate) strash: HashMap<(u32, u32), NodeId>,
     /// Structural mutation counter: bumped whenever the graph changes shape
     /// (node added, input added, output registered, buffer recycled).  The
     /// epoch-stamped analysis flags below compare against it.
     #[serde(skip)]
-    generation: u64,
+    pub(crate) generation: u64,
     /// Generation at which [`Aig::compute_fanouts`] last ran (0 = never).
     #[serde(skip)]
-    fanouts_at: u64,
+    pub(crate) fanouts_at: u64,
     /// Generation at which the graph was last known dangling-free, i.e. a
     /// [`Aig::cleanup`] would be the identity (0 = unknown).
     #[serde(skip)]
-    clean_at: u64,
+    pub(crate) clean_at: u64,
 }
 
 /// Reusable scratch buffers for [`Aig::cleanup_into_with`]: the remap table,

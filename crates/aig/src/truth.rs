@@ -47,7 +47,7 @@ impl TruthTable {
     }
 
     /// Mask of the bits that are meaningful in the last word.
-    fn tail_mask(num_vars: usize) -> u64 {
+    pub fn tail_mask(num_vars: usize) -> u64 {
         if num_vars >= 6 {
             u64::MAX
         } else {

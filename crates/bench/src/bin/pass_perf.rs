@@ -1,21 +1,32 @@
-//! Performance report of the pass pipeline (PR 5).
+//! Performance report of the pass pipeline (PR 5 + PR 9).
 //!
 //! Times the fixed flow-evaluation workload — every benchmark design crossed
 //! with representative synthesis flows, each followed by technology mapping —
-//! on both pass-pipeline paths:
+//! on three pass-pipeline paths:
 //!
 //! * **baseline**: the Reference free-function path (`apply_sequence` +
 //!   `map_qor`) — every pass allocates and rebuilds brand-new graphs, calls
 //!   `cleanup()` repeatedly and recomputes fanouts unconditionally;
-//! * **ctx**: the arena-recycling `PassContext` path — ping-pong graph
-//!   buffers, epoch-stamped clean/fanout caches, recycled cut-set and
-//!   cut-truth scratch, shared across all passes of a flow.
+//! * **rebuild ctx**: the arena-recycling `PassContext` path of PR 5 with
+//!   `EditMode::Rebuild` — ping-pong graph buffers, epoch-stamped
+//!   clean/fanout caches, recycled cut-set and cut-truth scratch, but every
+//!   sweep still rebuilds the graph into the pooled buffer;
+//! * **in-place ctx**: `EditMode::InPlace` — accepted sweeps mutate the
+//!   resident graph through the MFFC-local editor, identity sweeps are free,
+//!   and only sweeps whose dirty region crosses the threshold fall back to a
+//!   rebuild.
 //!
-//! Both paths run on the same (Fast) cut engine, so the measured delta is the
-//! pass-pipeline layer alone.  QoR is verified bit-identical on every item
-//! (the binary exits non-zero otherwise) and the context's per-pass timing
-//! breakdown is included in the report.  Results are written to
-//! `BENCH_PR5.json` (override with `PASS_PERF_OUT`).
+//! All paths run on the same (Fast) cut engine, so each measured delta
+//! isolates one layer.  QoR is verified bit-identical across all three paths
+//! on every item (the binary exits non-zero otherwise).
+//!
+//! Two reports are written:
+//!
+//! * `BENCH_PR5.json` (override with `PASS_PERF_OUT`) — baseline vs the
+//!   rebuild ctx path, the PR 5 contract unchanged;
+//! * `BENCH_PR9.json` (override with `PASS_PERF_OUT9`) — rebuild ctx vs
+//!   in-place ctx, with per-pass breakdowns for both modes and the apply-path
+//!   routing counters (in-place / rebuilt / identity sweeps).
 //!
 //! Scale is selected with `FLOWGEN_SCALE` (`tiny` for the CI smoke run,
 //! `small` — the default — for the recorded report, `full` for paper-scale).
@@ -25,7 +36,8 @@ use std::time::Instant;
 use circuits::{Design, DesignScale};
 use serde::Serialize;
 use synth::{
-    apply_sequence, map_qor, map_with_ctx, CellLibrary, MapperParams, PassContext, Qor, Transform,
+    apply_sequence, map_qor, map_with_ctx, ApplyStats, CellLibrary, CutEngine, EditMode,
+    MapperParams, PassContext, PassTimings, Qor, Transform,
 };
 
 /// The fixed flows of the workload: the same mixes as `perf_report`, plus a
@@ -100,6 +112,44 @@ struct Report {
     qor_identical: bool,
 }
 
+/// One design-x-flow row of the rebuild-vs-in-place comparison.
+#[derive(Debug, Serialize)]
+struct EditItemReport {
+    design: String,
+    flow: String,
+    subject_ands: usize,
+    rebuild_ms: f64,
+    inplace_ms: f64,
+    speedup: f64,
+    qor_identical: bool,
+}
+
+/// How the in-place mode routed its sweeps across the whole workload.
+#[derive(Debug, Serialize)]
+struct ApplyRouting {
+    in_place: u64,
+    rebuilt: u64,
+    identity: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct EditReport {
+    pr: String,
+    workload: String,
+    scale: String,
+    items: Vec<EditItemReport>,
+    /// Per-pass wall-clock breakdown of the rebuild-mode context.
+    rebuild_pass_breakdown: Vec<PassRow>,
+    /// Per-pass wall-clock breakdown of the in-place-mode context.
+    inplace_pass_breakdown: Vec<PassRow>,
+    /// Sweep routing of the in-place mode (identity / in-place / rebuilt).
+    apply_routing: ApplyRouting,
+    rebuild_total_ms: f64,
+    inplace_total_ms: f64,
+    speedup: f64,
+    qor_identical: bool,
+}
+
 /// Reference path: free functions, fresh graphs per pass.
 fn evaluate_baseline(design: &aig::Aig, flow: &[Transform], lib: &CellLibrary) -> Qor {
     let optimized = apply_sequence(design, flow);
@@ -127,6 +177,18 @@ fn qor_bits_equal(a: &Qor, b: &Qor) -> bool {
         && a.depth == b.depth
 }
 
+fn pass_rows(timings: &PassTimings) -> Vec<PassRow> {
+    timings
+        .entries()
+        .into_iter()
+        .map(|(pass, stat)| PassRow {
+            pass: pass.to_string(),
+            calls: stat.calls,
+            seconds: stat.seconds,
+        })
+        .collect()
+}
+
 fn main() {
     let (scale_name, scale) = design_scale();
     let lib = CellLibrary::nangate14();
@@ -140,16 +202,21 @@ fn main() {
         })
         .collect();
 
-    // Warm-up both paths (NPN4 table, code paths) outside the measured region.
+    // Warm-up all paths (NPN4 table, code paths) outside the measured region.
     let warm = &designs[0].1;
     let _ = evaluate_baseline(warm, &[Transform::Rewrite], &lib);
-    let mut warm_ctx = PassContext::default();
+    let mut warm_ctx = PassContext::with_modes(CutEngine::Fast, EditMode::Rebuild);
+    let _ = evaluate_ctx(warm, &[Transform::Rewrite], &lib, &mut warm_ctx);
+    let mut warm_ctx = PassContext::with_modes(CutEngine::Fast, EditMode::InPlace);
     let _ = evaluate_ctx(warm, &[Transform::Rewrite], &lib, &mut warm_ctx);
 
-    // One context per design mirrors production use (floweval recycles one
-    // context across a whole subtree of flows).
+    // One context per design-and-mode mirrors production use (floweval
+    // recycles one context across a whole subtree of flows).
     let mut items = Vec::new();
-    let mut breakdown = synth::PassTimings::default();
+    let mut edit_items = Vec::new();
+    let mut rebuild_breakdown = PassTimings::default();
+    let mut inplace_breakdown = PassTimings::default();
+    let mut routing = ApplyStats::default();
     let mut all_identical = true;
     println!(
         "pass_perf: {} designs x {} flows (scale {scale_name})",
@@ -157,21 +224,28 @@ fn main() {
         flows.len()
     );
     for (design, graph, subject_ands) in &designs {
-        let mut ctx = PassContext::default();
+        let mut rebuild_ctx = PassContext::with_modes(CutEngine::Fast, EditMode::Rebuild);
+        let mut inplace_ctx = PassContext::with_modes(CutEngine::Fast, EditMode::InPlace);
         for (flow_name, flow) in &flows {
             let t0 = Instant::now();
             let baseline = evaluate_baseline(graph, flow, &lib);
             let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
 
             let t1 = Instant::now();
-            let fast = evaluate_ctx(graph, flow, &lib, &mut ctx);
-            let ctx_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let rebuilt = evaluate_ctx(graph, flow, &lib, &mut rebuild_ctx);
+            let rebuild_ms = t1.elapsed().as_secs_f64() * 1e3;
 
-            let identical = qor_bits_equal(&baseline, &fast);
+            let t2 = Instant::now();
+            let inplace = evaluate_ctx(graph, flow, &lib, &mut inplace_ctx);
+            let inplace_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+            let identical =
+                qor_bits_equal(&baseline, &rebuilt) && qor_bits_equal(&baseline, &inplace);
             all_identical &= identical;
-            let speedup = baseline_ms / ctx_ms.max(1e-9);
+            let ctx_speedup = baseline_ms / rebuild_ms.max(1e-9);
+            let edit_speedup = rebuild_ms / inplace_ms.max(1e-9);
             println!(
-                "  {design:<14} {flow_name:<10} baseline {baseline_ms:>9.1} ms   ctx {ctx_ms:>9.1} ms   x{speedup:.2}   qor {}",
+                "  {design:<14} {flow_name:<10} baseline {baseline_ms:>9.1} ms   rebuild {rebuild_ms:>9.1} ms   in-place {inplace_ms:>9.1} ms   x{edit_speedup:.2}   qor {}",
                 if identical { "identical" } else { "MISMATCH" }
             );
             items.push(ItemReport {
@@ -179,46 +253,80 @@ fn main() {
                 flow: flow_name.to_string(),
                 subject_ands: *subject_ands,
                 baseline_ms,
-                ctx_ms,
-                speedup,
+                ctx_ms: rebuild_ms,
+                speedup: ctx_speedup,
                 qor_identical: identical,
-                area_um2: fast.area_um2,
-                delay_ps: fast.delay_ps,
+                area_um2: rebuilt.area_um2,
+                delay_ps: rebuilt.delay_ps,
+            });
+            edit_items.push(EditItemReport {
+                design: design.to_string(),
+                flow: flow_name.to_string(),
+                subject_ands: *subject_ands,
+                rebuild_ms,
+                inplace_ms,
+                speedup: edit_speedup,
+                qor_identical: identical,
             });
         }
-        breakdown.merge(&ctx.take_timings());
+        rebuild_breakdown.merge(&rebuild_ctx.take_timings());
+        inplace_breakdown.merge(&inplace_ctx.take_timings());
+        let stats = inplace_ctx.take_apply_stats();
+        routing.in_place += stats.in_place;
+        routing.rebuilt += stats.rebuilt;
+        routing.identity += stats.identity;
     }
 
     let baseline_total_ms: f64 = items.iter().map(|i| i.baseline_ms).sum();
-    let ctx_total_ms: f64 = items.iter().map(|i| i.ctx_ms).sum();
-    let speedup = baseline_total_ms / ctx_total_ms.max(1e-9);
+    let rebuild_total_ms: f64 = items.iter().map(|i| i.ctx_ms).sum();
+    let inplace_total_ms: f64 = edit_items.iter().map(|i| i.inplace_ms).sum();
+    let ctx_speedup = baseline_total_ms / rebuild_total_ms.max(1e-9);
+    let edit_speedup = rebuild_total_ms / inplace_total_ms.max(1e-9);
     let report = Report {
         pr: "PR5-pass-pipeline".to_string(),
         workload: "designs x representative flows, passes + mapping".to_string(),
         scale: scale_name.to_string(),
         items,
-        ctx_pass_breakdown: breakdown
-            .entries()
-            .into_iter()
-            .map(|(pass, stat)| PassRow {
-                pass: pass.to_string(),
-                calls: stat.calls,
-                seconds: stat.seconds,
-            })
-            .collect(),
+        ctx_pass_breakdown: pass_rows(&rebuild_breakdown),
         baseline_total_ms,
-        ctx_total_ms,
-        speedup,
+        ctx_total_ms: rebuild_total_ms,
+        speedup: ctx_speedup,
+        qor_identical: all_identical,
+    };
+    let edit_report = EditReport {
+        pr: "PR9-in-place-passes".to_string(),
+        workload: "designs x representative flows, passes + mapping".to_string(),
+        scale: scale_name.to_string(),
+        items: edit_items,
+        rebuild_pass_breakdown: pass_rows(&rebuild_breakdown),
+        inplace_pass_breakdown: pass_rows(&inplace_breakdown),
+        apply_routing: ApplyRouting {
+            in_place: routing.in_place,
+            rebuilt: routing.rebuilt,
+            identity: routing.identity,
+        },
+        rebuild_total_ms,
+        inplace_total_ms,
+        speedup: edit_speedup,
         qor_identical: all_identical,
     };
     println!(
-        "total: baseline {baseline_total_ms:.1} ms, ctx {ctx_total_ms:.1} ms, speedup x{speedup:.2}"
+        "total: baseline {baseline_total_ms:.1} ms, rebuild {rebuild_total_ms:.1} ms, in-place {inplace_total_ms:.1} ms"
+    );
+    println!(
+        "speedups: rebuild-vs-baseline x{ctx_speedup:.2}, in-place-vs-rebuild x{edit_speedup:.2}  (sweeps: {} in-place, {} rebuilt, {} identity)",
+        routing.in_place, routing.rebuilt, routing.identity
     );
 
     let out = std::env::var("PASS_PERF_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write perf report");
     println!("wrote {out}");
+
+    let out9 = std::env::var("PASS_PERF_OUT9").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
+    let json9 = serde_json::to_string(&edit_report).expect("report serializes");
+    std::fs::write(&out9, json9 + "\n").expect("write perf report");
+    println!("wrote {out9}");
 
     if !all_identical {
         eprintln!("FAIL: pass-pipeline path changed QoR");

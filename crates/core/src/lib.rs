@@ -21,7 +21,8 @@ pub mod fail;
 
 pub use cancel::{silence_cancel_unwinds, CancelReason, CancelToken, Cancelled};
 
-/// Evaluates a named failpoint (see the [`fail`] module).
+/// Evaluates a named failpoint (see the `fail` module, which is compiled in
+/// only under the `failpoints` feature).
 ///
 /// Expands to nothing unless the **consuming** crate enables its own
 /// `failpoints` feature (which must forward to `flow-core/failpoints`), so

@@ -2,8 +2,8 @@
 //!
 //! The container has no crates.io access, so instead of `clap` the CLI uses
 //! this small taker-style parser: each command pulls the options it knows
-//! (`take_value`, `take_flag`), then calls [`Args::finish_positional`] /
-//! [`Args::finish`] which reject anything left over, so typos fail loudly
+//! (`take_value`, `take_flag`, [`Args::take_positional`]), then calls
+//! [`Args::finish`] which rejects anything left over, so typos fail loudly
 //! instead of being ignored.
 
 /// The argument list of one subcommand invocation.

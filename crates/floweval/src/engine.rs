@@ -29,7 +29,8 @@ use flow_core::{CancelToken, Cancelled, Fingerprint, Fnv64};
 use rayon::prelude::*;
 use serde::Serialize;
 use synth::{
-    map_with_ctx, CellLibrary, FlowRunner, MapperParams, PassContext, PassTimings, Qor, Transform,
+    map_with_ctx, CellLibrary, CutEngine, EditMode, FlowRunner, MapperParams, PassContext,
+    PassTimings, Qor, Transform,
 };
 
 use crate::stats::EvalStats;
@@ -65,6 +66,11 @@ pub struct EngineConfig {
     /// least-recently-used designs are evicted whole (their persistent-store
     /// records survive, only the memoized intermediate AIGs are dropped).
     pub max_resident_designs: usize,
+    /// How pass sweeps apply accepted replacements in the evaluation
+    /// contexts this engine creates ([`EditMode::InPlace`] mutates the
+    /// resident graph; [`EditMode::Rebuild`] is the pinned re-emit path).
+    /// QoR is bit-identical either way; only throughput differs.
+    pub edit_mode: EditMode,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +84,7 @@ impl Default for EngineConfig {
             verify: false,
             trie_shards: 16,
             max_resident_designs: 64,
+            edit_mode: EditMode::default(),
         }
     }
 }
@@ -232,6 +239,7 @@ impl EvalEngine {
     pub fn from_runner(runner: &FlowRunner, config: EngineConfig) -> Self {
         let config = EngineConfig {
             verify: config.verify || runner.verification_enabled(),
+            edit_mode: runner.edit_mode(),
             ..config
         };
         Self::with_library(runner.library().clone(), runner.mapper_params(), config)
@@ -695,7 +703,7 @@ impl EvalEngine {
         let mut outputs: Vec<(usize, Qor)> = Vec::new();
         let mut tasks: Vec<(TrieNodeId, Aig)> = Vec::new();
         let mut shallow_failures: Vec<usize> = Vec::new();
-        let mut pctx = PassContext::default();
+        let mut pctx = self.pass_context();
         let root_aig = trie
             .cached_aig(TRIE_ROOT)
             .expect("root cached above")
@@ -732,7 +740,7 @@ impl EvalEngine {
             .par_iter()
             .map(|(node, aig)| {
                 let mut result = WorkerResult::default();
-                let mut pctx = PassContext::default();
+                let mut pctx = self.pass_context();
                 self.eval_subtree(&ctx, *node, aig, &mut result, &mut pctx);
                 result.timings = pctx.take_timings();
                 result
@@ -769,6 +777,12 @@ impl EvalEngine {
             );
         }
         outputs
+    }
+
+    /// A fresh evaluation context configured with this engine's
+    /// [`EngineConfig::edit_mode`].
+    fn pass_context(&self) -> PassContext {
+        PassContext::with_modes(CutEngine::default(), self.config.edit_mode)
     }
 
     /// Maps a terminal AIG through the recycling context: the subject graph

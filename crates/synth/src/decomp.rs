@@ -5,12 +5,28 @@
 //! structurally different network than the sum-of-products form used by
 //! `rewrite`/`refactor`.
 
-use aig::{Aig, Lit, NodeId, SmallTruth, TruthOps, TruthTable};
+use aig::{Aig, InPlaceEditor, Lit, NodeId, SmallTruth, TruthOps, TruthTable};
 
-/// Builds the Shannon decomposition of `f` into `aig` over the leaf literals.
-///
-/// Leaf `i` of the function corresponds to `leaves[i]`.  Returns the root literal.
-pub fn build_shannon(aig: &mut Aig, f: &TruthTable, leaves: &[Lit]) -> Lit {
+/// Abstraction over "building a mux" so the fresh-graph construction and the
+/// in-place editing session share the identical recursion (and therefore emit
+/// gates in the identical order — required for bit-identity).
+trait MuxSink {
+    fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit;
+}
+
+impl MuxSink for Aig {
+    fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        Aig::mux(self, sel, t, e)
+    }
+}
+
+impl MuxSink for InPlaceEditor<'_> {
+    fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        InPlaceEditor::mux(self, sel, t, e)
+    }
+}
+
+fn build_shannon_rec<S: MuxSink>(sink: &mut S, f: &TruthTable, leaves: &[Lit]) -> Lit {
     if f.is_zero() {
         return Lit::FALSE;
     }
@@ -30,9 +46,26 @@ pub fn build_shannon(aig: &mut Aig, f: &TruthTable, leaves: &[Lit]) -> Lit {
     let v = pick_split_var(f, &support);
     let f0 = f.cofactor0(v);
     let f1 = f.cofactor1(v);
-    let s0 = build_shannon(aig, &f0, leaves);
-    let s1 = build_shannon(aig, &f1, leaves);
-    aig.mux(leaves[v], s1, s0)
+    let s0 = build_shannon_rec(sink, &f0, leaves);
+    let s1 = build_shannon_rec(sink, &f1, leaves);
+    sink.mux(leaves[v], s1, s0)
+}
+
+/// Builds the Shannon decomposition of `f` into `aig` over the leaf literals.
+///
+/// Leaf `i` of the function corresponds to `leaves[i]`.  Returns the root literal.
+pub fn build_shannon(aig: &mut Aig, f: &TruthTable, leaves: &[Lit]) -> Lit {
+    build_shannon_rec(aig, f, leaves)
+}
+
+/// [`build_shannon`] into a live [`InPlaceEditor`] session over the (already
+/// remapped) leaf literals — the in-place counterpart used by `restructure`.
+pub(crate) fn build_shannon_edit(
+    ed: &mut InPlaceEditor<'_>,
+    f: &TruthTable,
+    leaves: &[Lit],
+) -> Lit {
+    build_shannon_rec(ed, f, leaves)
 }
 
 /// Estimates how many new AND nodes [`build_shannon`] would add to `aig`,
@@ -49,7 +82,7 @@ pub fn count_shannon_nodes(
     leaves: &[Lit],
     excluded: impl Fn(NodeId) -> bool + Copy,
 ) -> usize {
-    count_rec(aig, f, leaves, excluded).1
+    count_rec(&|x, y| aig.find_and(x, y), f, leaves, excluded).1
 }
 
 /// Allocation-free variant of [`count_shannon_nodes`] for functions of up to
@@ -63,12 +96,248 @@ pub fn count_shannon_nodes_fast(
     if f.num_vars() > SmallTruth::MAX_VARS {
         return count_shannon_nodes(aig, f, leaves, excluded);
     }
-    count_rec(aig, &SmallTruth::from_table(f), leaves, excluded).1
+    count_rec(
+        &|x, y| aig.find_and(x, y),
+        &SmallTruth::from_table(f),
+        leaves,
+        excluded,
+    )
+    .1
+}
+
+/// [`count_shannon_nodes_fast`] served by the per-sweep strash snapshot and
+/// capped at `budget` — the in-place propose pipeline's estimator.
+///
+/// Returns `None` as soon as the count provably exceeds `budget`, `Some(n)`
+/// with the exact count otherwise.  The cap is lossless for the sweep's
+/// accept loop: a proposal is only viable when `added <= mffc_size -
+/// min_gain`, so callers pass that bound as the budget — capped cones are
+/// exactly the ones the accept loop would reject, and surviving counts are
+/// bit-identical to the uncapped recursion (same split variables, same
+/// reuse probes).
+pub(crate) fn count_shannon_nodes_sweep(
+    strash: &crate::strash::SweepStrash,
+    f: &TruthTable,
+    leaves: &[Lit],
+    excluded: impl Fn(NodeId) -> bool + Copy,
+    budget: usize,
+) -> Option<usize> {
+    let find = |x, y| strash.find_and(x, y);
+    if f.num_vars() > SmallTruth::MAX_VARS {
+        return count_rec_budget(&find, f, leaves, excluded, budget).map(|(_, n)| n);
+    }
+    if f.num_vars() <= 6 {
+        // Single-word functions: the whole table is one u64.
+        let word = f.words()[0];
+        return count_rec_budget_u64(&find, word, f.num_vars(), leaves, excluded, budget)
+            .map(|(_, n)| n);
+    }
+    count_rec_budget_small(&find, &SmallTruth::from_table(f), leaves, excluded, budget)
+        .map(|(_, n)| n)
+}
+
+/// Truth-table bit masks of the first six variables over a 6-variable domain
+/// (identical to the word-0 masks `SmallTruth` uses internally).
+const VAR_MASKS_U64: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// [`count_rec_budget_small`] specialised further to functions of at most six
+/// variables, whose whole table is one `u64` word: cofactors, constancy and
+/// ones-counts are single bitwise operations on the word, replacing the
+/// 40-byte `SmallTruth` copies of the general small path.  The operations are
+/// exactly `SmallTruth`'s word-0 arithmetic, so split choices, probes and
+/// counts stay identical (pinned by `budgeted_sweep_count_matches_reference`).
+fn count_rec_budget_u64(
+    find: &impl Fn(Lit, Lit) -> Option<Lit>,
+    f: u64,
+    nv: usize,
+    leaves: &[Lit],
+    excluded: impl Fn(NodeId) -> bool + Copy,
+    budget: usize,
+) -> Option<(Option<Lit>, usize)> {
+    let tail = TruthTable::tail_mask(nv);
+    if f == 0 {
+        return Some((Some(Lit::FALSE), 0));
+    }
+    if f == tail {
+        return Some((Some(Lit::TRUE), 0));
+    }
+    let mut cof = [(0u64, 0u64); 6];
+    let mut support = [0usize; 6];
+    let mut num_support = 0usize;
+    for (v, slot) in cof.iter_mut().enumerate().take(nv) {
+        let shift = 1u32 << v;
+        let low = f & !VAR_MASKS_U64[v];
+        let c0 = low | (low << shift);
+        let high = f & VAR_MASKS_U64[v];
+        let c1 = high | (high >> shift);
+        if c0 != c1 {
+            *slot = (c0, c1);
+            support[num_support] = v;
+            num_support += 1;
+        }
+    }
+    let support = &support[..num_support];
+    if support.len() == 1 {
+        let v = support[0];
+        let leaf = leaves[v];
+        let lit = if f == VAR_MASKS_U64[v] & tail {
+            leaf
+        } else {
+            !leaf
+        };
+        return Some((Some(lit), 0));
+    }
+    // `pick_split_var` over the cached pairs: same scores, same tie-breaks.
+    let half = (1i64 << nv) / 2;
+    let mut v = support[0];
+    let mut best_score = -1i64;
+    for &cand in support {
+        let (c0, c1) = cof[cand];
+        let score =
+            (i64::from(c0.count_ones()) - half).abs() + (i64::from(c1.count_ones()) - half).abs();
+        if score > best_score {
+            best_score = score;
+            v = cand;
+        }
+    }
+    let (f0, f1) = cof[v];
+    let (l0, c0) = count_rec_budget_u64(find, f0, nv, leaves, excluded, budget)?;
+    let (l1, c1) = count_rec_budget_u64(find, f1, nv, leaves, excluded, budget - c0)?;
+    let mut added = c0 + c1;
+    let sel = leaves[v];
+    let reuse = |x: Lit, y: Lit| -> Option<Lit> {
+        find(x, y).filter(|l| l.is_const() || !excluded(l.node()))
+    };
+    let (lit, added) = match (l1, l0) {
+        (Some(t), Some(e)) => {
+            let a = reuse(sel, t);
+            let b = reuse(!sel, e);
+            if a.is_none() {
+                added += 1;
+            }
+            if b.is_none() {
+                added += 1;
+            }
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    if let Some(o) = reuse(!x, !y) {
+                        (Some(!o), added)
+                    } else {
+                        (None, added + 1)
+                    }
+                }
+                _ => (None, added + 1),
+            }
+        }
+        _ => (None, added + 3),
+    };
+    if added > budget {
+        return None;
+    }
+    Some((lit, added))
+}
+
+/// [`count_rec_budget`] specialised to [`SmallTruth`]: every support
+/// variable's cofactor pair is computed once per recursion node and shared
+/// between the support test (`c0 != c1`, exactly `depends_on`), the split
+/// scoring and the recursion itself — the generic path recomputes them in
+/// each of those places.  Split choices, probes and counts are identical.
+fn count_rec_budget_small(
+    find: &impl Fn(Lit, Lit) -> Option<Lit>,
+    f: &SmallTruth,
+    leaves: &[Lit],
+    excluded: impl Fn(NodeId) -> bool + Copy,
+    budget: usize,
+) -> Option<(Option<Lit>, usize)> {
+    if f.is_zero() {
+        return Some((Some(Lit::FALSE), 0));
+    }
+    if f.is_one() {
+        return Some((Some(Lit::TRUE), 0));
+    }
+    let nv = TruthOps::num_vars(f);
+    let mut cof = [(*f, *f); SmallTruth::MAX_VARS];
+    let mut support = [0usize; SmallTruth::MAX_VARS];
+    let mut num_support = 0usize;
+    for (v, slot) in cof.iter_mut().enumerate().take(nv) {
+        let c0 = f.cofactor0(v);
+        let c1 = f.cofactor1(v);
+        if c0 != c1 {
+            *slot = (c0, c1);
+            support[num_support] = v;
+            num_support += 1;
+        }
+    }
+    let support = &support[..num_support];
+    if support.len() == 1 {
+        let v = support[0];
+        let leaf = leaves[v];
+        let lit = if f == &SmallTruth::var_like(v, nv) {
+            leaf
+        } else {
+            !leaf
+        };
+        return Some((Some(lit), 0));
+    }
+    // `pick_split_var` over the cached pairs: same scores, same tie-breaks.
+    let half = (1i64 << nv) / 2;
+    let mut v = support[0];
+    let mut best_score = -1i64;
+    for &cand in support {
+        let (c0, c1) = &cof[cand];
+        let score = (c0.count_ones() as i64 - half).abs() + (c1.count_ones() as i64 - half).abs();
+        if score > best_score {
+            best_score = score;
+            v = cand;
+        }
+    }
+    let (f0, f1) = &cof[v];
+    let (l0, c0) = count_rec_budget_small(find, f0, leaves, excluded, budget)?;
+    let (l1, c1) = count_rec_budget_small(find, f1, leaves, excluded, budget - c0)?;
+    let mut added = c0 + c1;
+    let sel = leaves[v];
+    let reuse = |x: Lit, y: Lit| -> Option<Lit> {
+        find(x, y).filter(|l| l.is_const() || !excluded(l.node()))
+    };
+    let (lit, added) = match (l1, l0) {
+        (Some(t), Some(e)) => {
+            let a = reuse(sel, t);
+            let b = reuse(!sel, e);
+            if a.is_none() {
+                added += 1;
+            }
+            if b.is_none() {
+                added += 1;
+            }
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    if let Some(o) = reuse(!x, !y) {
+                        (Some(!o), added)
+                    } else {
+                        (None, added + 1)
+                    }
+                }
+                _ => (None, added + 1),
+            }
+        }
+        _ => (None, added + 3),
+    };
+    if added > budget {
+        return None;
+    }
+    Some((lit, added))
 }
 
 /// Returns `(existing_literal_if_free, added_nodes)`.
 fn count_rec<T: TruthOps>(
-    aig: &Aig,
+    find: &impl Fn(Lit, Lit) -> Option<Lit>,
     f: &T,
     leaves: &[Lit],
     excluded: impl Fn(NodeId) -> bool + Copy,
@@ -99,19 +368,18 @@ fn count_rec<T: TruthOps>(
         return (Some(lit), 0);
     }
     let v = pick_split_var(f, support);
-    let (l0, c0) = count_rec(aig, &f0_of(f, v), leaves, excluded);
-    let (l1, c1) = count_rec(aig, &f1_of(f, v), leaves, excluded);
+    let (l0, c0) = count_rec(find, &f0_of(f, v), leaves, excluded);
+    let (l1, c1) = count_rec(find, &f1_of(f, v), leaves, excluded);
     let mut added = c0 + c1;
     // The mux needs sel&t, !sel&e and an OR node unless the pieces already exist.
     let sel = leaves[v];
-    let reuse = |x: Lit, y: Lit, aig: &Aig| -> Option<Lit> {
-        aig.find_and(x, y)
-            .filter(|l| l.is_const() || !excluded(l.node()))
+    let reuse = |x: Lit, y: Lit| -> Option<Lit> {
+        find(x, y).filter(|l| l.is_const() || !excluded(l.node()))
     };
     match (l1, l0) {
         (Some(t), Some(e)) => {
-            let a = reuse(sel, t, aig);
-            let b = reuse(!sel, e, aig);
+            let a = reuse(sel, t);
+            let b = reuse(!sel, e);
             if a.is_none() {
                 added += 1;
             }
@@ -120,7 +388,7 @@ fn count_rec<T: TruthOps>(
             }
             match (a, b) {
                 (Some(x), Some(y)) => {
-                    if let Some(o) = reuse(!x, !y, aig) {
+                    if let Some(o) = reuse(!x, !y) {
                         (Some(!o), added)
                     } else {
                         (None, added + 1)
@@ -131,6 +399,78 @@ fn count_rec<T: TruthOps>(
         }
         _ => (None, added + 3),
     }
+}
+
+/// Budget-capped twin of [`count_rec`]: identical recursion (same split
+/// variables, same probes) but bails with `None` the moment the accumulated
+/// count exceeds `budget`.  A `Some` result is the exact uncapped count.
+fn count_rec_budget<T: TruthOps>(
+    find: &impl Fn(Lit, Lit) -> Option<Lit>,
+    f: &T,
+    leaves: &[Lit],
+    excluded: impl Fn(NodeId) -> bool + Copy,
+    budget: usize,
+) -> Option<(Option<Lit>, usize)> {
+    if f.is_zero() {
+        return Some((Some(Lit::FALSE), 0));
+    }
+    if f.is_one() {
+        return Some((Some(Lit::TRUE), 0));
+    }
+    let mut support = [0usize; aig::MAX_TRUTH_VARS];
+    let mut num_support = 0usize;
+    for v in 0..TruthOps::num_vars(f) {
+        if f.depends_on(v) {
+            support[num_support] = v;
+            num_support += 1;
+        }
+    }
+    let support = &support[..num_support];
+    if support.len() == 1 {
+        let v = support[0];
+        let leaf = leaves[v];
+        let lit = if f == &T::var_like(v, TruthOps::num_vars(f)) {
+            leaf
+        } else {
+            !leaf
+        };
+        return Some((Some(lit), 0));
+    }
+    let v = pick_split_var(f, support);
+    let (l0, c0) = count_rec_budget(find, &f0_of(f, v), leaves, excluded, budget)?;
+    let (l1, c1) = count_rec_budget(find, &f1_of(f, v), leaves, excluded, budget - c0)?;
+    let mut added = c0 + c1;
+    let sel = leaves[v];
+    let reuse = |x: Lit, y: Lit| -> Option<Lit> {
+        find(x, y).filter(|l| l.is_const() || !excluded(l.node()))
+    };
+    let (lit, added) = match (l1, l0) {
+        (Some(t), Some(e)) => {
+            let a = reuse(sel, t);
+            let b = reuse(!sel, e);
+            if a.is_none() {
+                added += 1;
+            }
+            if b.is_none() {
+                added += 1;
+            }
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    if let Some(o) = reuse(!x, !y) {
+                        (Some(!o), added)
+                    } else {
+                        (None, added + 1)
+                    }
+                }
+                _ => (None, added + 1),
+            }
+        }
+        _ => (None, added + 3),
+    };
+    if added > budget {
+        return None;
+    }
+    Some((lit, added))
 }
 
 fn f0_of<T: TruthOps>(f: &T, v: usize) -> T {
@@ -250,6 +590,62 @@ mod tests {
                 let reference = count_shannon_nodes(&g, &f, leaves, |_| false);
                 let fast = count_shannon_nodes_fast(&g, &f, leaves, |_| false);
                 assert_eq!(reference, fast, "nv={nv} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_sweep_count_matches_reference() {
+        // Random graphs + random truths: the budget-capped strash-snapshot
+        // counter must return Some(exact reference count) whenever the
+        // reference count fits the budget and None otherwise.
+        let mut state = 0x5EEDu64;
+        let mut rng = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut g = Aig::new();
+        let mut lits: Vec<Lit> = g.add_inputs("x", 6);
+        for _ in 0..80 {
+            let a = lits[(rng() % lits.len() as u64) as usize];
+            let b = lits[(rng() % lits.len() as u64) as usize];
+            let a = if rng() & 1 == 1 { !a } else { a };
+            let b = if rng() & 1 == 1 { !b } else { b };
+            let l = g.and(a, b);
+            if !l.is_const() {
+                lits.push(l);
+            }
+        }
+        let mut strash = crate::strash::SweepStrash::default();
+        strash.rebuild(&g);
+        let inputs: Vec<Lit> = g
+            .input_ids()
+            .iter()
+            .map(|&n| Lit::from_node(n, false))
+            .collect();
+        for nv in 3..=6usize {
+            for seed in 1..=12u64 {
+                let f = random_truth(nv, seed * 13 + nv as u64);
+                let leaves = &inputs[..nv];
+                let excluded = |n: aig::NodeId| n % 7 == 3;
+                let reference = count_shannon_nodes_fast(&g, &f, leaves, excluded);
+                for budget in [
+                    0usize,
+                    1,
+                    2,
+                    reference.saturating_sub(1),
+                    reference,
+                    reference + 5,
+                ] {
+                    let got = count_shannon_nodes_sweep(&strash, &f, leaves, excluded, budget);
+                    if reference <= budget {
+                        assert_eq!(got, Some(reference), "nv={nv} seed={seed} budget={budget}");
+                    } else {
+                        assert_eq!(got, None, "nv={nv} seed={seed} budget={budget}");
+                    }
+                }
             }
         }
     }

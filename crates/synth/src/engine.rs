@@ -31,6 +31,25 @@ pub enum CutEngine {
     Fast,
 }
 
+/// How a resynthesis sweep applies its accepted replacements to the graph.
+///
+/// This is the second axis of the two-path pattern (orthogonal to
+/// [`CutEngine`]): both modes produce bit-identical networks, only the cost
+/// of the apply step differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EditMode {
+    /// Re-emit every node into a fresh ping-pong buffer and clean it up —
+    /// the PR 5 context path and the shape of the seed free functions.
+    Rebuild,
+    /// Mutate the resident graph through [`aig::InPlaceEditor`]: untouched
+    /// nodes are kept in place, dangling cones are reclaimed by one
+    /// compaction, and fanouts/levels come out patched rather than
+    /// recomputed.  Falls back to `Rebuild` within a pass when the estimated
+    /// dirty region crosses a threshold (default).
+    #[default]
+    InPlace,
+}
+
 impl Transform {
     /// Applies this transformation using an explicit [`CutEngine`].
     pub fn apply_with_engine(self, aig: &Aig, engine: CutEngine) -> Aig {

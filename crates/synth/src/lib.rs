@@ -54,15 +54,16 @@ pub mod restructure;
 pub mod resyn;
 pub mod rewrite;
 pub mod sop;
+mod strash;
 
 pub use balance::balance;
-pub use engine::{apply_sequence_with_engine, CutEngine};
+pub use engine::{apply_sequence_with_engine, CutEngine, EditMode};
 pub use flow_runner::{FlowOutcome, FlowRunner};
 pub use library::{Cell, CellId, CellLibrary};
 pub use mapper::{
     map, map_qor, map_with_ctx, map_with_engine, MapMode, MappedGate, MappedNetlist, MapperParams,
 };
-pub use pass::{apply_sequence_ctx, Pass, PassContext, PassStat, PassTimings};
+pub use pass::{apply_sequence_ctx, ApplyStats, Pass, PassContext, PassStat, PassTimings};
 pub use passes::{apply_sequence, Transform};
 pub use qor::{Qor, QorMetric};
 pub use refactor::refactor;

@@ -10,8 +10,8 @@
 //! [`PassContext`] removes it without changing a single result bit:
 //!
 //! * **Ping-pong graph buffers** — a small pool of recycled [`Aig`]s; every
-//!   rebuild goes through [`Aig::cleanup_into_with`] /
-//!   [`rebuild_with_decisions_into`](crate::resyn::rebuild_with_decisions_into)
+//!   rebuild goes through [`Aig::cleanup_into_with`] / the sweep's
+//!   decision-replay rebuild
 //!   into a cleared buffer whose node vector, strash table and output lists
 //!   keep their capacity across the whole flow.
 //! * **Epoch-stamped analyses** — every pass output is a cleaned graph, and
@@ -30,14 +30,15 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use aig::{Aig, AigScratch, CutSet4, CutTruthScratch, Lit, NodeId};
+use aig::{Aig, AigScratch, CutSet4, CutTruthScratch, EditScratch, Lit, NodeId};
 use flow_core::{fail_point, CancelToken, Cancelled};
 
-use crate::engine::CutEngine;
+use crate::engine::{CutEngine, EditMode};
 use crate::passes::Transform;
 use crate::reconv::ReconvScratch;
 use crate::resyn::{Decision, Proposal};
 use crate::sop::{IsopCache, SopCostScratch};
+use crate::strash::SweepStrash;
 
 /// Maximum number of recycled graph buffers a context keeps around.
 const POOL_CAPACITY: usize = 8;
@@ -180,17 +181,41 @@ pub(crate) struct SweepScratch {
     pub(crate) decisions: HashMap<NodeId, Decision>,
     pub(crate) proposals: Vec<Proposal>,
     pub(crate) rebuild_map: Vec<Lit>,
+    pub(crate) leaf_lits: Vec<Lit>,
+    pub(crate) out_lits: Vec<Lit>,
+}
+
+/// How the resynthesis sweeps applied their accepted decisions so far —
+/// observability for the [`EditMode`] dispatch (tests and benchmarks read
+/// this to assert which path actually ran).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Sweeps applied by mutating the resident graph in place.
+    pub in_place: u64,
+    /// Sweeps applied through the ping-pong rebuild (either because the
+    /// context runs in [`EditMode::Rebuild`] or because the estimated dirty
+    /// fraction crossed the in-place threshold).
+    pub rebuilt: u64,
+    /// Sweeps that accepted no replacement and left the graph untouched
+    /// (only possible in [`EditMode::InPlace`], where identity is free).
+    pub identity: u64,
 }
 
 /// Reusable buffers of the per-node proposal generators: the cut-truth cone
 /// walk, the reconvergence-cut visited stamps, the SOP cost dry-run and the
 /// memoizing ISOP cache all survive across every node of every pass of a flow.
+///
+/// The in-place pipeline additionally keeps the per-sweep strash snapshot and
+/// the leaf-literal staging buffer of the winner-only propose path here.
 #[derive(Debug, Default)]
 pub(crate) struct ProposeScratch {
     pub(crate) truth: CutTruthScratch,
     pub(crate) reconv: ReconvScratch,
     pub(crate) cost: SopCostScratch,
     pub(crate) isop: IsopCache,
+    pub(crate) strash: SweepStrash,
+    pub(crate) leaf_lits: Vec<Lit>,
+    pub(crate) cut_leaves: Vec<NodeId>,
 }
 
 /// The arena-recycling execution context of a synthesis flow.
@@ -213,12 +238,15 @@ pub(crate) struct ProposeScratch {
 #[derive(Debug)]
 pub struct PassContext {
     pub(crate) engine: CutEngine,
+    pub(crate) edit_mode: EditMode,
     pub(crate) pool: Vec<Aig>,
     pub(crate) scratch: AigScratch,
     pub(crate) propose: ProposeScratch,
     pub(crate) cut4_sets: Vec<CutSet4>,
     pub(crate) balance_map: Vec<Option<Lit>>,
     pub(crate) sweep: SweepScratch,
+    pub(crate) edit: EditScratch,
+    pub(crate) apply_stats: ApplyStats,
     pub(crate) cancel: CancelCell,
     timings: PassTimings,
 }
@@ -230,16 +258,25 @@ impl Default for PassContext {
 }
 
 impl PassContext {
-    /// Creates a context whose passes run on the given cut engine.
+    /// Creates a context whose passes run on the given cut engine (and the
+    /// default [`EditMode`]).
     pub fn new(engine: CutEngine) -> Self {
+        Self::with_modes(engine, EditMode::default())
+    }
+
+    /// Creates a context with explicit cut-engine and edit-mode selections.
+    pub fn with_modes(engine: CutEngine, edit_mode: EditMode) -> Self {
         PassContext {
             engine,
+            edit_mode,
             pool: Vec::new(),
             scratch: AigScratch::default(),
             propose: ProposeScratch::default(),
             cut4_sets: Vec::new(),
             balance_map: Vec::new(),
             sweep: SweepScratch::default(),
+            edit: EditScratch::default(),
+            apply_stats: ApplyStats::default(),
             cancel: CancelCell::default(),
             timings: PassTimings::default(),
         }
@@ -262,6 +299,22 @@ impl PassContext {
     /// The cut engine the context's passes run on.
     pub fn engine(&self) -> CutEngine {
         self.engine
+    }
+
+    /// The edit mode the context's resynthesis sweeps apply their decisions in.
+    pub fn edit_mode(&self) -> EditMode {
+        self.edit_mode
+    }
+
+    /// How the sweeps have applied their decisions so far (in-place vs
+    /// rebuild vs free identity).
+    pub fn apply_stats(&self) -> ApplyStats {
+        self.apply_stats
+    }
+
+    /// Returns the recorded apply statistics and resets the accumulator.
+    pub fn take_apply_stats(&mut self) -> ApplyStats {
+        std::mem::take(&mut self.apply_stats)
     }
 
     /// The per-pass timing breakdown recorded so far.

@@ -77,10 +77,13 @@ pub fn reconv_cut(aig: &Aig, root: NodeId, params: ReconvParams) -> Vec<NodeId> 
 }
 
 /// Reusable state of [`reconv_cut_with`]: an epoch-stamped visited set that
-/// replaces the reference implementation's linear `visited.contains` scans.
+/// replaces the reference implementation's linear `visited.contains` scans,
+/// plus a leaf-membership stamp used by the sweep-path cut growth
+/// (`reconv_cut_sweep`).
 #[derive(Debug, Default)]
 pub struct ReconvScratch {
     stamp: Vec<u32>,
+    leaf_stamp: Vec<u32>,
     epoch: u32,
 }
 
@@ -88,9 +91,11 @@ impl ReconvScratch {
     fn begin(&mut self, len: usize) {
         if self.stamp.len() < len {
             self.stamp.resize(len, 0);
+            self.leaf_stamp.resize(len, 0);
         }
         if self.epoch == u32::MAX {
             self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.leaf_stamp.iter_mut().for_each(|s| *s = 0);
             self.epoch = 0;
         }
         self.epoch += 1;
@@ -104,6 +109,21 @@ impl ReconvScratch {
     #[inline]
     fn visited(&self, id: NodeId) -> bool {
         self.stamp[id] == self.epoch
+    }
+
+    #[inline]
+    fn mark_leaf(&mut self, id: NodeId) {
+        self.leaf_stamp[id] = self.epoch;
+    }
+
+    #[inline]
+    fn unmark_leaf(&mut self, id: NodeId) {
+        self.leaf_stamp[id] = 0;
+    }
+
+    #[inline]
+    fn is_leaf(&self, id: NodeId) -> bool {
+        self.leaf_stamp[id] == self.epoch
     }
 }
 
@@ -162,6 +182,79 @@ pub fn reconv_cut_with(
     }
     leaves.sort_unstable();
     leaves
+}
+
+/// [`reconv_cut_with`] with O(1) leaf-membership tests, growing the leaf set
+/// into the caller-recycled `leaves` buffer — the in-place propose
+/// pipeline's variant.
+///
+/// The growth loop's cost check asks "is this fanin already a leaf?" for
+/// every candidate on every iteration; the reference answers with a linear
+/// scan of the leaf vector, this variant with a second epoch stamp
+/// maintained as leaves enter and leave the set.  Iteration order, growth
+/// decisions, tie-breaks and the produced leaf set are identical (pinned by
+/// `sweep_cut_is_identical_to_reference`).
+pub(crate) fn reconv_cut_sweep(
+    aig: &Aig,
+    root: NodeId,
+    params: ReconvParams,
+    scratch: &mut ReconvScratch,
+    leaves: &mut Vec<NodeId>,
+) {
+    scratch.begin(aig.len());
+    leaves.clear();
+    scratch.visit(root);
+    match aig.node(root).fanins() {
+        Some((a, b)) => {
+            for f in [a.node(), b.node()] {
+                if !scratch.is_leaf(f) {
+                    scratch.mark_leaf(f);
+                    leaves.push(f);
+                }
+            }
+        }
+        None => {
+            leaves.push(root);
+            return;
+        }
+    }
+
+    loop {
+        let mut best: Option<(usize, i32)> = None;
+        for (i, &leaf) in leaves.iter().enumerate() {
+            if !aig.node(leaf).is_and() {
+                continue;
+            }
+            let (a, b) = aig.node(leaf).fanins().expect("AND node");
+            let mut cost = -1i32; // removing the leaf itself
+            for f in [a.node(), b.node()] {
+                if !scratch.is_leaf(f) && !scratch.visited(f) {
+                    cost += 1;
+                }
+            }
+            if leaves.len() as i32 + cost > params.max_leaves as i32 {
+                continue;
+            }
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((i, cost));
+            }
+            if cost <= 0 {
+                break; // cannot do better than free
+            }
+        }
+        let Some((idx, _)) = best else { break };
+        let leaf = leaves.swap_remove(idx);
+        scratch.unmark_leaf(leaf);
+        scratch.visit(leaf);
+        let (a, b) = aig.node(leaf).fanins().expect("AND node");
+        for f in [a.node(), b.node()] {
+            if !scratch.visited(f) && !scratch.is_leaf(f) {
+                scratch.mark_leaf(f);
+                leaves.push(f);
+            }
+        }
+    }
+    leaves.sort_unstable();
 }
 
 fn push_unique(v: &mut Vec<NodeId>, x: NodeId) {
@@ -246,6 +339,43 @@ mod tests {
                     let params = ReconvParams { max_leaves };
                     let reference = reconv_cut(&g, id, params);
                     let fast = reconv_cut_with(&g, id, params, &mut scratch);
+                    assert_eq!(reference, fast, "node {id} max_leaves {max_leaves}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_cut_is_identical_to_reference() {
+        // Same shape as `scratch_cut_is_identical_to_reference`, pinning the
+        // leaf-stamped variant used by the in-place propose pipeline.
+        let mut state = 0xABCD_1234u64;
+        let mut rng = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut scratch = ReconvScratch::default();
+        for _ in 0..5 {
+            let mut g = Aig::new();
+            let mut lits: Vec<aig::Lit> = g.add_inputs("x", 6);
+            for _ in 0..60 {
+                let a = lits[(rng() % lits.len() as u64) as usize];
+                let b = lits[(rng() % lits.len() as u64) as usize];
+                let a = if rng() & 1 == 1 { !a } else { a };
+                let b = if rng() & 1 == 1 { !b } else { b };
+                let l = g.and(a, b);
+                if !l.is_const() {
+                    lits.push(l);
+                }
+            }
+            for max_leaves in [4usize, 6, 8] {
+                for id in 0..g.len() {
+                    let params = ReconvParams { max_leaves };
+                    let reference = reconv_cut(&g, id, params);
+                    let mut fast = Vec::new();
+                    reconv_cut_sweep(&g, id, params, &mut scratch, &mut fast);
                     assert_eq!(reference, fast, "node {id} max_leaves {max_leaves}");
                 }
             }

@@ -8,11 +8,13 @@
 
 use aig::{cut_truth, cut_truth_with, Aig, Cut, CutTruthScratch, Lit, Mffc, NodeId, TruthTable};
 
-use crate::engine::CutEngine;
+use crate::engine::{CutEngine, EditMode};
 use crate::pass::{PassContext, ProposeScratch};
-use crate::reconv::{reconv_cut, reconv_cut_with, ReconvParams};
-use crate::resyn::{resynthesis_sweep, resynthesis_sweep_ctx, Acceptance, Proposal, Structure};
-use crate::sop::{count_sop_nodes, count_sop_nodes_with, isop, isop_fast};
+use crate::reconv::{reconv_cut, reconv_cut_sweep, reconv_cut_with, ReconvParams};
+use crate::resyn::{
+    resynthesis_sweep, resynthesis_sweep_ctx, Acceptance, Proposal, Structure, SweepApply,
+};
+use crate::sop::{count_sop_nodes, count_sop_nodes_sweep, count_sop_nodes_with, isop, isop_fast};
 
 /// Parameters of the refactor pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,14 +84,24 @@ pub(crate) fn refactor_ctx(
     ctx.ensure_clean(g);
     let PassContext {
         engine,
+        edit_mode,
         pool,
         scratch,
         propose: ps,
         sweep,
+        edit,
+        apply_stats,
         cancel,
         ..
     } = ctx;
     let engine = *engine;
+    // The in-place pipeline runs the allocation-light propose path on top of
+    // the per-sweep strash snapshot (bit-identical proposals, cheaper
+    // lookups); the Rebuild mode keeps the pinned PR 5 propose path.
+    let sweep_fast = *edit_mode == EditMode::InPlace && engine == CutEngine::Fast;
+    if sweep_fast {
+        ps.strash.rebuild(g);
+    }
     resynthesis_sweep_ctx(
         g,
         acceptance,
@@ -97,8 +109,88 @@ pub(crate) fn refactor_ctx(
         pool,
         scratch,
         cancel,
-        |graph, id, out| propose_ctx(graph, id, params, engine, ps, out),
+        SweepApply {
+            mode: *edit_mode,
+            edit,
+            stats: apply_stats,
+        },
+        |graph, id, out| {
+            if sweep_fast {
+                propose_sweep(graph, id, params, acceptance.min_gain, ps, out)
+            } else {
+                propose_ctx(graph, id, params, engine, ps, out)
+            }
+        },
     );
+}
+
+/// The in-place pipeline's proposal generator: emits exactly the proposals
+/// of [`propose_ctx`] that the sweep's accept loop can accept (cost capped
+/// at `mffc_size - min_gain`; dearer cones are rejected without finishing
+/// the count), with the reconvergence cut grown through the leaf-stamped
+/// variant and the SOP cost dry-run answered by the per-sweep strash
+/// snapshot.
+fn propose_sweep(
+    graph: &mut Aig,
+    id: NodeId,
+    params: RefactorParams,
+    min_gain: i64,
+    ps: &mut ProposeScratch,
+    proposals: &mut Vec<Proposal>,
+) {
+    let mut cut_leaves = std::mem::take(&mut ps.cut_leaves);
+    reconv_cut_sweep(
+        graph,
+        id,
+        ReconvParams {
+            max_leaves: params.max_leaves,
+        },
+        &mut ps.reconv,
+        &mut cut_leaves,
+    );
+    if cut_leaves.len() < 3 || cut_leaves.len() > aig::MAX_TRUTH_VARS {
+        ps.cut_leaves = cut_leaves;
+        return;
+    }
+    let cut = Cut::from_leaves(cut_leaves);
+    let truth = match cut_truth_with(graph, id, &cut, &mut ps.truth) {
+        Ok(t) => t,
+        Err(_) => {
+            ps.cut_leaves = cut.into_leaves();
+            return;
+        }
+    };
+    // Borrowed cover for the cheap reject paths; the owned clone is
+    // materialised only for a surviving proposal.
+    let sop = ps.isop.isop_ref(&truth);
+    if sop.num_cubes() > params.max_cubes {
+        ps.cut_leaves = cut.into_leaves();
+        return;
+    }
+    ps.leaf_lits.clear();
+    ps.leaf_lits
+        .extend(cut.leaves().iter().map(|&n| Lit::from_node(n, false)));
+    let mffc = Mffc::compute(graph, id, cut.leaves());
+    let budget = (mffc.size() as i64 - min_gain).max(0) as usize;
+    let Some(added) = count_sop_nodes_sweep(
+        &ps.strash,
+        sop,
+        &ps.leaf_lits,
+        |n| mffc.contains(n),
+        &mut ps.cost,
+        budget,
+    ) else {
+        ps.cut_leaves = cut.into_leaves();
+        return;
+    };
+    let sop = ps.isop.isop(&truth);
+    proposals.push(Proposal {
+        leaves: cut.leaves().to_vec(),
+        structure: Structure::SumOfProducts(sop),
+        added,
+        mffc_size: mffc.size(),
+    });
+    ps.cut_leaves = cut.into_leaves();
 }
 
 /// The context-path proposal generator: identical proposals to [`propose`],

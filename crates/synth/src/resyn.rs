@@ -14,11 +14,12 @@
 
 use std::collections::HashMap;
 
-use aig::{Aig, AigScratch, Lit, NodeId, TruthTable};
+use aig::{Aig, AigScratch, EditScratch, InPlaceEditor, Lit, NodeId, TruthTable};
 
-use crate::decomp::build_shannon;
-use crate::pass::{pool_give, pool_take, CancelCell, SweepScratch};
-use crate::sop::{build_sop, Sop};
+use crate::decomp::{build_shannon, build_shannon_edit};
+use crate::engine::EditMode;
+use crate::pass::{pool_give, pool_take, ApplyStats, CancelCell, SweepScratch};
+use crate::sop::{build_sop, build_sop_edit, Sop};
 
 /// How the new implementation of a node's cut function is expressed.
 #[derive(Debug, Clone)]
@@ -129,6 +130,7 @@ where
 /// The per-node loop polls `cancel` and may unwind; `g` is only mutated by
 /// the rebuild *after* the full sweep, so a cancelled sweep leaves it exactly
 /// as it was on entry.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn resynthesis_sweep_ctx<F>(
     g: &mut Aig,
     acceptance: Acceptance,
@@ -136,6 +138,7 @@ pub(crate) fn resynthesis_sweep_ctx<F>(
     pool: &mut Vec<Aig>,
     scratch: &mut AigScratch,
     cancel: &mut CancelCell,
+    apply: SweepApply<'_>,
     mut propose: F,
 ) where
     F: FnMut(&mut Aig, NodeId, &mut Vec<Proposal>),
@@ -147,10 +150,16 @@ pub(crate) fn resynthesis_sweep_ctx<F>(
         decisions,
         proposals,
         rebuild_map,
+        leaf_lits,
+        out_lits,
     } = sweep;
     ids.clear();
     ids.extend(g.and_ids());
     decisions.clear();
+    // Estimated number of nodes the accepted decisions will structurally
+    // change (freed MFFC + emitted replacement), driving the in-place /
+    // rebuild crossover below.
+    let mut estimated_touched = 0usize;
 
     for &id in ids.iter() {
         if g.fanout_count(id) == 0 {
@@ -160,12 +169,14 @@ pub(crate) fn resynthesis_sweep_ctx<F>(
         proposals.clear();
         propose(g, id, proposals);
         let mut best: Option<Decision> = None;
+        let mut best_touch = 0usize;
         for p in proposals.drain(..) {
             let gain = p.mffc_size as i64 - p.added as i64;
             if gain < acceptance.min_gain {
                 continue;
             }
             if best.as_ref().is_none_or(|b| gain > b.gain) {
+                best_touch = p.mffc_size + p.added;
                 best = Some(Decision {
                     leaves: p.leaves,
                     structure: p.structure,
@@ -174,14 +185,86 @@ pub(crate) fn resynthesis_sweep_ctx<F>(
             }
         }
         if let Some(d) = best {
+            estimated_touched += best_touch;
             decisions.insert(id, d);
         }
     }
 
+    // Apply the decisions.  Both arms are bit-identical (pinned by the
+    // differential tests); only the cost differs.
+    if apply.mode == EditMode::InPlace {
+        if decisions.is_empty() {
+            // Identity sweep: a clean graph rebuilt with no decisions is the
+            // graph itself, so skip the apply entirely.
+            apply.stats.identity += 1;
+            return;
+        }
+        // The editor's per-node bookkeeping only wins while the dirty region
+        // is a minority of the graph; past that the plain rebuild is cheaper.
+        if estimated_touched * 2 < g.num_ands() {
+            apply_decisions_in_place(g, decisions, apply.edit, rebuild_map, leaf_lits, out_lits);
+            apply.stats.in_place += 1;
+            return;
+        }
+    }
     let mut rebuilt = pool_take(pool);
     rebuild_with_decisions_into(g, decisions, &mut rebuilt, rebuild_map);
     rebuilt.cleanup_into_with(g, scratch);
     pool_give(pool, rebuilt);
+    apply.stats.rebuilt += 1;
+}
+
+/// The [`EditMode`] selection and its observability counters, passed into a
+/// sweep after the caller destructured its [`crate::PassContext`].
+pub(crate) struct SweepApply<'a> {
+    pub(crate) mode: EditMode,
+    pub(crate) edit: &'a mut EditScratch,
+    pub(crate) stats: &'a mut ApplyStats,
+}
+
+/// Applies the decisions by mutating `g` through an [`InPlaceEditor`]:
+/// the same sweep order as [`rebuild_with_decisions_into`] followed by the
+/// compacting `finish`, producing node-for-node identical bits (see the
+/// `aig::edit` module docs for the argument).
+fn apply_decisions_in_place(
+    g: &mut Aig,
+    decisions: &HashMap<NodeId, Decision>,
+    edit: &mut EditScratch,
+    map: &mut Vec<Lit>,
+    leaf_lits: &mut Vec<Lit>,
+    out_lits: &mut Vec<Lit>,
+) {
+    let n = g.len();
+    map.clear();
+    map.resize(n, Lit::FALSE);
+    for &id in g.input_ids() {
+        map[id] = Lit::from_node(id, false);
+    }
+    out_lits.clear();
+    out_lits.extend_from_slice(g.outputs());
+
+    let mut ed = InPlaceEditor::begin(g, edit);
+    for id in 0..n {
+        let Some((a, b)) = ed.graph().node(id).fanins() else {
+            continue;
+        };
+        if let Some(d) = decisions.get(&id) {
+            leaf_lits.clear();
+            leaf_lits.extend(d.leaves.iter().map(|&l| map[l]));
+            map[id] = match &d.structure {
+                Structure::SumOfProducts(sop) => build_sop_edit(&mut ed, sop, leaf_lits),
+                Structure::Shannon(truth) => build_shannon_edit(&mut ed, truth, leaf_lits),
+            };
+        } else {
+            let na = map[a.node()] ^ a.is_complemented();
+            let nb = map[b.node()] ^ b.is_complemented();
+            map[id] = ed.copy(id, na, nb);
+        }
+    }
+    for l in out_lits.iter_mut() {
+        *l = map[l.node()] ^ l.is_complemented();
+    }
+    ed.finish(out_lits);
 }
 
 /// Rebuilds `src` into a fresh graph, replacing each decided node by its new

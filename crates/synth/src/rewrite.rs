@@ -9,10 +9,12 @@
 
 use aig::{cut_truth, Aig, Cut4Enumerator, CutEnumerator, CutParams, Lit, NodeId};
 
-use crate::engine::CutEngine;
+use crate::engine::{CutEngine, EditMode};
 use crate::pass::{PassContext, ProposeScratch};
-use crate::resyn::{resynthesis_sweep, resynthesis_sweep_ctx, Acceptance, Proposal, Structure};
-use crate::sop::{count_sop_nodes, count_sop_nodes_with, isop, isop_fast};
+use crate::resyn::{
+    resynthesis_sweep, resynthesis_sweep_ctx, Acceptance, Proposal, Structure, SweepApply,
+};
+use crate::sop::{count_sop_nodes, count_sop_nodes_sweep, count_sop_nodes_with, isop, isop_fast};
 
 /// Parameters of the rewrite pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,15 +114,27 @@ pub(crate) fn rewrite_ctx(
     // the propose closure while the sweep owns the remaining scratch.
     let PassContext {
         engine,
+        edit_mode,
         pool,
         scratch,
         propose: ps,
         cut4_sets,
         sweep,
+        edit,
+        apply_stats,
         cancel,
         ..
     } = ctx;
     if *engine == CutEngine::Fast && fast_capable {
+        // The in-place pipeline materializes only the winning cut's proposal
+        // (bit-identical to the full enumeration: the sweep's accept loop keeps
+        // the first strictly-best gain, which is exactly what the winner scan
+        // reproduces); the Rebuild mode keeps the pinned PR 5 propose path.
+        let sweep_fast = *edit_mode == EditMode::InPlace;
+        if sweep_fast {
+            ps.strash.rebuild(g);
+        }
+        let min_gain = acceptance.min_gain;
         Cut4Enumerator::new(cut_params).enumerate_into(g, cut4_sets);
         resynthesis_sweep_ctx(
             g,
@@ -129,7 +143,18 @@ pub(crate) fn rewrite_ctx(
             pool,
             scratch,
             cancel,
-            |graph, id, out| propose_fast_ctx(graph, id, cut4_sets, ps, out),
+            SweepApply {
+                mode: *edit_mode,
+                edit,
+                stats: apply_stats,
+            },
+            |graph, id, out| {
+                if sweep_fast {
+                    propose_sweep(graph, id, cut4_sets, min_gain, ps, out)
+                } else {
+                    propose_fast_ctx(graph, id, cut4_sets, ps, out)
+                }
+            },
         );
     } else {
         let cut_sets = CutEnumerator::new(cut_params).enumerate(g);
@@ -140,9 +165,84 @@ pub(crate) fn rewrite_ctx(
             pool,
             scratch,
             cancel,
+            SweepApply {
+                mode: *edit_mode,
+                edit,
+                stats: apply_stats,
+            },
             |graph, id, out| propose(graph, id, &cut_sets, out),
         );
     }
+}
+
+/// The in-place pipeline's proposal generator: scans every cut like
+/// [`propose_fast_ctx`] but only materializes the winning proposal — the one
+/// the sweep's accept loop would select (first cut with the strictly largest
+/// gain at or above `min_gain`).  Cut costs are answered by the per-sweep
+/// strash snapshot and the SOP covers are borrowed from the ISOP cache, so
+/// losing cuts allocate nothing.
+fn propose_sweep(
+    graph: &mut Aig,
+    id: NodeId,
+    cut_sets: &[aig::CutSet4],
+    min_gain: i64,
+    ps: &mut ProposeScratch,
+    proposals: &mut Vec<Proposal>,
+) {
+    if id >= cut_sets.len() {
+        return;
+    }
+    // (cut index, gain, added, mffc_size) of the best cut so far.
+    let mut best: Option<(usize, i64, usize, usize)> = None;
+    for (cut_idx, cut) in cut_sets[id].cuts().iter().enumerate() {
+        if cut.size() < 2 {
+            continue;
+        }
+        let truth = cut.truth_table();
+        let sop = ps.isop.isop_ref(&truth);
+        // Very large covers cannot win at cut size 4; skip pathological cases.
+        if sop.num_cubes() > 16 {
+            continue;
+        }
+        let mut leaf_buf = [0 as NodeId; aig::CUT4_MAX_LEAVES];
+        for (slot, &l) in leaf_buf.iter_mut().zip(cut.leaves()) {
+            *slot = l as NodeId;
+        }
+        let leaves = &leaf_buf[..cut.size()];
+        ps.leaf_lits.clear();
+        ps.leaf_lits
+            .extend(leaves.iter().map(|&n| Lit::from_node(n, false)));
+        let mffc = aig::Mffc::compute(graph, id, leaves);
+        let budget = (mffc.size() as i64 - min_gain).max(0) as usize;
+        let Some(added) = count_sop_nodes_sweep(
+            &ps.strash,
+            sop,
+            &ps.leaf_lits,
+            |n| mffc.contains(n),
+            &mut ps.cost,
+            budget,
+        ) else {
+            continue;
+        };
+        let gain = mffc.size() as i64 - added as i64;
+        if gain < min_gain {
+            continue;
+        }
+        if best.is_none_or(|(_, b, _, _)| gain > b) {
+            best = Some((cut_idx, gain, added, mffc.size()));
+        }
+    }
+    let Some((cut_idx, _, added, mffc_size)) = best else {
+        return;
+    };
+    let cut = &cut_sets[id].cuts()[cut_idx];
+    let sop = ps.isop.isop(&cut.truth_table());
+    proposals.push(Proposal {
+        leaves: cut.leaf_ids(),
+        structure: Structure::SumOfProducts(sop),
+        added,
+        mffc_size,
+    });
 }
 
 /// The context-path proposal generator: identical proposals to

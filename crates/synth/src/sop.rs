@@ -148,6 +148,9 @@ pub fn isop_fast_with(f: &TruthTable, arena: &mut Vec<Cube>) -> Sop {
 pub struct IsopCache {
     map: std::collections::HashMap<(usize, [u64; 4]), Sop>,
     arena: Vec<Cube>,
+    /// Overflow slot backing [`isop_ref`](Self::isop_ref) when the cover
+    /// cannot live in the map (wide function or full cache).
+    spill: Sop,
 }
 
 /// Entry cap of [`IsopCache`] (≈ a few MB worst case); beyond it the cache
@@ -173,6 +176,29 @@ impl IsopCache {
             self.map.insert((n, key), sop.clone());
         }
         sop
+    }
+
+    /// [`isop`](Self::isop) returning a borrowed cover: the winner-only
+    /// propose path costs many covers per node and materialises only the
+    /// best, so it reads the cache without cloning.  The borrow is valid
+    /// until the next call on the cache.
+    pub(crate) fn isop_ref(&mut self, f: &TruthTable) -> &Sop {
+        let n = f.num_vars();
+        if n > SmallTruth::MAX_VARS {
+            self.spill = isop(f);
+            return &self.spill;
+        }
+        let mut key = [0u64; 4];
+        for (slot, &word) in key.iter_mut().zip(f.words()) {
+            *slot = word;
+        }
+        let IsopCache { map, arena, spill } = self;
+        if map.len() >= ISOP_CACHE_CAP && !map.contains_key(&(n, key)) {
+            *spill = isop_fast_with(f, arena);
+            return spill;
+        }
+        map.entry((n, key))
+            .or_insert_with(|| isop_fast_with(f, arena))
     }
 }
 
@@ -322,15 +348,17 @@ enum CostSignal {
     Virtual { complemented: bool },
 }
 
-struct CostCounter<'a, F: Fn(NodeId) -> bool> {
-    aig: &'a Aig,
+struct CostCounter<F: Fn(NodeId) -> bool, G: Fn(Lit, Lit) -> Option<Lit>> {
+    /// Structural lookup: [`Aig::find_and`] or the per-sweep snapshot
+    /// ([`crate::strash::SweepStrash`]) — both answer identically.
+    find: G,
     /// Nodes that may *not* be counted as free reuse (e.g. the MFFC that the
     /// rewrite is about to delete).
     excluded: F,
     added: usize,
 }
 
-impl<F: Fn(NodeId) -> bool> GateSink for CostCounter<'_, F> {
+impl<F: Fn(NodeId) -> bool, G: Fn(Lit, Lit) -> Option<Lit>> GateSink for CostCounter<F, G> {
     type Signal = CostSignal;
 
     fn leaf(&mut self, lit: Lit) -> CostSignal {
@@ -341,7 +369,7 @@ impl<F: Fn(NodeId) -> bool> GateSink for CostCounter<'_, F> {
     }
     fn and(&mut self, a: CostSignal, b: CostSignal) -> CostSignal {
         if let (CostSignal::Existing(x), CostSignal::Existing(y)) = (a, b) {
-            if let Some(found) = self.aig.find_and(x, y) {
+            if let Some(found) = (self.find)(x, y) {
                 if found.is_const() || !(self.excluded)(found.node()) {
                     return CostSignal::Existing(found);
                 }
@@ -419,6 +447,40 @@ pub fn build_sop(aig: &mut Aig, sop: &Sop, leaves: &[Lit]) -> Lit {
     emit_sop(&mut builder, sop, leaves)
 }
 
+/// [`build_sop`] through an in-place editing session: same gate emission
+/// order, so the same structural merges, producing identical bits.
+struct EditBuilder<'a, 'b> {
+    ed: &'a mut aig::InPlaceEditor<'b>,
+}
+
+impl GateSink for EditBuilder<'_, '_> {
+    type Signal = Lit;
+
+    fn leaf(&mut self, lit: Lit) -> Lit {
+        lit
+    }
+    fn constant(&mut self, value: bool) -> Lit {
+        if value {
+            Lit::TRUE
+        } else {
+            Lit::FALSE
+        }
+    }
+    fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        self.ed.and(a, b)
+    }
+    fn not(&mut self, a: Lit) -> Lit {
+        !a
+    }
+}
+
+/// Builds the SOP into a live [`aig::InPlaceEditor`] session over the (already
+/// remapped) leaf literals — the in-place counterpart of [`build_sop`].
+pub(crate) fn build_sop_edit(ed: &mut aig::InPlaceEditor<'_>, sop: &Sop, leaves: &[Lit]) -> Lit {
+    let mut builder = EditBuilder { ed };
+    emit_sop(&mut builder, sop, leaves)
+}
+
 /// Estimates how many *new* AND nodes building the SOP would add to `aig`,
 /// reusing structurally present nodes except those for which `excluded`
 /// returns `true`.
@@ -429,7 +491,7 @@ pub fn count_sop_nodes(
     excluded: impl Fn(NodeId) -> bool,
 ) -> usize {
     let mut counter = CostCounter {
-        aig,
+        find: |x, y| aig.find_and(x, y),
         excluded,
         added: 0,
     };
@@ -454,8 +516,73 @@ pub fn count_sop_nodes_with(
     excluded: impl Fn(NodeId) -> bool,
     scratch: &mut SopCostScratch,
 ) -> usize {
+    count_sop_nodes_with_finder(|x, y| aig.find_and(x, y), sop, leaves, excluded, scratch)
+}
+
+/// [`count_sop_nodes_with`] served by the per-sweep strash snapshot and
+/// capped at `budget` — the in-place propose pipeline's cost estimator.
+///
+/// Returns `None` as soon as the count provably exceeds `budget`, `Some(n)`
+/// with the exact count otherwise.  The cap is lossless for the sweep's
+/// accept loop: a proposal is only viable when `added <= mffc_size -
+/// min_gain`, so callers pass that bound as the budget — capped covers are
+/// exactly the ones the accept loop would reject, and surviving counts are
+/// bit-identical to the uncapped dry-run.
+pub(crate) fn count_sop_nodes_sweep(
+    strash: &crate::strash::SweepStrash,
+    sop: &Sop,
+    leaves: &[Lit],
+    excluded: impl Fn(NodeId) -> bool,
+    scratch: &mut SopCostScratch,
+    budget: usize,
+) -> Option<usize> {
     let mut counter = CostCounter {
-        aig,
+        find: |x, y| strash.find_and(x, y),
+        excluded,
+        added: 0,
+    };
+    if sop.num_cubes() == 0 {
+        return Some(0); // emit_sop returns the constant; nothing is added
+    }
+    let SopCostScratch { cube_signals, lits } = scratch;
+    cube_signals.clear();
+    for cube in sop.cubes() {
+        lits.clear();
+        for (v, &leaf) in leaves.iter().enumerate() {
+            if cube.pos >> v & 1 == 1 {
+                lits.push(counter.leaf(leaf));
+            } else if cube.neg >> v & 1 == 1 {
+                let l = counter.leaf(leaf);
+                lits.push(counter.not(l));
+            }
+        }
+        let product = reduce_balanced_in_place(&mut counter, lits, true);
+        cube_signals.push(product);
+        if counter.added > budget {
+            return None;
+        }
+    }
+    // OR of cubes: complement, AND, complement — same shape as emit_sop.
+    for s in cube_signals.iter_mut() {
+        *s = counter.not(*s);
+    }
+    let all_off = reduce_balanced_in_place(&mut counter, cube_signals, true);
+    let _ = counter.not(all_off);
+    if counter.added > budget {
+        return None;
+    }
+    Some(counter.added)
+}
+
+fn count_sop_nodes_with_finder(
+    find: impl Fn(Lit, Lit) -> Option<Lit>,
+    sop: &Sop,
+    leaves: &[Lit],
+    excluded: impl Fn(NodeId) -> bool,
+    scratch: &mut SopCostScratch,
+) -> usize {
+    let mut counter = CostCounter {
+        find,
         excluded,
         added: 0,
     };

@@ -1,0 +1,147 @@
+//! Per-sweep structural-hash snapshot for the in-place propose pipeline.
+//!
+//! The resynthesis cost estimators ask one question millions of times per
+//! sweep — *does an AND of these two literals already exist?* — and routing
+//! every query through [`Aig::find_and`]'s SipHash-backed `HashMap` dominates
+//! the propose phase.  [`SweepStrash`] snapshots the graph's strash into a
+//! flat open-addressing table with a multiplicative hash once per sweep
+//! (the graph does not change while a sweep collects decisions, so the
+//! snapshot stays valid for the whole pass) and serves every lookup from it.
+//!
+//! Lookups replicate [`Aig::find_and`]'s trivial-rule handling and key
+//! canonicalisation exactly, so cost estimates computed through the snapshot
+//! are bit-identical to ones computed through the graph.  The table's buffers
+//! live in the pass context and are recycled across sweeps and flows.
+
+use aig::{Aig, Lit};
+
+/// Slot sentinel: a packed key can never be all-ones (that would need two
+/// `u32::MAX` literal encodings, i.e. a graph with ~2^31 nodes).
+const EMPTY: u64 = u64::MAX;
+
+/// An open-addressing `(fanin a, fanin b) -> AND node` table snapshotting a
+/// graph's structural hash for read-only cost estimation.
+#[derive(Debug, Default)]
+pub(crate) struct SweepStrash {
+    /// Packed canonical key per slot: `(a.raw() as u64) << 32 | b.raw()`.
+    keys: Vec<u64>,
+    /// Node id of the AND stored in the same slot.
+    vals: Vec<u32>,
+    mask: u64,
+}
+
+#[inline]
+fn hash(key: u64) -> u64 {
+    // Multiplicative mix (splitmix64 finalizer-style): cheap and well
+    // distributed for the packed literal pairs used as keys.
+    let mut h = key;
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+impl SweepStrash {
+    /// Rebuilds the snapshot from `g`'s AND nodes, recycling the table
+    /// storage.  Call once per sweep, after the graph was cleaned.
+    pub(crate) fn rebuild(&mut self, g: &Aig) {
+        let cap = (g.num_ands() * 2).next_power_of_two().max(64);
+        self.keys.clear();
+        self.keys.resize(cap, EMPTY);
+        self.vals.resize(cap, 0);
+        self.mask = cap as u64 - 1;
+        for id in g.and_ids() {
+            let (a, b) = g.node(id).fanins().expect("AND node");
+            // Stored fanin order follows the reference rebuild's id space
+            // after in-place edits; the strash key canonicalises by raw
+            // encoding, exactly like `Aig::and`/`Aig::find_and`.
+            let (x, y) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+            let key = (x.raw() as u64) << 32 | y.raw() as u64;
+            let mut slot = hash(key) & self.mask;
+            while self.keys[slot as usize] != EMPTY {
+                debug_assert_ne!(self.keys[slot as usize], key, "strash keys are unique");
+                slot = (slot + 1) & self.mask;
+            }
+            self.keys[slot as usize] = key;
+            self.vals[slot as usize] = id as u32;
+        }
+    }
+
+    /// [`Aig::find_and`] served from the snapshot: identical trivial rules,
+    /// identical canonicalisation, identical result.
+    #[inline]
+    pub(crate) fn find_and(&self, a: Lit, b: Lit) -> Option<Lit> {
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Some(Lit::FALSE);
+        }
+        if a == Lit::TRUE {
+            return Some(b);
+        }
+        if b == Lit::TRUE || a == b {
+            return Some(a);
+        }
+        let (x, y) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        let key = (x.raw() as u64) << 32 | y.raw() as u64;
+        let mut slot = hash(key) & self.mask;
+        loop {
+            let k = self.keys[slot as usize];
+            if k == key {
+                return Some(Lit::from_node(self.vals[slot as usize] as usize, false));
+            }
+            if k == EMPTY {
+                return None;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_matches_graph_find_and() {
+        // Random graphs: every literal pair (existing or not, plus trivial
+        // rules) must answer exactly like Aig::find_and.
+        let mut state = 0x5EED_CAFEu64;
+        let mut rng = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut strash = SweepStrash::default();
+        for _ in 0..5 {
+            let mut g = Aig::new();
+            let mut lits: Vec<Lit> = g.add_inputs("x", 5);
+            for _ in 0..80 {
+                let a = lits[(rng() % lits.len() as u64) as usize];
+                let b = lits[(rng() % lits.len() as u64) as usize];
+                let a = if rng() & 1 == 1 { !a } else { a };
+                let b = if rng() & 1 == 1 { !b } else { b };
+                let l = g.and(a, b);
+                if !l.is_const() {
+                    lits.push(l);
+                }
+            }
+            let g = g.cleanup();
+            strash.rebuild(&g);
+            let mut probes: Vec<Lit> = vec![Lit::FALSE, Lit::TRUE];
+            probes.extend(
+                g.node_ids()
+                    .flat_map(|n| [Lit::from_node(n, false), Lit::from_node(n, true)]),
+            );
+            for &a in &probes {
+                for &b in &probes {
+                    assert_eq!(
+                        strash.find_and(a, b),
+                        g.find_and(a, b),
+                        "find_and({a:?}, {b:?})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Differential tests for the [`EditMode`] axis of the two-path pattern:
+//! `EditMode::InPlace` (incremental editing of the resident graph) must be
+//! node-for-node identical to `EditMode::Rebuild` (the PR 5 ping-pong path)
+//! and to the Reference free functions, and the dirty-fraction crossover must
+//! route sweeps to the path the heuristic picked.
+
+use aig::Aig;
+use circuits::{Design, DesignScale};
+use synth::{apply_sequence_with_engine, CutEngine, EditMode, PassContext, Transform};
+
+/// Node-for-node structural identity: ids, kinds, levels, interface, names.
+fn assert_identical(reference: &Aig, other: &Aig, what: &str) {
+    assert_eq!(reference.len(), other.len(), "{what}: node count");
+    for id in 0..reference.len() {
+        assert_eq!(
+            reference.node(id).kind(),
+            other.node(id).kind(),
+            "{what}: node {id} kind"
+        );
+        assert_eq!(
+            reference.node(id).level(),
+            other.node(id).level(),
+            "{what}: node {id} level"
+        );
+    }
+    assert_eq!(reference.outputs(), other.outputs(), "{what}: outputs");
+    assert_eq!(reference.input_ids(), other.input_ids(), "{what}: inputs");
+    for i in 0..reference.num_inputs() {
+        assert_eq!(
+            reference.input_name(i),
+            other.input_name(i),
+            "{what}: input name {i}"
+        );
+    }
+    for i in 0..reference.num_outputs() {
+        assert_eq!(
+            reference.output_name(i),
+            other.output_name(i),
+            "{what}: output name {i}"
+        );
+    }
+}
+
+/// Deterministic xorshift for seeded random paper-space flows.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// A random flow from the paper's space: length 10..=25 over the 6 transforms.
+fn random_flow(seed: u64) -> Vec<Transform> {
+    let mut rng = Rng(seed | 1);
+    let len = 10 + (rng.next() % 16) as usize;
+    (0..len)
+        .map(|_| Transform::from_index((rng.next() % Transform::COUNT as u64) as usize))
+        .collect()
+}
+
+#[test]
+fn default_edit_mode_is_in_place() {
+    assert_eq!(EditMode::default(), EditMode::InPlace);
+    assert_eq!(PassContext::default().edit_mode(), EditMode::InPlace);
+}
+
+#[test]
+fn in_place_matches_rebuild_and_reference_per_transform() {
+    for design in [
+        Design::Alu64.generate(DesignScale::Tiny),
+        Design::Montgomery64.generate(DesignScale::Tiny),
+    ] {
+        for t in Transform::ALL {
+            let flow = [t];
+            let reference = apply_sequence_with_engine(&design, &flow, CutEngine::Fast);
+            let mut rebuild_ctx = PassContext::with_modes(CutEngine::Fast, EditMode::Rebuild);
+            let rebuilt = rebuild_ctx.run_flow(&design, &flow);
+            let mut inplace_ctx = PassContext::with_modes(CutEngine::Fast, EditMode::InPlace);
+            let inplace = inplace_ctx.run_flow(&design, &flow);
+            assert_identical(&reference, &rebuilt, &format!("{t}: rebuild vs reference"));
+            assert_identical(&reference, &inplace, &format!("{t}: in-place vs reference"));
+        }
+    }
+}
+
+#[test]
+fn seeded_random_paper_flows_are_mode_identical() {
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+    for seed in [0xBEEFu64, 0xFACADE, 0x5EED] {
+        let flow = random_flow(seed);
+        let mut rebuild_ctx = PassContext::with_modes(CutEngine::Fast, EditMode::Rebuild);
+        let rebuilt = rebuild_ctx.run_flow(&design, &flow);
+        let mut inplace_ctx = PassContext::with_modes(CutEngine::Fast, EditMode::InPlace);
+        let inplace = inplace_ctx.run_flow(&design, &flow);
+        assert_identical(&rebuilt, &inplace, &format!("random-{seed:#x}"));
+    }
+}
+
+#[test]
+fn in_place_mode_actually_takes_the_in_place_path() {
+    let design = Design::Alu64.generate(DesignScale::Tiny);
+    let flow = [Transform::Balance, Transform::Rewrite, Transform::Refactor];
+    let mut ctx = PassContext::with_modes(CutEngine::Fast, EditMode::InPlace);
+    let _ = ctx.run_flow(&design, &flow);
+    let stats = ctx.apply_stats();
+    assert!(
+        stats.in_place > 0,
+        "a realistic flow must route sweeps through the in-place editor: {stats:?}"
+    );
+
+    let mut ctx = PassContext::with_modes(CutEngine::Fast, EditMode::Rebuild);
+    let _ = ctx.run_flow(&design, &flow);
+    let stats = ctx.apply_stats();
+    assert_eq!(stats.in_place, 0, "rebuild mode must never edit in place");
+    assert_eq!(stats.identity, 0, "rebuild mode has no identity fast path");
+    assert!(stats.rebuilt > 0);
+}
+
+#[test]
+fn identity_sweeps_are_free_in_in_place_mode() {
+    // A minimal optimal graph: strict rewrite can free no nodes, so the
+    // sweep accepts nothing and the in-place apply is skipped entirely.
+    let mut g = Aig::new();
+    let a = g.add_input("a");
+    let b = g.add_input("b");
+    let c = g.add_input("c");
+    let ab = g.and(a, b);
+    let f = g.and(ab, c);
+    g.add_output("f", f);
+
+    let mut ctx = PassContext::with_modes(CutEngine::Fast, EditMode::InPlace);
+    let mut work = ctx.take_buf();
+    work.copy_from(&g);
+    ctx.ensure_clean(&mut work);
+    let generation = work.generation();
+    ctx.apply(Transform::Rewrite, &mut work);
+    let stats = ctx.apply_stats();
+    assert_eq!(
+        stats.identity, 1,
+        "an empty decision set must be a free identity: {stats:?}"
+    );
+    assert_eq!(
+        work.generation(),
+        generation,
+        "the identity fast path must not touch the graph at all"
+    );
+    // The untouched graph keeps its fresh epoch caches.
+    assert!(work.is_clean());
+    assert!(work.fanouts_fresh());
+}
+
+#[test]
+fn dirty_threshold_crossover_falls_back_to_rebuild() {
+    // A tiny redundant graph where one accepted decision touches most of the
+    // AND nodes: the estimated dirty fraction crosses 50%, so even
+    // EditMode::InPlace must route the apply through the rebuild path.
+    let mut g = Aig::new();
+    let a = g.add_input("a");
+    let b = g.add_input("b");
+    let c = g.add_input("c");
+    let ab = g.and(a, b);
+    let ac = g.and(a, c);
+    let f = g.or(ab, ac);
+    g.add_output("f", f);
+
+    let mut ctx = PassContext::with_modes(CutEngine::Fast, EditMode::InPlace);
+    let mut work = ctx.take_buf();
+    work.copy_from(&g);
+    ctx.ensure_clean(&mut work);
+    ctx.apply(Transform::Refactor, &mut work);
+    let stats = ctx.apply_stats();
+    assert_eq!(
+        stats.rebuilt, 1,
+        "a whole-graph decision must cross the dirty threshold: {stats:?}"
+    );
+    assert_eq!(stats.in_place, 0);
+    // And the result is still the reference one.
+    let reference = apply_sequence_with_engine(&g, &[Transform::Refactor], CutEngine::Fast);
+    assert_identical(&reference, &work, "threshold-crossover result");
+}
+
+#[test]
+fn in_place_passes_leave_fresh_epochs() {
+    // After an in-place applied pass the graph must certify clean + fresh
+    // fanouts without any recompute — that is the "analyses survive the
+    // edit" contract the next pass relies on.
+    let design = Design::Montgomery64.generate(DesignScale::Tiny);
+    let mut ctx = PassContext::with_modes(CutEngine::Fast, EditMode::InPlace);
+    let mut g = ctx.take_buf();
+    g.copy_from(&design);
+    ctx.ensure_clean(&mut g);
+    for t in Transform::ALL {
+        ctx.apply(t, &mut g);
+        assert!(g.is_clean(), "{t}: must end clean");
+    }
+    assert!(ctx.apply_stats().in_place > 0);
+}

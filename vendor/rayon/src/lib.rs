@@ -290,7 +290,7 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     }
 }
 
-/// A source of independent work items for [`drive_parallel`]: anything that
+/// A source of independent work items for the parallel driver: anything that
 /// can be turned into a sequential iterator of `Send` items (disjoint chunks,
 /// zipped chunk tuples, …).
 pub trait ChunkProducer: Sized + Send {
