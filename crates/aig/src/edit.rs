@@ -61,6 +61,9 @@ pub struct EditScratch {
     perm: Vec<u32>,
     /// Staging area for the renumbered node records.
     nodes_tmp: Vec<Node>,
+    /// Re-keyed strash entries of the incremental repair: the post-compaction
+    /// `(key, id)` pairs to insert after the stale entries were removed.
+    repairs: Vec<((u32, u32), NodeId)>,
 }
 
 /// An in-place editing session over one resident [`Aig`].
@@ -304,14 +307,67 @@ impl<'a> InPlaceEditor<'a> {
             s.perm[id] = (base + i) as u32;
         }
 
-        // Stage the renumbered records (levels were patched at rank time).
+        // Stage the renumbered records (levels were patched at rank time),
+        // counting how many survivors change their id or strash key on the
+        // way — the dirty region the incremental repair below must patch.
         s.nodes_tmp.clear();
+        let mut moved = 0usize;
         for &id in &s.survivors {
             let (a, b) = g.nodes[id].fanins().expect("survivor is an AND");
             let na = Lit::from_node(s.perm[a.node()] as usize, a.is_complemented());
             let nb = Lit::from_node(s.perm[b.node()] as usize, b.is_complemented());
+            if s.perm[id] as usize != id || na != a || nb != b {
+                moved += 1;
+            }
             s.nodes_tmp.push(Node::and(na, nb, g.nodes[id].level()));
         }
+        let dead = (g.nodes.len() - base) - s.survivors.len();
+
+        // Strash maintenance is either *incremental* (repair exactly the
+        // moved / dead entries) or the full clear + re-insert.  Mid-edit the
+        // map holds exactly one entry per AND record — live or orphaned —
+        // keyed by the unordered raw pair of its stored fanins, so a survivor
+        // whose id and key are both unchanged already has the correct
+        // post-compaction entry and costs nothing.  A repair is ~2 hash ops
+        // (remove + insert) against 1 insert per survivor for the rebuild,
+        // so patch only while the dirty region is the minority.
+        let incremental = 2 * moved + dead < s.survivors.len();
+        if incremental {
+            s.repairs.clear();
+            // Phase 1: drop every stale entry (and collect the re-keyed
+            // inserts) before any new key lands — a repair's new key may
+            // equal another entry's not-yet-removed old key.
+            for (i, &id) in s.survivors.iter().enumerate() {
+                let (a, b) = g.nodes[id].fanins().expect("survivor is an AND");
+                let staged = s.nodes_tmp[i];
+                let (na, nb) = staged.fanins().expect("staged survivor is an AND");
+                if s.perm[id] as usize == id && na == a && nb == b {
+                    continue;
+                }
+                let old_key = if a.raw() <= b.raw() {
+                    (a.raw(), b.raw())
+                } else {
+                    (b.raw(), a.raw())
+                };
+                let removed = g.strash.remove(&old_key);
+                debug_assert_eq!(removed, Some(id), "survivor owns its strash entry");
+                s.repairs.push(((na.raw(), nb.raw()), s.perm[id] as usize));
+            }
+            for id in base..g.nodes.len() {
+                if s.reachable[id] {
+                    continue;
+                }
+                let (a, b) = g.nodes[id].fanins().expect("AND tail");
+                let key = if a.raw() <= b.raw() {
+                    (a.raw(), b.raw())
+                } else {
+                    (b.raw(), a.raw())
+                };
+                let removed = g.strash.remove(&key);
+                debug_assert_eq!(removed, Some(id), "orphan owns its strash entry");
+            }
+        }
+
         g.nodes.truncate(base);
         g.nodes.extend_from_slice(&s.nodes_tmp);
 
@@ -322,17 +378,32 @@ impl<'a> InPlaceEditor<'a> {
                 .map(|l| Lit::from_node(s.perm[l.node()] as usize, l.is_complemented())),
         );
 
-        // One sweep rebuilds the strash for the new ids and accumulates the
-        // fanout counts the next pass would otherwise recompute.
-        g.strash.clear();
         for n in &mut g.nodes {
             n.reset_fanout();
         }
-        for id in base..g.nodes.len() {
-            let (a, b) = g.nodes[id].fanins().expect("AND tail");
-            g.strash.insert((a.raw(), b.raw()), id);
-            g.nodes[a.node()].add_fanout();
-            g.nodes[b.node()].add_fanout();
+        if incremental {
+            // Phase 2: land the re-keyed entries.  Post-compaction keys are
+            // unique (the reference rebuild would have merged duplicates), so
+            // no repair may collide with a kept entry.
+            for &(key, id) in &s.repairs {
+                let prev = g.strash.insert(key, id);
+                debug_assert!(prev.is_none(), "repair key collides with a kept entry");
+            }
+            for id in base..g.nodes.len() {
+                let (a, b) = g.nodes[id].fanins().expect("AND tail");
+                g.nodes[a.node()].add_fanout();
+                g.nodes[b.node()].add_fanout();
+            }
+        } else {
+            // One sweep rebuilds the strash for the new ids and accumulates
+            // the fanout counts the next pass would otherwise recompute.
+            g.strash.clear();
+            for id in base..g.nodes.len() {
+                let (a, b) = g.nodes[id].fanins().expect("AND tail");
+                g.strash.insert((a.raw(), b.raw()), id);
+                g.nodes[a.node()].add_fanout();
+                g.nodes[b.node()].add_fanout();
+            }
         }
         for i in 0..g.outputs.len() {
             let n = g.outputs[i].node();

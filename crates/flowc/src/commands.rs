@@ -83,6 +83,166 @@ pub fn run(mut args: Args) -> Result<(), String> {
     emit_json(&report, json_path.as_deref())
 }
 
+/// `flowc search`: explore a flow space over one or more designs with the
+/// sharded work-stealing orchestrator ([`EvalEngine::search`]), printing a
+/// JSON report with throughput (`evals_per_hour`), cache-hit and steal
+/// counters.  Labels are optionally dumped as JSON lines.
+pub fn search(mut args: Args) -> Result<(), String> {
+    let designs_spec = args.require_value("designs")?;
+    let random_seed = args.take_value("random")?;
+    let count = args.take_value("count")?;
+    let flows_file = args.take_value("flows")?;
+    let prefix = args.take_value("prefix")?;
+    let depth = args.take_value("depth")?;
+    let workers = parse_num::<usize>(args.take_value("workers")?, "workers")?.unwrap_or(4);
+    let max_wall_s = parse_num::<f64>(args.take_value("max-wall-s")?, "max-wall-s")?;
+    let max_evals = parse_num::<usize>(args.take_value("max-evals")?, "max-evals")?;
+    let store = args.take_value("store")?;
+    let labels_path = args.take_value("labels")?;
+    let json_path = args.take_value("json")?;
+    let verify = args.take_flag("verify");
+    args.finish()?;
+
+    if depth.is_some() && prefix.is_none() {
+        return Err("usage: --depth only applies to --prefix".to_string());
+    }
+    let (source, source_desc) =
+        match (&random_seed, &flows_file, &prefix) {
+            (Some(seed), None, None) => {
+                let seed = seed
+                    .parse::<u64>()
+                    .map_err(|_| format!("--random needs a numeric seed, got `{seed}`"))?;
+                let count = parse_num::<usize>(count, "count")?.unwrap_or(16);
+                (
+                    floweval::FlowSource::Random { seed, count },
+                    format!("random:seed={seed}:count={count}"),
+                )
+            }
+            (None, Some(file), None) => {
+                if count.is_some() {
+                    return Err("usage: --count only applies to --random".to_string());
+                }
+                let text = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read flow list `{file}`: {e}"))?;
+                let mut flows = Vec::new();
+                for line in text.lines() {
+                    let line = line.trim();
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    let flow = Flow::parse(line)
+                        .map_err(|cmd| format!("`{file}`: `{cmd}` is not a transform"))?;
+                    flows.push(flow.transforms().to_vec());
+                }
+                if flows.is_empty() {
+                    return Err(format!("flow list `{file}` holds no flows"));
+                }
+                let desc = format!("file:{file}:{}", flows.len());
+                (floweval::FlowSource::Explicit(flows), desc)
+            }
+            (None, None, Some(script)) => {
+                if count.is_some() {
+                    return Err("usage: --count only applies to --random".to_string());
+                }
+                let depth = parse_num::<usize>(depth, "depth")?.unwrap_or(1);
+                if depth > 8 {
+                    return Err(format!("--depth {depth} expands 6^{depth} flows; max 8"));
+                }
+                let flow = Flow::parse(script)
+                    .map_err(|cmd| format!("`{cmd}` is neither a preset nor a transform"))?;
+                let desc = format!("prefix:{}:depth={depth}", flow.to_script());
+                (
+                    floweval::FlowSource::PrefixExpansion {
+                        prefix: flow.transforms().to_vec(),
+                        depth,
+                    },
+                    desc,
+                )
+            }
+            _ => return Err(
+                "exactly one of --random <seed>, --flows <file> or --prefix <script> is required"
+                    .to_string(),
+            ),
+        };
+
+    let mut designs = Vec::new();
+    let mut design_reports = Vec::new();
+    for spec in designs_spec.split(',') {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            continue;
+        }
+        let resolved = resolve_design(spec)?;
+        design_reports.push(DesignReport::of(&resolved.aig, &resolved.source));
+        designs.push(resolved.aig);
+    }
+    if designs.is_empty() {
+        return Err("--designs names no designs".to_string());
+    }
+
+    let engine = EvalEngine::new(EngineConfig {
+        store_path: store.map(PathBuf::from),
+        verify,
+        ..EngineConfig::default()
+    });
+    let flows = source.resolve();
+    let config = floweval::SearchConfig {
+        workers,
+        max_wall_s,
+        max_evals,
+        ..floweval::SearchConfig::default()
+    };
+    let outcome = engine.search_flows(&designs, &flows, &config);
+
+    if let Some(path) = labels_path {
+        #[derive(serde::Serialize)]
+        struct LabelLine {
+            design: String,
+            flow: String,
+            qor: synth::Qor,
+            from_store: bool,
+        }
+        let mut lines = String::new();
+        for label in &outcome.labels {
+            let line = serde_json::to_string(&LabelLine {
+                design: design_reports[label.design].name.clone(),
+                flow: floweval::flow_script(&flows[label.flow]),
+                qor: label.qor,
+                from_store: label.from_store,
+            })
+            .map_err(|e| format!("label serialization: {e}"))?;
+            lines.push_str(&line);
+            lines.push('\n');
+        }
+        std::fs::write(&path, lines).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+
+    #[derive(serde::Serialize)]
+    struct SearchRunReport {
+        designs: Vec<DesignReport>,
+        source: String,
+        search: floweval::SearchReport,
+        eval: floweval::EvalStats,
+    }
+    let report = SearchRunReport {
+        designs: design_reports,
+        source: source_desc,
+        search: outcome.report,
+        eval: engine.stats(),
+    };
+    emit_json(&report, json_path.as_deref())
+}
+
+/// Parses an optional numeric option value.
+fn parse_num<T: std::str::FromStr>(value: Option<String>, name: &str) -> Result<Option<T>, String> {
+    value
+        .map(|v| {
+            v.parse::<T>()
+                .map_err(|_| format!("--{name} needs a number, got `{v}`"))
+        })
+        .transpose()
+}
+
 /// Applies the flow and writes the optimized netlist.
 ///
 /// The passes run again here rather than reusing the engine's evaluation: the

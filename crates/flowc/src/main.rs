@@ -49,6 +49,21 @@ COMMANDS:
                                                     past it; not retried)
                      plus the `run` options (--flow/--random/--timing/--verify/
                      --out/--json); QoR is bit-identical to a local `run`
+    search         Explore a flow space over designs with the sharded
+                   work-stealing orchestrator, print a throughput report
+                     --designs <spec,spec,...>      one or more design specs
+                     --random <seed> [--count <n>]  sample n paper-space flows
+                                                    [default count: 16]
+                     --flows <file>                 one flow script per line
+                     --prefix <script> [--depth <n>] expand all 6^n suffixes
+                                                    of a prefix [default: 1]
+                     --workers <n>                  worker threads [default: 4]
+                     --max-wall-s <secs>            wall-clock budget
+                     --max-evals <n>                evaluation budget
+                     --store <path>                 persistent QoR store
+                     --labels <path>                dump labels as JSON lines
+                     --json <path>                  also write the report here
+                     --verify                       verify by random simulation
     store          Maintain a persistent QoR store (checksummed segmented log;
                    legacy plain-JSONL stores are read transparently)
                      flowc store compact <path>     drop duplicate/quarantined
@@ -80,6 +95,7 @@ fn main() {
     let args = Args::new(argv);
     let result = match command.as_str() {
         "run" => commands::run(args),
+        "search" => commands::search(args),
         "submit" => commands::submit(args),
         "store" => commands::store(args),
         "convert" => commands::convert(args),

@@ -327,3 +327,107 @@ fn usage_errors_exit_nonzero() {
         "unconsumed arguments are rejected"
     );
 }
+
+#[test]
+fn search_labels_match_in_process_batch_evaluation() {
+    let dir = temp_dir("search");
+    let labels_path = dir.join("labels.jsonl");
+    let stdout = run_ok(
+        flowc()
+            .args([
+                "search",
+                "--designs",
+                "alu64:tiny,montgomery64:tiny",
+                "--random",
+                "5",
+                "--count",
+                "4",
+                "--workers",
+                "3",
+                "--labels",
+            ])
+            .arg(&labels_path),
+    );
+    let report = parse_report(&stdout);
+    assert_eq!(f64_field(&report, "search", "jobs") as usize, 8);
+    assert_eq!(f64_field(&report, "search", "evaluated") as usize, 8);
+    assert_eq!(f64_field(&report, "search", "workers") as usize, 3);
+
+    // In-process reference: the identical seeded sample through the batch
+    // evaluator.  The orchestrated CLI labels must be bit-identical.
+    let flows = floweval::FlowSource::Random { seed: 5, count: 4 }.resolve();
+    let engine = EvalEngine::new(EngineConfig::default());
+    let designs = [
+        Design::Alu64.generate(DesignScale::Tiny),
+        Design::Montgomery64.generate(DesignScale::Tiny),
+    ];
+    let reference: Vec<Vec<synth::Qor>> = designs
+        .iter()
+        .map(|d| engine.evaluate_batch(d, &flows))
+        .collect();
+
+    let text = std::fs::read_to_string(&labels_path).expect("labels written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 8, "one JSONL label per (design, flow)");
+    for (i, line) in lines.iter().enumerate() {
+        let label = serde_json::parse_value(line).expect("label line is JSON");
+        let (d, f) = (i / flows.len(), i % flows.len());
+        let name = match label.get("design") {
+            Some(Value::Str(s)) => s.clone(),
+            other => panic!("missing design name: {other:?}"),
+        };
+        assert_eq!(name, designs[d].name());
+        assert_eq!(
+            f64_field(&label, "qor", "area_um2").to_bits(),
+            reference[d][f].area_um2.to_bits(),
+            "design {d} flow {f}: area differs from evaluate_batch"
+        );
+        assert_eq!(
+            f64_field(&label, "qor", "delay_ps").to_bits(),
+            reference[d][f].delay_ps.to_bits()
+        );
+        assert_eq!(
+            f64_field(&label, "qor", "and_nodes") as usize,
+            reference[d][f].and_nodes
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn search_usage_errors_exit_nonzero() {
+    // No flow source at all.
+    let out = flowc()
+        .args(["search", "--designs", "alu64:tiny"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "a flow source is required");
+    // Two flow sources at once.
+    let out = flowc()
+        .args([
+            "search",
+            "--designs",
+            "alu64:tiny",
+            "--random",
+            "1",
+            "--prefix",
+            "b",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "sources are mutually exclusive");
+    // --depth without --prefix.
+    let out = flowc()
+        .args([
+            "search",
+            "--designs",
+            "alu64:tiny",
+            "--random",
+            "1",
+            "--depth",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "--depth needs --prefix");
+}

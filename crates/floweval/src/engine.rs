@@ -71,6 +71,12 @@ pub struct EngineConfig {
     /// resident graph; [`EditMode::Rebuild`] is the pinned re-emit path).
     /// QoR is bit-identical either way; only throughput differs.
     pub edit_mode: EditMode,
+    /// Back every evaluation context with one engine-wide
+    /// [`synth::SharedIsopCache`], so ISOP covers computed by one worker (or
+    /// one flow of a batch) serve every other.  Covers are pure functions of
+    /// the truth table, so sharing is QoR-neutral; disable only to measure
+    /// its effect.
+    pub share_isop_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +91,7 @@ impl Default for EngineConfig {
             trie_shards: 16,
             max_resident_designs: 64,
             edit_mode: EditMode::default(),
+            share_isop_cache: true,
         }
     }
 }
@@ -188,6 +195,9 @@ pub struct EvalEngine {
     /// concurrent clients on different designs take different locks.
     shards: Vec<Mutex<TrieShard>>,
     stats: Mutex<StatsState>,
+    /// Engine-wide ISOP-cover memo handed to every context the engine
+    /// creates (when [`EngineConfig::share_isop_cache`] is on).
+    isop: synth::SharedIsopCache,
 }
 
 impl Default for EvalEngine {
@@ -231,6 +241,7 @@ impl EvalEngine {
                 .map(|_| Mutex::new(TrieShard::default()))
                 .collect(),
             stats: Mutex::new(stats),
+            isop: synth::SharedIsopCache::new(),
         }
     }
 
@@ -356,7 +367,7 @@ impl EvalEngine {
     }
 
     /// Commits one batch's counters (and optional worker timings).
-    fn commit_stats(&self, batch: &EvalStats, timings: Option<&PassTimings>) {
+    pub(crate) fn commit_stats(&self, batch: &EvalStats, timings: Option<&PassTimings>) {
         let mut state = self.stats.lock().expect("stats lock");
         if let Some(t) = timings {
             state.timings.merge(t);
@@ -780,15 +791,60 @@ impl EvalEngine {
     }
 
     /// A fresh evaluation context configured with this engine's
-    /// [`EngineConfig::edit_mode`].
-    fn pass_context(&self) -> PassContext {
-        PassContext::with_modes(CutEngine::default(), self.config.edit_mode)
+    /// [`EngineConfig::edit_mode`], backed by the engine-wide ISOP memo when
+    /// [`EngineConfig::share_isop_cache`] is on.  The orchestrator creates
+    /// its per-worker contexts through here so every worker of every search
+    /// shares one cover memo.
+    pub(crate) fn pass_context(&self) -> PassContext {
+        let ctx = PassContext::with_modes(CutEngine::default(), self.config.edit_mode);
+        if self.config.share_isop_cache {
+            ctx.share_isop_cache(self.isop.clone())
+        } else {
+            ctx
+        }
+    }
+
+    /// Cross-context hit/miss counters of the engine-wide ISOP memo.
+    pub fn shared_isop_stats(&self) -> (u64, u64) {
+        (self.isop.hits(), self.isop.misses())
+    }
+
+    /// The engine's configuration (orchestrator internals read the cache
+    /// tunables from here).
+    pub(crate) fn engine_config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The configuration fingerprint store keys are built against.
+    pub(crate) fn config_fingerprint(&self) -> Fingerprint {
+        self.config_fp
+    }
+
+    /// Looks up many store keys under one lock acquisition.
+    pub(crate) fn store_lookup_batch(&self, keys: &[StoreKey]) -> Vec<Option<Qor>> {
+        let store = self.store.lock().expect("store lock");
+        keys.iter().map(|key| store.get(key)).collect()
+    }
+
+    /// Inserts many evaluated results under one lock acquisition, returning
+    /// the number of append errors (results are still served from memory).
+    /// Inserts are idempotent: concurrent duplicate evaluations are
+    /// bit-identical, so whichever lands first wins and the rest dedup.
+    pub(crate) fn store_insert_batch(&self, entries: Vec<(StoreKey, Qor)>) -> usize {
+        let mut store = self.store.lock().expect("store lock");
+        let mut errors = 0;
+        for (key, qor) in entries {
+            if store.insert(key, qor).is_err() {
+                errors += 1;
+            }
+        }
+        errors
     }
 
     /// Maps a terminal AIG through the recycling context: the subject graph
     /// ping-pongs through a context buffer instead of a fresh allocation.
     /// QoR bits match the reference `map_qor` exactly.
-    fn map_terminal(&self, pctx: &mut PassContext, aig: &Aig) -> Qor {
+    pub(crate) fn map_terminal(&self, pctx: &mut PassContext, aig: &Aig) -> Qor {
         let mut subject = pctx.take_buf();
         subject.copy_from(aig);
         let qor = map_with_ctx(&mut subject, &self.library, self.mapper, pctx).qor();
@@ -907,7 +963,7 @@ impl EvalEngine {
 }
 
 /// Seed used for random-simulation verification, matching `FlowRunner`.
-const VERIFY_SEED: u64 = 0x5EED;
+pub(crate) const VERIFY_SEED: u64 = 0x5EED;
 
 /// Shared read-only context of one batch's parallel phase.
 struct BatchContext<'a> {

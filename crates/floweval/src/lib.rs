@@ -48,12 +48,17 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod orchestrator;
 mod stats;
 mod store;
 mod trie;
 
 pub use engine::{
     fingerprint_config, fingerprint_design, flow_script, CacheSummary, EngineConfig, EvalEngine,
+};
+pub use orchestrator::{
+    FlowSource, SearchConfig, SearchLabel, SearchOutcome, SearchReport, StragglerInjection,
+    TrajectoryPoint, PAPER_FLOW_LEN,
 };
 pub use stats::EvalStats;
 pub use store::{CompactionReport, QorStore, StoreKey, StoreMode, StoreOptions, StoreSummary};

@@ -1,0 +1,208 @@
+//! Orchestrator determinism tests: `EvalEngine::search` must produce the
+//! same label set with bit-identical QoR as a single-process
+//! `evaluate_batch` over the resolved flow list, for every worker count and
+//! under steal-forcing straggler injection.
+
+use circuits::{Design, DesignScale};
+use floweval::{EngineConfig, EvalEngine, FlowSource, SearchConfig, StragglerInjection};
+use synth::{Qor, Transform};
+
+fn designs() -> Vec<aig::Aig> {
+    vec![
+        Design::Alu64.generate(DesignScale::Tiny),
+        Design::Montgomery64.generate(DesignScale::Tiny),
+        Design::Aes128.generate(DesignScale::Tiny),
+    ]
+}
+
+fn qor_bits(q: &Qor) -> (u64, u64, usize, usize, u32) {
+    (
+        q.area_um2.to_bits(),
+        q.delay_ps.to_bits(),
+        q.gates,
+        q.and_nodes,
+        q.depth,
+    )
+}
+
+/// Reference labels: one fresh engine, per-design `evaluate_batch`.
+fn reference_labels(designs: &[aig::Aig], flows: &[Vec<Transform>]) -> Vec<Vec<Qor>> {
+    let engine = EvalEngine::new(EngineConfig::default());
+    designs
+        .iter()
+        .map(|d| engine.evaluate_batch(d, flows))
+        .collect()
+}
+
+fn assert_search_matches(
+    designs: &[aig::Aig],
+    flows: &[Vec<Transform>],
+    reference: &[Vec<Qor>],
+    config: &SearchConfig,
+) {
+    let engine = EvalEngine::new(EngineConfig::default());
+    let outcome = engine.search_flows(designs, flows, config);
+    assert_eq!(
+        outcome.labels.len(),
+        designs.len() * flows.len(),
+        "complete label set"
+    );
+    for (i, label) in outcome.labels.iter().enumerate() {
+        let (d, f) = (i / flows.len(), i % flows.len());
+        assert_eq!((label.design, label.flow), (d, f), "canonical label order");
+        assert_eq!(
+            qor_bits(&label.qor),
+            qor_bits(&reference[d][f]),
+            "workers={} design={d} flow={f}: QoR bits diverge",
+            config.workers
+        );
+    }
+}
+
+#[test]
+fn search_is_bit_identical_across_worker_counts() {
+    let designs = designs();
+    let source = FlowSource::Random {
+        seed: 0xD5,
+        count: 12,
+    };
+    let flows = source.resolve();
+    let reference = reference_labels(&designs, &flows);
+    for workers in [1, 2, 4, 8] {
+        let config = SearchConfig {
+            workers,
+            ..SearchConfig::default()
+        };
+        assert_search_matches(&designs, &flows, &reference, &config);
+    }
+}
+
+#[test]
+fn search_is_bit_identical_under_forced_stealing() {
+    // All flows share the same 2-transform prefix, so sharding by prefix
+    // affinity places every job on ONE worker's queue: the other three
+    // workers structurally must steal.  Straggler injection additionally
+    // perturbs the steal schedule.  Results must not change.
+    let designs = vec![Design::Alu64.generate(DesignScale::Tiny)];
+    let source = FlowSource::PrefixExpansion {
+        prefix: vec![Transform::Balance, Transform::Rewrite],
+        depth: 2,
+    };
+    let flows = source.resolve();
+    let reference = reference_labels(&designs, &flows);
+    let config = SearchConfig {
+        workers: 4,
+        straggler: Some(StragglerInjection {
+            seed: 7,
+            pct: 25,
+            delay_ms: 25,
+        }),
+        ..SearchConfig::default()
+    };
+    let engine = EvalEngine::new(EngineConfig::default());
+    let outcome = engine.search_flows(&designs, &flows, &config);
+    assert!(
+        outcome.report.steals > 0,
+        "straggler injection must force at least one steal (got {})",
+        outcome.report.steals
+    );
+    for (i, label) in outcome.labels.iter().enumerate() {
+        let (d, f) = (i / flows.len(), i % flows.len());
+        assert_eq!(
+            qor_bits(&label.qor),
+            qor_bits(&reference[d][f]),
+            "steal schedule changed QoR at design={d} flow={f}"
+        );
+    }
+}
+
+#[test]
+fn search_serves_repeats_from_the_store() {
+    let designs = designs();
+    let flows = FlowSource::Random { seed: 3, count: 6 }.resolve();
+    let engine = EvalEngine::new(EngineConfig::default());
+    let first = engine.search_flows(&designs, &flows, &SearchConfig::default());
+    assert_eq!(first.report.store_hits, 0);
+    assert_eq!(first.report.evaluated, designs.len() * flows.len());
+    let second = engine.search_flows(&designs, &flows, &SearchConfig::default());
+    assert_eq!(second.report.evaluated, 0, "all jobs answered by the store");
+    assert_eq!(second.report.store_hits, designs.len() * flows.len());
+    assert!(second.labels.iter().all(|l| l.from_store));
+    for (a, b) in first.labels.iter().zip(&second.labels) {
+        assert_eq!(qor_bits(&a.qor), qor_bits(&b.qor));
+    }
+}
+
+#[test]
+fn search_respects_the_eval_budget() {
+    let designs = designs();
+    let flows = FlowSource::Random { seed: 11, count: 8 }.resolve();
+    let engine = EvalEngine::new(EngineConfig::default());
+    let config = SearchConfig {
+        workers: 2,
+        max_evals: Some(5),
+        ..SearchConfig::default()
+    };
+    let outcome = engine.search_flows(&designs, &flows, &config);
+    assert!(outcome.report.eval_budget_hit);
+    assert!(outcome.report.evaluated >= 5, "budget reached before stop");
+    assert!(
+        outcome.report.evaluated < designs.len() * flows.len(),
+        "stopped early"
+    );
+    // The labels that were produced are still bit-identical to reference.
+    let reference = reference_labels(&designs, &flows);
+    for label in &outcome.labels {
+        assert_eq!(
+            qor_bits(&label.qor),
+            qor_bits(&reference[label.design][label.flow])
+        );
+    }
+}
+
+#[test]
+fn search_with_verification_passes() {
+    let designs = vec![Design::Alu64.generate(DesignScale::Tiny)];
+    let flows = FlowSource::Random { seed: 21, count: 4 }.resolve();
+    let engine = EvalEngine::new(EngineConfig {
+        verify: true,
+        ..EngineConfig::default()
+    });
+    let outcome = engine.search_flows(&designs, &flows, &SearchConfig::default());
+    assert_eq!(outcome.report.evaluated, 4);
+}
+
+#[test]
+fn search_reports_prefix_reuse() {
+    // A prefix expansion shares its prefix maximally: the orchestrator must
+    // apply far fewer passes than requested.
+    let designs = vec![Design::Alu64.generate(DesignScale::Tiny)];
+    let source = FlowSource::PrefixExpansion {
+        prefix: vec![Transform::Balance, Transform::Rewrite],
+        depth: 2,
+    };
+    let flows = source.resolve();
+    assert_eq!(flows.len(), 36);
+    let engine = EvalEngine::new(EngineConfig::default());
+    let config = SearchConfig {
+        workers: 2,
+        ..SearchConfig::default()
+    };
+    let outcome = engine.search_flows(&designs, &flows, &config);
+    assert_eq!(outcome.report.evaluated, 36);
+    assert!(
+        outcome.report.passes_applied < outcome.report.passes_requested,
+        "prefix reuse must avoid passes: applied {} of {}",
+        outcome.report.passes_applied,
+        outcome.report.passes_requested
+    );
+    assert!(outcome.report.trie_hits > 0);
+    // And it is still bit-identical to the batch engine.
+    let reference = reference_labels(&designs, &flows);
+    for label in &outcome.labels {
+        assert_eq!(
+            qor_bits(&label.qor),
+            qor_bits(&reference[label.design][label.flow])
+        );
+    }
+}

@@ -69,3 +69,4 @@ pub use qor::{Qor, QorMetric};
 pub use refactor::refactor;
 pub use restructure::restructure;
 pub use rewrite::rewrite;
+pub use sop::SharedIsopCache;

@@ -7,8 +7,6 @@
 //! and summarised as area (sum of cell areas) and delay (static timing with a
 //! fanout-dependent load term), the two QoR metrics the paper reports.
 
-use std::collections::HashMap;
-
 use aig::{
     cut_truth, truth4_pad, truth4_reduce, truth4_support, Aig, Cut4Enumerator, CutEnumerator,
     CutParams, NodeId,
@@ -250,7 +248,9 @@ fn map_core(
     cut4_sets: &[aig::CutSet4],
     cancel: &mut CancelCell,
 ) -> MappedNetlist {
-    let mut choices: HashMap<NodeId, Choice> = HashMap::new();
+    // Dense, node-id-indexed choice table: every AND gets exactly one entry,
+    // so a Vec beats a HashMap on both insert and the cover-extraction reads.
+    let mut choices: Vec<Option<Choice>> = vec![None; subject.len()];
     let mut arrivals: Vec<f64> = vec![0.0; subject.len()];
     let mut area_flows: Vec<f64> = vec![0.0; subject.len()];
     // Scratch buffer for the fast path's reduced leaf list.
@@ -328,7 +328,7 @@ fn map_core(
         });
         arrivals[id] = choice.arrival;
         area_flows[id] = choice.area_flow;
-        choices.insert(id, choice);
+        choices[id] = Some(choice);
     }
 
     // Cover extraction from the primary outputs.
@@ -349,7 +349,7 @@ fn map_core(
         }
         in_cover[id] = true;
         cover_nodes.push(id);
-        for &leaf in &choices[&id].leaves {
+        for &leaf in &choices[id].as_ref().expect("AND node has a choice").leaves {
             if subject.node(leaf).is_and() && !in_cover[leaf] {
                 stack.push(leaf);
             }
@@ -361,7 +361,7 @@ fn map_core(
     let mut area = 0.0;
     let mut gates = Vec::with_capacity(cover_nodes.len());
     for id in cover_nodes {
-        let c = &choices[&id];
+        let c = choices[id].as_ref().expect("cover node has a choice");
         area += library.cell(c.cell).area;
         gates.push(MappedGate {
             root: id,

@@ -27,7 +27,6 @@
 //! (mirroring the [`CutEngine`] two-path pattern); the context path is pinned
 //! bit-identical to it by differential tests (`tests/pass_context.rs`).
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 use aig::{Aig, AigScratch, CutSet4, CutTruthScratch, EditScratch, Lit, NodeId};
@@ -36,7 +35,7 @@ use flow_core::{fail_point, CancelToken, Cancelled};
 use crate::engine::{CutEngine, EditMode};
 use crate::passes::Transform;
 use crate::reconv::ReconvScratch;
-use crate::resyn::{Decision, Proposal};
+use crate::resyn::{DecisionTable, Proposal};
 use crate::sop::{IsopCache, SopCostScratch};
 use crate::strash::SweepStrash;
 
@@ -178,7 +177,7 @@ impl CancelCell {
 #[derive(Debug, Default)]
 pub(crate) struct SweepScratch {
     pub(crate) ids: Vec<NodeId>,
-    pub(crate) decisions: HashMap<NodeId, Decision>,
+    pub(crate) decisions: DecisionTable,
     pub(crate) proposals: Vec<Proposal>,
     pub(crate) rebuild_map: Vec<Lit>,
     pub(crate) leaf_lits: Vec<Lit>,
@@ -294,6 +293,23 @@ impl PassContext {
     /// Disarms cooperative cancellation (idempotent).
     pub fn disarm_cancel(&mut self) {
         self.cancel.disarm();
+    }
+
+    /// Backs this context's ISOP memo with a process-wide
+    /// [`SharedIsopCache`](crate::SharedIsopCache) tier: local misses probe
+    /// the shared map before computing and publish what they compute.
+    ///
+    /// Covers are pure functions of the truth table, so sharing never changes
+    /// a result bit — concurrent workers just stop re-deriving each other's
+    /// covers.  Returns `self` for builder-style chaining.
+    pub fn share_isop_cache(mut self, shared: crate::SharedIsopCache) -> Self {
+        self.propose.isop.set_shared(Some(shared));
+        self
+    }
+
+    /// [`share_isop_cache`](Self::share_isop_cache) on an existing context.
+    pub fn set_shared_isop_cache(&mut self, shared: Option<crate::SharedIsopCache>) {
+        self.propose.isop.set_shared(shared);
     }
 
     /// The cut engine the context's passes run on.

@@ -58,6 +58,67 @@ pub struct Proposal {
     pub mffc_size: usize,
 }
 
+/// Read-only view of the accepted decisions keyed by node id.
+///
+/// The rebuild/apply machinery is generic over this so the Reference path's
+/// `HashMap` and the context path's dense [`DecisionTable`] replay decisions
+/// through literally the same code — the two tables differ only in lookup
+/// cost, never in contents, keeping the paths bit-identical by construction.
+pub(crate) trait DecisionLookup {
+    /// The decision recorded for `id`, if any.
+    fn lookup(&self, id: NodeId) -> Option<&Decision>;
+    /// Whether no decision was recorded at all.
+    fn is_empty(&self) -> bool;
+}
+
+impl DecisionLookup for HashMap<NodeId, Decision> {
+    fn lookup(&self, id: NodeId) -> Option<&Decision> {
+        self.get(&id)
+    }
+    fn is_empty(&self) -> bool {
+        HashMap::is_empty(self)
+    }
+}
+
+/// Dense decision table indexed by node id — the context path's replacement
+/// for the `HashMap`.  The rebuild loop queries *every* AND of the graph, so
+/// the flat slot vector turns each probe into one bounds-checked load instead
+/// of a hash + bucket walk; the slots recycle across sweeps through
+/// [`crate::pass::SweepScratch`].
+#[derive(Debug, Default)]
+pub(crate) struct DecisionTable {
+    slots: Vec<Option<Decision>>,
+    len: usize,
+}
+
+impl DecisionTable {
+    /// Clears the table and sizes it for a graph of `n` nodes.
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.slots.clear();
+        self.slots.resize(n, None);
+        self.len = 0;
+    }
+
+    /// Records (or replaces) the decision for `id`.
+    pub(crate) fn insert(&mut self, id: NodeId, d: Decision) {
+        if id >= self.slots.len() {
+            self.slots.resize(id + 1, None);
+        }
+        if self.slots[id].replace(d).is_none() {
+            self.len += 1;
+        }
+    }
+}
+
+impl DecisionLookup for DecisionTable {
+    fn lookup(&self, id: NodeId) -> Option<&Decision> {
+        self.slots.get(id).and_then(Option::as_ref)
+    }
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// Acceptance policy of a pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Acceptance {
@@ -155,7 +216,7 @@ pub(crate) fn resynthesis_sweep_ctx<F>(
     } = sweep;
     ids.clear();
     ids.extend(g.and_ids());
-    decisions.clear();
+    decisions.reset(g.len());
     // Estimated number of nodes the accepted decisions will structurally
     // change (freed MFFC + emitted replacement), driving the in-place /
     // rebuild crossover below.
@@ -226,9 +287,9 @@ pub(crate) struct SweepApply<'a> {
 /// the same sweep order as [`rebuild_with_decisions_into`] followed by the
 /// compacting `finish`, producing node-for-node identical bits (see the
 /// `aig::edit` module docs for the argument).
-fn apply_decisions_in_place(
+fn apply_decisions_in_place<D: DecisionLookup>(
     g: &mut Aig,
-    decisions: &HashMap<NodeId, Decision>,
+    decisions: &D,
     edit: &mut EditScratch,
     map: &mut Vec<Lit>,
     leaf_lits: &mut Vec<Lit>,
@@ -248,7 +309,7 @@ fn apply_decisions_in_place(
         let Some((a, b)) = ed.graph().node(id).fanins() else {
             continue;
         };
-        if let Some(d) = decisions.get(&id) {
+        if let Some(d) = decisions.lookup(id) {
             leaf_lits.clear();
             leaf_lits.extend(d.leaves.iter().map(|&l| map[l]));
             map[id] = match &d.structure {
@@ -278,9 +339,9 @@ pub fn rebuild_with_decisions(src: &Aig, decisions: &HashMap<NodeId, Decision>) 
 
 /// [`rebuild_with_decisions`] into a recycled destination graph and remap
 /// table (both cleared and pre-sized here), producing identical bits.
-pub(crate) fn rebuild_with_decisions_into(
+pub(crate) fn rebuild_with_decisions_into<D: DecisionLookup>(
     src: &Aig,
-    decisions: &HashMap<NodeId, Decision>,
+    decisions: &D,
     out: &mut Aig,
     map: &mut Vec<Lit>,
 ) {
@@ -296,7 +357,7 @@ pub(crate) fn rebuild_with_decisions_into(
         let Some((a, b)) = src.node(id).fanins() else {
             continue;
         };
-        if let Some(d) = decisions.get(&id) {
+        if let Some(d) = decisions.lookup(id) {
             let leaf_lits: Vec<Lit> = d.leaves.iter().map(|&l| map[l]).collect();
             map[id] = match &d.structure {
                 Structure::SumOfProducts(sop) => build_sop(out, sop, &leaf_lits),

@@ -144,6 +144,11 @@ pub fn isop_fast_with(f: &TruthTable, arena: &mut Vec<Cube>) -> Sop {
 /// slices), and successive passes of a flow revisit mostly-unchanged cones;
 /// a hit replaces the whole Minato–Morreale recursion with one clone of the
 /// cached cover.  Determinism of `isop` makes hits bit-identical to misses.
+///
+/// A context-local cache can additionally be backed by a process-wide
+/// [`SharedIsopCache`]: local misses probe the shared tier before computing,
+/// and freshly computed covers are published back, so concurrent workers
+/// evaluating different flows of the same batch reuse each other's work.
 #[derive(Debug, Default)]
 pub struct IsopCache {
     map: std::collections::HashMap<(usize, [u64; 4]), Sop>,
@@ -151,6 +156,8 @@ pub struct IsopCache {
     /// Overflow slot backing [`isop_ref`](Self::isop_ref) when the cover
     /// cannot live in the map (wide function or full cache).
     spill: Sop,
+    /// Optional process-wide second tier probed on local misses.
+    shared: Option<SharedIsopCache>,
 }
 
 /// Entry cap of [`IsopCache`] (≈ a few MB worst case); beyond it the cache
@@ -158,6 +165,11 @@ pub struct IsopCache {
 const ISOP_CACHE_CAP: usize = 1 << 16;
 
 impl IsopCache {
+    /// Attaches (or detaches) the shared second tier.
+    pub(crate) fn set_shared(&mut self, shared: Option<SharedIsopCache>) {
+        self.shared = shared;
+    }
+
     /// [`isop_fast`] with memoization; the cover is bit-identical.
     pub fn isop(&mut self, f: &TruthTable) -> Sop {
         let n = f.num_vars();
@@ -171,7 +183,16 @@ impl IsopCache {
         if let Some(sop) = self.map.get(&(n, key)) {
             return sop.clone();
         }
-        let sop = isop_fast_with(f, &mut self.arena);
+        let sop = match self.shared.as_ref().and_then(|s| s.probe(n, key)) {
+            Some(sop) => sop,
+            None => {
+                let sop = isop_fast_with(f, &mut self.arena);
+                if let Some(s) = &self.shared {
+                    s.publish(n, key, &sop);
+                }
+                sop
+            }
+        };
         if self.map.len() < ISOP_CACHE_CAP {
             self.map.insert((n, key), sop.clone());
         }
@@ -192,13 +213,105 @@ impl IsopCache {
         for (slot, &word) in key.iter_mut().zip(f.words()) {
             *slot = word;
         }
-        let IsopCache { map, arena, spill } = self;
+        let IsopCache {
+            map,
+            arena,
+            spill,
+            shared,
+        } = self;
+        let compute = |arena: &mut Vec<Cube>| {
+            if let Some(sop) = shared.as_ref().and_then(|s| s.probe(n, key)) {
+                return sop;
+            }
+            let sop = isop_fast_with(f, arena);
+            if let Some(s) = shared.as_ref() {
+                s.publish(n, key, &sop);
+            }
+            sop
+        };
         if map.len() >= ISOP_CACHE_CAP && !map.contains_key(&(n, key)) {
-            *spill = isop_fast_with(f, arena);
+            *spill = compute(arena);
             return spill;
         }
-        map.entry((n, key))
-            .or_insert_with(|| isop_fast_with(f, arena))
+        map.entry((n, key)).or_insert_with(|| compute(arena))
+    }
+}
+
+/// A process-wide, thread-safe tier of the ISOP memo shared across contexts.
+///
+/// `evaluate_batch` and the exploration orchestrator hand one clone of this
+/// to every worker's [`crate::PassContext`]; covers are pure functions of the
+/// truth table and `isop` is deterministic, so a cross-worker hit returns
+/// exactly the cover the worker would have computed — sharing is QoR-neutral
+/// by construction and only saves the Minato–Morreale recursion.
+///
+/// Cheap to clone (an `Arc` handle).  Reads take a shared `RwLock` guard;
+/// writes are one short exclusive insert per *distinct* truth function in the
+/// whole batch, so contention stays negligible.
+#[derive(Debug, Clone, Default)]
+pub struct SharedIsopCache {
+    inner: std::sync::Arc<SharedIsopInner>,
+}
+
+#[derive(Debug, Default)]
+struct SharedIsopInner {
+    map: std::sync::RwLock<std::collections::HashMap<(usize, [u64; 4]), Sop>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+/// Entry cap of the shared tier (larger than the per-context cap: it serves
+/// a whole batch of flows across all workers).
+const SHARED_ISOP_CACHE_CAP: usize = 1 << 18;
+
+impl SharedIsopCache {
+    /// Creates an empty shared cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached covers.
+    pub fn len(&self) -> usize {
+        self.inner.map.read().expect("isop cache poisoned").len()
+    }
+
+    /// Whether the cache holds no covers yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cross-context hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Probes that fell through to a local computation.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn probe(&self, n: usize, key: [u64; 4]) -> Option<Sop> {
+        let got = self
+            .inner
+            .map
+            .read()
+            .expect("isop cache poisoned")
+            .get(&(n, key))
+            .cloned();
+        let counter = if got.is_some() {
+            &self.inner.hits
+        } else {
+            &self.inner.misses
+        };
+        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        got
+    }
+
+    fn publish(&self, n: usize, key: [u64; 4], sop: &Sop) {
+        let mut map = self.inner.map.write().expect("isop cache poisoned");
+        if map.len() < SHARED_ISOP_CACHE_CAP {
+            map.entry((n, key)).or_insert_with(|| sop.clone());
+        }
     }
 }
 
